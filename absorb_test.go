@@ -1,0 +1,111 @@
+package x3
+
+import (
+	"strings"
+	"testing"
+)
+
+// secondBatchXML holds two more publications arriving after the first cube
+// was computed.
+const secondBatchXML = `
+<database>
+  <publication id="5">
+    <author id="a9"><name>John</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="6">
+    <year>2006</year>
+  </publication>
+</database>`
+
+func TestAbsorbEqualsRecompute(t *testing.T) {
+	db1, q := loadPaper(t)
+	res, err := db1.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadXMLString(secondBatchXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := res.Absorb(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || res.NumFacts() != 6 {
+		t.Fatalf("added=%d facts=%d", added, res.NumFacts())
+	}
+
+	// Recompute over the concatenated corpus and compare key cells.
+	combined := strings.Replace(paperXML, "</database>",
+		strings.TrimPrefix(strings.TrimSpace(secondBatchXML), "<database>"), 1)
+	dbAll, err := LoadXMLString(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dbAll.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.NumFacts() != 6 {
+		t.Fatalf("combined facts = %d", want.NumFacts())
+	}
+	if res.TotalCells() != want.TotalCells() {
+		t.Fatalf("cells %d vs %d", res.TotalCells(), want.TotalCells())
+	}
+	for _, states := range []map[string]string{
+		nil,
+		{"$y": "rigid"},
+		{"$n": "SP"},
+		{"$n": "rigid", "$y": "rigid"},
+		{"$p": "rigid", "$y": "rigid"},
+	} {
+		cw, err := want.Cuboid(states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, err := res.Cuboid(states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cw.Size() != cg.Size() {
+			t.Fatalf("%v: sizes %d vs %d", states, cg.Size(), cw.Size())
+		}
+		for _, row := range cw.Rows() {
+			if v, ok := cg.Get(row.Values...); !ok || v != row.Value {
+				t.Errorf("%v %v = %v, %v; want %v", states, row.Values, v, ok, row.Value)
+			}
+		}
+	}
+	// Spot checks: John now counts 3 at SP (pubs 1, 3, 5); 2003 counts 3.
+	c, _ := res.Cuboid(map[string]string{"$n": "SP"})
+	if v, ok := c.Get("John"); !ok || v != 3 {
+		t.Errorf("absorbed SP John = %v, %v", v, ok)
+	}
+	c, _ = res.Cuboid(map[string]string{"$y": "rigid"})
+	if v, ok := c.Get("2006"); !ok || v != 1 {
+		t.Errorf("absorbed 2006 = %v, %v", v, ok)
+	}
+}
+
+func TestAbsorbIcebergRefused(t *testing.T) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`
+for $b in doc("x")//publication, $y in $b/year
+x3 $b/@id by $y (LND)
+return COUNT($b) having COUNT($b) >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Absorb(db); err == nil {
+		t.Fatal("iceberg Absorb accepted")
+	}
+}

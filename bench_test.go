@@ -1,0 +1,278 @@
+package x3
+
+// One benchmark per figure of the paper's evaluation (§4). Each
+// sub-benchmark is one (axis count, algorithm) point of the figure; the
+// series the paper plots is the set of sub-benchmark timings. Absolute
+// numbers depend on hardware and the X3_BENCH_SCALE factor; the paper's
+// qualitative shapes (who wins sparse vs dense, where COUNTER multi-passes,
+// where TD melts down) are what these regenerate. cmd/x3bench prints the
+// same data as figure-shaped tables.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"x3/internal/cube"
+	"x3/internal/harness"
+	"x3/internal/mem"
+)
+
+// benchOptions picks a small default scale so the full matrix stays
+// tractable under `go test -bench=.`; X3_BENCH_SCALE overrides it.
+func benchOptions(b *testing.B) harness.Options {
+	b.Helper()
+	scale := 0.005
+	if s := os.Getenv("X3_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return harness.Options{
+		Scale:   scale,
+		Timeout: 60 * time.Second,
+		TmpDir:  b.TempDir(),
+		Seed:    1,
+	}
+}
+
+// benchFigure runs every (axes, algorithm) point of one figure.
+func benchFigure(b *testing.B, id string) {
+	cfg, err := harness.FigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions(b)
+	for _, d := range cfg.AxesSweep {
+		w, err := harness.Prepare(cfg, opt, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, alg := range cfg.Algorithms {
+			b.Run(fmt.Sprintf("axes=%d/alg=%s", d, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					row, err := w.RunAlgorithm(alg, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if row.DNF != "" {
+						b.Skipf("DNF: %s", row.DNF)
+					}
+					if i == b.N-1 {
+						b.ReportMetric(float64(row.Cells), "cells")
+						b.ReportMetric(float64(row.Stats.Passes), "passes")
+						b.ReportMetric(float64(row.Stats.ExternalSorts), "extsorts")
+					}
+				}
+			})
+		}
+		w.Remove()
+	}
+}
+
+// BenchmarkFig4 — sparse cubes, 10^4 input trees, total coverage does not
+// hold, disjointness holds (paper Fig. 4).
+func BenchmarkFig4(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig5 — sparse cubes, 10^5 input trees, coverage fails,
+// disjointness holds (paper Fig. 5).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6 — dense cubes, 10^5 input trees, coverage fails,
+// disjointness holds; TD/TDOPT/COUNTER DNF at 7 axes in the paper
+// (paper Fig. 6).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7 — sparse cubes, 10^5 trees, both properties hold
+// (paper Fig. 7).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8 — dense cubes, 10^5 trees, both properties hold; the
+// top-down roll-up shines (paper Fig. 8).
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9 — dense cubes, 10^5 trees, neither property holds; the
+// optimized variants run fast but wrong (paper Fig. 9).
+func BenchmarkFig9(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10 — the DBLP experiment: cube article by /author, /month,
+// /year, /journal over 220k input trees, all eight algorithms including
+// the schema-customized BUCCUST/TDCUST (paper Fig. 10).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkScaling — the §4.4 scaling experiment: the Fig. 4 configuration
+// at 10^4 vs 10^5 input trees (here: 1x vs 10x of the scaled base), fixed
+// 4 axes.
+func BenchmarkScaling(b *testing.B) {
+	cfg, err := harness.FigureByID("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions(b)
+	for _, mult := range []int{1, 10} {
+		c := cfg
+		c.Trees = cfg.Trees * mult
+		w, err := harness.Prepare(c, opt, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, alg := range cfg.Algorithms {
+			b.Run(fmt.Sprintf("trees=%dx/alg=%s", mult, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := w.RunAlgorithm(alg, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		w.Remove()
+	}
+}
+
+// ---- ablations (DESIGN.md §7) ----
+
+// BenchmarkAblationCounterBudget compares COUNTER with unlimited memory to
+// COUNTER forced into hash-partitioned multi-pass by a tight budget.
+func BenchmarkAblationCounterBudget(b *testing.B) {
+	cfg, err := harness.FigureByID("fig5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions(b)
+	w, err := harness.Prepare(cfg, opt, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Remove()
+	full := w.Budget
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"unlimited", 0},
+		{"paper-budget", full},
+		{"tight", full / 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w.Budget = tc.budget
+			for i := 0; i < b.N; i++ {
+				row, err := w.RunAlgorithm("COUNTER", opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(row.Stats.Passes), "passes")
+				}
+			}
+		})
+	}
+	w.Budget = full
+}
+
+// BenchmarkAblationBUCPartitioning compares BUC's overlap-tolerant map
+// partitioning with BUCOPT's in-place sorted partitioning on data where
+// disjointness actually holds (both compute the same result there).
+func BenchmarkAblationBUCPartitioning(b *testing.B) {
+	cfg, err := harness.FigureByID("fig7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions(b)
+	w, err := harness.Prepare(cfg, opt, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Remove()
+	for _, alg := range []string{"BUC", "BUCOPT", "BUCCUST"} {
+		b.Run(alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunAlgorithm(alg, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTDIdentity compares the top-down ladder on conforming
+// data: identity-retaining per-cuboid sorts (TD), shared identity-free
+// sorts (TDOPT), and pure roll-up (TDOPTALL).
+func BenchmarkAblationTDIdentity(b *testing.B) {
+	cfg, err := harness.FigureByID("fig8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions(b)
+	w, err := harness.Prepare(cfg, opt, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Remove()
+	for _, alg := range []string{"TD", "TDCUST", "TDOPT", "TDOPTALL"} {
+		b.Run(alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := w.RunAlgorithm(alg, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(row.Stats.Sorts), "sorts")
+					b.ReportMetric(float64(row.Stats.Rollups), "rollups")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCubeFacade measures the end-to-end public API on the paper's
+// running example (parse, match, cube).
+func BenchmarkCubeFacade(b *testing.B) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := ParseQuery(query1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Cube(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCubeOverStore measures the paged-store path end to end:
+// structural-join evaluation over the buffer pool plus cubing, cold cache
+// per iteration.
+func BenchmarkCubeOverStore(b *testing.B) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/bench.x3st"
+	if err := db.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	sdb, err := OpenStore(path, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sdb.Close()
+	q, err := ParseQuery(query1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdb.Cube(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// silence unused-import when building without benchmarks.
+var _ = cube.Names
+var _ = mem.Unlimited

@@ -1,0 +1,116 @@
+// Command x3bench regenerates the paper's evaluation figures (§4): for
+// each figure it builds the controlled workload, runs the figure's
+// algorithms across the axis sweep, and prints the running-time table.
+//
+// Usage:
+//
+//	x3bench                         # all figures at the default 1/16 scale
+//	x3bench -figure fig6 -scale 0.01
+//	x3bench -figure fig10 -csv out.csv
+//
+// The scale factor multiplies the paper's input tree counts and its 512 MB
+// memory budget together, preserving the crossover shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"x3/internal/harness"
+)
+
+// parseInts parses a comma-separated integer list ("" -> nil).
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("x3bench: bad -axes element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated list, dropping empties and spaces.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("x3bench: ")
+	def := harness.DefaultOptions()
+	var (
+		figure  = flag.String("figure", "all", "figure id (fig4..fig10) or all")
+		scale   = flag.Float64("scale", def.Scale, "input and budget scale factor")
+		timeout = flag.Duration("timeout", def.Timeout, "per-run timeout (DNF beyond it)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		csvPath = flag.String("csv", "", "append all rows as CSV here")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		axes    = flag.String("axes", "", `restrict the axis sweep, e.g. "2,4,7"`)
+		algs    = flag.String("algorithms", "", `restrict the algorithms, e.g. "TD,BUC"`)
+	)
+	flag.Parse()
+
+	axesSweep, err := parseInts(*axes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := harness.Options{Scale: *scale, Timeout: *timeout, Seed: *seed}
+	if !*quiet {
+		opt.Log = os.Stderr
+	}
+
+	var figs []harness.Config
+	if *figure == "all" {
+		figs = harness.Figures()
+	} else {
+		cfg, err := harness.FigureByID(*figure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		figs = []harness.Config{cfg}
+	}
+
+	var all []harness.Row
+	for _, cfg := range figs {
+		if len(axesSweep) > 0 {
+			cfg.AxesSweep = axesSweep
+		}
+		if *algs != "" {
+			cfg.Algorithms = splitList(*algs)
+		}
+		fmt.Printf("\n== %s: %s ==\n", cfg.ID, cfg.Title)
+		start := time.Now()
+		rows, err := harness.Run(cfg, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.WriteTable(os.Stdout, rows)
+		fmt.Printf("(%s, scale=%g, wall %.1fs)\n", cfg.ID, *scale, time.Since(start).Seconds())
+		all = append(all, rows...)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.WriteCSV(f, all)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

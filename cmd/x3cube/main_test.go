@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseCuboidSpec(t *testing.T) {
+	got, err := parseCuboidSpec("$n=rigid,$y=LND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["$n"] != "rigid" || got["$y"] != "LND" || len(got) != 2 {
+		t.Fatalf("spec = %v", got)
+	}
+	// Tolerates stray commas.
+	got, err = parseCuboidSpec(",$n=SP,")
+	if err != nil || got["$n"] != "SP" {
+		t.Fatalf("spec = %v, %v", got, err)
+	}
+	for _, bad := range []string{"$n", "=rigid", "$n=", "$n==x=y"} {
+		if _, err := parseCuboidSpec(bad); err == nil && bad != "$n==x=y" {
+			t.Errorf("parseCuboidSpec(%q): want error", bad)
+		}
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty("a,,b,c,", ',')
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("split = %v", got)
+	}
+	if got := splitNonEmpty("", ','); len(got) != 0 {
+		t.Fatalf("split empty = %v", got)
+	}
+}

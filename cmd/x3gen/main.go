@@ -1,0 +1,151 @@
+// Command x3gen generates the synthetic corpora of the X³ evaluation:
+// Treebank-like heterogeneous marked-up trees and DBLP-like article
+// records, plus their DTDs and the matching X³ queries.
+//
+// Usage:
+//
+//	x3gen -kind treebank -facts 10000 -axes 4 -missing 0.25 -out tb.xml -dtd tb.dtd -query tb.xq
+//	x3gen -kind dblp -facts 220000 -out dblp.xml -dtd dblp.dtd -query dblp.xq
+//	x3gen -kind paper -out books.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"x3/internal/dataset"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// paperXML is the Figure 1 running example.
+const paperXML = `<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a3"><name>Bob</name></author>
+    <publisher id="p1"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a1"><name>John</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Amy</name></author>
+    <pubData><publisher id="p2"/><year>2005</year></pubData>
+  </publication>
+</database>`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("x3gen: ")
+	var (
+		kind    = flag.String("kind", "treebank", "corpus kind: treebank, dblp or paper")
+		facts   = flag.Int("facts", 10000, "number of facts (input trees)")
+		axes    = flag.Int("axes", 4, "treebank: number of grouping axes")
+		card    = flag.Int("card", 64, "treebank: value cardinality per axis")
+		missing = flag.Float64("missing", 0, "treebank: P(axis element missing) — coverage violation")
+		repeat  = flag.Float64("repeat", 0, "treebank: P(extra occurrence) — disjointness violation")
+		nest    = flag.Float64("nest", 0, "treebank: P(element nested under a wrapper) — needs PC-AD")
+		noise   = flag.Int("noise", 2, "treebank: filler elements per fact")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output XML path (default stdout)")
+		dtdOut  = flag.String("dtd", "", "also write the corpus DTD here")
+		qOut    = flag.String("query", "", "also write the matching X³ query here")
+	)
+	flag.Parse()
+
+	var (
+		doc   *xmltree.Document
+		dtd   string
+		query string
+		err   error
+	)
+	switch *kind {
+	case "treebank":
+		cfg := dataset.TreebankConfig{Seed: *seed, Facts: *facts, Noise: *noise}
+		for i := 0; i < *axes; i++ {
+			relax := pattern.RelaxSet(0).With(pattern.LND)
+			if *nest > 0 {
+				relax = relax.With(pattern.PCAD)
+			}
+			cfg.Axes = append(cfg.Axes, dataset.AxisConfig{
+				Tag:         fmt.Sprintf("w%d", i),
+				Cardinality: *card,
+				PMissing:    *missing,
+				PRepeat:     *repeat,
+				PNest:       *nest,
+				Relax:       relax,
+			})
+		}
+		doc = dataset.Treebank(cfg)
+		dtd = dataset.TreebankDTD(cfg)
+		query = queryText(dataset.TreebankQuery(cfg.Axes))
+	case "dblp":
+		doc = dataset.DBLP(dataset.DefaultDBLPConfig(*facts, *seed))
+		dtd = dataset.DBLPDTD
+		query = queryText(dataset.DBLPQuery())
+	case "paper":
+		doc, err = xmltree.ParseString(paperXML)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -kind %q (want treebank, dblp or paper)", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := doc.Write(w); err != nil {
+		log.Fatal(err)
+	}
+	if *dtdOut != "" {
+		if dtd == "" {
+			log.Fatalf("-dtd not supported for kind %q", *kind)
+		}
+		if err := os.WriteFile(*dtdOut, []byte(dtd), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *qOut != "" {
+		if query == "" {
+			log.Fatalf("-query not supported for kind %q", *kind)
+		}
+		if err := os.WriteFile(*qOut, []byte(query), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "x3gen: %d nodes written\n", doc.Len())
+}
+
+// queryText renders a CubeQuery back to the X³ surface syntax.
+func queryText(q *pattern.CubeQuery) string {
+	out := fmt.Sprintf("for %s in doc(%q)%s", q.FactVar, q.Doc, q.FactPath)
+	for _, a := range q.Axes {
+		out += fmt.Sprintf(",\n    %s in %s%s", a.Var, q.FactVar, a.Path)
+	}
+	out += fmt.Sprintf("\nx^3 %s%s by", q.FactVar, q.FactIDPath)
+	for i, a := range q.Axes {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf(" %s %s", a.Var, a.Relax)
+	}
+	out += fmt.Sprintf("\nreturn %v(%s).\n", q.Agg, q.FactVar)
+	return out
+}

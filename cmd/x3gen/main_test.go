@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/xmltree"
+	"x3/internal/xq"
+)
+
+func TestQueryTextRoundTripsThroughParser(t *testing.T) {
+	// The query x3gen emits must be accepted by the xq parser and
+	// describe the same axes.
+	dq := dataset.DBLPQuery()
+	text := queryText(dq)
+	parsed, err := xq.Parse(text)
+	if err != nil {
+		t.Fatalf("emitted query does not parse: %v\n%s", err, text)
+	}
+	if len(parsed.Axes) != len(dq.Axes) {
+		t.Fatalf("axes %d vs %d", len(parsed.Axes), len(dq.Axes))
+	}
+	for i := range dq.Axes {
+		if parsed.Axes[i].Path.String() != dq.Axes[i].Path.String() {
+			t.Errorf("axis %d path %s vs %s", i, parsed.Axes[i].Path, dq.Axes[i].Path)
+		}
+		if parsed.Axes[i].Relax != dq.Axes[i].Relax {
+			t.Errorf("axis %d relax %v vs %v", i, parsed.Axes[i].Relax, dq.Axes[i].Relax)
+		}
+	}
+}
+
+func TestPaperXMLParses(t *testing.T) {
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.ByTag("publication")); got != 4 {
+		t.Fatalf("publications = %d", got)
+	}
+	if !strings.Contains(paperXML, "pubData") {
+		t.Error("paper fixture lost the fourth publication's shape")
+	}
+}

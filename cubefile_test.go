@@ -1,0 +1,58 @@
+package x3
+
+import (
+	"path/filepath"
+	"testing"
+
+	"x3/internal/cellfile"
+)
+
+func TestCubeToFile(t *testing.T) {
+	db, q := loadPaper(t)
+	want, err := db.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cube.x3cf")
+	cells, stats, err := db.CubeToFile(q, path, WithAlgorithm("BUC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != want.TotalCells() {
+		t.Fatalf("file cells = %d, want %d", cells, want.TotalCells())
+	}
+	if stats.Algorithm != "BUC" {
+		t.Errorf("stats algorithm = %s", stats.Algorithm)
+	}
+	// The file's contents aggregate to the same totals.
+	var sum float64
+	var n int64
+	err = cellfile.Each(path, func(c cellfile.Cell) error {
+		n++
+		sum += c.State.Sum
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cells {
+		t.Fatalf("read back %d cells, wrote %d", n, cells)
+	}
+	if sum <= 0 {
+		t.Fatalf("aggregate sum = %v", sum)
+	}
+}
+
+func TestCubeToFileBadAlgorithm(t *testing.T) {
+	db, q := loadPaper(t)
+	if _, _, err := db.CubeToFile(q, filepath.Join(t.TempDir(), "x"), WithAlgorithm("NOPE")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCubeToFileBadPath(t *testing.T) {
+	db, q := loadPaper(t)
+	if _, _, err := db.CubeToFile(q, "/nonexistent-dir/x.x3cf"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

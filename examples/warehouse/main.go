@@ -1,0 +1,99 @@
+// Warehouse: operating an XML warehouse over time with the library's
+// extension features — estimate the cube before computing it, pick an
+// algorithm from the schema, compute, select views to materialize, and
+// absorb a newly arrived batch incrementally.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"x3"
+	"x3/internal/dataset"
+)
+
+func main() {
+	// Day one: 10k DBLP articles arrive.
+	day1 := dataset.DBLP(dataset.DefaultDBLPConfig(10_000, 1))
+	var buf bytes.Buffer
+	if err := day1.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	db, err := x3.LoadXMLString(buf.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := x3.ParseQuery(`
+for $a in doc("dblp.xml")//article,
+    $au in $a/author, $m in $a/month, $y in $a/year, $j in $a/journal
+x^3 $a/@key by $au (LND), $m (LND), $y (LND), $j (LND)
+return COUNT($a)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Estimate before computing.
+	est, err := db.Estimate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate: %d facts, %d cuboids, ~%d cells (finest ~%d), dense=%t\n",
+		est.Facts, est.Cuboids, est.EstimatedCells, est.TopCuboidCells, est.Dense)
+
+	// 2. Ask the schema which algorithm is safe and fast.
+	adv, err := x3.Advise(q, dataset.DBLPDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algorithm := adv.SparseAlgorithm
+	if est.Dense {
+		algorithm = adv.DenseAlgorithm
+	}
+	fmt.Printf("advice: %s (%s)\n\n", algorithm, adv.Reason)
+
+	// 3. Compute the cube.
+	res, err := db.Cube(q, x3.WithAlgorithm(algorithm), x3.WithDTD(dataset.DBLPDTD))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("computed %d cells with %s\n", res.TotalCells(), algorithm)
+
+	// 4. Which cuboids are worth materializing?
+	sugs, err := res.SuggestViews(3, dataset.DBLPDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nviews worth materializing:")
+	for _, s := range sugs {
+		fmt.Printf("  %-44s size=%-8d benefit=%d\n", s.Cuboid, s.Size, s.Benefit)
+	}
+
+	// 5. Day two: 2k more articles arrive; absorb them incrementally.
+	day2 := dataset.DBLP(dataset.DefaultDBLPConfig(2_000, 99))
+	buf.Reset()
+	if err := day2.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	db2, err := x3.LoadXMLString(buf.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	added, err := res.Absorb(db2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nabsorbed %d new facts; cube now covers %d facts, %d cells\n",
+		added, res.NumFacts(), res.TotalCells())
+
+	// Spot-check one group across both batches.
+	c, err := res.Cuboid(map[string]string{"$y": "rigid"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	for _, row := range c.Rows() {
+		total += row.Value
+	}
+	fmt.Printf("sum over year groups = %.0f (facts with a year)\n", total)
+}

@@ -1,0 +1,3 @@
+module x3
+
+go 1.24

@@ -1,0 +1,110 @@
+// Package agg implements the aggregate functions of the X³ RETURN clause.
+// COUNT is the operator the paper reports on; SUM/MIN/MAX (distributive)
+// and AVG (algebraic) are the companions it says behave similarly (§4).
+//
+// State is the algebraic summary: it supports adding one fact's measure and
+// merging two summaries, which is what roll-up (TDOPTALL) needs; Final
+// extracts the requested aggregate.
+package agg
+
+import (
+	"encoding/binary"
+	"math"
+
+	"x3/internal/pattern"
+)
+
+// State is a mergeable aggregate summary. The zero value is the empty
+// summary.
+type State struct {
+	N    int64   // number of contributions
+	Sum  float64 // sum of measures
+	MinV float64 // minimum (valid when N > 0)
+	MaxV float64 // maximum (valid when N > 0)
+}
+
+// Add folds one fact's measure into the summary.
+func (s *State) Add(m float64) {
+	if s.N == 0 {
+		s.MinV, s.MaxV = m, m
+	} else {
+		if m < s.MinV {
+			s.MinV = m
+		}
+		if m > s.MaxV {
+			s.MaxV = m
+		}
+	}
+	s.N++
+	s.Sum += m
+}
+
+// Merge folds another summary into s. Merging is only a correct substitute
+// for re-aggregation when the contributing fact sets are disjoint — the
+// summarizability requirement the paper's top-down optimizations depend on.
+func (s *State) Merge(o State) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	s.N += o.N
+	s.Sum += o.Sum
+	if o.MinV < s.MinV {
+		s.MinV = o.MinV
+	}
+	if o.MaxV > s.MaxV {
+		s.MaxV = o.MaxV
+	}
+}
+
+// Final returns the value of the aggregate f. An empty state yields NaN
+// for MIN/MAX/AVG and 0 for COUNT/SUM.
+func (s *State) Final(f pattern.AggFunc) float64 {
+	switch f {
+	case pattern.Count:
+		return float64(s.N)
+	case pattern.Sum:
+		return s.Sum
+	case pattern.Min:
+		if s.N == 0 {
+			return math.NaN()
+		}
+		return s.MinV
+	case pattern.Max:
+		if s.N == 0 {
+			return math.NaN()
+		}
+		return s.MaxV
+	case pattern.Avg:
+		if s.N == 0 {
+			return math.NaN()
+		}
+		return s.Sum / float64(s.N)
+	}
+	return math.NaN()
+}
+
+// EncodedSize is the fixed byte length of an encoded State.
+const EncodedSize = 32
+
+// Encode writes the state into dst (len >= EncodedSize) for use in
+// fixed-width sort rows and spilled intermediate cuboids.
+func (s *State) Encode(dst []byte) {
+	binary.BigEndian.PutUint64(dst[0:], uint64(s.N))
+	binary.BigEndian.PutUint64(dst[8:], math.Float64bits(s.Sum))
+	binary.BigEndian.PutUint64(dst[16:], math.Float64bits(s.MinV))
+	binary.BigEndian.PutUint64(dst[24:], math.Float64bits(s.MaxV))
+}
+
+// Decode reads a state previously written by Encode.
+func Decode(src []byte) State {
+	return State{
+		N:    int64(binary.BigEndian.Uint64(src[0:])),
+		Sum:  math.Float64frombits(binary.BigEndian.Uint64(src[8:])),
+		MinV: math.Float64frombits(binary.BigEndian.Uint64(src[16:])),
+		MaxV: math.Float64frombits(binary.BigEndian.Uint64(src[24:])),
+	}
+}

@@ -1,0 +1,114 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"x3/internal/pattern"
+)
+
+func TestEmptyState(t *testing.T) {
+	var s State
+	if got := s.Final(pattern.Count); got != 0 {
+		t.Errorf("empty COUNT = %v", got)
+	}
+	if got := s.Final(pattern.Sum); got != 0 {
+		t.Errorf("empty SUM = %v", got)
+	}
+	for _, f := range []pattern.AggFunc{pattern.Min, pattern.Max, pattern.Avg} {
+		if got := s.Final(f); !math.IsNaN(got) {
+			t.Errorf("empty %v = %v, want NaN", f, got)
+		}
+	}
+}
+
+func TestAddAndFinal(t *testing.T) {
+	var s State
+	for _, m := range []float64{3, -1, 7, 7, 2} {
+		s.Add(m)
+	}
+	checks := map[pattern.AggFunc]float64{
+		pattern.Count: 5,
+		pattern.Sum:   18,
+		pattern.Min:   -1,
+		pattern.Max:   7,
+		pattern.Avg:   3.6,
+	}
+	for f, want := range checks {
+		if got := s.Final(f); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestMergeEquivalentToAdds(t *testing.T) {
+	f := func(xs, ys []int32) bool {
+		var all, a, b State
+		for _, x := range xs {
+			all.Add(float64(x))
+			a.Add(float64(x))
+		}
+		for _, y := range ys {
+			all.Add(float64(y))
+			b.Add(float64(y))
+		}
+		a.Merge(b)
+		if a.N != all.N || math.Abs(a.Sum-all.Sum) > 1e-6*(1+math.Abs(all.Sum)) {
+			return false
+		}
+		if all.N > 0 && (a.MinV != all.MinV || a.MaxV != all.MaxV) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	var a, b State
+	a.Add(5)
+	saved := a
+	a.Merge(b) // empty rhs is a no-op
+	if a != saved {
+		t.Errorf("merge with empty changed state: %+v", a)
+	}
+	b.Merge(a) // empty lhs copies
+	if b != saved {
+		t.Errorf("merge into empty: %+v", b)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, EncodedSize)
+	for i := 0; i < 100; i++ {
+		var s State
+		for j := rng.Intn(5); j >= 0; j-- {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		s.Encode(buf)
+		got := Decode(buf)
+		if got != s {
+			t.Fatalf("round trip %+v -> %+v", s, got)
+		}
+	}
+}
+
+func TestEncodedOrderIsDeterministic(t *testing.T) {
+	// Encoding must be exactly EncodedSize bytes and stable.
+	var s State
+	s.Add(1)
+	a := make([]byte, EncodedSize)
+	b := make([]byte, EncodedSize)
+	s.Encode(a)
+	s.Encode(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cube
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchInput builds a mid-sized synthetic workload once per benchmark.
+func benchInput(b *testing.B, shape []int, n int, pMiss, pRep float64) *Input {
+	b.Helper()
+	rng := rand.New(rand.NewSource(77))
+	t := &testing.T{}
+	lat, set := synthSet(t, rng, shape, n, 8, pMiss, pRep)
+	if t.Failed() {
+		b.Fatal("fixture failed")
+	}
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: b.TempDir(), Props: props}
+}
+
+// BenchmarkAlgorithms compares all eight algorithms on one conforming
+// workload (all correct there), isolating algorithm cost from workload
+// preparation.
+func BenchmarkAlgorithms(b *testing.B) {
+	in := benchInput(b, []int{1, 1, 1, 1}, 2000, 0, 0)
+	for _, name := range Names() {
+		alg, _ := ByName(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Run(in, &CountingSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBUCOverlap measures the cost of non-disjointness for BUC: the
+// same fact count with increasing repetition probability.
+func BenchmarkBUCOverlap(b *testing.B) {
+	for _, pRep := range []float64{0, 0.3, 0.6} {
+		in := benchInput(b, []int{1, 1, 1}, 2000, 0, pRep)
+		b.Run(fmt.Sprintf("prep=%.1f", pRep), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (BUC{}).Run(in, &CountingSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIcebergPruning shows BUC's minimum-support pruning at work.
+func BenchmarkIcebergPruning(b *testing.B) {
+	in := benchInput(b, []int{1, 1, 1, 1}, 3000, 0, 0)
+	for _, minSup := range []int64{0, 10, 100} {
+		b.Run(fmt.Sprintf("minsup=%d", minSup), func(b *testing.B) {
+			in.Lattice.Query.MinSupport = minSup
+			for i := 0; i < b.N; i++ {
+				if _, err := (BUC{}).Run(in, &CountingSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	in.Lattice.Query.MinSupport = 0
+}
+
+// BenchmarkOracle bounds the naive reference cost for context.
+func BenchmarkOracle(b *testing.B) {
+	in := benchInput(b, []int{1, 1}, 500, 0.2, 0.2)
+	for i := 0; i < b.N; i++ {
+		if _, err := (Oracle{}).Run(in, &CountingSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

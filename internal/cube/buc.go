@@ -1,0 +1,334 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+)
+
+// BUC is the XMLized bottom-up cube algorithm (§3.4), a non-collapsing
+// adaptation of Beyer–Ramakrishnan's BottomUpCube. It starts from the most
+// relaxed cuboid (all facts in one group) and recursively partitions,
+// descending each axis's relaxation ladder; partitions at a finer ladder
+// state are always subsets of the same value's partition at the coarser
+// state, which is what makes pure refinement possible once matching starts
+// from the most relaxed fully instantiated pattern.
+//
+// Plain BUC tolerates non-disjointness by expanding each fact into every
+// value partition it belongs to (a map from value to fact list, extra
+// copies, full rescans per restriction). With Opt set (BUCOPT) it assumes
+// disjointness globally and partitions in place by sorting — faster, but
+// wrong when a fact carries several values (it silently uses the first).
+// With Cust set (BUCCUST, §4.5) it asks Input.Props per (axis, state) and
+// uses the fast path only where disjointness is guaranteed, remaining
+// correct everywhere.
+type BUC struct {
+	Opt  bool
+	Cust bool
+}
+
+// Name implements Algorithm.
+func (b BUC) Name() string {
+	switch {
+	case b.Opt:
+		return "BUCOPT"
+	case b.Cust:
+		return "BUCCUST"
+	default:
+		return "BUC"
+	}
+}
+
+// Requires implements Algorithm.
+func (b BUC) Requires() Requirements {
+	if b.Opt {
+		return Requirements{Disjointness: true}
+	}
+	return Requirements{}
+}
+
+// bucFact is the in-memory fact record BUC partitions over.
+type bucFact struct {
+	measure float64
+	// axes[a][s] is the sorted value set of axis a at live state s.
+	axes [][][]match.ValueID
+}
+
+type bucRun struct {
+	in   *Input
+	sink Sink
+	st   *Stats
+
+	facts []bucFact
+	d     int
+
+	// disjointAt decides the partition strategy per (axis, live state).
+	disjointAt func(a, s int) bool
+
+	point      []uint8
+	key        []match.ValueID
+	missingLND int // unchosen axes that cannot be deleted
+	reserved   int64
+}
+
+// Run implements Algorithm.
+func (b BUC) Run(in *Input, sink Sink) (Stats, error) {
+	st := Stats{Algorithm: b.Name()}
+	if b.Cust && in.Props == nil {
+		return st, fmt.Errorf("cube: BUCCUST requires Input.Props")
+	}
+	r := &bucRun{in: in, sink: sink, st: &st, d: in.Lattice.NumAxes()}
+	switch {
+	case b.Opt:
+		r.disjointAt = func(_, _ int) bool { return true }
+	case b.Cust:
+		r.disjointAt = in.Props.Disjoint
+	default:
+		r.disjointAt = func(_, _ int) bool { return false }
+	}
+	if err := r.load(); err != nil {
+		return st, err
+	}
+	defer in.budget().Release(r.reserved)
+
+	// Initialize the point at the most relaxed (deleted where possible)
+	// state; axes without LND make emission invalid until chosen.
+	r.point = make([]uint8, r.d)
+	for a := 0; a < r.d; a++ {
+		lad := in.Lattice.Ladders[a]
+		if lad.HasDeleted() {
+			r.point[a] = uint8(lad.Len() - 1)
+		} else {
+			r.missingLND++
+		}
+	}
+	items := make([]int32, len(r.facts))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	if err := r.rec(items, 0); err != nil {
+		return st, err
+	}
+	st.Passes = 1
+	st.PeakBytes = in.budget().HighWater()
+	return st, nil
+}
+
+// load copies the fact table into memory (BUC's working set), accounting
+// the bytes against the budget.
+func (r *bucRun) load() error {
+	err := r.in.Source.Each(func(f *match.Fact) error {
+		bf := bucFact{measure: f.Measure, axes: make([][][]match.ValueID, len(f.Axes))}
+		var bytes int64 = 32
+		for a := range f.Axes {
+			bf.axes[a] = make([][]match.ValueID, len(f.Axes[a]))
+			for s := range f.Axes[a] {
+				vs := make([]match.ValueID, len(f.Axes[a][s]))
+				copy(vs, f.Axes[a][s])
+				bf.axes[a][s] = vs
+				bytes += 24 + 4*int64(len(vs))
+			}
+		}
+		if !r.in.budget().TryReserve(bytes) {
+			return fmt.Errorf("cube: %s: fact table exceeds memory budget", r.st.Algorithm)
+		}
+		r.reserved += bytes
+		r.facts = append(r.facts, bf)
+		return nil
+	})
+	return err
+}
+
+// rec emits the cell for the current (point, key) restriction and then
+// restricts further on every remaining axis. Partitions below the iceberg
+// threshold are pruned entirely — no refinement of them can reach it
+// (Beyer–Ramakrishnan's minimum-support optimization; valid even with
+// overlapping partitions, since refinements only lose facts).
+func (r *bucRun) rec(items []int32, nextAxis int) error {
+	if int64(len(items)) < r.in.minSupport() {
+		return nil
+	}
+	if r.missingLND == 0 && len(items) > 0 {
+		var s agg.State
+		for _, it := range items {
+			s.Add(r.facts[it].measure)
+		}
+		if err := r.sink.Cell(r.in.Lattice.ID(r.point), r.key, s); err != nil {
+			return err
+		}
+		r.st.Cells++
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if len(items) == 1 {
+		// Classic BUC short-circuit: a singleton partition needs no
+		// further partitioning — enumerate its remaining cells directly.
+		return r.single(items[0], nextAxis)
+	}
+	for j := nextAxis; j < r.d; j++ {
+		if err := r.descend(items, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// descend partitions items on axis j at its most relaxed live state and
+// chains down the ladder within each value partition.
+func (r *bucRun) descend(items []int32, j int) error {
+	lad := r.in.Lattice.Ladders[j]
+	if !lad.HasDeleted() {
+		r.missingLND--
+		defer func() { r.missingLND++ }()
+	}
+	s := lad.MostRelaxedLive()
+	if r.disjointAt(j, s) {
+		return r.sortedPartition(items, j, s)
+	}
+	return r.mapPartition(items, j, s)
+}
+
+// mapPartition handles overlapping partitions: each fact joins the
+// partition of every value it carries (the §3.4 requirement to consider
+// all elements of the child cuboid for each restriction).
+func (r *bucRun) mapPartition(items []int32, j, s int) error {
+	parts := make(map[match.ValueID][]int32)
+	for _, it := range items {
+		for _, v := range r.facts[it].axes[j][s] {
+			parts[v] = append(parts[v], it)
+		}
+	}
+	vals := make([]match.ValueID, 0, len(parts))
+	for v := range parts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, k int) bool { return vals[i] < vals[k] })
+	for _, v := range vals {
+		if err := r.chain(parts[v], j, s, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedPartition assumes at most one value per fact: it sorts the item
+// slice in place by that value and walks contiguous ranges — no expansion,
+// no copies. Facts without a value sort to the end and are dropped. On
+// data violating disjointness it silently uses the first value, computing
+// the same wrong-but-fast answer the paper measures for BUCOPT (§4.3).
+func (r *bucRun) sortedPartition(items []int32, j, s int) error {
+	val := func(it int32) match.ValueID {
+		vs := r.facts[it].axes[j][s]
+		if len(vs) == 0 {
+			return Null
+		}
+		return vs[0]
+	}
+	sort.Slice(items, func(a, b int) bool { return val(items[a]) < val(items[b]) })
+	r.st.Sorts++
+	r.st.RowsSorted += int64(len(items))
+	for lo := 0; lo < len(items); {
+		v := val(items[lo])
+		if v == Null {
+			break
+		}
+		hi := lo
+		for hi < len(items) && val(items[hi]) == v {
+			hi++
+		}
+		if err := r.chain(items[lo:hi], j, s, v); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// chain fixes axis j's value to v and walks the ladder from state s down
+// to rigid, recursing into later axes at every rung. Each finer state
+// keeps only the facts still carrying v (ladder monotonicity guarantees
+// these are exactly the finer matches).
+func (r *bucRun) chain(items []int32, j, s int, v match.ValueID) error {
+	r.key = append(r.key, v)
+	old := r.point[j]
+	defer func() {
+		r.key = r.key[:len(r.key)-1]
+		r.point[j] = old
+	}()
+	cur := items
+	for {
+		r.point[j] = uint8(s)
+		if err := r.rec(cur, j+1); err != nil {
+			return err
+		}
+		if s == 0 {
+			return nil
+		}
+		s--
+		var finer []int32
+		for _, it := range cur {
+			if hasValue(r.facts[it].axes[j][s], v) {
+				finer = append(finer, it)
+			}
+		}
+		if len(finer) == 0 {
+			return nil
+		}
+		cur = finer
+	}
+}
+
+// single enumerates every remaining cell of a singleton partition, exactly
+// mirroring the rec/descend/chain cell set.
+func (r *bucRun) single(it int32, nextAxis int) error {
+	f := &r.facts[it]
+	for j := nextAxis; j < r.d; j++ {
+		lad := r.in.Lattice.Ladders[j]
+		if !lad.HasDeleted() {
+			r.missingLND--
+		}
+		old := r.point[j]
+		for s := range f.axes[j] {
+			r.point[j] = uint8(s)
+			for _, v := range f.axes[j][s] {
+				r.key = append(r.key, v)
+				if r.missingLND == 0 {
+					var st agg.State
+					st.Add(f.measure)
+					if err := r.sink.Cell(r.in.Lattice.ID(r.point), r.key, st); err != nil {
+						return err
+					}
+					r.st.Cells++
+				}
+				if err := r.single(it, j+1); err != nil {
+					return err
+				}
+				r.key = r.key[:len(r.key)-1]
+			}
+		}
+		r.point[j] = old
+		if !lad.HasDeleted() {
+			r.missingLND++
+		}
+	}
+	return nil
+}
+
+// hasValue reports whether sorted set vs contains v.
+func hasValue(vs []match.ValueID, v match.ValueID) bool {
+	lo, hi := 0, len(vs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(vs) && vs[lo] == v
+}
+
+var _ Algorithm = BUC{}

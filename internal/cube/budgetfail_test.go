@@ -1,0 +1,73 @@
+package cube
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"x3/internal/mem"
+)
+
+// TestTDOPTALLBudgetTooSmall: when the budget cannot retain roll-up
+// parents, TDOPTALL has no fallback and must fail loudly (the harness
+// reports such runs as DNF-style failures rather than wrong answers).
+func TestTDOPTALLBudgetTooSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 400, 8, 0, 0)
+	in := &Input{
+		Lattice: lat,
+		Source:  set,
+		Dicts:   set.Dicts,
+		TmpDir:  t.TempDir(),
+		Budget:  mem.New(64), // nothing fits
+	}
+	_, err := (TD{Mode: TDModeOptAll}).Run(in, &CountingSink{})
+	if err == nil {
+		t.Fatal("TDOPTALL with an unusable budget succeeded")
+	}
+	if !strings.Contains(err.Error(), "not retained") {
+		t.Errorf("err = %v", err)
+	}
+	if used := in.Budget.Used(); used != 0 {
+		t.Errorf("leaked %d budget bytes", used)
+	}
+}
+
+// TestTDCUSTBudgetTooSmallFallsBack: TDCUST degrades gracefully — when
+// parents cannot be retained it recomputes every cuboid from base and
+// stays correct.
+func TestTDCUSTBudgetTooSmallFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	lat, set := synthSet(t, rng, []int{1, 1}, 200, 4, 0, 0)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewResult(lat, set.Dicts)
+	in := &Input{
+		Lattice: lat,
+		Source:  set,
+		Dicts:   set.Dicts,
+		TmpDir:  t.TempDir(),
+		Budget:  mem.New(8192), // sorts fit (4 KiB floor), cell retention does not
+		Props:   props,
+	}
+	st, err := (TD{Mode: TDModeCust}).Run(in, res)
+	if err != nil {
+		t.Fatalf("TDCUST under tiny budget: %v", err)
+	}
+	// Under a roomy budget TDCUST rolls up more; the point here is that
+	// partial retention degrades to extra base passes, never to an error
+	// or a wrong result.
+	_, stRoomy := runAlg(t, TD{Mode: TDModeCust}, lat, set, func(in *Input) { in.Props = props })
+	if st.Passes < stRoomy.Passes {
+		t.Errorf("tiny budget did fewer base passes (%d) than roomy (%d)", st.Passes, stRoomy.Passes)
+	}
+	if err := sameResults(oracle, res); err != nil {
+		t.Fatalf("fallback result differs: %v", err)
+	}
+}

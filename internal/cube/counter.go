@@ -1,0 +1,164 @@
+package cube
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+)
+
+// Counter is the counter-based algorithm of §3.3: one counter per
+// (cuboid, group), incremented as facts stream by. It needs no
+// summarizability at all, but its state is the whole cube: when the
+// counters outgrow the memory budget it hash-partitions the key space and
+// re-scans the fact source once per partition (the paper needed 2 passes
+// at 6 axes and 5 at 7 on the sparse Treebank cube, §4.6). A partition
+// that still does not fit is split recursively (h mod m = r becomes
+// h mod 2m ∈ {r, r+m}), so cells already emitted for completed partitions
+// are never re-emitted.
+type Counter struct{}
+
+// Name implements Algorithm.
+func (Counter) Name() string { return "COUNTER" }
+
+// Requires implements Algorithm: COUNTER is always correct.
+func (Counter) Requires() Requirements { return Requirements{} }
+
+// counterEntryOverhead approximates the bytes of map bookkeeping per
+// counter beyond the key bytes (bucket slot, header, aggregate state).
+const counterEntryOverhead = 64
+
+// maxCounterPartitions bounds the recursive splitting; beyond this even a
+// single partition's counters cannot fit and the run fails.
+const maxCounterPartitions = 1 << 16
+
+// counterPart selects the key-space slice hash%mod == res.
+type counterPart struct {
+	mod uint64
+	res uint64
+}
+
+// Run implements Algorithm.
+func (c Counter) Run(in *Input, sink Sink) (Stats, error) {
+	st := Stats{Algorithm: c.Name()}
+	seed := maphash.MakeSeed()
+	work := []counterPart{{mod: 1, res: 0}}
+	for len(work) > 0 {
+		part := work[0]
+		work = work[1:]
+		ok, err := c.pass(in, sink, &st, part, seed)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			if part.mod*2 > maxCounterPartitions {
+				return st, fmt.Errorf("cube: COUNTER partition does not fit budget even at 1/%d of the key space", part.mod)
+			}
+			st.Restarts++
+			work = append(work, counterPart{mod: part.mod * 2, res: part.res},
+				counterPart{mod: part.mod * 2, res: part.res + part.mod})
+		}
+	}
+	st.PeakBytes = in.budget().HighWater()
+	return st, nil
+}
+
+// pass scans the source once, counting only keys in the given partition.
+// It reports false (emitting nothing) when the partition's counters
+// overflow the budget.
+func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart, seed maphash.Seed) (ok bool, err error) {
+	lat := in.Lattice
+	d := lat.NumAxes()
+
+	point := make([]uint8, d)
+	key := make([]match.ValueID, 0, d)
+	keyBuf := make([]byte, 0, 4+4*d)
+
+	counters := make(map[string]*agg.State)
+	var reserved int64
+	defer func() { in.budget().Release(reserved) }()
+	fits := true
+
+	err = in.Source.Each(func(f *match.Fact) error {
+		if !fits {
+			return nil
+		}
+		var rec func(a int)
+		rec = func(a int) {
+			if !fits {
+				return
+			}
+			if a == d {
+				pid := lat.ID(point)
+				keyBuf = keyBuf[:0]
+				keyBuf = append(keyBuf, byte(pid>>24), byte(pid>>16), byte(pid>>8), byte(pid))
+				keyBuf = packKey(keyBuf, key)
+				if part.mod > 1 {
+					if maphash.Bytes(seed, keyBuf)%part.mod != part.res {
+						return
+					}
+				}
+				// The string(keyBuf) map read does not allocate; only a
+				// brand-new counter copies the key.
+				s, exists := counters[string(keyBuf)]
+				if !exists {
+					need := int64(len(keyBuf)) + counterEntryOverhead
+					if !in.budget().TryReserve(need) {
+						fits = false
+						return
+					}
+					reserved += need
+					s = &agg.State{}
+					counters[string(keyBuf)] = s
+				}
+				s.Add(f.Measure)
+				return
+			}
+			lad := lat.Ladders[a]
+			// Option 1: delete the axis (if LND permits).
+			if lad.HasDeleted() {
+				point[a] = uint8(lad.Len() - 1)
+				rec(a + 1)
+			}
+			// Option 2: each live state, each matched value.
+			live := in.liveStates(a)
+			for s := 0; s < live; s++ {
+				vs := f.Values(a, s)
+				if len(vs) == 0 {
+					continue
+				}
+				point[a] = uint8(s)
+				for _, v := range vs {
+					key = append(key, v)
+					rec(a + 1)
+					key = key[:len(key)-1]
+				}
+			}
+		}
+		rec(0)
+		return nil
+	})
+	st.Passes++
+	if err != nil {
+		return false, err
+	}
+	if !fits {
+		return false, nil
+	}
+	minSup := in.minSupport()
+	for k, s := range counters {
+		if s.N < minSup {
+			continue // iceberg threshold
+		}
+		b := []byte(k)
+		pid := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		if err := sink.Cell(pid, unpackKey(b[4:]), *s); err != nil {
+			return false, err
+		}
+		st.Cells++
+	}
+	return true, nil
+}
+
+var _ Algorithm = Counter{}

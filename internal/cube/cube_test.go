@@ -1,0 +1,672 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"x3/internal/agg"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/mem"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+	"x3/internal/xq"
+)
+
+// ---------- fixtures ----------
+
+const paperXML = `
+<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a3"><name>Bob</name></author>
+    <publisher id="p1"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a1"><name>John</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Amy</name></author>
+    <pubData><publisher id="p2"/><year>2005</year></pubData>
+  </publication>
+</database>`
+
+const query1Text = `
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD), $p (LND, PC-AD), $y (LND)
+return COUNT($b).`
+
+func paperInput(t *testing.T) (*lattice.Lattice, *match.Set) {
+	t.Helper()
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(query1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat, set
+}
+
+// synthQuery builds a d-axis LND query whose axis i has the given number
+// of live ladder states (1, 2 or 3).
+func synthQuery(liveStates []int) *pattern.CubeQuery {
+	q := &pattern.CubeQuery{
+		FactVar:  "$f",
+		FactPath: pattern.MustParsePath("//fact"),
+		Agg:      pattern.Count,
+	}
+	for i, ls := range liveStates {
+		var p pattern.Path
+		relax := pattern.RelaxSet(0).With(pattern.LND)
+		switch ls {
+		case 1:
+			p = pattern.MustParsePath(fmt.Sprintf("/t%d", i))
+		case 2:
+			p = pattern.MustParsePath(fmt.Sprintf("/m%d/t%d", i, i))
+			relax = relax.With(pattern.SP)
+		case 3:
+			p = pattern.MustParsePath(fmt.Sprintf("/m%d/t%d", i, i))
+			relax = relax.With(pattern.SP).With(pattern.PCAD)
+		default:
+			panic("liveStates must be 1..3")
+		}
+		q.Axes = append(q.Axes, pattern.AxisSpec{
+			Var:   fmt.Sprintf("$v%d", i),
+			Path:  p,
+			Relax: relax,
+		})
+	}
+	return q
+}
+
+// synthSet generates a random fact table with monotone ladders. pMissing
+// and pRepeat control coverage and disjointness violations; card is the
+// value domain size per axis.
+func synthSet(t testing.TB, rng *rand.Rand, liveStates []int, n int, card int, pMissing, pRepeat float64) (*lattice.Lattice, *match.Set) {
+	t.Helper()
+	lat, err := lattice.New(synthQuery(liveStates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &match.Set{Lattice: lat}
+	for range liveStates {
+		set.Dicts = append(set.Dicts, match.NewDict())
+	}
+	for i := 0; i < card; i++ {
+		for _, d := range set.Dicts {
+			d.ID(fmt.Sprintf("v%d", i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		f := &match.Fact{ID: int64(i), Key: fmt.Sprintf("f%d", i), Measure: float64(1 + rng.Intn(5))}
+		f.Axes = make([][][]match.ValueID, len(liveStates))
+		for a, ls := range liveStates {
+			// Most relaxed live state first, then shrink toward rigid.
+			most := []match.ValueID{}
+			if rng.Float64() >= pMissing {
+				most = append(most, match.ValueID(rng.Intn(card)))
+				for rng.Float64() < pRepeat {
+					most = append(most, match.ValueID(rng.Intn(card)))
+				}
+				most = dedupIDs(most)
+			}
+			states := make([][]match.ValueID, ls)
+			states[ls-1] = most
+			for s := ls - 2; s >= 0; s-- {
+				// Random subset of the next state.
+				var sub []match.ValueID
+				for _, v := range states[s+1] {
+					if rng.Float64() < 0.7 {
+						sub = append(sub, v)
+					}
+				}
+				states[s] = sub
+			}
+			f.Axes[a] = states
+		}
+		set.Facts = append(set.Facts, f)
+	}
+	if err := set.CheckMonotone(); err != nil {
+		t.Fatal(err)
+	}
+	return lat, set
+}
+
+func dedupIDs(ids []match.ValueID) []match.ValueID {
+	seen := map[match.ValueID]bool{}
+	out := ids[:0]
+	for _, v := range ids {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	// Keep sorted as match.Evaluate guarantees.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// runAlg runs one algorithm into a fresh Result.
+func runAlg(t testing.TB, alg Algorithm, lat *lattice.Lattice, set *match.Set, opts ...func(*Input)) (*Result, Stats) {
+	t.Helper()
+	res := NewResult(lat, set.Dicts)
+	in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: t.TempDir()}
+	for _, o := range opts {
+		o(in)
+	}
+	st, err := alg.Run(in, res)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	return res, st
+}
+
+// sameResults compares two results cell by cell.
+func sameResults(a, b *Result) error {
+	if len(a.Cuboids) != len(b.Cuboids) {
+		return fmt.Errorf("cuboid count %d vs %d", len(a.Cuboids), len(b.Cuboids))
+	}
+	for pid, cells := range a.Cuboids {
+		other, ok := b.Cuboids[pid]
+		if !ok {
+			return fmt.Errorf("cuboid %d missing", pid)
+		}
+		if len(cells) != len(other) {
+			return fmt.Errorf("cuboid %d: %d vs %d groups", pid, len(cells), len(other))
+		}
+		for k, s := range cells {
+			o, ok := other[k]
+			if !ok {
+				return fmt.Errorf("cuboid %d: group %v missing", pid, unpackKey([]byte(k)))
+			}
+			if s.N != o.N || math.Abs(s.Sum-o.Sum) > 1e-9 {
+				return fmt.Errorf("cuboid %d group %v: N=%d/%d Sum=%g/%g",
+					pid, unpackKey([]byte(k)), s.N, o.N, s.Sum, o.Sum)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------- paper example ground truth ----------
+
+// TestPaperQuery1GroundTruth pins the COUNT cube of the Fig. 1 data to
+// hand-computed values, including the two summarizability traps described
+// in §1.
+func TestPaperQuery1GroundTruth(t *testing.T) {
+	lat, set := paperInput(t)
+	res, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point layout: axes ($n, $p, $y); ladders: $n 4 states (rigid, PC-AD,
+	// SP, LND), $p 2 (rigid, LND), $y 2 (rigid, LND).
+	del := lat.Bottom()
+
+	check := func(p lattice.Point, want float64, values ...string) {
+		t.Helper()
+		got, ok := res.Get(p, values...)
+		if !ok {
+			t.Errorf("point %v %v: missing", lat.Label(p), values)
+			return
+		}
+		if got != want {
+			t.Errorf("point %v %v = %v, want %v", lat.Label(p), values, got, want)
+		}
+	}
+	absent := func(p lattice.Point, values ...string) {
+		t.Helper()
+		if got, ok := res.Get(p, values...); ok {
+			t.Errorf("point %v %v = %v, want absent", lat.Label(p), values, got)
+		}
+	}
+
+	// Bottom: all four publications in one group.
+	bottom := del.Clone()
+	if got, ok := res.Get(bottom); !ok || got != 4 {
+		t.Errorf("bottom = %v, %v; want 4", got, ok)
+	}
+
+	// Group-by year (rigid): 2003->2, 2004->1, 2005->1; pub4's year is
+	// inside pubData, so it is missing (coverage violation).
+	yOnly := del.Clone()
+	yOnly[2] = 0
+	check(yOnly, 2, "2003")
+	check(yOnly, 1, "2004")
+	check(yOnly, 1, "2005")
+	if n := res.CuboidSize(yOnly); n != 3 {
+		t.Errorf("year cuboid size = %d, want 3", n)
+	}
+
+	// Group-by publisher, year: the §1 roll-up trap — (p1,2003) has only
+	// pub1; rolling these up to year would miss pub3.
+	py := del.Clone()
+	py[1], py[2] = 0, 0
+	check(py, 1, "p1", "2003")
+	check(py, 1, "p1", "2004")
+	check(py, 1, "p1", "2005")
+	absent(py, "p2", "2005") // pub4's year not a child of publication
+	if n := res.CuboidSize(py); n != 3 {
+		t.Errorf("publisher-year cuboid size = %d, want 3", n)
+	}
+
+	// Group-by author name at rigid state: pub3's John is hidden under
+	// <authors>.
+	nOnly := del.Clone()
+	nOnly[0] = 0
+	check(nOnly, 1, "John")
+	check(nOnly, 1, "Jane")
+	check(nOnly, 1, "Bob")
+	check(nOnly, 1, "Amy")
+
+	// At the SP state (//name) pub3's John is found: John->2.
+	nSP := del.Clone()
+	nSP[0] = 2
+	check(nSP, 2, "John")
+	check(nSP, 1, "Jane")
+
+	// The non-disjointness example: grouping by name and year at rigid,
+	// pub1 appears in both (John,2003) and (Jane,2003).
+	ny := del.Clone()
+	ny[0], ny[2] = 0, 0
+	check(ny, 1, "John", "2003")
+	check(ny, 1, "Jane", "2003")
+	// And pub2 appears under both of its years.
+	check(ny, 1, "Bob", "2004")
+	check(ny, 1, "Bob", "2005")
+
+	// Total cuboids: 16.
+	if len(res.Cuboids) > lat.Size() {
+		t.Errorf("more cuboids than lattice points: %d > %d", len(res.Cuboids), lat.Size())
+	}
+}
+
+// ---------- algorithm equivalence ----------
+
+// TestAlgorithmsMatchOracleOnPaperData cross-checks every correct
+// algorithm against the oracle on the paper's example (which violates both
+// properties).
+func TestAlgorithmsMatchOracleOnPaperData(t *testing.T) {
+	lat, set := paperInput(t)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"COUNTER", "BUC", "BUCCUST", "TD", "TDCUST"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := runAlg(t, alg, lat, set, func(in *Input) { in.Props = props })
+		if err := sameResults(oracle, res); err != nil {
+			t.Errorf("%s differs from oracle: %v", name, err)
+		}
+	}
+}
+
+// TestOptimizedAlgorithmsWrongOnViolatingData reproduces the §4.3
+// observation: the globally-optimized variants compute incorrect results
+// when summarizability does not hold.
+func TestOptimizedAlgorithmsWrongOnViolatingData(t *testing.T) {
+	lat, set := paperInput(t)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BUCOPT", "TDOPT", "TDOPTALL"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := runAlg(t, alg, lat, set)
+		if err := sameResults(oracle, res); err == nil {
+			t.Errorf("%s unexpectedly matches the oracle on violating data", name)
+		}
+	}
+}
+
+// TestRandomEquivalence fuzzes the always-correct algorithms against the
+// oracle over many random fact tables, including coverage and disjointness
+// violations and multi-state ladders.
+func TestRandomEquivalence(t *testing.T) {
+	shapes := [][]int{
+		{1},
+		{1, 1},
+		{2, 1},
+		{3, 2, 1},
+		{1, 1, 1, 1},
+		{2, 2},
+	}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		shape := shapes[trial%len(shapes)]
+		pMiss := []float64{0, 0.3}[trial%2]
+		pRep := []float64{0, 0.4}[(trial/2)%2]
+		lat, set := synthSet(t, rng, shape, 40+rng.Intn(120), 3+rng.Intn(5), pMiss, pRep)
+		oracle, err := RunOracle(lat, set, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props, err := MeasureProps(lat, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"COUNTER", "BUC", "BUCCUST", "TD", "TDCUST"} {
+			alg, _ := ByName(name)
+			res, _ := runAlg(t, alg, lat, set, func(in *Input) { in.Props = props })
+			if err := sameResults(oracle, res); err != nil {
+				t.Fatalf("trial %d (%v, miss=%.1f rep=%.1f): %s differs: %v",
+					trial, shape, pMiss, pRep, name, err)
+			}
+		}
+		// When the data happens to satisfy the preconditions, the
+		// optimized variants must agree too.
+		if props.GloballyDisjoint() {
+			for _, name := range []string{"BUCOPT", "TDOPT"} {
+				alg, _ := ByName(name)
+				res, _ := runAlg(t, alg, lat, set)
+				if err := sameResults(oracle, res); err != nil {
+					t.Fatalf("trial %d: %s differs on disjoint data: %v", trial, name, err)
+				}
+			}
+		}
+		if props.GloballyDisjoint() && props.GloballyCovered() {
+			alg, _ := ByName("TDOPTALL")
+			res, _ := runAlg(t, alg, lat, set)
+			if err := sameResults(oracle, res); err != nil {
+				t.Fatalf("trial %d: TDOPTALL differs on conforming data: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestConformingDataAllEight runs all eight algorithms on clean data
+// (coverage and disjointness hold) — everything must agree.
+func TestConformingDataAllEight(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 200, 4, 0, 0)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !props.GloballyDisjoint() || !props.GloballyCovered() {
+		t.Fatal("fixture not conforming")
+	}
+	for name, alg := range Algorithms() {
+		res, _ := runAlg(t, alg, lat, set, func(in *Input) { in.Props = props })
+		if err := sameResults(oracle, res); err != nil {
+			t.Errorf("%s differs on conforming data: %v", name, err)
+		}
+	}
+}
+
+// ---------- COUNTER multi-pass ----------
+
+func TestCounterMultiPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lat, set := synthSet(t, rng, []int{1, 1, 1, 1}, 300, 10, 0.2, 0.2)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget far below the cube size forces hash-partitioned passes.
+	res, st := runAlg(t, Counter{}, lat, set, func(in *Input) {
+		in.Budget = mem.New(64 << 10)
+	})
+	if st.Restarts == 0 || st.Passes < 2 {
+		t.Errorf("expected multi-pass run, got %+v", st)
+	}
+	if err := sameResults(oracle, res); err != nil {
+		t.Errorf("multi-pass COUNTER differs: %v", err)
+	}
+}
+
+func TestCounterImpossibleBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	lat, set := synthSet(t, rng, []int{1, 1}, 50, 5, 0, 0)
+	in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, Budget: mem.New(16)}
+	_, err := Counter{}.Run(in, &CountingSink{})
+	if err == nil {
+		t.Fatal("16-byte budget: expected failure")
+	}
+}
+
+// ---------- TD externals ----------
+
+func TestTDExternalSortsUnderSmallBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 400, 8, 0.2, 0.3)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st := runAlg(t, TD{}, lat, set, func(in *Input) {
+		in.Budget = mem.New(32 << 10)
+	})
+	if st.ExternalSorts == 0 {
+		t.Errorf("expected external sorts, got %+v", st)
+	}
+	if st.Sorts != lat.Size() {
+		t.Errorf("TD sorts = %d, want one per cuboid (%d)", st.Sorts, lat.Size())
+	}
+	if err := sameResults(oracle, res); err != nil {
+		t.Errorf("TD with external sorts differs: %v", err)
+	}
+}
+
+func TestTDOPTSharesSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	lat, set := synthSet(t, rng, []int{1, 1, 1, 1}, 100, 4, 0, 0)
+	_, stOpt := runAlg(t, TD{Mode: TDModeOpt}, lat, set)
+	_, stBase := runAlg(t, TD{}, lat, set)
+	if stOpt.Sorts >= stBase.Sorts {
+		t.Errorf("TDOPT sorts (%d) not fewer than TD (%d)", stOpt.Sorts, stBase.Sorts)
+	}
+}
+
+func TestTDOPTALLRollsUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 150, 3, 0, 0)
+	_, st := runAlg(t, TD{Mode: TDModeOptAll}, lat, set)
+	if st.Sorts == 0 {
+		t.Error("TDOPTALL did no base sort")
+	}
+	if st.Rollups == 0 {
+		t.Error("TDOPTALL did no roll-ups")
+	}
+	// Exactly one base pass over the source.
+	if st.Passes != 1 {
+		t.Errorf("TDOPTALL passes = %d, want 1", st.Passes)
+	}
+}
+
+func TestTDCUSTRollsUpOnlySafeEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Axis 0 violates disjointness+coverage, axes 1 and 2 are clean.
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 150, 3, 0, 0)
+	for _, f := range set.Facts[:30] {
+		f.Axes[0][0] = nil // break coverage on axis 0
+	}
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props.Covered(0, 0) || !props.Covered(1, 0) {
+		t.Fatal("fixture props wrong")
+	}
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st := runAlg(t, TD{Mode: TDModeCust}, lat, set, func(in *Input) { in.Props = props })
+	if err := sameResults(oracle, res); err != nil {
+		t.Fatalf("TDCUST differs: %v", err)
+	}
+	if st.Rollups == 0 {
+		t.Error("TDCUST never rolled up despite safe axes")
+	}
+	_, stTD := runAlg(t, TD{}, lat, set)
+	// Roll-ups replace base scans: TDCUST must touch base data on fewer
+	// cuboids than TD (which scans it once per cuboid), and its sorts
+	// over aggregate rows are far smaller than TD's over expanded base.
+	if st.Passes >= stTD.Passes {
+		t.Errorf("TDCUST base passes (%d) not fewer than TD (%d)", st.Passes, stTD.Passes)
+	}
+	if st.RowsSorted >= stTD.RowsSorted {
+		t.Errorf("TDCUST rows sorted (%d) not fewer than TD (%d)", st.RowsSorted, stTD.RowsSorted)
+	}
+}
+
+// ---------- BUC specifics ----------
+
+func TestBUCOPTFasterPathUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 200, 5, 0, 0)
+	_, stOpt := runAlg(t, BUC{Opt: true}, lat, set)
+	if stOpt.Sorts == 0 {
+		t.Error("BUCOPT did not use sorted partitioning")
+	}
+	_, stPlain := runAlg(t, BUC{}, lat, set)
+	if stPlain.Sorts != 0 {
+		t.Error("plain BUC used sorted partitioning")
+	}
+}
+
+func TestBUCCUSTNeedsProps(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	lat, set := synthSet(t, rng, []int{1}, 10, 3, 0, 0)
+	in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts}
+	if _, err := (BUC{Cust: true}).Run(in, &CountingSink{}); err == nil {
+		t.Error("BUCCUST without props accepted")
+	}
+	if _, err := (TD{Mode: TDModeCust}).Run(in, &CountingSink{}); err == nil {
+		t.Error("TDCUST without props accepted")
+	}
+}
+
+func TestBUCBudgetExceededByFactTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	lat, set := synthSet(t, rng, []int{1, 1}, 100, 4, 0, 0)
+	in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, Budget: mem.New(128)}
+	if _, err := (BUC{}).Run(in, &CountingSink{}); err == nil {
+		t.Error("BUC accepted a budget smaller than its fact table")
+	}
+}
+
+// ---------- registry and misc ----------
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("algorithms = %v", names)
+	}
+	for _, n := range names {
+		alg, err := ByName(n)
+		if err != nil || alg.Name() != n {
+			t.Errorf("ByName(%s) = %v, %v", n, alg, err)
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Requirements documentation is consistent.
+	reqs := map[string]Requirements{
+		"COUNTER": {}, "BUC": {}, "BUCCUST": {}, "TD": {}, "TDCUST": {}, "BUCPAR": {},
+		"BUCOPT":   {Disjointness: true},
+		"TDOPT":    {Disjointness: true},
+		"TDOPTALL": {Disjointness: true, Coverage: true},
+	}
+	for n, want := range reqs {
+		alg, _ := ByName(n)
+		if alg.Requires() != want {
+			t.Errorf("%s.Requires() = %+v, want %+v", n, alg.Requires(), want)
+		}
+	}
+}
+
+func TestResultDuplicateCellRejected(t *testing.T) {
+	lat, set := paperInput(t)
+	res := NewResult(lat, set.Dicts)
+	key := []match.ValueID{1}
+	var s agg.State
+	s.Add(1)
+	if err := res.Cell(3, key, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cell(3, key, s); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	lat, _ := paperInput(t)
+	empty := &match.Set{Lattice: lat, Dicts: []*match.Dict{match.NewDict(), match.NewDict(), match.NewDict()}}
+	for name, alg := range Algorithms() {
+		if name == "BUCCUST" || name == "TDCUST" {
+			continue // need props; covered elsewhere
+		}
+		res := NewResult(lat, empty.Dicts)
+		in := &Input{Lattice: lat, Source: empty, Dicts: empty.Dicts, TmpDir: t.TempDir()}
+		if _, err := alg.Run(in, res); err != nil {
+			t.Errorf("%s on empty source: %v", name, err)
+			continue
+		}
+		if res.Cells != 0 {
+			t.Errorf("%s emitted %d cells from empty source", name, res.Cells)
+		}
+	}
+}
+
+func TestSumAggregateAcrossAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lat, set := synthSet(t, rng, []int{1, 1}, 80, 4, 0.2, 0.3)
+	lat.Query.Agg = pattern.Sum
+	lat.Query.MeasurePath = pattern.MustParsePath("/price")
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, _ := MeasureProps(lat, set)
+	for _, name := range []string{"COUNTER", "BUC", "BUCCUST", "TD", "TDCUST"} {
+		alg, _ := ByName(name)
+		res, _ := runAlg(t, alg, lat, set, func(in *Input) { in.Props = props })
+		if err := sameResults(oracle, res); err != nil {
+			t.Errorf("%s differs under SUM: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package cube
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+)
+
+// failingSink errors after a fixed number of cells.
+type failingSink struct {
+	after int64
+	n     int64
+}
+
+var errSinkBoom = errors.New("sink boom")
+
+func (f *failingSink) Cell(uint32, []match.ValueID, agg.State) error {
+	f.n++
+	if f.n > f.after {
+		return errSinkBoom
+	}
+	return nil
+}
+
+// TestSinkErrorsPropagate injects sink failures at several depths into
+// every algorithm; each must surface the error, not swallow it.
+func TestSinkErrorsPropagate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lat, set := synthSet(t, rng, []int{1, 1}, 100, 4, 0, 0)
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, alg := range Algorithms() {
+		for _, after := range []int64{0, 1, 7} {
+			in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: t.TempDir(), Props: props}
+			_, err := alg.Run(in, &failingSink{after: after})
+			if !errors.Is(err, errSinkBoom) {
+				t.Errorf("%s (after=%d): err = %v, want sink error", name, after, err)
+			}
+		}
+	}
+}
+
+// failingSource errors mid-stream.
+type failingSource struct {
+	set   *match.Set
+	after int
+}
+
+var errSourceBoom = errors.New("source boom")
+
+func (f *failingSource) NumFacts() int { return f.set.NumFacts() }
+
+func (f *failingSource) Each(fn func(*match.Fact) error) error {
+	for i, fact := range f.set.Facts {
+		if i >= f.after {
+			return errSourceBoom
+		}
+		if err := fn(fact); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestSourceErrorsPropagate injects source failures into every algorithm.
+func TestSourceErrorsPropagate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lat, set := synthSet(t, rng, []int{1, 1}, 100, 4, 0, 0)
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, alg := range Algorithms() {
+		in := &Input{
+			Lattice: lat,
+			Source:  &failingSource{set: set, after: 50},
+			Dicts:   set.Dicts,
+			TmpDir:  t.TempDir(),
+			Props:   props,
+		}
+		_, err := alg.Run(in, &CountingSink{})
+		if !errors.Is(err, errSourceBoom) {
+			t.Errorf("%s: err = %v, want source error", name, err)
+		}
+	}
+}
+
+// TestBudgetReleasedAfterRuns verifies no algorithm leaks budget
+// reservations, on success and on failure.
+func TestBudgetReleasedAfterRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 200, 4, 0.2, 0.2)
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, alg := range Algorithms() {
+		for _, sink := range []Sink{&CountingSink{}, &failingSink{after: 3}} {
+			in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: t.TempDir(), Props: props}
+			_, _ = alg.Run(in, sink)
+			if used := in.Budget.Used(); used != 0 {
+				t.Errorf("%s leaked %d budget bytes", name, used)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIcebergMatchesOracle runs every correct algorithm under a HAVING
+// threshold and cross-checks with the oracle (itself thresholded).
+func TestIcebergMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 400, 4, 0.2, 0.3)
+	for _, minSup := range []int64{2, 5, 25} {
+		lat.Query.MinSupport = minSup
+		oracle, err := RunOracle(lat, set, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props, err := MeasureProps(lat, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"COUNTER", "BUC", "BUCCUST", "TD", "TDCUST"} {
+			alg, _ := ByName(name)
+			res, _ := runAlg(t, alg, lat, set, func(in *Input) { in.Props = props })
+			if err := sameResults(oracle, res); err != nil {
+				t.Errorf("minsup=%d: %s differs: %v", minSup, name, err)
+			}
+		}
+	}
+	lat.Query.MinSupport = 0
+}
+
+// TestIcebergConformingAllEight includes the optimized variants on clean
+// data, where they too must respect the threshold.
+func TestIcebergConformingAllEight(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	lat, set := synthSet(t, rng, []int{1, 1}, 300, 3, 0, 0)
+	lat.Query.MinSupport = 10
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, alg := range Algorithms() {
+		res, _ := runAlg(t, alg, lat, set, func(in *Input) { in.Props = props })
+		if err := sameResults(oracle, res); err != nil {
+			t.Errorf("%s differs under iceberg threshold: %v", name, err)
+		}
+	}
+}
+
+// TestIcebergThresholdShrinksCube sanity-checks the semantics: higher
+// thresholds keep fewer cells, and every surviving cell meets it.
+func TestIcebergThresholdShrinksCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 300, 5, 0.1, 0.2)
+	var prev int64 = 1 << 62
+	for _, minSup := range []int64{1, 3, 10, 50} {
+		lat.Query.MinSupport = minSup
+		res, _ := runAlg(t, Counter{}, lat, set)
+		if res.Cells > prev {
+			t.Errorf("minsup=%d: cells grew from %d to %d", minSup, prev, res.Cells)
+		}
+		prev = res.Cells
+		for _, cells := range res.Cuboids {
+			for _, s := range cells {
+				if s.N < minSup {
+					t.Fatalf("minsup=%d: emitted cell with N=%d", minSup, s.N)
+				}
+			}
+		}
+	}
+	lat.Query.MinSupport = 0
+}
+
+// TestBUCPrunesBelowThreshold verifies the point of iceberg-BUC: the
+// recursion stops at below-threshold partitions, so high thresholds do
+// dramatically less partitioning work.
+func TestBUCPrunesBelowThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	lat, set := synthSet(t, rng, []int{1, 1, 1, 1}, 500, 8, 0, 0)
+
+	lat.Query.MinSupport = 0
+	_, full := runAlg(t, BUC{Opt: true}, lat, set)
+	lat.Query.MinSupport = 50
+	_, pruned := runAlg(t, BUC{Opt: true}, lat, set)
+	lat.Query.MinSupport = 0
+
+	if pruned.RowsSorted >= full.RowsSorted {
+		t.Errorf("iceberg BUC sorted %d rows, full cube sorted %d — no pruning",
+			pruned.RowsSorted, full.RowsSorted)
+	}
+	if pruned.Cells >= full.Cells {
+		t.Errorf("iceberg cells %d >= full cells %d", pruned.Cells, full.Cells)
+	}
+}

@@ -1,0 +1,93 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+
+	"x3/internal/match"
+)
+
+// splitSet divides a fact table into two batches sharing dictionaries.
+func splitSet(set *match.Set, at int) (*match.Set, *match.Set) {
+	a := &match.Set{Lattice: set.Lattice, Dicts: set.Dicts, Facts: set.Facts[:at]}
+	b := &match.Set{Lattice: set.Lattice, Dicts: set.Dicts, Facts: set.Facts[at:]}
+	return a, b
+}
+
+// TestMaintainEqualsRecompute checks that cube(batch1) + Maintain(batch2)
+// equals cube(batch1 + batch2), across violations and multi-state ladders.
+func TestMaintainEqualsRecompute(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 607))
+		shape := [][]int{{1, 1}, {2, 1}, {3, 1, 1}}[trial%3]
+		lat, set := synthSet(t, rng, shape, 200, 5, 0.2, 0.3)
+		full, err := RunOracle(lat, set, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch1, batch2 := splitSet(set, 120)
+		res, err := RunOracle(lat, batch1, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added, err := Maintain(res, batch2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != int64(batch2.NumFacts()) {
+			t.Fatalf("added = %d, want %d", added, batch2.NumFacts())
+		}
+		if err := sameResults(full, res); err != nil {
+			t.Fatalf("trial %d (%v): maintained differs from recomputed: %v", trial, shape, err)
+		}
+	}
+}
+
+// TestMaintainWithSumAggregate covers non-COUNT measures.
+func TestMaintainWithSumAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	lat, set := synthSet(t, rng, []int{1, 1}, 150, 4, 0.1, 0.2)
+	full, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := splitSet(set, 60)
+	res, err := RunOracle(lat, b1, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Maintain(res, b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sameResults(full, res); err != nil {
+		t.Fatalf("SUM maintenance differs: %v", err)
+	}
+}
+
+// TestMaintainRefusesIceberg pins the documented limitation.
+func TestMaintainRefusesIceberg(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	lat, set := synthSet(t, rng, []int{1}, 50, 3, 0, 0)
+	lat.Query.MinSupport = 5
+	defer func() { lat.Query.MinSupport = 0 }()
+	res := NewResult(lat, set.Dicts)
+	if _, err := Maintain(res, set); err == nil {
+		t.Fatal("iceberg cube maintenance accepted")
+	}
+}
+
+// TestMaintainEmptyBatch is a no-op.
+func TestMaintainEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	lat, set := synthSet(t, rng, []int{1, 1}, 80, 4, 0, 0)
+	res, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Cells
+	empty := &match.Set{Lattice: lat, Dicts: set.Dicts}
+	added, err := Maintain(res, empty)
+	if err != nil || added != 0 || res.Cells != before {
+		t.Fatalf("empty maintenance: added=%d cells=%d err=%v", added, res.Cells, err)
+	}
+}

@@ -1,0 +1,85 @@
+package cube
+
+import (
+	"x3/internal/agg"
+	"x3/internal/lattice"
+	"x3/internal/match"
+)
+
+// Oracle is the reference implementation of the X³ cell semantics: for
+// every cuboid it scans every fact and enumerates its group memberships
+// with straight-line nested loops, making no use of lattice structure,
+// summarizability, or memory bounds. It is deliberately independent of the
+// production algorithms so tests can cross-check them against it, and it
+// is O(cuboids × facts) — usable only on small inputs.
+type Oracle struct{}
+
+// Name implements Algorithm.
+func (Oracle) Name() string { return "ORACLE" }
+
+// Requires implements Algorithm: the oracle needs nothing.
+func (Oracle) Requires() Requirements { return Requirements{} }
+
+// Run implements Algorithm.
+func (Oracle) Run(in *Input, sink Sink) (Stats, error) {
+	st := Stats{Algorithm: "ORACLE"}
+	lat := in.Lattice
+	for _, p := range lat.Points() {
+		st.Passes++
+		cells := make(map[string]agg.State)
+		live := lat.LiveAxes(p)
+		err := in.Source.Each(func(f *match.Fact) error {
+			var emitCombos func(i int, key []match.ValueID)
+			var state agg.State
+			state.Add(f.Measure)
+			keys := make([][]match.ValueID, 0, 8)
+			emitCombos = func(i int, key []match.ValueID) {
+				if i == len(live) {
+					cp := make([]match.ValueID, len(key))
+					copy(cp, key)
+					keys = append(keys, cp)
+					return
+				}
+				a := live[i]
+				for _, v := range f.Values(a, int(p[a])) {
+					emitCombos(i+1, append(key, v))
+				}
+			}
+			emitCombos(0, nil)
+			for _, k := range keys {
+				ks := string(packKey(nil, k))
+				s := cells[ks]
+				s.Add(f.Measure)
+				cells[ks] = s
+			}
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+		pid := lat.ID(p)
+		minSup := in.minSupport()
+		for k, s := range cells {
+			if s.N < minSup {
+				continue // iceberg threshold
+			}
+			if err := sink.Cell(pid, unpackKey([]byte(k)), s); err != nil {
+				return st, err
+			}
+			st.Cells++
+		}
+	}
+	return st, nil
+}
+
+var _ Algorithm = Oracle{}
+
+// RunOracle computes the full cube with the oracle into a Result.
+func RunOracle(lat *lattice.Lattice, src Source, dicts []*match.Dict) (*Result, error) {
+	res := NewResult(lat, dicts)
+	in := &Input{Lattice: lat, Source: src, Dicts: dicts}
+	if _, err := (Oracle{}).Run(in, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

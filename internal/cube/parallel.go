@@ -1,0 +1,186 @@
+package cube
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+)
+
+// LockedSink serializes a Sink for concurrent emitters.
+type LockedSink struct {
+	mu   sync.Mutex
+	Next Sink
+}
+
+// Cell implements Sink.
+func (l *LockedSink) Cell(point uint32, key []match.ValueID, s agg.State) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.Next.Cell(point, key, s)
+}
+
+// BUCParallel is plain (overlap-tolerant, always-correct) BUC with the
+// top level of the recursive partitioning fanned out across worker
+// goroutines. Each top-level value partition roots an independent
+// sub-lattice computation, so workers share only the read-only fact table
+// and a serialized sink. This is a this-library extension beyond the
+// paper, which evaluates single-threaded algorithms only.
+type BUCParallel struct {
+	// Workers is the fan-out; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Algorithm.
+func (BUCParallel) Name() string { return "BUCPAR" }
+
+// Requires implements Algorithm: like BUC it needs nothing.
+func (BUCParallel) Requires() Requirements { return Requirements{} }
+
+// parallelUnit is one top-level chain: axis j fixed to value v at its most
+// relaxed live state, over the facts carrying v.
+type parallelUnit struct {
+	axis  int
+	state int
+	value match.ValueID
+	items []int32
+}
+
+// Run implements Algorithm.
+func (b BUCParallel) Run(in *Input, sink Sink) (Stats, error) {
+	st := Stats{Algorithm: b.Name()}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Load the shared fact table once (same budget accounting as BUC).
+	loader := &bucRun{in: in, sink: sink, st: &st, d: in.Lattice.NumAxes()}
+	if err := loader.load(); err != nil {
+		return st, err
+	}
+	defer in.budget().Release(loader.reserved)
+	facts := loader.facts
+	d := in.Lattice.NumAxes()
+
+	baseMissing := 0
+	basePoint := make([]uint8, d)
+	for a := 0; a < d; a++ {
+		lad := in.Lattice.Ladders[a]
+		if lad.HasDeleted() {
+			basePoint[a] = uint8(lad.Len() - 1)
+		} else {
+			baseMissing++
+		}
+	}
+	items := make([]int32, len(facts))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	locked := &LockedSink{Next: sink}
+
+	// The bottom cell (nothing chosen) is emitted once, serially.
+	if baseMissing == 0 && int64(len(items)) >= in.minSupport() && len(items) > 0 {
+		var s agg.State
+		for _, it := range items {
+			s.Add(facts[it].measure)
+		}
+		if err := locked.Cell(in.Lattice.ID(basePoint), nil, s); err != nil {
+			return st, err
+		}
+		st.Cells++
+	}
+
+	// Build the top-level units: for every axis, every value partition at
+	// its most relaxed live state.
+	var units []parallelUnit
+	for j := 0; j < d; j++ {
+		s := in.Lattice.Ladders[j].MostRelaxedLive()
+		parts := make(map[match.ValueID][]int32)
+		for _, it := range items {
+			for _, v := range facts[it].axes[j][s] {
+				parts[v] = append(parts[v], it)
+			}
+		}
+		for v, part := range parts {
+			units = append(units, parallelUnit{axis: j, state: s, value: v, items: part})
+		}
+	}
+
+	// Workers drain the unit queue; each clone owns its own mutable
+	// traversal state and local stats.
+	unitCh := make(chan parallelUnit)
+	errCh := make(chan error, workers)
+	statCh := make(chan Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := Stats{}
+			clone := &bucRun{
+				in:         in,
+				sink:       locked,
+				st:         &local,
+				facts:      facts,
+				d:          d,
+				disjointAt: func(_, _ int) bool { return false },
+				point:      make([]uint8, d),
+				missingLND: baseMissing,
+			}
+			copy(clone.point, basePoint)
+			for u := range unitCh {
+				if !in.Lattice.Ladders[u.axis].HasDeleted() {
+					clone.missingLND = baseMissing - 1
+				} else {
+					clone.missingLND = baseMissing
+				}
+				// Units for axis j must not descend into axes < j (those
+				// combinations are owned by the lower-axis units), which
+				// chain's rec(items, j+1) recursion guarantees.
+				if err := clone.chain(u.items, u.axis, u.state, u.value); err != nil {
+					errCh <- err
+					break
+				}
+			}
+			statCh <- local
+		}()
+	}
+	var sendErr error
+	for _, u := range units {
+		select {
+		case unitCh <- u:
+		case sendErr = <-errCh:
+		}
+		if sendErr != nil {
+			break
+		}
+	}
+	close(unitCh)
+	wg.Wait()
+	close(statCh)
+	close(errCh)
+	if sendErr == nil {
+		for err := range errCh {
+			if err != nil {
+				sendErr = err
+				break
+			}
+		}
+	}
+	for s := range statCh {
+		st.Cells += s.Cells
+		st.Sorts += s.Sorts
+		st.RowsSorted += s.RowsSorted
+	}
+	st.Passes = 1
+	st.PeakBytes = in.budget().HighWater()
+	if sendErr != nil {
+		return st, fmt.Errorf("cube: BUCPAR worker: %w", sendErr)
+	}
+	return st, nil
+}
+
+var _ Algorithm = BUCParallel{}

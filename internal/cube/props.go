@@ -1,0 +1,85 @@
+package cube
+
+import (
+	"x3/internal/lattice"
+	"x3/internal/match"
+)
+
+// MeasuredProps holds summarizability properties observed by scanning a
+// concrete fact table: Disjoint(a,s) iff no fact matched more than one
+// value, Covered(a,s) iff every fact matched at least one. For that data
+// they are exact, so they are valid guarantees to hand the CUST algorithms
+// — the experimental §4.1/§4.2 setups "controlled the input" this way.
+// Schema-derived properties (package schema) are the a-priori alternative.
+type MeasuredProps struct {
+	dis [][]bool
+	cov [][]bool
+}
+
+// Disjoint implements Props.
+func (m *MeasuredProps) Disjoint(a, s int) bool { return m.dis[a][s] }
+
+// Covered implements Props.
+func (m *MeasuredProps) Covered(a, s int) bool { return m.cov[a][s] }
+
+// GloballyDisjoint reports whether disjointness holds at every live state.
+func (m *MeasuredProps) GloballyDisjoint() bool {
+	for _, row := range m.dis {
+		for _, v := range row {
+			if !v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GloballyCovered reports whether coverage holds at every live state.
+func (m *MeasuredProps) GloballyCovered() bool {
+	for _, row := range m.cov {
+		for _, v := range row {
+			if !v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MeasureProps scans the source once and returns the observed properties.
+func MeasureProps(lat *lattice.Lattice, src Source) (*MeasuredProps, error) {
+	m := &MeasuredProps{}
+	for a := 0; a < lat.NumAxes(); a++ {
+		live := lat.Ladders[a].Len()
+		if lat.Ladders[a].HasDeleted() {
+			live--
+		}
+		dis := make([]bool, live)
+		cov := make([]bool, live)
+		for s := range dis {
+			dis[s], cov[s] = true, true
+		}
+		m.dis = append(m.dis, dis)
+		m.cov = append(m.cov, cov)
+	}
+	err := src.Each(func(f *match.Fact) error {
+		for a := range f.Axes {
+			for s := range f.Axes[a] {
+				n := len(f.Axes[a][s])
+				if n > 1 {
+					m.dis[a][s] = false
+				}
+				if n == 0 {
+					m.cov[a][s] = false
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+var _ Props = (*MeasuredProps)(nil)

@@ -1,0 +1,280 @@
+package cube
+
+import (
+	"sort"
+
+	"x3/internal/agg"
+	"x3/internal/extsort"
+	"x3/internal/lattice"
+)
+
+// TDMode selects the top-down variant.
+type TDMode int
+
+const (
+	// TDModeBase is unoptimized TD: every cuboid is computed from the
+	// base matches with fact identities retained — one (possibly
+	// external) sort per cuboid, the paper's "exponential number of
+	// sorts" (§3.5, §4.1).
+	TDModeBase TDMode = iota
+	// TDModeOpt (TDOPT) assumes disjointness globally: rows carry no
+	// identities and sorts are shared across cuboids related by trailing
+	// prefixes, but every sort still reads base data because coverage may
+	// fail.
+	TDModeOpt
+	// TDModeOptAll (TDOPTALL) assumes disjointness and total coverage:
+	// after one sort of the base at the finest cuboid, every coarser
+	// cuboid is rolled up from an adjacent finer cuboid's aggregates —
+	// base data is never touched again (§3.5).
+	TDModeOptAll
+	// TDModeCust (TDCUST, §4.5) stays correct on any data: it rolls up
+	// across a lattice edge only when the schema guarantees the dropped
+	// axis is covered and disjoint at the relevant state, and otherwise
+	// recomputes from base, retaining identities only where disjointness
+	// may fail.
+	TDModeCust
+)
+
+// TD is the XMLized top-down cube family (after Ross–Srivastava's
+// PartitionCube/MemoryCube, §3.5).
+type TD struct {
+	Mode TDMode
+}
+
+// Name implements Algorithm.
+func (t TD) Name() string {
+	switch t.Mode {
+	case TDModeOpt:
+		return "TDOPT"
+	case TDModeOptAll:
+		return "TDOPTALL"
+	case TDModeCust:
+		return "TDCUST"
+	default:
+		return "TD"
+	}
+}
+
+// Requires implements Algorithm.
+func (t TD) Requires() Requirements {
+	switch t.Mode {
+	case TDModeOpt:
+		return Requirements{Disjointness: true}
+	case TDModeOptAll:
+		return Requirements{Disjointness: true, Coverage: true}
+	default:
+		return Requirements{}
+	}
+}
+
+// Run implements Algorithm.
+func (t TD) Run(in *Input, sink Sink) (Stats, error) {
+	st := Stats{Algorithm: t.Name()}
+	var err error
+	switch t.Mode {
+	case TDModeBase:
+		err = t.runBase(in, sink, &st)
+	case TDModeOpt:
+		err = t.runOpt(in, sink, &st)
+	case TDModeOptAll, TDModeCust:
+		err = t.runRollup(in, sink, &st)
+	}
+	st.PeakBytes = in.budget().HighWater()
+	return st, err
+}
+
+// runBase computes every cuboid independently from base data.
+func (t TD) runBase(in *Input, sink Sink, st *Stats) error {
+	lat := in.Lattice
+	for _, p := range lat.Points() {
+		cols := colsOf(lat, p)
+		sorter := extsort.New(rowWidth(len(cols), true), sortLimit(in), in.TmpDir)
+		err := expandInto(in, cols, expandOpts{withID: true}, sorter)
+		st.Passes++
+		if err != nil {
+			return err
+		}
+		it, es, err := sorter.Finish()
+		if err != nil {
+			return err
+		}
+		accumulateSortStats(st, es)
+		pid := lat.ID(p)
+		minSup := in.minSupport()
+		err = scanGroups(it, len(cols), true, func(key []byte, s agg.State) error {
+			if s.N < minSup {
+				return nil
+			}
+			st.Cells++
+			return sink.Cell(pid, unpackKey(key), s)
+		})
+		it.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOpt shares sorts across trailing-prefix chains and drops identities.
+func (t TD) runOpt(in *Input, sink Sink, st *Stats) error {
+	lat := in.Lattice
+	pts := lat.Points()
+	// Longest chains first: most live axes, then densest states.
+	sort.SliceStable(pts, func(i, j int) bool {
+		li, lj := len(lat.LiveAxes(pts[i])), len(lat.LiveAxes(pts[j]))
+		if li != lj {
+			return li > lj
+		}
+		return lat.ID(pts[i]) < lat.ID(pts[j])
+	})
+	processed := make([]bool, lat.Size())
+	for _, p := range pts {
+		if processed[lat.ID(p)] {
+			continue
+		}
+		cols := colsOf(lat, p)
+		m := len(cols)
+		// Build the chain: level m is p itself; level l drops the
+		// trailing columns l..m-1 (axes set to their deleted state).
+		chainIDs := make([]uint32, m+1)
+		emitLevel := make([]bool, m+1)
+		q := p.Clone()
+		for l := m; l >= 0; l-- {
+			if l < m {
+				a := cols[l].axis
+				lad := lat.Ladders[a]
+				if !lad.HasDeleted() {
+					// Cannot drop this axis; chain ends above level l.
+					for k := l; k >= 0; k-- {
+						emitLevel[k] = false
+					}
+					break
+				}
+				q[a] = uint8(lad.Len() - 1)
+			}
+			id := lat.ID(q)
+			chainIDs[l] = id
+			emitLevel[l] = !processed[id]
+			processed[id] = true
+		}
+
+		sorter := extsort.New(rowWidth(m, false), sortLimit(in), in.TmpDir)
+		err := expandInto(in, cols, expandOpts{firstOnly: true, nullMissing: true}, sorter)
+		st.Passes++
+		if err != nil {
+			return err
+		}
+		it, es, err := sorter.Finish()
+		if err != nil {
+			return err
+		}
+		accumulateSortStats(st, es)
+		err = t.pipelineScan(it, m, chainIDs, emitLevel, in.minSupport(), sink, st)
+		it.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipelineScan aggregates a sorted stream at every prefix level at once
+// (the MemoryCube pipeline): level l groups by the first l columns; rows
+// carrying the Null sentinel inside the first l columns are excluded from
+// level l but still feed shorter prefixes.
+func (t TD) pipelineScan(it *extsort.Iterator, m int, chainIDs []uint32, emitLevel []bool, minSup int64, sink Sink, st *Stats) error {
+	states := make([]agg.State, m+1)
+	var prev []byte
+	flush := func(level int) error {
+		if emitLevel[level] && states[level].N >= minSup {
+			key := prev[:4*level]
+			if !keyHasNull(key) {
+				st.Cells++
+				if err := sink.Cell(chainIDs[level], unpackKey(key), states[level]); err != nil {
+					return err
+				}
+			}
+		}
+		states[level] = agg.State{}
+		return nil
+	}
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if prev != nil {
+			// First column index where the row differs from prev.
+			c := m
+			for i := 0; i < m; i++ {
+				if string(row[4*i:4*i+4]) != string(prev[4*i:4*i+4]) {
+					c = i
+					break
+				}
+			}
+			for l := m; l > c; l-- {
+				if err := flush(l); err != nil {
+					return err
+				}
+			}
+		}
+		meas := decodeMeasure(row, m)
+		limit := m
+		for i := 0; i < m; i++ {
+			if string(row[4*i:4*i+4]) == nullBytes {
+				limit = i
+				break
+			}
+		}
+		for l := 0; l <= limit; l++ {
+			states[l].Add(meas)
+		}
+		prev = append(prev[:0], row...)
+	}
+	if prev != nil {
+		for l := m; l >= 0; l-- {
+			if err := flush(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+const nullBytes = "\xff\xff\xff\xff"
+
+func decodeMeasure(row []byte, k int) float64 {
+	return decodeFloat(row[4*k:])
+}
+
+var _ Algorithm = TD{}
+
+// parentEdge describes the lattice edge used to derive a point from its
+// one-step-finer parent.
+type parentEdge struct {
+	parent lattice.Point
+	axis   int
+	// drop is true when the edge deletes the axis (LND step); false for a
+	// ladder state step.
+	drop bool
+}
+
+// chooseParent returns the canonical parent edge of p, or nil for the
+// lattice top. It relaxes the LAST relaxable axis: dropping the last key
+// column of the parent's sort order lets the roll-up merge without
+// re-sorting (the parent's cells are already grouped by the remaining
+// prefix).
+func chooseParent(lat *lattice.Lattice, p lattice.Point) *parentEdge {
+	for a := len(p) - 1; a >= 0; a-- {
+		if p[a] > 0 {
+			q := p.Clone()
+			q[a]--
+			return &parentEdge{parent: q, axis: a, drop: lat.Deleted(p, a)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package dataset generates the synthetic workloads that stand in for the
+// paper's two corpora (§4):
+//
+//   - Treebank: the original is a licensed, encrypted Wall Street Journal
+//     parse-tree corpus (UW repository). The generator emits deep,
+//     recursive, heterogeneous marked-up trees with the knobs the paper
+//     tunes per experiment — per-axis coverage (probability an element is
+//     missing), disjointness (probability it repeats), nesting (which
+//     makes rigid paths miss and PC-AD recover), and value cardinality
+//     (dense vs sparse cubes).
+//
+//   - DBLP: regular, shallow article records matching the DTD fragment of
+//     §4.5 (author repeated and optional, month optional, year and journal
+//     mandatory and unique).
+//
+// Generation is deterministic per seed, so experiments reproduce exactly.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// AxisConfig controls one grouping axis of the Treebank-like generator and
+// the corresponding axis of the generated query.
+type AxisConfig struct {
+	// Tag is the marked-up element name (e.g. "w0").
+	Tag string
+	// Cardinality is the number of distinct text values; small values
+	// yield dense cubes, large ones sparse cubes.
+	Cardinality int
+	// PMissing is the probability the fact has no such element at all —
+	// a total-coverage violation.
+	PMissing float64
+	// PRepeat is the probability of each additional occurrence (with an
+	// independently drawn value) — a disjointness violation.
+	PRepeat float64
+	// PNest is the probability the element hides under a <ph> wrapper, so
+	// the rigid child path misses it and only PC-AD recovers it.
+	PNest float64
+	// Relax is the relaxation set the generated query grants this axis.
+	Relax pattern.RelaxSet
+}
+
+// TreebankConfig configures the Treebank-like corpus.
+type TreebankConfig struct {
+	Seed  int64
+	Facts int
+	Axes  []AxisConfig
+	// Noise adds that many filler elements (with text) per fact, wrapped
+	// at random depth, mimicking Treebank's heterogeneous deep structure.
+	Noise int
+}
+
+// Treebank generates the corpus. Facts are <s> elements (sentences) under
+// nested section wrappers; each axis element carries its value as text.
+func Treebank(cfg TreebankConfig) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b xmltree.Builder
+	b.Open("corpus")
+	// Nested file/section wrappers give the corpus Treebank-like depth.
+	secLeft := 0
+	depth := 0
+	for i := 0; i < cfg.Facts; i++ {
+		if secLeft == 0 {
+			for depth > 0 {
+				b.Close()
+				depth--
+			}
+			depth = 1 + rng.Intn(3)
+			for d := 0; d < depth; d++ {
+				b.Open("section")
+			}
+			secLeft = 20 + rng.Intn(80)
+		}
+		secLeft--
+		b.Open("s")
+		b.Attr("id", fmt.Sprintf("s%d", i))
+		for _, ax := range cfg.Axes {
+			writeAxis(&b, rng, ax)
+		}
+		for n := 0; n < cfg.Noise; n++ {
+			writeNoise(&b, rng, n)
+		}
+		b.Close()
+	}
+	for depth > 0 {
+		b.Close()
+		depth--
+	}
+	b.Close()
+	return b.MustDone()
+}
+
+// writeAxis emits the occurrences of one axis element for one fact.
+func writeAxis(b *xmltree.Builder, rng *rand.Rand, ax AxisConfig) {
+	if rng.Float64() < ax.PMissing {
+		return
+	}
+	emit := func() {
+		nested := rng.Float64() < ax.PNest
+		if nested {
+			b.Open("ph")
+		}
+		b.Open(ax.Tag)
+		b.Text(fmt.Sprintf("v%d", rng.Intn(ax.Cardinality)))
+		b.Close()
+		if nested {
+			b.Close()
+		}
+	}
+	emit()
+	for rng.Float64() < ax.PRepeat {
+		emit()
+	}
+}
+
+// writeNoise emits a filler marked-up element.
+func writeNoise(b *xmltree.Builder, rng *rand.Rand, n int) {
+	deep := rng.Intn(3)
+	for d := 0; d < deep; d++ {
+		b.Open("np")
+	}
+	b.Open(fmt.Sprintf("nz%d", n%4))
+	b.Text(fmt.Sprintf("t%d", rng.Intn(1000)))
+	b.Close()
+	for d := 0; d < deep; d++ {
+		b.Close()
+	}
+}
+
+// TreebankQuery builds the X³ query the Treebank experiments run: cube <s>
+// facts by the configured axes, each granted its configured relaxations.
+func TreebankQuery(axes []AxisConfig) *pattern.CubeQuery {
+	q := &pattern.CubeQuery{
+		Doc:        "treebank.xml",
+		FactVar:    "$s",
+		FactPath:   pattern.MustParsePath("//s"),
+		FactIDPath: pattern.MustParsePath("/@id"),
+		Agg:        pattern.Count,
+	}
+	for i, ax := range axes {
+		q.Axes = append(q.Axes, pattern.AxisSpec{
+			Var:   fmt.Sprintf("$v%d", i),
+			Path:  pattern.Path{{Axis: pattern.Child, Tag: ax.Tag}},
+			Relax: ax.Relax,
+		})
+	}
+	return q
+}
+
+// TreebankDTD returns a DTD describing the generated corpus, for §3.7
+// inference experiments. Axis occurrence declarations reflect the config:
+// an axis with PMissing or PNest > 0 is optional, with PRepeat > 0
+// repeatable.
+func TreebankDTD(cfg TreebankConfig) string {
+	model := ""
+	decls := ""
+	for _, ax := range cfg.Axes {
+		occ := ""
+		switch {
+		case ax.PRepeat > 0:
+			occ = "*"
+		case ax.PMissing > 0 || ax.PNest > 0:
+			occ = "?"
+		}
+		if model != "" {
+			model += ", "
+		}
+		// Nesting makes the element reachable via ph as well.
+		model += ax.Tag + occ
+		decls += fmt.Sprintf("<!ELEMENT %s (#PCDATA)>\n", ax.Tag)
+	}
+	anyNest := false
+	for _, ax := range cfg.Axes {
+		if ax.PNest > 0 {
+			anyNest = true
+		}
+	}
+	sModel := "(" + model
+	if anyNest {
+		sModel += ", ph*"
+	}
+	if cfg.Noise > 0 {
+		sModel += ", np*, nz0*, nz1*, nz2*, nz3*"
+	}
+	sModel += ")"
+	dtd := "<!ELEMENT corpus (section*)>\n" +
+		"<!ELEMENT section (section*, s*)>\n" +
+		"<!ELEMENT s " + sModel + ">\n" +
+		"<!ATTLIST s id ID #REQUIRED>\n" + decls
+	if anyNest {
+		inner := ""
+		for _, ax := range cfg.Axes {
+			if inner != "" {
+				inner += " | "
+			}
+			inner += ax.Tag
+		}
+		dtd += "<!ELEMENT ph (" + inner + ")*>\n"
+	}
+	if cfg.Noise > 0 {
+		dtd += "<!ELEMENT np (np*, nz0*, nz1*, nz2*, nz3*)>\n" +
+			"<!ELEMENT nz0 (#PCDATA)>\n<!ELEMENT nz1 (#PCDATA)>\n" +
+			"<!ELEMENT nz2 (#PCDATA)>\n<!ELEMENT nz3 (#PCDATA)>\n"
+	}
+	return dtd
+}

@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"testing"
+
+	"x3/internal/cube"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/pattern"
+	"x3/internal/schema"
+)
+
+func rsLND() pattern.RelaxSet { return pattern.RelaxSet(0).With(pattern.LND) }
+
+func cleanAxes(n int) []AxisConfig {
+	var out []AxisConfig
+	for i := 0; i < n; i++ {
+		out = append(out, AxisConfig{
+			Tag:         tagName(i),
+			Cardinality: 10,
+			Relax:       rsLND(),
+		})
+	}
+	return out
+}
+
+func tagName(i int) string { return "w" + string(rune('0'+i)) }
+
+func evaluate(t *testing.T, cfg TreebankConfig) (*lattice.Lattice, *match.Set) {
+	t.Helper()
+	doc := Treebank(cfg)
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("generated doc invalid: %v", err)
+	}
+	q := TreebankQuery(cfg.Axes)
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat, set
+}
+
+func TestTreebankDeterministic(t *testing.T) {
+	cfg := TreebankConfig{Seed: 42, Facts: 50, Axes: cleanAxes(3), Noise: 2}
+	a := Treebank(cfg)
+	b := Treebank(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Tag != b.Nodes[i].Tag || a.Nodes[i].Value != b.Nodes[i].Value {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	c := Treebank(TreebankConfig{Seed: 43, Facts: 50, Axes: cleanAxes(3), Noise: 2})
+	same := a.Len() == c.Len()
+	if same {
+		diff := false
+		for i := range a.Nodes {
+			if a.Nodes[i].Value != c.Nodes[i].Value {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestTreebankFactCount(t *testing.T) {
+	cfg := TreebankConfig{Seed: 1, Facts: 123, Axes: cleanAxes(2)}
+	lat, set := evaluate(t, cfg)
+	if set.NumFacts() != 123 {
+		t.Fatalf("facts = %d, want 123", set.NumFacts())
+	}
+	_ = lat
+}
+
+func TestTreebankCleanDataIsSummarizable(t *testing.T) {
+	cfg := TreebankConfig{Seed: 2, Facts: 200, Axes: cleanAxes(3)}
+	lat, set := evaluate(t, cfg)
+	props, err := cube.MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !props.GloballyDisjoint() || !props.GloballyCovered() {
+		t.Error("clean config produced non-summarizable data")
+	}
+}
+
+func TestTreebankViolationsAppear(t *testing.T) {
+	axes := cleanAxes(2)
+	axes[0].PMissing = 0.4
+	axes[1].PRepeat = 0.5
+	cfg := TreebankConfig{Seed: 3, Facts: 300, Axes: axes}
+	lat, set := evaluate(t, cfg)
+	props, err := cube.MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props.Covered(0, 0) {
+		t.Error("axis 0 with PMissing=0.4 measured covered")
+	}
+	if props.Disjoint(1, 0) {
+		t.Error("axis 1 with PRepeat=0.5 measured disjoint")
+	}
+}
+
+func TestTreebankNestingNeedsPCAD(t *testing.T) {
+	axes := []AxisConfig{{
+		Tag: "w0", Cardinality: 5, PNest: 0.5,
+		Relax: rsLND().With(pattern.PCAD),
+	}}
+	cfg := TreebankConfig{Seed: 4, Facts: 300, Axes: axes}
+	lat, set := evaluate(t, cfg)
+	// Rigid state misses nested occurrences, PC-AD recovers them.
+	var rigidMissing, pcadMissing int
+	for _, f := range set.Facts {
+		if len(f.Values(0, 0)) == 0 {
+			rigidMissing++
+		}
+		if len(f.Values(0, 1)) == 0 {
+			pcadMissing++
+		}
+	}
+	if rigidMissing == 0 {
+		t.Error("PNest=0.5 but no fact misses the rigid path")
+	}
+	if pcadMissing != 0 {
+		t.Errorf("PC-AD state still missing for %d facts", pcadMissing)
+	}
+	_ = lat
+}
+
+func TestTreebankDTDMatchesGenerator(t *testing.T) {
+	axes := cleanAxes(2)
+	axes[0].PMissing = 0.2
+	axes[1].PRepeat = 0.2
+	cfg := TreebankConfig{Seed: 5, Facts: 100, Axes: axes, Noise: 2}
+	d, err := schema.Parse(TreebankDTD(cfg))
+	if err != nil {
+		t.Fatalf("generated DTD does not parse: %v\n%s", err, TreebankDTD(cfg))
+	}
+	lat, set := evaluate(t, cfg)
+	inferred, err := schema.Infer(d, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := cube.MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inference must never claim a property the data violates.
+	for a := 0; a < lat.NumAxes(); a++ {
+		if inferred.Covered(a, 0) && !measured.Covered(a, 0) {
+			t.Errorf("axis %d: DTD claims covered, data violates", a)
+		}
+		if inferred.Disjoint(a, 0) && !measured.Disjoint(a, 0) {
+			t.Errorf("axis %d: DTD claims disjoint, data violates", a)
+		}
+	}
+}
+
+func TestDBLPGenerator(t *testing.T) {
+	cfg := DefaultDBLPConfig(500, 7)
+	doc := DBLP(cfg)
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	arts := doc.ByTag("article")
+	if len(arts) != 500 {
+		t.Fatalf("articles = %d", len(arts))
+	}
+	// Year and journal mandatory.
+	if got := len(doc.ByTag("year")); got != 500 {
+		t.Errorf("years = %d", got)
+	}
+	if got := len(doc.ByTag("journal")); got != 500 {
+		t.Errorf("journals = %d", got)
+	}
+	// Months missing sometimes, authors repeated sometimes.
+	if got := len(doc.ByTag("month")); got >= 500 || got == 0 {
+		t.Errorf("months = %d, want in (0,500)", got)
+	}
+	if got := len(doc.ByTag("author")); got <= 500 {
+		t.Errorf("authors = %d, want repetitions beyond 500", got)
+	}
+}
+
+func TestDBLPPropsMatchPaper(t *testing.T) {
+	cfg := DefaultDBLPConfig(800, 11)
+	doc := DBLP(cfg)
+	q := DBLPQuery()
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := cube.MeasureProps(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// author: repeated and missing; month: missing, unique; year/journal:
+	// mandatory and unique.
+	if measured.Disjoint(0, 0) || measured.Covered(0, 0) {
+		t.Error("author axis should violate both properties")
+	}
+	if !measured.Disjoint(1, 0) || measured.Covered(1, 0) {
+		t.Error("month axis should be disjoint but not covered")
+	}
+	for _, a := range []int{2, 3} {
+		if !measured.Disjoint(a, 0) || !measured.Covered(a, 0) {
+			t.Errorf("axis %d should satisfy both properties", a)
+		}
+	}
+	// The DTD-inferred properties agree with the measured ones.
+	d, err := schema.Parse(DBLPDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := schema.Infer(d, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		if inferred.Covered(a, 0) != measured.Covered(a, 0) {
+			t.Errorf("axis %d: inferred covered %t, measured %t", a, inferred.Covered(a, 0), measured.Covered(a, 0))
+		}
+		if inferred.Disjoint(a, 0) != measured.Disjoint(a, 0) {
+			t.Errorf("axis %d: inferred disjoint %t, measured %t", a, inferred.Disjoint(a, 0), measured.Disjoint(a, 0))
+		}
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLP(DefaultDBLPConfig(100, 3))
+	b := DBLP(DefaultDBLPConfig(100, 3))
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different DBLP sizes")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Value != b.Nodes[i].Value {
+			t.Fatal("same seed, different DBLP content")
+		}
+	}
+}

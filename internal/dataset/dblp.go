@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// DBLPConfig configures the DBLP-like corpus of §4.5.
+type DBLPConfig struct {
+	Seed     int64
+	Articles int
+	// Journals is the journal pool size; Authors the author pool size.
+	Journals int
+	Authors  int
+	// MaxAuthors bounds the authors per article; PNoAuthor is the chance
+	// of an authorless article (author is "possibly missing").
+	MaxAuthors int
+	PNoAuthor  float64
+	// PNoMonth is the chance the optional month is absent.
+	PNoMonth float64
+	// YearFrom/YearTo bound the mandatory year.
+	YearFrom, YearTo int
+}
+
+// DefaultDBLPConfig mirrors the paper's experiment scale knobs (220k
+// articles at full scale; pass a smaller Articles for scaled-down runs).
+func DefaultDBLPConfig(articles int, seed int64) DBLPConfig {
+	return DBLPConfig{
+		Seed:       seed,
+		Articles:   articles,
+		Journals:   50,
+		Authors:    2000,
+		MaxAuthors: 5,
+		PNoAuthor:  0.05,
+		PNoMonth:   0.30,
+		YearFrom:   1990,
+		YearTo:     2005,
+	}
+}
+
+var months = []string{"jan", "feb", "mar", "apr", "may", "jun",
+	"jul", "aug", "sep", "oct", "nov", "dec"}
+
+// DBLP generates the corpus: <dblp> with Articles <article> records.
+func DBLP(cfg DBLPConfig) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b xmltree.Builder
+	b.Open("dblp")
+	for i := 0; i < cfg.Articles; i++ {
+		b.Open("article")
+		b.Attr("key", fmt.Sprintf("journals/j%d/a%d", rng.Intn(cfg.Journals), i))
+		if rng.Float64() >= cfg.PNoAuthor {
+			n := 1 + rng.Intn(cfg.MaxAuthors)
+			for k := 0; k < n; k++ {
+				b.Open("author")
+				b.Text(fmt.Sprintf("Author %d", rng.Intn(cfg.Authors)))
+				b.Close()
+			}
+		}
+		b.Open("title")
+		b.Text(fmt.Sprintf("On the Theory of Topic %d", i))
+		b.Close()
+		b.Open("journal")
+		b.Text(fmt.Sprintf("Journal %d", rng.Intn(cfg.Journals)))
+		b.Close()
+		b.Open("year")
+		b.Text(fmt.Sprintf("%d", cfg.YearFrom+rng.Intn(cfg.YearTo-cfg.YearFrom+1)))
+		b.Close()
+		if rng.Float64() >= cfg.PNoMonth {
+			b.Open("month")
+			b.Text(months[rng.Intn(len(months))])
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.MustDone()
+}
+
+// DBLPQuery is the §4.5 experiment query: cube articles by /author,
+// /month, /year and /journal (COUNT, LND on every axis).
+func DBLPQuery() *pattern.CubeQuery {
+	return &pattern.CubeQuery{
+		Doc:        "dblp.xml",
+		FactVar:    "$a",
+		FactPath:   pattern.MustParsePath("//article"),
+		FactIDPath: pattern.MustParsePath("/@key"),
+		Agg:        pattern.Count,
+		Axes: []pattern.AxisSpec{
+			{Var: "$au", Path: pattern.MustParsePath("/author"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+			{Var: "$m", Path: pattern.MustParsePath("/month"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+			{Var: "$y", Path: pattern.MustParsePath("/year"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+			{Var: "$j", Path: pattern.MustParsePath("/journal"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		},
+	}
+}
+
+// DBLPDTD is the DTD fragment of §4.5, consumed by schema.Infer for the
+// customized algorithms.
+const DBLPDTD = `
+<!ELEMENT dblp (article*)>
+<!ELEMENT article (author*, title, journal, year, month?)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ATTLIST article key CDATA #REQUIRED>
+`

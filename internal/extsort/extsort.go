@@ -1,0 +1,241 @@
+// Package extsort sorts fixed-width byte rows under a memory limit, the
+// way the paper's cube implementations do: quicksort for in-memory sorts,
+// external merge sort (run generation + k-way merge) when the data
+// outgrows the buffer (§4).
+//
+// Rows compare lexicographically as raw bytes, so callers encode sort keys
+// big-endian; equal-prefix grouping then falls out of adjacency in the
+// sorted stream. The number of external runs is reported in Stats — the
+// paper's "exponential number of (external) sorts" effect for the top-down
+// algorithms is measured with it.
+package extsort
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Stats describes one completed sort.
+type Stats struct {
+	Rows       int64 // rows sorted
+	Runs       int   // spilled runs (0 for a pure in-memory sort)
+	External   bool  // true when at least one run spilled to disk
+	SpillBytes int64 // bytes written to temp files
+}
+
+// Sorter accumulates fixed-width rows and returns them in sorted order.
+type Sorter struct {
+	width int
+	limit int64 // buffer cap in bytes; <= 0 means unlimited (never spill)
+	dir   string
+
+	buf   []byte
+	runs  []*os.File
+	stats Stats
+	done  bool
+}
+
+// New returns a Sorter for rows of the given width. limit caps the
+// in-memory buffer in bytes (<= 0: unlimited); dir is where runs spill
+// (empty: the OS temp dir).
+func New(width int, limit int64, dir string) *Sorter {
+	return &Sorter{width: width, limit: limit, dir: dir}
+}
+
+// Add appends one row. The row is copied.
+func (s *Sorter) Add(row []byte) error {
+	if s.done {
+		return fmt.Errorf("extsort: Add after Finish")
+	}
+	if len(row) != s.width {
+		return fmt.Errorf("extsort: row is %d bytes, want %d", len(row), s.width)
+	}
+	s.buf = append(s.buf, row...)
+	s.stats.Rows++
+	if s.limit > 0 && int64(len(s.buf)) >= s.limit {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill sorts the buffer and writes it out as a new run.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sortRows(s.buf, s.width)
+	f, err := os.CreateTemp(s.dir, "x3sort-*")
+	if err != nil {
+		return fmt.Errorf("extsort: spill: %w", err)
+	}
+	// Unlink immediately; the open handle keeps the data alive.
+	os.Remove(f.Name())
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(s.buf); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: spill write: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: spill flush: %w", err)
+	}
+	s.stats.SpillBytes += int64(len(s.buf))
+	s.runs = append(s.runs, f)
+	s.stats.Runs++
+	s.stats.External = true
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Finish sorts any buffered rows and returns an iterator over the full
+// sorted sequence plus the sort's statistics. The Sorter cannot be reused.
+func (s *Sorter) Finish() (*Iterator, Stats, error) {
+	if s.done {
+		return nil, s.stats, fmt.Errorf("extsort: Finish twice")
+	}
+	s.done = true
+	if len(s.runs) == 0 {
+		sortRows(s.buf, s.width)
+		return &Iterator{width: s.width, mem: s.buf}, s.stats, nil
+	}
+	if err := s.spill(); err != nil {
+		return nil, s.stats, err
+	}
+	it := &Iterator{width: s.width}
+	for _, f := range s.runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			it.Close()
+			return nil, s.stats, fmt.Errorf("extsort: seek run: %w", err)
+		}
+		rr := &runReader{r: bufio.NewReaderSize(f, 1<<16), f: f, row: make([]byte, s.width)}
+		if err := rr.advance(); err != nil && err != io.EOF {
+			it.Close()
+			return nil, s.stats, err
+		}
+		if !rr.eof {
+			it.h = append(it.h, rr)
+		} else {
+			f.Close()
+		}
+	}
+	heap.Init(&it.h)
+	return it, s.stats, nil
+}
+
+// Iterator yields sorted rows. The slice returned by Next is only valid
+// until the following call.
+type Iterator struct {
+	width int
+	// In-memory case.
+	mem []byte
+	pos int
+	// External case: a min-heap of run readers.
+	h runHeap
+}
+
+// Next returns the next row, or nil at the end of the sequence.
+func (it *Iterator) Next() ([]byte, error) {
+	if it.mem != nil || it.h == nil {
+		if it.pos+it.width <= len(it.mem) {
+			row := it.mem[it.pos : it.pos+it.width]
+			it.pos += it.width
+			return row, nil
+		}
+		return nil, nil
+	}
+	if it.h.Len() == 0 {
+		return nil, nil
+	}
+	top := it.h[0]
+	row := append(top.out[:0], top.row...)
+	top.out = row
+	if err := top.advance(); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if top.eof {
+		heap.Pop(&it.h)
+		top.f.Close()
+	} else {
+		heap.Fix(&it.h, 0)
+	}
+	return row, nil
+}
+
+// Close releases any temp files still open.
+func (it *Iterator) Close() {
+	for _, rr := range it.h {
+		rr.f.Close()
+	}
+	it.h = nil
+	it.mem = nil
+}
+
+type runReader struct {
+	r   *bufio.Reader
+	f   *os.File
+	row []byte
+	out []byte
+	eof bool
+}
+
+func (rr *runReader) advance() error {
+	_, err := io.ReadFull(rr.r, rr.row)
+	if err == io.EOF {
+		rr.eof = true
+		return io.EOF
+	}
+	if err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("extsort: truncated run file")
+	}
+	return err
+}
+
+type runHeap []*runReader
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return bytes.Compare(h[i].row, h[j].row) < 0 }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// sortRows quicksorts the rows of buf (fixed width) in place by raw byte
+// order — the in-memory sort of the paper's implementation.
+func sortRows(buf []byte, width int) {
+	if width <= 0 || len(buf) == 0 {
+		return
+	}
+	sort.Sort(&rowSlice{buf: buf, w: width, tmp: make([]byte, width)})
+}
+
+// SortRows exposes sortRows for callers (BUCOPT partitions slices of its
+// fact table in place).
+func SortRows(buf []byte, width int) { sortRows(buf, width) }
+
+type rowSlice struct {
+	buf []byte
+	w   int
+	tmp []byte
+}
+
+func (r *rowSlice) Len() int { return len(r.buf) / r.w }
+func (r *rowSlice) Less(i, j int) bool {
+	return bytes.Compare(r.buf[i*r.w:(i+1)*r.w], r.buf[j*r.w:(j+1)*r.w]) < 0
+}
+func (r *rowSlice) Swap(i, j int) {
+	a := r.buf[i*r.w : (i+1)*r.w]
+	b := r.buf[j*r.w : (j+1)*r.w]
+	copy(r.tmp, a)
+	copy(a, b)
+	copy(b, r.tmp)
+}

@@ -1,0 +1,364 @@
+// Package harness regenerates the paper's evaluation (§4): one
+// configuration per figure, sweeping the number of axes, running the
+// algorithms the figure plots, and reporting running time and cube size.
+//
+// Hardware differs, so absolute seconds are not comparable to the paper;
+// the harness preserves the *shapes* — who wins at which axis count, when
+// COUNTER goes multi-pass, where TD melts down — by scaling the input tree
+// counts and the memory budget together (Options.Scale).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"x3/internal/agg"
+	"x3/internal/cube"
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/matchfile"
+	"x3/internal/pattern"
+	"x3/internal/schema"
+)
+
+// Row is one measured run: one algorithm on one axis count of one figure.
+type Row struct {
+	Figure    string
+	Algorithm string
+	Axes      int
+	Facts     int
+	Seconds   float64
+	Cells     int64
+	Stats     cube.Stats
+	// DNF is non-empty when the run hit the timeout ("the algorithm did
+	// not finish in a reasonable time", as the paper reports for several
+	// 7-axis points).
+	DNF string
+}
+
+// Options control a harness run.
+type Options struct {
+	// Scale multiplies the paper's input tree counts and the 512 MB
+	// budget (default 1/16; override with X3_SCALE).
+	Scale float64
+	// Timeout per algorithm run; exceeding it records a DNF row.
+	Timeout time.Duration
+	// TmpDir hosts match files and spill files.
+	TmpDir string
+	// Log, when non-nil, receives progress lines.
+	Log  io.Writer
+	Seed int64
+}
+
+// DefaultOptions reads X3_SCALE (a float, e.g. "0.02") and returns
+// defaults matching a laptop-scale reproduction.
+func DefaultOptions() Options {
+	scale := 1.0 / 16
+	if s := os.Getenv("X3_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return Options{Scale: scale, Timeout: 120 * time.Second, Seed: 1}
+}
+
+// paperBudgetBytes is the paper's 512 MB buffer pool.
+const paperBudgetBytes = 512 << 20
+
+// Config describes one figure's experiment.
+type Config struct {
+	ID    string
+	Title string
+	// Trees is the paper's input tree count (scaled by Options.Scale).
+	Trees int
+	// AxesSweep lists the axis counts to run (the X axis of the figure).
+	AxesSweep []int
+	// Algorithms are the curves of the figure.
+	Algorithms []string
+	// Dense selects low-cardinality grouping values (dense cubes).
+	Dense bool
+	// Coverage / Disjoint state which summarizability property the
+	// workload is controlled to satisfy.
+	Coverage bool
+	Disjoint bool
+	// ExtraRelax grants PC-AD on every axis and nests some elements, the
+	// extra relaxation step of the §4.1 setting.
+	ExtraRelax bool
+	// DBLP switches to the §4.5 DBLP experiment (fixed 4 axes).
+	DBLP bool
+}
+
+// Figures returns the configuration of every figure of §4, in paper order.
+func Figures() []Config {
+	return []Config{
+		{ID: "fig4", Title: "Sparse cube, 10^4 trees, coverage fails, disjointness holds",
+			Trees: 10_000, AxesSweep: sweep(), Dense: false, Coverage: false, Disjoint: true,
+			ExtraRelax: true, Algorithms: []string{"COUNTER", "BUC", "BUCOPT", "TD", "TDOPT"}},
+		{ID: "fig5", Title: "Sparse cube, 10^5 trees, coverage fails, disjointness holds",
+			Trees: 100_000, AxesSweep: sweep(), Dense: false, Coverage: false, Disjoint: true,
+			ExtraRelax: true, Algorithms: []string{"COUNTER", "BUC", "BUCOPT", "TD", "TDOPT"}},
+		{ID: "fig6", Title: "Dense cube, 10^5 trees, coverage fails, disjointness holds",
+			Trees: 100_000, AxesSweep: sweep(), Dense: true, Coverage: false, Disjoint: true,
+			ExtraRelax: true, Algorithms: []string{"COUNTER", "BUC", "BUCOPT", "TD", "TDOPT"}},
+		{ID: "fig7", Title: "Sparse cube, 10^5 trees, coverage and disjointness hold",
+			Trees: 100_000, AxesSweep: sweep(), Dense: false, Coverage: true, Disjoint: true,
+			Algorithms: []string{"COUNTER", "BUC", "BUCOPT", "TD", "TDOPTALL"}},
+		{ID: "fig8", Title: "Dense cube, 10^5 trees, coverage and disjointness hold",
+			Trees: 100_000, AxesSweep: sweep(), Dense: true, Coverage: true, Disjoint: true,
+			Algorithms: []string{"COUNTER", "BUC", "BUCOPT", "TD", "TDOPTALL"}},
+		{ID: "fig9", Title: "Dense cube, 10^5 trees, neither property holds",
+			Trees: 100_000, AxesSweep: sweep(), Dense: true, Coverage: false, Disjoint: false,
+			ExtraRelax: true,
+			Algorithms: []string{"COUNTER", "BUC", "BUCOPT", "TD", "TDOPT", "TDOPTALL"}},
+		{ID: "fig10", Title: "DBLP: cube article by /author, /month, /year, /journal (220k trees)",
+			Trees: 220_000, AxesSweep: []int{4}, DBLP: true,
+			Algorithms: []string{"COUNTER", "BUC", "BUCCUST", "BUCOPT", "TD", "TDCUST", "TDOPT", "TDOPTALL"}},
+	}
+}
+
+func sweep() []int { return []int{2, 3, 4, 5, 6, 7} }
+
+// FigureByID returns the configuration with the given id.
+func FigureByID(id string) (Config, error) {
+	for _, c := range Figures() {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("harness: unknown figure %q", id)
+}
+
+// Run executes one figure's experiment and returns its rows.
+func Run(cfg Config, opt Options) ([]Row, error) {
+	if opt.Scale <= 0 {
+		opt.Scale = 1.0 / 16
+	}
+	if opt.TmpDir == "" {
+		dir, err := os.MkdirTemp("", "x3harness-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opt.TmpDir = dir
+	}
+	var rows []Row
+	for _, d := range cfg.AxesSweep {
+		rs, err := runPoint(cfg, opt, d)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// runPoint prepares the workload for one axis count and times every
+// algorithm on it.
+func runPoint(cfg Config, opt Options, d int) ([]Row, error) {
+	logf(opt, "%s: preparing %d axes...", cfg.ID, d)
+	w, err := Prepare(cfg, opt, d)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Remove()
+
+	var rows []Row
+	for _, name := range cfg.Algorithms {
+		row, err := w.RunAlgorithm(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		logf(opt, "%s d=%d %-8s %8.3fs cells=%d passes=%d sorts=%d ext=%d %s",
+			cfg.ID, d, name, row.Seconds, row.Cells, row.Stats.Passes,
+			row.Stats.Sorts, row.Stats.ExternalSorts, row.DNF)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Workload is a prepared (figure, axis count) experiment point: a
+// generated corpus, evaluated and materialized to a match file, with its
+// lattice and DTD-inferred properties. Benchmarks reuse one Workload
+// across algorithm runs.
+type Workload struct {
+	Figure    string
+	Axes      int
+	Facts     int
+	Lattice   *lattice.Lattice
+	MatchPath string
+	Props     cube.Props
+	Budget    int64
+}
+
+// Remove deletes the materialized match file.
+func (w *Workload) Remove() { os.Remove(w.MatchPath) }
+
+// Prepare generates the corpus, evaluates the query and materializes the
+// match file for one (figure, axes) point.
+func Prepare(cfg Config, opt Options, d int) (*Workload, error) {
+	if opt.TmpDir == "" {
+		opt.TmpDir = os.TempDir()
+	}
+	trees := int(float64(cfg.Trees) * opt.Scale)
+	if trees < 10 {
+		trees = 10
+	}
+	var (
+		lat *lattice.Lattice
+		set *match.Set
+		dtd string
+	)
+	if cfg.DBLP {
+		doc := dataset.DBLP(dataset.DefaultDBLPConfig(trees, opt.Seed))
+		var err error
+		lat, err = lattice.New(dataset.DBLPQuery())
+		if err != nil {
+			return nil, err
+		}
+		set, err = match.Evaluate(doc, lat)
+		if err != nil {
+			return nil, err
+		}
+		dtd = dataset.DBLPDTD
+	} else {
+		tcfg := treebankConfig(cfg, opt, trees, d)
+		doc := dataset.Treebank(tcfg)
+		q := dataset.TreebankQuery(tcfg.Axes)
+		var err error
+		lat, err = lattice.New(q)
+		if err != nil {
+			return nil, err
+		}
+		set, err = match.Evaluate(doc, lat)
+		if err != nil {
+			return nil, err
+		}
+		dtd = dataset.TreebankDTD(tcfg)
+	}
+	mfPath := filepath.Join(opt.TmpDir, fmt.Sprintf("%s-d%d-%d.x3mf", cfg.ID, d, os.Getpid()))
+	if err := matchfile.WriteFile(mfPath, set); err != nil {
+		return nil, err
+	}
+	props, err := inferProps(dtd, lat)
+	if err != nil {
+		os.Remove(mfPath)
+		return nil, err
+	}
+	return &Workload{
+		Figure:    cfg.ID,
+		Axes:      d,
+		Facts:     set.NumFacts(),
+		Lattice:   lat,
+		MatchPath: mfPath,
+		Props:     props,
+		Budget:    int64(float64(paperBudgetBytes) * opt.Scale),
+	}, nil
+}
+
+// RunAlgorithm runs one algorithm on the workload with a fresh match-file
+// reader (cold reads, as the paper measures with a cold cache) and returns
+// the measured row.
+func (w *Workload) RunAlgorithm(name string, opt Options) (Row, error) {
+	alg, err := cube.ByName(name)
+	if err != nil {
+		return Row{}, err
+	}
+	src, err := matchfile.Open(w.MatchPath)
+	if err != nil {
+		return Row{}, err
+	}
+	in := &cube.Input{
+		Lattice: w.Lattice,
+		Source:  src,
+		Dicts:   src.Dicts(),
+		Budget:  memBudget(w.Budget),
+		TmpDir:  opt.TmpDir,
+		Props:   w.Props,
+	}
+	sink := &deadlineSink{}
+	if opt.Timeout > 0 {
+		sink.deadline = time.Now().Add(opt.Timeout)
+	}
+	start := time.Now()
+	st, err := alg.Run(in, sink)
+	elapsed := time.Since(start).Seconds()
+	row := Row{
+		Figure: w.Figure, Algorithm: name, Axes: w.Axes, Facts: w.Facts,
+		Seconds: elapsed, Cells: sink.cells, Stats: st,
+	}
+	if err != nil {
+		if err == errDeadline {
+			row.DNF = "timeout"
+		} else {
+			row.DNF = err.Error()
+		}
+	}
+	return row, nil
+}
+
+// treebankConfig derives the per-axis knobs of a Treebank figure.
+func treebankConfig(cfg Config, opt Options, trees, d int) dataset.TreebankConfig {
+	card := 64 // sparse: cardinality^d quickly dwarfs the fact count
+	if cfg.Dense {
+		card = 4 // the paper groups dense cubes by first character
+	}
+	axes := make([]dataset.AxisConfig, d)
+	for i := range axes {
+		ax := dataset.AxisConfig{
+			Tag:         fmt.Sprintf("w%d", i),
+			Cardinality: card,
+			Relax:       pattern.RelaxSet(0).With(pattern.LND),
+		}
+		if !cfg.Coverage {
+			ax.PMissing = 0.25
+		}
+		if !cfg.Disjoint {
+			ax.PRepeat = 0.4
+		}
+		if cfg.ExtraRelax {
+			ax.PNest = 0.2
+			ax.Relax = ax.Relax.With(pattern.PCAD)
+		}
+		axes[i] = ax
+	}
+	return dataset.TreebankConfig{Seed: opt.Seed, Facts: trees, Axes: axes}
+}
+
+func inferProps(dtd string, lat *lattice.Lattice) (cube.Props, error) {
+	d, err := schema.Parse(dtd)
+	if err != nil {
+		return nil, fmt.Errorf("harness: workload DTD: %w", err)
+	}
+	return schema.Infer(d, lat)
+}
+
+func logf(opt Options, format string, args ...any) {
+	if opt.Log != nil {
+		fmt.Fprintf(opt.Log, format+"\n", args...)
+	}
+}
+
+// errDeadline marks a timed-out run.
+var errDeadline = fmt.Errorf("harness: run exceeded its timeout")
+
+// deadlineSink counts cells and aborts the run once the deadline passes —
+// every algorithm emits cells continuously, so the deadline propagates no
+// matter which phase it is in.
+type deadlineSink struct {
+	deadline time.Time
+	cells    int64
+}
+
+// Cell implements cube.Sink.
+func (s *deadlineSink) Cell(uint32, []match.ValueID, agg.State) error {
+	s.cells++
+	if s.cells%4096 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return errDeadline
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions shrink every figure to test scale.
+func tinyOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Scale:   0.002, // 10^5 trees -> 200
+		Timeout: 30 * time.Second,
+		TmpDir:  t.TempDir(),
+		Seed:    1,
+	}
+}
+
+func TestFiguresWellFormed(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 7 {
+		t.Fatalf("figures = %d, want 7 (fig4..fig10)", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		if ids[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		ids[f.ID] = true
+		if len(f.Algorithms) == 0 || len(f.AxesSweep) == 0 || f.Trees == 0 {
+			t.Errorf("%s incomplete: %+v", f.ID, f)
+		}
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if _, err := FigureByID(id); err != nil {
+			t.Errorf("FigureByID(%s): %v", id, err)
+		}
+	}
+	if _, err := FigureByID("fig99"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunSparseSetting(t *testing.T) {
+	cfg, err := FigureByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AxesSweep = []int{2, 3}
+	rows, err := Run(cfg, tinyOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(cfg.Algorithms) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All algorithms see the same workload: the always-correct ones must
+	// agree on cell counts per axis point.
+	cells := map[int]map[string]int64{}
+	for _, r := range rows {
+		if r.DNF != "" {
+			t.Fatalf("%s d=%d: DNF %s at tiny scale", r.Algorithm, r.Axes, r.DNF)
+		}
+		if cells[r.Axes] == nil {
+			cells[r.Axes] = map[string]int64{}
+		}
+		cells[r.Axes][r.Algorithm] = r.Cells
+	}
+	for d, m := range cells {
+		if m["COUNTER"] != m["BUC"] || m["COUNTER"] != m["TD"] {
+			t.Errorf("d=%d: correct algorithms disagree on cells: %v", d, m)
+		}
+		if m["COUNTER"] == 0 {
+			t.Errorf("d=%d: zero cells", d)
+		}
+	}
+}
+
+func TestRunDBLPFigure(t *testing.T) {
+	cfg, err := FigureByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(cfg, tinyOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want all 8 algorithms", len(rows))
+	}
+	byAlg := map[string]Row{}
+	for _, r := range rows {
+		if r.DNF != "" {
+			t.Fatalf("%s: DNF at tiny scale", r.Algorithm)
+		}
+		byAlg[r.Algorithm] = r
+	}
+	// Correct algorithms agree; BUCCUST does fewer expansions than BUC
+	// but the same cells.
+	if byAlg["BUCCUST"].Cells != byAlg["BUC"].Cells {
+		t.Errorf("BUCCUST cells %d != BUC cells %d", byAlg["BUCCUST"].Cells, byAlg["BUC"].Cells)
+	}
+	if byAlg["TDCUST"].Cells != byAlg["TD"].Cells {
+		t.Errorf("TDCUST cells %d != TD cells %d", byAlg["TDCUST"].Cells, byAlg["TD"].Cells)
+	}
+	// TDCUST rolls up across year/journal edges.
+	if byAlg["TDCUST"].Stats.Rollups == 0 {
+		t.Error("TDCUST never rolled up on DBLP")
+	}
+	// TDCUST touches base data less often than TD.
+	if byAlg["TDCUST"].Stats.Passes >= byAlg["TD"].Stats.Passes {
+		t.Errorf("TDCUST passes %d !< TD passes %d",
+			byAlg["TDCUST"].Stats.Passes, byAlg["TD"].Stats.Passes)
+	}
+}
+
+func TestDeadlineProducesDNF(t *testing.T) {
+	cfg, err := FigureByID("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AxesSweep = []int{4}
+	cfg.Algorithms = []string{"TD"}
+	opt := tinyOptions(t)
+	opt.Scale = 0.01
+	opt.Timeout = 1 * time.Nanosecond
+	rows, err := Run(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].DNF != "timeout" {
+		t.Errorf("expected DNF, got %+v", rows[0])
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	rows := []Row{
+		{Figure: "fig4", Algorithm: "COUNTER", Axes: 2, Seconds: 0.5, Cells: 10},
+		{Figure: "fig4", Algorithm: "BUC", Axes: 2, Seconds: 0.7, Cells: 10},
+		{Figure: "fig4", Algorithm: "COUNTER", Axes: 3, Seconds: 1.5, Cells: 99},
+		{Figure: "fig4", Algorithm: "BUC", Axes: 3, DNF: "timeout"},
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"COUNTER", "BUC", "DNF", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	WriteCSV(&buf, rows)
+	if lines := strings.Count(buf.String(), "\n"); lines != 5 {
+		t.Errorf("csv lines = %d:\n%s", lines, buf.String())
+	}
+	// Empty input: no panic.
+	WriteTable(&bytes.Buffer{}, nil)
+}

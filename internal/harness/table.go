@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"x3/internal/mem"
+)
+
+// memBudget wraps mem.New so harness.go reads cleanly.
+func memBudget(bytes int64) *mem.Budget { return mem.New(bytes) }
+
+// WriteTable renders rows as the figure's table: one line per axis count,
+// one column per algorithm, seconds in the cells ("DNF" for timeouts).
+// This is the textual equivalent of the paper's running-time plots.
+func WriteTable(w io.Writer, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	algs := algorithmsOf(rows)
+	axes := axesOf(rows)
+	cell := map[[2]int]string{} // (axes, algIdx) -> text
+	algIdx := map[string]int{}
+	for i, a := range algs {
+		algIdx[a] = i
+	}
+	for _, r := range rows {
+		txt := fmt.Sprintf("%.3f", r.Seconds)
+		if r.DNF != "" {
+			txt = "DNF"
+		}
+		cell[[2]int{r.Axes, algIdx[r.Algorithm]}] = txt
+	}
+	fmt.Fprintf(w, "%-6s", "#axes")
+	for _, a := range algs {
+		fmt.Fprintf(w, " %12s", a)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 6+13*len(algs)))
+	for _, d := range axes {
+		fmt.Fprintf(w, "%-6d", d)
+		for i := range algs {
+			txt, ok := cell[[2]int{d, i}]
+			if !ok {
+				txt = "-"
+			}
+			fmt.Fprintf(w, " %12s", txt)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders rows as CSV with full statistics, one row per run.
+func WriteCSV(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "figure,algorithm,axes,facts,seconds,cells,dnf,passes,restarts,sorts,external_sorts,spill_bytes,rows_sorted,rollups,copies,peak_bytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%s,%d,%d,%.6f,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.Figure, r.Algorithm, r.Axes, r.Facts, r.Seconds, r.Cells, r.DNF,
+			r.Stats.Passes, r.Stats.Restarts, r.Stats.Sorts, r.Stats.ExternalSorts,
+			r.Stats.SpillBytes, r.Stats.RowsSorted, r.Stats.Rollups, r.Stats.Copies,
+			r.Stats.PeakBytes)
+	}
+}
+
+func algorithmsOf(rows []Row) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range rows {
+		if !seen[r.Algorithm] {
+			seen[r.Algorithm] = true
+			out = append(out, r.Algorithm)
+		}
+	}
+	return out
+}
+
+func axesOf(rows []Row) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range rows {
+		if !seen[r.Axes] {
+			seen[r.Axes] = true
+			out = append(out, r.Axes)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

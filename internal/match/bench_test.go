@@ -1,0 +1,53 @@
+package match
+
+import (
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+)
+
+func benchWorkload(b *testing.B, facts int) (*lattice.Lattice, *dataset.TreebankConfig) {
+	b.Helper()
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 20, PMissing: 0.2, PNest: 0.2,
+			Relax: pattern.RelaxSet(0).With(pattern.LND).With(pattern.PCAD)},
+		{Tag: "w1", Cardinality: 20, PRepeat: 0.3,
+			Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		{Tag: "w2", Cardinality: 20,
+			Relax: pattern.RelaxSet(0).With(pattern.LND)},
+	}
+	cfg := &dataset.TreebankConfig{Seed: 5, Facts: facts, Axes: axes, Noise: 2}
+	lat, err := lattice.New(dataset.TreebankQuery(axes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lat, cfg
+}
+
+// BenchmarkEvaluate measures full pattern evaluation (fact matching plus
+// per-state axis value extraction) over an in-memory document.
+func BenchmarkEvaluate(b *testing.B) {
+	lat, cfg := benchWorkload(b, 2000)
+	doc := dataset.Treebank(*cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(doc, lat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalPathFromRoot isolates absolute path evaluation.
+func BenchmarkEvalPathFromRoot(b *testing.B) {
+	_, cfg := benchWorkload(b, 2000)
+	doc := dataset.Treebank(*cfg)
+	p := pattern.MustParsePath("//s")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := EvalPathFromRoot(doc, p); len(got) != 2000 {
+			b.Fatalf("facts = %d", len(got))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package match
+
+import "fmt"
+
+// ValueID is a dictionary-encoded grouping value. IDs are dense per axis;
+// algorithms compare and sort IDs instead of strings.
+type ValueID uint32
+
+// Dict is an order-of-appearance string dictionary for one grouping axis.
+type Dict struct {
+	vals []string
+	idx  map[string]ValueID
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{idx: make(map[string]ValueID)}
+}
+
+// ID interns s and returns its ValueID.
+func (d *Dict) ID(s string) ValueID {
+	if id, ok := d.idx[s]; ok {
+		return id
+	}
+	id := ValueID(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.idx[s] = id
+	return id
+}
+
+// Lookup returns the ValueID of s without interning.
+func (d *Dict) Lookup(s string) (ValueID, bool) {
+	id, ok := d.idx[s]
+	return id, ok
+}
+
+// Value returns the string for id; it panics on an unknown id, which is
+// always a programming error.
+func (d *Dict) Value(id ValueID) string {
+	if int(id) >= len(d.vals) {
+		panic(fmt.Sprintf("match: ValueID %d out of range (%d values)", id, len(d.vals)))
+	}
+	return d.vals[id]
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Values returns the backing value slice in ID order; callers must not
+// modify it.
+func (d *Dict) Values() []string { return d.vals }

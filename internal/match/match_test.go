@@ -1,0 +1,357 @@
+package match
+
+import (
+	"testing"
+
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+	"x3/internal/xq"
+)
+
+// paperXML is the Figure 1 publication database.
+const paperXML = `
+<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a3"><name>Bob</name></author>
+    <publisher id="p1"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a1"><name>John</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Amy</name></author>
+    <pubData>
+      <publisher id="p2"/>
+      <year>2005</year>
+    </pubData>
+  </publication>
+</database>`
+
+const query1Text = `
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD),
+            $p (LND, PC-AD),
+            $y (LND)
+return COUNT($b).`
+
+func paperSet(t *testing.T) (*xmltree.Document, *Set) {
+	t.Helper()
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(query1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, set
+}
+
+func (s *Set) strings(f *Fact, axis, state int) []string {
+	var out []string
+	for _, id := range f.Values(axis, state) {
+		out = append(out, s.Dicts[axis].Value(id))
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[string]int{}
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		seen[x]--
+	}
+	for _, c := range seen {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvaluatePaperExample(t *testing.T) {
+	_, set := paperSet(t)
+	if set.NumFacts() != 4 {
+		t.Fatalf("facts = %d, want 4", set.NumFacts())
+	}
+	// Axis order: $n (states rigid, PC-AD, SP), $p (rigid), $y (rigid).
+	type want struct {
+		key           string
+		nRigid, nPCAD []string
+		nSP           []string
+		pRigid        []string
+		yRigid        []string
+	}
+	wants := []want{
+		{"1", []string{"John", "Jane"}, []string{"John", "Jane"}, []string{"John", "Jane"}, []string{"p1"}, []string{"2003"}},
+		{"2", []string{"Bob"}, []string{"Bob"}, []string{"Bob"}, []string{"p1"}, []string{"2004", "2005"}},
+		{"3", nil, []string{"John"}, []string{"John"}, nil, []string{"2003"}},
+		{"4", []string{"Amy"}, []string{"Amy"}, []string{"Amy"}, []string{"p2"}, nil},
+	}
+	for i, w := range wants {
+		f := set.Facts[i]
+		if f.Key != w.key {
+			t.Errorf("fact %d key = %q, want %q", i, f.Key, w.key)
+		}
+		if got := set.strings(f, 0, 0); !eqStrings(got, w.nRigid) {
+			t.Errorf("fact %s $n rigid = %v, want %v", w.key, got, w.nRigid)
+		}
+		if got := set.strings(f, 0, 1); !eqStrings(got, w.nPCAD) {
+			t.Errorf("fact %s $n PC-AD = %v, want %v", w.key, got, w.nPCAD)
+		}
+		if got := set.strings(f, 0, 2); !eqStrings(got, w.nSP) {
+			t.Errorf("fact %s $n SP = %v, want %v", w.key, got, w.nSP)
+		}
+		if got := set.strings(f, 1, 0); !eqStrings(got, w.pRigid) {
+			t.Errorf("fact %s $p rigid = %v, want %v", w.key, got, w.pRigid)
+		}
+		if got := set.strings(f, 2, 0); !eqStrings(got, w.yRigid) {
+			t.Errorf("fact %s $y rigid = %v, want %v", w.key, got, w.yRigid)
+		}
+		if f.Measure != 1 {
+			t.Errorf("fact %s measure = %v", w.key, f.Measure)
+		}
+	}
+	// Live state counts: $n has 3, $p 1, $y 1.
+	for a, wantLive := range []int{3, 1, 1} {
+		if got := set.LiveStates(a); got != wantLive {
+			t.Errorf("LiveStates(%d) = %d, want %d", a, got, wantLive)
+		}
+	}
+}
+
+// TestSimpleGroupingExample reproduces §2.1: grouping publications by a
+// year child yields groups 2003:{pub1,pub3}, 2004:{pub2}, 2005:{pub2}, and
+// the fourth publication matches nothing.
+func TestSimpleGroupingExample(t *testing.T) {
+	_, set := paperSet(t)
+	groups := map[string][]string{}
+	for _, f := range set.Facts {
+		for _, v := range set.strings(f, 2, 0) {
+			groups[v] = append(groups[v], f.Key)
+		}
+	}
+	if !eqStrings(groups["2003"], []string{"1", "3"}) {
+		t.Errorf("2003 group = %v", groups["2003"])
+	}
+	if !eqStrings(groups["2004"], []string{"2"}) {
+		t.Errorf("2004 group = %v", groups["2004"])
+	}
+	if !eqStrings(groups["2005"], []string{"2"}) {
+		t.Errorf("2005 group = %v", groups["2005"])
+	}
+	if len(groups) != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestEvalPathFromRoot(t *testing.T) {
+	doc, _ := paperSet(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"//publication", 4},
+		{"/database", 1},
+		{"/publication", 0},
+		{"//author", 5},
+		{"//author/name", 5},
+		{"//publication/author/name", 4},
+		{"//publication//name", 5},
+		{"//publisher/@id", 3},
+		{"//*/@id", 12},
+		{"//year", 5},
+		{"//publication/year", 4},
+		{"//nosuch", 0},
+	}
+	for _, c := range cases {
+		got := EvalPathFromRoot(doc, pattern.MustParsePath(c.path))
+		if len(got) != c.want {
+			t.Errorf("EvalPathFromRoot(%s) = %d nodes, want %d", c.path, len(got), c.want)
+		}
+	}
+}
+
+func TestEvalPathNoDuplicates(t *testing.T) {
+	// Nested same-tag elements reached via // twice must dedup.
+	doc, err := xmltree.ParseString(`<r><a><a><b>x</b></a></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EvalPathFromRoot(doc, pattern.MustParsePath("//a//b"))
+	if len(got) != 1 {
+		t.Fatalf("//a//b = %d nodes, want 1", len(got))
+	}
+	// Document order preserved.
+	got = EvalPathFromRoot(doc, pattern.MustParsePath("//a"))
+	if len(got) != 2 || got[0] >= got[1] {
+		t.Fatalf("//a = %v, want two ascending ids", got)
+	}
+}
+
+func TestMeasureSum(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r>
+	  <item><cat>x</cat><price>10.5</price></item>
+	  <item><cat>x</cat><price>2</price><price>3</price></item>
+	  <item><cat>y</cat></item>
+	</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(`for $i in doc("d")//item, $c in $i/cat
+x3 $i by $c (LND) return SUM($i/price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := []float64{10.5, 5, 0}
+	for i, w := range wantM {
+		if set.Facts[i].Measure != w {
+			t.Errorf("fact %d measure = %v, want %v", i, set.Facts[i].Measure, w)
+		}
+	}
+}
+
+func TestMeasureNotNumeric(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><item><cat>x</cat><price>cheap</price></item></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(`for $i in doc("d")//item, $c in $i/cat
+x3 $i by $c (LND) return SUM($i/price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(doc, lat); err == nil {
+		t.Error("non-numeric measure accepted")
+	}
+}
+
+func TestMonotonicityInvariant(t *testing.T) {
+	_, set := paperSet(t)
+	if err := set.CheckMonotone(); err != nil {
+		t.Fatalf("CheckMonotone: %v", err)
+	}
+	// Break it deliberately.
+	f := set.Facts[0]
+	f.Axes[0][2] = nil // SP state loses everything while rigid still has values
+	if err := set.CheckMonotone(); err == nil {
+		t.Error("CheckMonotone accepted broken ladder")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	cases := []struct {
+		a, b []ValueID
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []ValueID{1}, true},
+		{[]ValueID{1}, nil, false},
+		{[]ValueID{1, 3}, []ValueID{1, 2, 3}, true},
+		{[]ValueID{1, 4}, []ValueID{1, 2, 3}, false},
+		{[]ValueID{2}, []ValueID{1, 2, 3}, true},
+	}
+	for _, c := range cases {
+		if got := subsetOf(c.a, c.b); got != c.want {
+			t.Errorf("subsetOf(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestSortedDistinct(t *testing.T) {
+	got := sortedDistinct([]ValueID{5, 1, 3, 1, 5, 2})
+	want := []ValueID{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("sortedDistinct = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedDistinct = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.ID("x")
+	b := d.ID("y")
+	if a2 := d.ID("x"); a2 != a {
+		t.Errorf("re-intern changed id")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if d.Value(a) != "x" || d.Value(b) != "y" {
+		t.Errorf("Value round trip broken")
+	}
+	if _, ok := d.Lookup("z"); ok {
+		t.Errorf("Lookup(z) found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Value(99) did not panic")
+		}
+	}()
+	d.Value(99)
+}
+
+func TestFactKeyFallback(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><p><y>1</y></p></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(`for $p in doc("d")//p, $y in $p/y
+x3 $p by $y (LND) return COUNT($p)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Facts[0].Key == "" || set.Facts[0].Key[0] != '#' {
+		t.Errorf("fallback key = %q", set.Facts[0].Key)
+	}
+}

@@ -1,0 +1,122 @@
+package match
+
+import (
+	"sort"
+
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// EvalPathFromRoot evaluates an absolute path over the whole document. The
+// context is the (virtual) document node above the root element, so
+// "//publication" finds publications anywhere including the root element
+// itself, and "/database" matches only the root.
+func EvalPathFromRoot(doc *xmltree.Document, p pattern.Path) []xmltree.NodeID {
+	if len(p) == 0 || doc.Len() == 0 {
+		return nil
+	}
+	var ctx []xmltree.NodeID
+	first := p[0]
+	switch first.Axis {
+	case pattern.Child:
+		if stepMatches(doc, 0, first) {
+			ctx = []xmltree.NodeID{0}
+		}
+	case pattern.Descendant:
+		for i := range doc.Nodes {
+			if stepMatches(doc, xmltree.NodeID(i), first) {
+				ctx = append(ctx, xmltree.NodeID(i))
+			}
+		}
+	}
+	ctx = filterPreds(doc, ctx, first.Preds)
+	return evalSteps(doc, ctx, p[1:])
+}
+
+// EvalPath evaluates a relative path from the given context node.
+func EvalPath(doc *xmltree.Document, from xmltree.NodeID, p pattern.Path) []xmltree.NodeID {
+	return evalSteps(doc, []xmltree.NodeID{from}, p)
+}
+
+// evalSteps applies the steps to the context set, returning matches in
+// document order without duplicates.
+func evalSteps(doc *xmltree.Document, ctx []xmltree.NodeID, steps pattern.Path) []xmltree.NodeID {
+	cur := ctx
+	for _, st := range steps {
+		var next []xmltree.NodeID
+		switch st.Axis {
+		case pattern.Child:
+			for _, n := range cur {
+				doc.EachChild(n, func(c xmltree.NodeID) bool {
+					if stepMatches(doc, c, st) {
+						next = append(next, c)
+					}
+					return true
+				})
+			}
+		case pattern.Descendant:
+			for _, n := range cur {
+				for _, d := range doc.Descendants(n) {
+					if stepMatches(doc, d, st) {
+						next = append(next, d)
+					}
+				}
+			}
+		}
+		cur = filterPreds(doc, dedupSorted(next), st.Preds)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// filterPreds keeps the nodes for which every existence predicate matches
+// at least once.
+func filterPreds(doc *xmltree.Document, nodes []xmltree.NodeID, preds []pattern.Path) []xmltree.NodeID {
+	if len(preds) == 0 {
+		return nodes
+	}
+	out := nodes[:0]
+	for _, n := range nodes {
+		ok := true
+		for _, pred := range preds {
+			if len(EvalPath(doc, n, pred)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// stepMatches reports whether node id satisfies the step's node test.
+func stepMatches(doc *xmltree.Document, id xmltree.NodeID, st pattern.Step) bool {
+	n := &doc.Nodes[id]
+	if st.IsAttr() {
+		return n.Kind == xmltree.Attr && n.Tag == st.Tag
+	}
+	if n.Kind != xmltree.Element {
+		return false
+	}
+	return st.IsWildcard() || n.Tag == st.Tag
+}
+
+// dedupSorted sorts ids into document order and removes duplicates
+// (a node can be reached through several // expansions).
+func dedupSorted(ids []xmltree.NodeID) []xmltree.NodeID {
+	if len(ids) <= 1 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package match
+
+import (
+	"testing"
+
+	"x3/internal/pattern"
+)
+
+func TestPredicatesOnPaperData(t *testing.T) {
+	doc, _ := paperSet(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		// Publications with a direct author child: 1, 2, 4.
+		{"//publication[author]", 3},
+		// Publications with any author descendant: all four.
+		{"//publication[//author]", 4},
+		// Publications with a direct publisher: 1, 2, 4 is nested... 4's
+		// publisher is under pubData, so direct: 1, 2.
+		{"//publication[publisher]", 2},
+		// Publications with both a publisher descendant and a year child.
+		{"//publication[//publisher][year]", 2},
+		// Years of publications that have a publisher child.
+		{"//publication[publisher]/year", 3},
+		// Authors with a name: all five.
+		{"//author[name]", 5},
+		// Predicate chain: authors under publications with a publisher.
+		{"//publication[publisher]/author", 3},
+		// Nested predicates: publications with an author that has a name.
+		{"//publication[author[name]]", 3},
+		// Nothing has a <price>.
+		{"//publication[price]", 0},
+	}
+	for _, c := range cases {
+		got := EvalPathFromRoot(doc, pattern.MustParsePath(c.path))
+		if len(got) != c.want {
+			t.Errorf("%s = %d nodes, want %d", c.path, len(got), c.want)
+		}
+	}
+}
+
+func TestPredicateOnMidStep(t *testing.T) {
+	doc, _ := paperSet(t)
+	// Names under authors that have an @id attribute — all authors do.
+	got := EvalPathFromRoot(doc, pattern.MustParsePath("//author[@id]/name"))
+	if len(got) != 5 {
+		t.Errorf("//author[@id]/name = %d, want 5", len(got))
+	}
+}

@@ -1,0 +1,96 @@
+// Package mem provides the byte-accounted memory budget shared by the cube
+// algorithms. The paper runs TIMBER with a 512 MB buffer pool and observes
+// algorithms falling off a cliff when cube state outgrows memory (COUNTER
+// thrashing, external sorts); a Budget makes that threshold explicit and
+// configurable so the behaviour reproduces at laptop scale.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Budget tracks reserved bytes against a fixed total. The zero value is an
+// unlimited budget. Budgets are not safe for concurrent use; the cube
+// algorithms are single-threaded, as in the paper.
+type Budget struct {
+	total     int64
+	used      int64
+	highWater int64
+}
+
+// New returns a budget of the given size in bytes; total <= 0 means
+// unlimited.
+func New(total int64) *Budget {
+	if total < 0 {
+		total = 0
+	}
+	return &Budget{total: total}
+}
+
+// Unlimited returns a budget that never refuses a reservation.
+func Unlimited() *Budget { return &Budget{} }
+
+// IsUnlimited reports whether the budget has no cap.
+func (b *Budget) IsUnlimited() bool { return b.total == 0 }
+
+// Total returns the cap in bytes (0 when unlimited).
+func (b *Budget) Total() int64 { return b.total }
+
+// Used returns the bytes currently reserved.
+func (b *Budget) Used() int64 { return b.used }
+
+// HighWater returns the maximum bytes ever reserved at once.
+func (b *Budget) HighWater() int64 { return b.highWater }
+
+// Remaining returns the bytes still available (MaxInt64 when unlimited).
+func (b *Budget) Remaining() int64 {
+	if b.IsUnlimited() {
+		return math.MaxInt64
+	}
+	r := b.total - b.used
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// TryReserve reserves n bytes, reporting whether they fit.
+func (b *Budget) TryReserve(n int64) bool {
+	if n < 0 {
+		return false
+	}
+	if !b.IsUnlimited() && b.used+n > b.total {
+		return false
+	}
+	b.used += n
+	if b.used > b.highWater {
+		b.highWater = b.used
+	}
+	return true
+}
+
+// Reserve is TryReserve returning an error on refusal.
+func (b *Budget) Reserve(n int64) error {
+	if !b.TryReserve(n) {
+		return fmt.Errorf("mem: budget exhausted: %d used + %d requested > %d total",
+			b.used, n, b.total)
+	}
+	return nil
+}
+
+// Release returns n bytes to the budget. Releasing more than is reserved
+// panics: it is always an accounting bug.
+func (b *Budget) Release(n int64) {
+	if n < 0 || n > b.used {
+		panic(fmt.Sprintf("mem: release %d with %d used", n, b.used))
+	}
+	b.used -= n
+}
+
+func (b *Budget) String() string {
+	if b.IsUnlimited() {
+		return fmt.Sprintf("budget{unlimited, used=%d}", b.used)
+	}
+	return fmt.Sprintf("budget{%d/%d}", b.used, b.total)
+}

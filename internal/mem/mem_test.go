@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnlimited(t *testing.T) {
+	b := Unlimited()
+	if !b.IsUnlimited() {
+		t.Fatal("not unlimited")
+	}
+	if !b.TryReserve(1 << 60) {
+		t.Fatal("unlimited refused")
+	}
+	if b.Remaining() <= 0 {
+		t.Fatal("unlimited remaining")
+	}
+	b.Release(1 << 60)
+	if b.Used() != 0 {
+		t.Fatalf("used = %d", b.Used())
+	}
+}
+
+func TestBounded(t *testing.T) {
+	b := New(100)
+	if err := b.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if b.TryReserve(50) {
+		t.Fatal("over-reserve accepted")
+	}
+	if err := b.Reserve(50); err == nil {
+		t.Fatal("Reserve over cap: no error")
+	}
+	if b.Remaining() != 40 {
+		t.Fatalf("remaining = %d", b.Remaining())
+	}
+	b.Release(10)
+	if b.Used() != 50 {
+		t.Fatalf("used = %d", b.Used())
+	}
+	if b.HighWater() != 60 {
+		t.Fatalf("high water = %d", b.HighWater())
+	}
+	if !strings.Contains(b.String(), "50/100") {
+		t.Errorf("String = %s", b.String())
+	}
+}
+
+func TestNegativeTotalMeansUnlimited(t *testing.T) {
+	if !New(-5).IsUnlimited() {
+		t.Fatal("negative total not unlimited")
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(10).Release(1)
+}
+
+func TestNegativeReserveRefused(t *testing.T) {
+	b := New(10)
+	if b.TryReserve(-1) {
+		t.Fatal("negative reserve accepted")
+	}
+}
+
+func TestAccountingInvariant(t *testing.T) {
+	// Reserve/release sequences never drive used negative or past total.
+	f := func(ops []int16) bool {
+		b := New(1000)
+		var ledger int64
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				if b.TryReserve(n) {
+					ledger += n
+				}
+			} else if -n <= ledger {
+				b.Release(-n)
+				ledger += n
+			}
+			if b.Used() != ledger || b.Used() < 0 || b.Used() > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package pattern
+
+import "testing"
+
+// FuzzParsePath checks the path parser never panics and that accepted
+// paths round-trip through String.
+func FuzzParsePath(f *testing.F) {
+	for _, s := range []string{
+		"/author/name", "//publisher/@id", "//a//b", "/pubData/*/year",
+		"//publication[author][//publisher]/year", "/a[b[c]]/d",
+		"/a[", "[]", "///", "/@", "/a]b",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePath(src)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := ParsePath(s)
+		if err != nil {
+			t.Fatalf("rendered path %q (from %q) does not re-parse: %v", s, src, err)
+		}
+		if p2.String() != s {
+			t.Fatalf("render not a fixed point: %q -> %q", s, p2.String())
+		}
+	})
+}

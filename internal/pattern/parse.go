@@ -1,0 +1,146 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParsePath parses a path expression such as "/author/name",
+// "//publisher/@id" or "/pubData/*/year". The expression must begin with
+// "/" or "//". Attribute steps ("@name") are only valid in final position,
+// matching the data model in which attributes are leaves.
+func ParsePath(s string) (Path, error) {
+	p, rest, err := parsePathPrefix(s)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("pattern: trailing input %q in path %q", rest, s)
+	}
+	return p, nil
+}
+
+// ParsePathPrefix parses the longest path prefix of s and returns the
+// remainder. It is used by the xq parser, which embeds paths in larger
+// clauses (e.g. "$b/author/name (LND)").
+func ParsePathPrefix(s string) (Path, string, error) {
+	return parsePathPrefix(s)
+}
+
+// parsePathPrefix parses the longest path prefix of s and returns the
+// remainder (used by the xq parser which embeds paths in larger clauses).
+func parsePathPrefix(s string) (Path, string, error) {
+	orig := s
+	var p Path
+	for {
+		if !strings.HasPrefix(s, "/") {
+			break
+		}
+		axis := Child
+		s = s[1:]
+		if strings.HasPrefix(s, "/") {
+			axis = Descendant
+			s = s[1:]
+		}
+		tag, rest, err := parseNameTest(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("pattern: in path %q: %w", orig, err)
+		}
+		if len(p) > 0 && p[len(p)-1].IsAttr() {
+			return nil, "", fmt.Errorf("pattern: attribute step %q is not last in %q", p[len(p)-1].Tag, orig)
+		}
+		step := Step{Axis: axis, Tag: tag}
+		s = rest
+		for strings.HasPrefix(s, "[") {
+			inner, rest, err := takeBracketed(s)
+			if err != nil {
+				return nil, "", fmt.Errorf("pattern: in path %q: %w", orig, err)
+			}
+			if step.IsAttr() {
+				return nil, "", fmt.Errorf("pattern: attribute step %q cannot take predicates in %q", tag, orig)
+			}
+			if !strings.HasPrefix(inner, "/") {
+				inner = "/" + inner // shorthand [author] means child::author
+			}
+			pred, err := ParsePath(inner)
+			if err != nil {
+				return nil, "", fmt.Errorf("pattern: predicate in %q: %w", orig, err)
+			}
+			step.Preds = append(step.Preds, pred)
+			s = rest
+		}
+		p = append(p, step)
+	}
+	if len(p) == 0 {
+		return nil, "", fmt.Errorf("pattern: %q does not start with a path step", orig)
+	}
+	return p, s, nil
+}
+
+// takeBracketed returns the contents of a balanced [...] prefix of s and
+// the remainder after the closing bracket.
+func takeBracketed(s string) (inner, rest string, err error) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				if i == 1 {
+					return "", "", fmt.Errorf("empty predicate")
+				}
+				return s[1:i], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unbalanced '[' in %q", s)
+}
+
+func parseNameTest(s string) (tag, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("missing name test")
+	}
+	if s[0] == '*' {
+		return "*", s[1:], nil
+	}
+	attr := false
+	if s[0] == '@' {
+		attr = true
+		s = s[1:]
+	}
+	i := 0
+	for i < len(s) && isNameRune(rune(s[i]), i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("missing name test at %q", s)
+	}
+	tag = s[:i]
+	if attr {
+		tag = "@" + tag
+	}
+	return tag, s[i:], nil
+}
+
+func isNameRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || r == '-' || r == '.'
+}
+
+// MustParsePath is ParsePath that panics on error, for tests and fixed
+// queries in generators.
+func MustParsePath(s string) Path {
+	p, err := ParsePath(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

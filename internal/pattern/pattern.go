@@ -1,0 +1,294 @@
+// Package pattern defines the tree-pattern query model of X³: linear path
+// expressions binding variables, the grouping specification (a fact binding
+// plus grouping axes), and the per-axis permitted relaxations.
+//
+// Following TAX, grouping in XML is specified by a tree pattern and a
+// grouping list (paper §2.1). X³ represents the pattern as one fact path
+// (from the document root) with one linear axis path per grouping variable,
+// relative to the fact; the branched query tree pattern of the paper's
+// Fig. 3 is the fact node with the axis paths as branches, and is produced
+// by package relax.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is the structural relationship of a step to its context node.
+type Axis uint8
+
+const (
+	// Child matches direct children (parent-child edge).
+	Child Axis = iota
+	// Descendant matches any proper descendant (ancestor-descendant edge).
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Step is one location step of a path: an axis plus a node test and
+// optional existence predicates. The node test is an element tag, an
+// attribute name with a leading "@", or "*" which matches any element.
+// Each predicate is a relative path that must match at least once under
+// the stepped-to node, e.g. the step "publication[author]" keeps only
+// publications with an author child.
+type Step struct {
+	Axis  Axis
+	Tag   string
+	Preds []Path
+}
+
+// IsAttr reports whether the step selects an attribute node.
+func (s Step) IsAttr() bool { return strings.HasPrefix(s.Tag, "@") }
+
+// IsWildcard reports whether the step matches any element tag.
+func (s Step) IsWildcard() bool { return s.Tag == "*" }
+
+func (s Step) String() string {
+	out := s.Axis.String() + s.Tag
+	for _, p := range s.Preds {
+		out += "[" + p.predString() + "]"
+	}
+	return out
+}
+
+// predString renders a predicate path in its shorthand form: a leading
+// child step drops its slash ("[author/name]"), a leading descendant step
+// keeps "//" ("[//name]").
+func (p Path) predString() string {
+	s := p.String()
+	if len(p) > 0 && p[0].Axis == Child {
+		return s[1:]
+	}
+	return s
+}
+
+// Path is a sequence of steps, evaluated left to right from a context node.
+type Path []Step
+
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Clone returns a copy of p. Predicate paths are shared: they are never
+// mutated (relaxations rewrite axes and drop steps but leave predicates
+// intact).
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// HasPreds reports whether any step carries predicates.
+func (p Path) HasPreds() bool {
+	for _, s := range p {
+		if len(s.Preds) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Leaf returns the final step's tag, or "" for an empty path.
+func (p Path) Leaf() string {
+	if len(p) == 0 {
+		return ""
+	}
+	return p[len(p)-1].Tag
+}
+
+// Relaxation is one of the paper's three tree-pattern relaxations (§2.2).
+type Relaxation uint8
+
+const (
+	// LND (Leaf Node Deletion) permits the pattern to match even when the
+	// axis's leaf element is absent — it is the relaxation that models
+	// traditional cubing (dropping a group-by dimension).
+	LND Relaxation = 1 << iota
+	// SP (Sub-tree Promotion) moves a subtree rooted at a node to be a
+	// descendant of its grandparent, e.g. publication[./author/name]
+	// relaxes to publication[./author][.//name].
+	SP
+	// PCAD (Parent-Child to Ancestor-Descendant edge generalization)
+	// relaxes / edges to // edges, e.g. publication/author to
+	// publication//author.
+	PCAD
+)
+
+func (r Relaxation) String() string {
+	switch r {
+	case LND:
+		return "LND"
+	case SP:
+		return "SP"
+	case PCAD:
+		return "PC-AD"
+	}
+	return fmt.Sprintf("Relaxation(%d)", uint8(r))
+}
+
+// RelaxSet is a set of permitted relaxations for one axis.
+type RelaxSet uint8
+
+// Has reports whether r is in the set.
+func (s RelaxSet) Has(r Relaxation) bool { return uint8(s)&uint8(r) != 0 }
+
+// With returns the set extended with r.
+func (s RelaxSet) With(r Relaxation) RelaxSet { return RelaxSet(uint8(s) | uint8(r)) }
+
+func (s RelaxSet) String() string {
+	var parts []string
+	for _, r := range []Relaxation{LND, SP, PCAD} {
+		if s.Has(r) {
+			parts = append(parts, r.String())
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AxisSpec is one grouping axis of an X³ query: a variable name, its path
+// relative to the fact binding, and the relaxations the query permits for
+// it (paper §2.3, Query 1).
+type AxisSpec struct {
+	Var   string // "$n"
+	Path  Path   // relative to the fact node, e.g. /author/name
+	Relax RelaxSet
+}
+
+func (a AxisSpec) String() string {
+	return fmt.Sprintf("%s := $fact%s %s", a.Var, a.Path, a.Relax)
+}
+
+// AggFunc identifies the aggregate computed per group. COUNT is the
+// paper's reported operator; the others are the standard distributive and
+// algebraic companions it says behave similarly.
+type AggFunc uint8
+
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+var aggNames = map[AggFunc]string{
+	Count: "COUNT", Sum: "SUM", Min: "MIN", Max: "MAX", Avg: "AVG",
+}
+
+func (f AggFunc) String() string {
+	if s, ok := aggNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("AggFunc(%d)", uint8(f))
+}
+
+// ParseAggFunc parses an aggregate function name, case-insensitively.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch strings.ToUpper(s) {
+	case "COUNT":
+		return Count, nil
+	case "SUM":
+		return Sum, nil
+	case "MIN":
+		return Min, nil
+	case "MAX":
+		return Max, nil
+	case "AVG":
+		return Avg, nil
+	}
+	return 0, fmt.Errorf("pattern: unknown aggregate function %q", s)
+}
+
+// CubeQuery is a parsed X³ query: cube the facts matched by FactPath by
+// the grouping axes, computing Agg over each group at every point of the
+// relaxation lattice.
+type CubeQuery struct {
+	// Doc is the document URI from the doc("...") call, informational.
+	Doc string
+	// FactVar is the variable bound to the fact, e.g. "$b".
+	FactVar string
+	// FactPath locates facts from the document root, e.g. //publication.
+	FactPath Path
+	// FactIDPath optionally names the identifier under the fact used for
+	// duplicate elimination (the X³ clause target, e.g. $b/@id). When
+	// empty, node identity is used.
+	FactIDPath Path
+	// Axes are the grouping axes in declaration order.
+	Axes []AxisSpec
+	// Agg is the aggregate of the RETURN clause.
+	Agg AggFunc
+	// MeasurePath optionally locates the aggregated value under the fact
+	// (for SUM/MIN/MAX/AVG); empty for COUNT.
+	MeasurePath Path
+	// MinSupport, when positive, makes the cube an iceberg cube: only
+	// groups containing at least this many distinct facts are emitted
+	// (the HAVING COUNT(..) >= N clause). Bottom-up computation prunes
+	// below-threshold partitions, its signature optimization.
+	MinSupport int64
+}
+
+// Axis returns the spec with the given variable name, or nil.
+func (q *CubeQuery) Axis(v string) *AxisSpec {
+	for i := range q.Axes {
+		if q.Axes[i].Var == v {
+			return &q.Axes[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the query for structural problems: no facts path, axes
+// with empty paths, duplicate variables, or a missing measure for a
+// value-aggregate.
+func (q *CubeQuery) Validate() error {
+	if len(q.FactPath) == 0 {
+		return fmt.Errorf("pattern: query has no fact path")
+	}
+	if len(q.Axes) == 0 {
+		return fmt.Errorf("pattern: query has no grouping axes")
+	}
+	seen := map[string]bool{}
+	for _, a := range q.Axes {
+		if len(a.Path) == 0 {
+			return fmt.Errorf("pattern: axis %s has an empty path", a.Var)
+		}
+		if a.Path[len(a.Path)-1].IsWildcard() {
+			return fmt.Errorf("pattern: axis %s ends in a wildcard; grouping needs a named leaf", a.Var)
+		}
+		if seen[a.Var] {
+			return fmt.Errorf("pattern: duplicate axis variable %s", a.Var)
+		}
+		seen[a.Var] = true
+	}
+	if q.Agg != Count && len(q.MeasurePath) == 0 {
+		return fmt.Errorf("pattern: %v requires a measure path", q.Agg)
+	}
+	return nil
+}
+
+func (q *CubeQuery) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cube %s%s by", q.FactVar, q.FactPath)
+	for i, a := range q.Axes {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " %s%s %s", q.FactVar, a.Path, a.Relax)
+	}
+	fmt.Fprintf(&b, " return %v(%s)", q.Agg, q.FactVar)
+	if q.MinSupport > 0 {
+		fmt.Fprintf(&b, " having COUNT(%s) >= %d", q.FactVar, q.MinSupport)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantAxes []Axis
+		wantTags []string
+	}{
+		{"/author/name", []Axis{Child, Child}, []string{"author", "name"}},
+		{"//publisher/@id", []Axis{Descendant, Child}, []string{"publisher", "@id"}},
+		{"/year", []Axis{Child}, []string{"year"}},
+		{"//publication", []Axis{Descendant}, []string{"publication"}},
+		{"/pubData/*/year", []Axis{Child, Child, Child}, []string{"pubData", "*", "year"}},
+		{"//a//b", []Axis{Descendant, Descendant}, []string{"a", "b"}},
+		{"/@id", []Axis{Child}, []string{"@id"}},
+		{"/tag-with.dots_2", []Axis{Child}, []string{"tag-with.dots_2"}},
+		{"//publication[author]/year", []Axis{Descendant, Child}, []string{"publication", "year"}},
+	}
+	for _, c := range cases {
+		got, err := ParsePath(c.in)
+		if err != nil {
+			t.Errorf("ParsePath(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.wantTags) {
+			t.Errorf("ParsePath(%q) = %v, want %d steps", c.in, got, len(c.wantTags))
+			continue
+		}
+		for i := range got {
+			if got[i].Axis != c.wantAxes[i] || got[i].Tag != c.wantTags[i] {
+				t.Errorf("ParsePath(%q)[%d] = %v, want %v%s", c.in, i, got[i], c.wantAxes[i], c.wantTags[i])
+			}
+		}
+		if got.String() != c.in {
+			t.Errorf("round trip %q -> %q", c.in, got.String())
+		}
+	}
+}
+
+func TestParsePathPredicates(t *testing.T) {
+	p, err := ParsePath("//publication[author][//publisher]/year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || len(p[0].Preds) != 2 || len(p[1].Preds) != 0 {
+		t.Fatalf("structure = %v", p)
+	}
+	if got := p[0].Preds[0].String(); got != "/author" {
+		t.Errorf("pred 0 = %q", got)
+	}
+	if got := p[0].Preds[1].String(); got != "//publisher" {
+		t.Errorf("pred 1 = %q", got)
+	}
+	if got := p.String(); got != "//publication[author][//publisher]/year" {
+		t.Errorf("round trip = %q", got)
+	}
+	// Nested predicates.
+	p, err = ParsePath("/a[b[c]]/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p[0].Preds[0][0].Preds[0].String(); got != "/c" {
+		t.Errorf("nested pred = %q", got)
+	}
+	if !p.HasPreds() {
+		t.Error("HasPreds = false")
+	}
+	if MustParsePath("/a/b").HasPreds() {
+		t.Error("predicate-free path claims HasPreds")
+	}
+}
+
+func TestParsePathPredicateErrors(t *testing.T) {
+	for _, bad := range []string{
+		"/a[]",     // empty predicate
+		"/a[b",     // unbalanced
+		"/a[b]]",   // stray close
+		"/@id[a]",  // predicate on attribute
+		"/a[@x/y]", // attribute not last inside predicate
+		"/a[b][",   // dangling open
+	} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q): want error", bad)
+		}
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"author",    // no leading slash
+		"/",         // missing name
+		"//",        // missing name
+		"/@id/name", // attribute not last
+		"/a/@id/b",  // attribute not last
+		"/a/",       // trailing slash
+		"/a b",      // trailing junk
+		"/a/1name",  // bad first rune
+		"$b/author", // variables belong to xq, not paths
+	} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q): want error", bad)
+		}
+	}
+}
+
+func TestStepPredicates(t *testing.T) {
+	if !(Step{Axis: Child, Tag: "@id"}).IsAttr() {
+		t.Error("@id not recognized as attr")
+	}
+	if (Step{Axis: Child, Tag: "id"}).IsAttr() {
+		t.Error("id recognized as attr")
+	}
+	if !(Step{Axis: Child, Tag: "*"}).IsWildcard() {
+		t.Error("* not recognized as wildcard")
+	}
+}
+
+func TestRelaxSet(t *testing.T) {
+	var s RelaxSet
+	s = s.With(LND).With(PCAD)
+	if !s.Has(LND) || !s.Has(PCAD) || s.Has(SP) {
+		t.Fatalf("set ops broken: %v", s)
+	}
+	str := s.String()
+	if !strings.Contains(str, "LND") || !strings.Contains(str, "PC-AD") || strings.Contains(str, "SP") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestParseAggFunc(t *testing.T) {
+	for in, want := range map[string]AggFunc{
+		"count": Count, "COUNT": Count, "Sum": Sum, "MIN": Min, "max": Max, "avg": Avg,
+	} {
+		got, err := ParseAggFunc(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAggFunc(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAggFunc("median"); err == nil {
+		t.Error("ParseAggFunc(median): want error")
+	}
+}
+
+// query1 is the paper's Query 1.
+func query1() *CubeQuery {
+	return &CubeQuery{
+		Doc:        "book.xml",
+		FactVar:    "$b",
+		FactPath:   MustParsePath("//publication"),
+		FactIDPath: MustParsePath("/@id"),
+		Axes: []AxisSpec{
+			{Var: "$n", Path: MustParsePath("/author/name"), Relax: RelaxSet(0).With(LND).With(SP).With(PCAD)},
+			{Var: "$p", Path: MustParsePath("//publisher/@id"), Relax: RelaxSet(0).With(LND).With(PCAD)},
+			{Var: "$y", Path: MustParsePath("/year"), Relax: RelaxSet(0).With(LND)},
+		},
+		Agg: Count,
+	}
+}
+
+func TestCubeQueryValidate(t *testing.T) {
+	q := query1()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Query 1 invalid: %v", err)
+	}
+	if a := q.Axis("$p"); a == nil || a.Path.Leaf() != "@id" {
+		t.Errorf("Axis($p) = %v", a)
+	}
+	if q.Axis("$zzz") != nil {
+		t.Error("Axis($zzz) found")
+	}
+}
+
+func TestCubeQueryValidateErrors(t *testing.T) {
+	mod := func(f func(*CubeQuery)) *CubeQuery { q := query1(); f(q); return q }
+	cases := map[string]*CubeQuery{
+		"no fact path": mod(func(q *CubeQuery) { q.FactPath = nil }),
+		"no axes":      mod(func(q *CubeQuery) { q.Axes = nil }),
+		"empty axis path": mod(func(q *CubeQuery) {
+			q.Axes[0].Path = nil
+		}),
+		"wildcard leaf": mod(func(q *CubeQuery) {
+			q.Axes[0].Path = MustParsePath("/author/*")
+		}),
+		"dup var":             mod(func(q *CubeQuery) { q.Axes[1].Var = "$n" }),
+		"sum without measure": mod(func(q *CubeQuery) { q.Agg = Sum }),
+	}
+	for name, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestCubeQueryString(t *testing.T) {
+	s := query1().String()
+	for _, want := range []string{"//publication", "/author/name", "COUNT", "LND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package relax_test
+
+// External test package: verifying the semantic guarantee behind the
+// ladders — each relaxation enlarges the match set — needs the match
+// evaluator, which depends on relax through lattice.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"x3/internal/match"
+	"x3/internal/pattern"
+	"x3/internal/relax"
+	"x3/internal/xmltree"
+)
+
+// randomDoc builds a random tree over a small tag alphabet.
+func randomDoc(rng *rand.Rand, n int) *xmltree.Document {
+	var b xmltree.Builder
+	tags := []string{"a", "b", "c", "d"}
+	b.Open("r")
+	open := 1
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 && open > 1 {
+			b.Close()
+			open--
+			continue
+		}
+		b.Open(tags[rng.Intn(len(tags))])
+		b.Text("x")
+		open++
+	}
+	for open > 0 {
+		b.Close()
+		open--
+	}
+	return b.MustDone()
+}
+
+// randomPath builds a random 1-3 step element path.
+func randomPath(rng *rand.Rand) pattern.Path {
+	tags := []string{"a", "b", "c", "d"}
+	n := 1 + rng.Intn(3)
+	p := make(pattern.Path, n)
+	for i := range p {
+		axis := pattern.Child
+		if rng.Intn(3) == 0 {
+			axis = pattern.Descendant
+		}
+		p[i] = pattern.Step{Axis: axis, Tag: tags[rng.Intn(len(tags))]}
+	}
+	return p
+}
+
+func nodeSet(doc *xmltree.Document, from xmltree.NodeID, p pattern.Path) map[xmltree.NodeID]bool {
+	out := map[xmltree.NodeID]bool{}
+	for _, id := range match.EvalPath(doc, from, p) {
+		out[id] = true
+	}
+	return out
+}
+
+func superset(a, b map[xmltree.NodeID]bool) bool {
+	for id := range b {
+		if !a[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRelaxationsEnlargeMatches is the semantic form of the ladder
+// monotonicity claim (§3.4): for any document and context, PC-AD matches a
+// superset of the rigid pattern and SP a superset of PC-AD.
+func TestRelaxationsEnlargeMatches(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 1543))
+		doc := randomDoc(rng, 20+rng.Intn(200))
+		p := randomPath(rng)
+		pcad := relax.PCAD(p)
+		sp := relax.SP(p)
+		spcad := relax.PCAD(sp)
+		for ctx := 0; ctx < doc.Len(); ctx += 1 + rng.Intn(5) {
+			id := xmltree.NodeID(ctx)
+			rigidM := nodeSet(doc, id, p)
+			pcadM := nodeSet(doc, id, pcad)
+			spM := nodeSet(doc, id, spcad)
+			if !superset(pcadM, rigidM) {
+				t.Fatalf("trial %d ctx %d: PCAD(%s)=%s lost matches of %s",
+					trial, ctx, p, pcad, p)
+			}
+			if !superset(spM, pcadM) {
+				t.Fatalf("trial %d ctx %d: SP+PCAD(%s)=%s lost matches of %s",
+					trial, ctx, p, spcad, pcad)
+			}
+		}
+	}
+}
+
+// TestLadderStatesEnlargeOnRealWorkload runs every generated ladder over a
+// random document and checks state-by-state containment directly.
+func TestLadderStatesEnlargeOnRealWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	doc := randomDoc(rng, 400)
+	for trial := 0; trial < 20; trial++ {
+		p := randomPath(rng)
+		spec := pattern.AxisSpec{
+			Var: "$x", Path: p,
+			Relax: pattern.RelaxSet(0).With(pattern.LND).With(pattern.SP).With(pattern.PCAD),
+		}
+		lad := relax.BuildLadder(spec)
+		for ctx := 0; ctx < doc.Len(); ctx += 7 {
+			id := xmltree.NodeID(ctx)
+			var prev map[xmltree.NodeID]bool
+			for s := 0; s < lad.Len(); s++ {
+				if lad.States[s].Deleted() {
+					continue
+				}
+				cur := nodeSet(doc, id, lad.States[s].Path)
+				if prev != nil && !superset(cur, prev) {
+					t.Fatalf("ladder %s: state %d (%s) not superset of previous",
+						lad, s, lad.States[s])
+				}
+				prev = cur
+			}
+		}
+	}
+	_ = fmt.Sprint
+}

@@ -1,0 +1,166 @@
+// Package relax implements the paper's tree pattern relaxations (§2.2) and
+// organizes them into per-axis relaxation ladders.
+//
+// For a grouping axis with path P and permitted relaxations R, the ladder
+// is the ordered sequence of pattern states
+//
+//	rigid  →  PC-AD(P)  →  SP(P)  →  deleted (LND)
+//
+// restricted to the relaxations in R and with no-op states removed. Each
+// state matches a superset of the matches of the previous state (the
+// monotonicity the bottom-up algorithm relies on, §3.4): replacing / with
+// // only adds matches, promoting the leaf to a direct descendant of the
+// fact only adds matches, and deleting the leaf matches everything.
+//
+// A cuboid of the X³ lattice is a choice of one ladder state per axis; the
+// lattice itself lives in package lattice.
+package relax
+
+import (
+	"fmt"
+	"strings"
+
+	"x3/internal/pattern"
+)
+
+// State is one rung of a relaxation ladder.
+type State struct {
+	// Path is the axis path in this state, relative to the fact node.
+	// A nil Path means the leaf has been deleted (LND): the axis does not
+	// constrain or group.
+	Path pattern.Path
+	// Applied is the set of relaxations applied to reach this state.
+	Applied pattern.RelaxSet
+	// Label is a short human-readable name: "rigid", "PC-AD", "SP", "LND".
+	Label string
+}
+
+// Deleted reports whether this state removes the axis entirely.
+func (s State) Deleted() bool { return s.Path == nil }
+
+func (s State) String() string {
+	if s.Deleted() {
+		return "LND(deleted)"
+	}
+	return fmt.Sprintf("%s %s", s.Label, s.Path)
+}
+
+// Ladder is the relaxation ladder of one grouping axis. States[0] is the
+// rigid pattern; states grow strictly more relaxed.
+type Ladder struct {
+	Spec   pattern.AxisSpec
+	States []State
+}
+
+// Len returns the number of states.
+func (l Ladder) Len() int { return len(l.States) }
+
+// HasDeleted reports whether the last state deletes the axis (LND allowed).
+func (l Ladder) HasDeleted() bool {
+	return len(l.States) > 0 && l.States[len(l.States)-1].Deleted()
+}
+
+// MostRelaxedLive returns the index of the most relaxed non-deleted state.
+func (l Ladder) MostRelaxedLive() int {
+	if l.HasDeleted() {
+		return len(l.States) - 2
+	}
+	return len(l.States) - 1
+}
+
+func (l Ladder) String() string {
+	parts := make([]string, len(l.States))
+	for i, s := range l.States {
+		parts[i] = s.String()
+	}
+	return l.Spec.Var + ": " + strings.Join(parts, " -> ")
+}
+
+// PCAD applies parent-child to ancestor-descendant generalization: every
+// child-axis element step becomes a descendant step. Attribute steps keep
+// the child axis (attributes hang directly off their element in the data
+// model, so there is nothing to generalize).
+func PCAD(p pattern.Path) pattern.Path {
+	out := p.Clone()
+	for i := range out {
+		if !out[i].IsAttr() {
+			out[i].Axis = pattern.Descendant
+		}
+	}
+	return out
+}
+
+// SP applies sub-tree promotion: the leaf node is promoted to be a direct
+// descendant of the fact node, discarding the intermediate steps — e.g.
+// $b/author/name relaxes to $b//name (paper §2.2: publication[./author/name]
+// to publication[./author][.//name]; for a grouping axis only the promoted
+// leaf carries the grouping value, so the residual [./author] branch does
+// not constrain the axis value set and the axis path reduces to //name).
+// SP on a single-step path is a no-op.
+func SP(p pattern.Path) pattern.Path {
+	if len(p) <= 1 {
+		return p.Clone()
+	}
+	leaf := p[len(p)-1]
+	if leaf.IsAttr() {
+		// Promoting an attribute keeps its element-attachment semantics:
+		// the attribute may sit on any descendant of the fact.
+		return pattern.Path{{Axis: pattern.Descendant, Tag: "*"}, {Axis: pattern.Child, Tag: leaf.Tag}}
+	}
+	// The promoted leaf keeps its own predicates (they constrain the leaf,
+	// not the discarded interior steps).
+	return pattern.Path{{Axis: pattern.Descendant, Tag: leaf.Tag, Preds: leaf.Preds}}
+}
+
+// pathsEqual reports whether two paths are step-wise identical (including
+// predicates, compared structurally via their canonical rendering).
+func pathsEqual(a, b pattern.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return a.String() == b.String()
+}
+
+// BuildLadder constructs the relaxation ladder for one axis spec. No-op
+// relaxations (PC-AD on an all-// path, SP on a single step) are dropped,
+// so consecutive states always differ.
+func BuildLadder(a pattern.AxisSpec) Ladder {
+	l := Ladder{Spec: a}
+	cur := a.Path.Clone()
+	l.States = append(l.States, State{Path: cur, Label: "rigid"})
+	applied := pattern.RelaxSet(0)
+	if a.Relax.Has(pattern.PCAD) {
+		applied = applied.With(pattern.PCAD)
+		next := PCAD(cur)
+		if !pathsEqual(next, cur) {
+			l.States = append(l.States, State{Path: next, Applied: applied, Label: "PC-AD"})
+			cur = next
+		}
+	}
+	if a.Relax.Has(pattern.SP) {
+		applied = applied.With(pattern.SP)
+		next := SP(a.Path)
+		if a.Relax.Has(pattern.PCAD) {
+			next = PCAD(next)
+		}
+		if !pathsEqual(next, cur) {
+			l.States = append(l.States, State{Path: next, Applied: applied, Label: "SP"})
+			cur = next
+		}
+	}
+	if a.Relax.Has(pattern.LND) {
+		applied = applied.With(pattern.LND)
+		l.States = append(l.States, State{Path: nil, Applied: applied, Label: "LND"})
+	}
+	return l
+}
+
+// BuildLadders constructs ladders for every axis of the query, in axis
+// order.
+func BuildLadders(q *pattern.CubeQuery) []Ladder {
+	out := make([]Ladder, len(q.Axes))
+	for i, a := range q.Axes {
+		out[i] = BuildLadder(a)
+	}
+	return out
+}

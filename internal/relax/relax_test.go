@@ -1,0 +1,181 @@
+package relax
+
+import (
+	"strings"
+	"testing"
+
+	"x3/internal/pattern"
+)
+
+func rs(rels ...pattern.Relaxation) pattern.RelaxSet {
+	var s pattern.RelaxSet
+	for _, r := range rels {
+		s = s.With(r)
+	}
+	return s
+}
+
+// query1 is the paper's Query 1.
+func query1() *pattern.CubeQuery {
+	return &pattern.CubeQuery{
+		FactVar:    "$b",
+		FactPath:   pattern.MustParsePath("//publication"),
+		FactIDPath: pattern.MustParsePath("/@id"),
+		Axes: []pattern.AxisSpec{
+			{Var: "$n", Path: pattern.MustParsePath("/author/name"), Relax: rs(pattern.LND, pattern.SP, pattern.PCAD)},
+			{Var: "$p", Path: pattern.MustParsePath("//publisher/@id"), Relax: rs(pattern.LND, pattern.PCAD)},
+			{Var: "$y", Path: pattern.MustParsePath("/year"), Relax: rs(pattern.LND)},
+		},
+		Agg: pattern.Count,
+	}
+}
+
+func TestPCAD(t *testing.T) {
+	got := PCAD(pattern.MustParsePath("/author/name"))
+	if got.String() != "//author//name" {
+		t.Errorf("PCAD(/author/name) = %s", got)
+	}
+	// Attribute steps keep the child axis.
+	got = PCAD(pattern.MustParsePath("/publisher/@id"))
+	if got.String() != "//publisher/@id" {
+		t.Errorf("PCAD(/publisher/@id) = %s", got)
+	}
+	// Idempotent on already-descendant paths.
+	got = PCAD(pattern.MustParsePath("//a//b"))
+	if got.String() != "//a//b" {
+		t.Errorf("PCAD(//a//b) = %s", got)
+	}
+}
+
+func TestSP(t *testing.T) {
+	got := SP(pattern.MustParsePath("/author/name"))
+	if got.String() != "//name" {
+		t.Errorf("SP(/author/name) = %s", got)
+	}
+	// Single-step paths are unchanged.
+	got = SP(pattern.MustParsePath("/year"))
+	if got.String() != "/year" {
+		t.Errorf("SP(/year) = %s", got)
+	}
+	// Attribute leaves promote to any element's attribute.
+	got = SP(pattern.MustParsePath("/publisher/@id"))
+	if got.String() != "//*/@id" {
+		t.Errorf("SP(/publisher/@id) = %s", got)
+	}
+}
+
+func TestBuildLadderQuery1(t *testing.T) {
+	ladders := BuildLadders(query1())
+	// $n: rigid, PC-AD, SP, LND -> 4 states.
+	if got := ladders[0].Len(); got != 4 {
+		t.Fatalf("$n ladder len = %d, want 4:\n%s", got, ladders[0])
+	}
+	wantPaths := []string{"/author/name", "//author//name", "//name", ""}
+	for i, w := range wantPaths {
+		if got := ladders[0].States[i].Path.String(); got != w {
+			t.Errorf("$n state %d = %q, want %q", i, got, w)
+		}
+	}
+	// $p: //publisher/@id with PC-AD is a no-op -> rigid, LND.
+	if got := ladders[1].Len(); got != 2 {
+		t.Fatalf("$p ladder len = %d, want 2:\n%s", got, ladders[1])
+	}
+	// $y: rigid, LND.
+	if got := ladders[2].Len(); got != 2 {
+		t.Fatalf("$y ladder len = %d, want 2:\n%s", got, ladders[2])
+	}
+	for _, l := range ladders {
+		if !l.HasDeleted() {
+			t.Errorf("%s: LND allowed but no deleted state", l.Spec.Var)
+		}
+		if l.MostRelaxedLive() != l.Len()-2 {
+			t.Errorf("%s: MostRelaxedLive = %d", l.Spec.Var, l.MostRelaxedLive())
+		}
+	}
+}
+
+func TestBuildLadderNoLND(t *testing.T) {
+	l := BuildLadder(pattern.AxisSpec{
+		Var: "$x", Path: pattern.MustParsePath("/a/b"), Relax: rs(pattern.PCAD),
+	})
+	if l.Len() != 2 || l.HasDeleted() {
+		t.Fatalf("ladder = %s", l)
+	}
+	if l.MostRelaxedLive() != 1 {
+		t.Errorf("MostRelaxedLive = %d, want 1", l.MostRelaxedLive())
+	}
+}
+
+func TestBuildLadderNoRelax(t *testing.T) {
+	l := BuildLadder(pattern.AxisSpec{Var: "$x", Path: pattern.MustParsePath("/a")})
+	if l.Len() != 1 || l.HasDeleted() || l.States[0].Label != "rigid" {
+		t.Fatalf("ladder = %s", l)
+	}
+}
+
+func TestLadderStatesStrictlyDiffer(t *testing.T) {
+	// PC-AD on a path already using // must not create a duplicate state.
+	l := BuildLadder(pattern.AxisSpec{
+		Var: "$x", Path: pattern.MustParsePath("//a"), Relax: rs(pattern.LND, pattern.SP, pattern.PCAD),
+	})
+	// //a: PC-AD no-op, SP no-op (single step) -> rigid, LND.
+	if l.Len() != 2 {
+		t.Fatalf("ladder = %s", l)
+	}
+}
+
+func TestRigidTree(t *testing.T) {
+	q := query1()
+	tr := RigidTree(q)
+	s := tr.String()
+	if !strings.Contains(s, "publication ($b)") {
+		t.Errorf("rigid tree missing fact node:\n%s", s)
+	}
+	for _, want := range []string{"/author", "/name ($n)", "//publisher", "/@id", "/year ($y)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rigid tree missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "*") {
+		t.Errorf("rigid tree has optional edges:\n%s", s)
+	}
+}
+
+func TestMostRelaxedTree(t *testing.T) {
+	q := query1()
+	tr := MostRelaxedTree(q, BuildLadders(q))
+	s := tr.String()
+	// $n at SP state: //name, optional.
+	if !strings.Contains(s, "//name* ($n)") {
+		t.Errorf("most relaxed tree missing optional //name:\n%s", s)
+	}
+	// $y optional.
+	if !strings.Contains(s, "/year* ($y)") {
+		t.Errorf("most relaxed tree missing optional year:\n%s", s)
+	}
+	// No rigid author chain under $n anymore.
+	if strings.Contains(s, "/author\n") && strings.Contains(s, "/name ($n)") {
+		t.Errorf("most relaxed tree kept rigid $n chain:\n%s", s)
+	}
+}
+
+func TestPointTree(t *testing.T) {
+	q := query1()
+	ladders := BuildLadders(q)
+	// $n deleted, $p rigid, $y rigid -> Fig 3(g)-like shape.
+	tr := PointTree(q, ladders, []uint8{3, 0, 0})
+	s := tr.String()
+	if strings.Contains(s, "$n") {
+		t.Errorf("deleted axis still present:\n%s", s)
+	}
+	for _, want := range []string{"//publisher", "/year"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("point tree missing %q:\n%s", want, s)
+		}
+	}
+	// All axes deleted -> just the fact (and its id branch).
+	tr = PointTree(q, ladders, []uint8{3, 1, 1})
+	if got := tr.String(); strings.Contains(got, "$n") || strings.Contains(got, "year") {
+		t.Errorf("fully relaxed point tree:\n%s", got)
+	}
+}

@@ -1,0 +1,119 @@
+package relax
+
+import (
+	"strings"
+
+	"x3/internal/pattern"
+)
+
+// TreeNode is a node of a branched query tree pattern (the shapes drawn in
+// the paper's Fig. 2 and Fig. 3): a fact node with one branch per live
+// grouping axis.
+type TreeNode struct {
+	Tag string
+	// Axis is the edge type connecting this node to its parent
+	// (meaningless on the root).
+	Axis pattern.Axis
+	// Optional marks a left-outer edge — the asterisk of Fig. 2: the
+	// pattern matches even if this node is absent.
+	Optional bool
+	// Var is the query variable bound at this node, if any.
+	Var      string
+	Children []*TreeNode
+}
+
+// Tree is a branched query tree pattern rooted at the fact node.
+type Tree struct {
+	// FactPath locates the root of the tree from the document root.
+	FactPath pattern.Path
+	Root     *TreeNode
+}
+
+// buildBranch converts a linear axis path into a chain of TreeNodes and
+// attaches it under root.
+func buildBranch(root *TreeNode, p pattern.Path, variable string, optional bool) {
+	cur := root
+	for i, s := range p {
+		n := &TreeNode{Tag: s.Tag, Axis: s.Axis}
+		if i == len(p)-1 {
+			n.Var = variable
+			n.Optional = optional
+		}
+		cur.Children = append(cur.Children, n)
+		cur = n
+	}
+}
+
+// RigidTree returns the query's rigid tree pattern (Fig. 3(a)): every axis
+// at ladder state 0, every edge mandatory.
+func RigidTree(q *pattern.CubeQuery) *Tree {
+	t := &Tree{FactPath: q.FactPath, Root: &TreeNode{Tag: q.FactPath.Leaf(), Var: q.FactVar}}
+	if len(q.FactIDPath) > 0 {
+		buildBranch(t.Root, q.FactIDPath, "", false)
+	}
+	for _, a := range q.Axes {
+		buildBranch(t.Root, a.Path, a.Var, false)
+	}
+	return t
+}
+
+// MostRelaxedTree returns the most relaxed fully instantiated tree pattern
+// (Fig. 2): every axis at its most relaxed non-deleted state, with a
+// left-outer (optional) edge whenever LND is permitted. Matching this one
+// pattern yields a superset of the matches of every lattice point, which
+// is what lets bottom-up computation proceed by pure refinement (§3.4).
+func MostRelaxedTree(q *pattern.CubeQuery, ladders []Ladder) *Tree {
+	t := &Tree{FactPath: q.FactPath, Root: &TreeNode{Tag: q.FactPath.Leaf(), Var: q.FactVar}}
+	if len(q.FactIDPath) > 0 {
+		buildBranch(t.Root, q.FactIDPath, "", true)
+	}
+	for _, l := range ladders {
+		st := l.States[l.MostRelaxedLive()]
+		buildBranch(t.Root, st.Path, l.Spec.Var, l.HasDeleted())
+	}
+	return t
+}
+
+// PointTree returns the tree pattern of one lattice point: axis i at ladder
+// state states[i]; deleted axes are omitted. This is what each sub-lattice
+// box of Fig. 3 depicts.
+func PointTree(q *pattern.CubeQuery, ladders []Ladder, states []uint8) *Tree {
+	t := &Tree{FactPath: q.FactPath, Root: &TreeNode{Tag: q.FactPath.Leaf(), Var: q.FactVar}}
+	if len(q.FactIDPath) > 0 {
+		buildBranch(t.Root, q.FactIDPath, "", false)
+	}
+	for i, l := range ladders {
+		st := l.States[states[i]]
+		if st.Deleted() {
+			continue
+		}
+		buildBranch(t.Root, st.Path, l.Spec.Var, false)
+	}
+	return t
+}
+
+// String renders the tree as an indented sketch; optional edges are marked
+// with "*" as in Fig. 2.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(n *TreeNode, depth int)
+	rec = func(n *TreeNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			b.WriteString(n.Axis.String())
+		}
+		b.WriteString(n.Tag)
+		if n.Optional {
+			b.WriteString("*")
+		}
+		if n.Var != "" {
+			b.WriteString(" (" + n.Var + ")")
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,149 @@
+// Package schema parses a practical subset of XML DTDs and infers the
+// summarizability properties of §3.7 from them: whether a grouping axis is
+// guaranteed to be covered (the element cannot be missing) and disjoint
+// (it cannot repeat) at each rung of its relaxation ladder. The customized
+// algorithms (BUCCUST, TDCUST) consume the result as cube.Props.
+//
+// Supported declarations:
+//
+//	<!ELEMENT name (content-model)>   with sequences, choices, ?, *, +
+//	<!ELEMENT name EMPTY|ANY|(#PCDATA)>
+//	<!ATTLIST name attr CDATA|ID|... #REQUIRED|#IMPLIED|"default">
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interval is an occurrence count range; Max < 0 means unbounded.
+type Interval struct {
+	Min int
+	Max int // -1 = unbounded
+}
+
+// Unbounded is the -1 sentinel for Interval.Max.
+const Unbounded = -1
+
+// zero is the absent-element interval.
+var zero = Interval{0, 0}
+
+func (iv Interval) String() string {
+	if iv.Max == Unbounded {
+		return fmt.Sprintf("[%d,*]", iv.Min)
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Min, iv.Max)
+}
+
+// add combines counts of independent occurrences (sequence).
+func (a Interval) add(b Interval) Interval {
+	out := Interval{Min: a.Min + b.Min}
+	if a.Max == Unbounded || b.Max == Unbounded {
+		out.Max = Unbounded
+	} else {
+		out.Max = a.Max + b.Max
+	}
+	return out
+}
+
+// alt combines counts of alternative occurrences (choice).
+func (a Interval) alt(b Interval) Interval {
+	out := Interval{Min: minInt(a.Min, b.Min)}
+	if a.Max == Unbounded || b.Max == Unbounded {
+		out.Max = Unbounded
+	} else {
+		out.Max = maxInt(a.Max, b.Max)
+	}
+	return out
+}
+
+// mul scales counts by a repetition factor.
+func (a Interval) mul(b Interval) Interval {
+	out := Interval{Min: a.Min * b.Min}
+	switch {
+	case a.Max == 0 || b.Max == 0:
+		out.Max = 0
+	case a.Max == Unbounded || b.Max == Unbounded:
+		out.Max = Unbounded
+	default:
+		out.Max = a.Max * b.Max
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Element is one declared element type.
+type Element struct {
+	Name string
+	// Children maps each possible child element tag to its occurrence
+	// interval per instance of this element.
+	Children map[string]Interval
+	// Attrs maps attribute names (with a leading "@") to occurrence
+	// intervals (REQUIRED: [1,1]; IMPLIED or defaulted: [0,1]).
+	Attrs map[string]Interval
+	// Any marks declared content ANY: every element may occur unboundedly.
+	Any bool
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	Elements map[string]*Element
+}
+
+// Element returns the declaration for tag, or nil.
+func (d *DTD) Element(tag string) *Element { return d.Elements[tag] }
+
+// ChildInterval returns how many t-children one instance of parent may
+// have, with "@attr" naming attributes. Undeclared parents are treated as
+// ANY (nothing can be guaranteed about them).
+func (d *DTD) ChildInterval(parent, t string) Interval {
+	el := d.Elements[parent]
+	if el == nil {
+		return Interval{0, Unbounded}
+	}
+	if strings.HasPrefix(t, "@") {
+		if iv, ok := el.Attrs[t]; ok {
+			return iv
+		}
+		return zero
+	}
+	if el.Any {
+		return Interval{0, Unbounded}
+	}
+	if iv, ok := el.Children[t]; ok {
+		return iv
+	}
+	return zero
+}
+
+// Tags returns all declared element names, in declaration-independent
+// sorted order.
+func (d *DTD) Tags() []string {
+	out := make([]string, 0, len(d.Elements))
+	for t := range d.Elements {
+		out = append(out, t)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package schema
+
+import "testing"
+
+// FuzzParse ensures arbitrary DTD text never panics the parser and that
+// accepted DTDs yield self-consistent occurrence intervals.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		pubDTD,
+		dblpDTD,
+		`<!ELEMENT r ((a | b), (c, d)?, e+)><!ELEMENT a EMPTY>`,
+		`<!ELEMENT r ANY><!ATTLIST r x CDATA #IMPLIED>`,
+		`<!-- comment --><!ELEMENT r (#PCDATA)>`,
+		`<!ELEMENT r (a`,
+		`<!ATTLIST`,
+		`<!ELEMENT r (a,|b)>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, tag := range d.Tags() {
+			el := d.Element(tag)
+			if el == nil {
+				t.Fatalf("Tags lists %q but Element returns nil", tag)
+			}
+			for child, iv := range el.Children {
+				if iv.Min < 0 || (iv.Max != Unbounded && iv.Max < iv.Min) {
+					t.Fatalf("%s/%s has inconsistent interval %v", tag, child, iv)
+				}
+			}
+		}
+	})
+}

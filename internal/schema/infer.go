@@ -1,0 +1,202 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"x3/internal/cube"
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+)
+
+// PathInterval computes how many nodes the path may match from one
+// instance of contextTag, according to the DTD: [1,1] means exactly one
+// (covered and disjoint), [0,n] means possibly missing, [m,∞] means
+// possibly repeated. Unknowable situations (undeclared elements, ANY
+// content, recursion) widen conservatively toward [0,∞].
+func (d *DTD) PathInterval(contextTag string, p pattern.Path) Interval {
+	ctx := map[string]Interval{contextTag: {1, 1}}
+	for i, st := range p {
+		last := i == len(p)-1
+		next := map[string]Interval{}
+		add := func(tag string, iv Interval) {
+			cur, ok := next[tag]
+			if !ok {
+				cur = zero
+			}
+			next[tag] = cur.add(iv)
+		}
+		for c, cnt := range ctx {
+			switch {
+			case st.IsAttr():
+				if !last {
+					// Validated queries never have interior attribute
+					// steps; be conservative if one appears.
+					return Interval{0, Unbounded}
+				}
+				if st.Axis == pattern.Child {
+					add(st.Tag, cnt.mul(d.ChildInterval(c, st.Tag)))
+				} else {
+					add(st.Tag, cnt.mul(d.descAttrInterval(c, st.Tag)))
+				}
+			case st.Axis == pattern.Child:
+				if st.IsWildcard() {
+					el := d.Elements[c]
+					if el == nil || el.Any {
+						return Interval{0, Unbounded}
+					}
+					for tag, iv := range el.Children {
+						add(tag, cnt.mul(iv))
+					}
+				} else {
+					iv := cnt.mul(d.ChildInterval(c, st.Tag))
+					if iv.Max != 0 {
+						add(st.Tag, iv)
+					}
+				}
+			default: // descendant element step
+				if st.IsWildcard() {
+					for _, tag := range d.Tags() {
+						iv := cnt.mul(d.descInterval(c, tag))
+						if iv.Max != 0 {
+							add(tag, iv)
+						}
+					}
+					if el := d.Elements[c]; el == nil || el.Any {
+						return Interval{0, Unbounded}
+					}
+				} else {
+					iv := cnt.mul(d.descInterval(c, st.Tag))
+					if iv.Max != 0 {
+						add(st.Tag, iv)
+					}
+				}
+			}
+		}
+		ctx = next
+	}
+	total := zero
+	for _, iv := range ctx {
+		total = total.add(iv)
+	}
+	if p.HasPreds() {
+		// Existence predicates only filter: the maximum stands, but
+		// presence can no longer be guaranteed.
+		total.Min = 0
+	}
+	return total
+}
+
+// descInterval returns the interval of t-tagged proper descendants under
+// one instance of c. Recursion through a cycle widens to [0,∞].
+func (d *DTD) descInterval(c, t string) Interval {
+	return d.descWalk(c, t, map[string]bool{})
+}
+
+func (d *DTD) descWalk(c, t string, onStack map[string]bool) Interval {
+	el := d.Elements[c]
+	if el == nil || el.Any {
+		return Interval{0, Unbounded}
+	}
+	if onStack[c] {
+		return Interval{0, Unbounded}
+	}
+	onStack[c] = true
+	defer delete(onStack, c)
+	total := zero
+	for tag, edge := range el.Children {
+		per := zero
+		if tag == t {
+			per = Interval{1, 1}
+		}
+		per = per.add(d.descWalk(tag, t, onStack))
+		total = total.add(edge.mul(per))
+	}
+	return total
+}
+
+// descAttrInterval returns the interval of attr ("@x") occurrences among
+// the proper descendants of one c instance.
+func (d *DTD) descAttrInterval(c, attr string) Interval {
+	total := zero
+	for _, tag := range d.Tags() {
+		cnt := d.descInterval(c, tag)
+		if cnt.Max == 0 {
+			continue
+		}
+		total = total.add(cnt.mul(d.ChildInterval(tag, attr)))
+	}
+	if el := d.Elements[c]; el == nil || el.Any {
+		return Interval{0, Unbounded}
+	}
+	return total
+}
+
+// InferredProps is the cube.Props implementation derived from a DTD: the
+// §3.7 inference of which lattice points enjoy which summarizability
+// properties.
+type InferredProps struct {
+	axisVars  []string
+	stateIvs  [][]Interval
+	stateLbls [][]string
+}
+
+// Disjoint implements cube.Props.
+func (p *InferredProps) Disjoint(a, s int) bool {
+	iv := p.stateIvs[a][s]
+	return iv.Max != Unbounded && iv.Max <= 1
+}
+
+// Covered implements cube.Props.
+func (p *InferredProps) Covered(a, s int) bool {
+	return p.stateIvs[a][s].Min >= 1
+}
+
+// Interval returns the inferred occurrence interval of axis a at live
+// state s.
+func (p *InferredProps) Interval(a, s int) Interval { return p.stateIvs[a][s] }
+
+// String renders a per-axis summary table of the inference.
+func (p *InferredProps) String() string {
+	var b strings.Builder
+	for a, v := range p.axisVars {
+		fmt.Fprintf(&b, "%s:", v)
+		for s, iv := range p.stateIvs[a] {
+			fmt.Fprintf(&b, " %s=%s(cov=%t,dis=%t)", p.stateLbls[a][s], iv, p.Covered(a, s), p.Disjoint(a, s))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var _ cube.Props = (*InferredProps)(nil)
+
+// Infer derives the lattice properties for every axis and live ladder
+// state of the query from the DTD (§3.7). The fact path's leaf tag is the
+// context element the axis paths start from.
+func Infer(d *DTD, lat *lattice.Lattice) (*InferredProps, error) {
+	factTag := lat.Query.FactPath.Leaf()
+	if factTag == "" || factTag == "*" {
+		return nil, fmt.Errorf("schema: fact path %s has no usable leaf tag", lat.Query.FactPath)
+	}
+	if d.Elements[factTag] == nil {
+		return nil, fmt.Errorf("schema: fact element %q is not declared", factTag)
+	}
+	out := &InferredProps{}
+	for _, lad := range lat.Ladders {
+		live := lad.Len()
+		if lad.HasDeleted() {
+			live--
+		}
+		ivs := make([]Interval, live)
+		lbls := make([]string, live)
+		for s := 0; s < live; s++ {
+			ivs[s] = d.PathInterval(factTag, lad.States[s].Path)
+			lbls[s] = lad.States[s].Label
+		}
+		out.axisVars = append(out.axisVars, lad.Spec.Var)
+		out.stateIvs = append(out.stateIvs, ivs)
+		out.stateLbls = append(out.stateLbls, lbls)
+	}
+	return out, nil
+}

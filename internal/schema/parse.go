@@ -1,0 +1,386 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses DTD text. Comments (<!-- -->), parameter entities and
+// notations are skipped; ELEMENT and ATTLIST declarations are interpreted.
+func Parse(src string) (*DTD, error) {
+	d := &DTD{Elements: map[string]*Element{}}
+	s := src
+	for {
+		i := strings.Index(s, "<!")
+		if i < 0 {
+			break
+		}
+		s = s[i:]
+		switch {
+		case strings.HasPrefix(s, "<!--"):
+			end := strings.Index(s, "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("schema: unterminated comment")
+			}
+			s = s[end+3:]
+		case strings.HasPrefix(s, "<!ELEMENT"):
+			decl, rest, err := takeDecl(s)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.parseElement(decl); err != nil {
+				return nil, err
+			}
+			s = rest
+		case strings.HasPrefix(s, "<!ATTLIST"):
+			decl, rest, err := takeDecl(s)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.parseAttlist(decl); err != nil {
+				return nil, err
+			}
+			s = rest
+		default:
+			// Skip unknown declarations (<!ENTITY, <!NOTATION, <!DOCTYPE...).
+			decl, rest, err := takeDecl(s)
+			if err != nil {
+				return nil, err
+			}
+			_ = decl
+			s = rest
+		}
+	}
+	if len(d.Elements) == 0 {
+		return nil, fmt.Errorf("schema: no ELEMENT declarations found")
+	}
+	return d, nil
+}
+
+// takeDecl returns the text of one <!...> declaration (respecting quoted
+// strings) and the remainder.
+func takeDecl(s string) (string, string, error) {
+	depth := 0
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQuote = c
+		case '<':
+			depth++
+		case '>':
+			depth--
+			if depth == 0 {
+				return s[:i+1], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("schema: unterminated declaration: %.40q", s)
+}
+
+func (d *DTD) element(name string) *Element {
+	el, ok := d.Elements[name]
+	if !ok {
+		el = &Element{Name: name, Children: map[string]Interval{}, Attrs: map[string]Interval{}}
+		d.Elements[name] = el
+	}
+	return el
+}
+
+func (d *DTD) parseElement(decl string) error {
+	body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(decl, "<!ELEMENT"), ">"))
+	name, rest := takeName(body)
+	if name == "" {
+		return fmt.Errorf("schema: ELEMENT without a name: %q", decl)
+	}
+	el := d.element(name)
+	model := strings.TrimSpace(rest)
+	switch {
+	case model == "EMPTY":
+		return nil
+	case model == "ANY":
+		el.Any = true
+		return nil
+	}
+	node, rest2, err := parseContent(model)
+	if err != nil {
+		return fmt.Errorf("schema: element %s: %w", name, err)
+	}
+	if strings.TrimSpace(rest2) != "" {
+		return fmt.Errorf("schema: element %s: trailing %q", name, rest2)
+	}
+	for tag, iv := range node.occurrences() {
+		el.Children[tag] = iv
+	}
+	return nil
+}
+
+func (d *DTD) parseAttlist(decl string) error {
+	body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(decl, "<!ATTLIST"), ">"))
+	elemName, rest := takeName(body)
+	if elemName == "" {
+		return fmt.Errorf("schema: ATTLIST without element name: %q", decl)
+	}
+	el := d.element(elemName)
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return nil
+		}
+		var attr, typ string
+		attr, rest = takeName(rest)
+		if attr == "" {
+			return fmt.Errorf("schema: ATTLIST %s: expected attribute name at %q", elemName, rest)
+		}
+		typ, rest = takeAttType(rest)
+		if typ == "" {
+			return fmt.Errorf("schema: ATTLIST %s %s: missing type", elemName, attr)
+		}
+		rest = strings.TrimSpace(rest)
+		iv := Interval{0, 1}
+		switch {
+		case strings.HasPrefix(rest, "#REQUIRED"):
+			iv = Interval{1, 1}
+			rest = rest[len("#REQUIRED"):]
+		case strings.HasPrefix(rest, "#IMPLIED"):
+			rest = rest[len("#IMPLIED"):]
+		case strings.HasPrefix(rest, "#FIXED"):
+			rest = strings.TrimSpace(rest[len("#FIXED"):])
+			var err error
+			rest, err = skipQuoted(rest)
+			if err != nil {
+				return fmt.Errorf("schema: ATTLIST %s %s: %w", elemName, attr, err)
+			}
+			iv = Interval{1, 1} // fixed default is always present logically
+		case strings.HasPrefix(rest, "\"") || strings.HasPrefix(rest, "'"):
+			var err error
+			rest, err = skipQuoted(rest)
+			if err != nil {
+				return fmt.Errorf("schema: ATTLIST %s %s: %w", elemName, attr, err)
+			}
+		default:
+			return fmt.Errorf("schema: ATTLIST %s %s: bad default at %q", elemName, attr, rest)
+		}
+		el.Attrs["@"+attr] = iv
+	}
+}
+
+// takeAttType consumes an attribute type: a name (CDATA, ID, NMTOKEN...)
+// or an enumeration "(a|b|c)".
+func takeAttType(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") {
+		end := strings.Index(s, ")")
+		if end < 0 {
+			return "", s
+		}
+		return s[:end+1], s[end+1:]
+	}
+	return takeName(s)
+}
+
+func skipQuoted(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("missing quoted default")
+	}
+	q := s[0]
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("missing quote at %q", s)
+	}
+	end := strings.IndexByte(s[1:], q)
+	if end < 0 {
+		return "", fmt.Errorf("unterminated default value")
+	}
+	return s[end+2:], nil
+}
+
+func takeName(s string) (string, string) {
+	s = strings.TrimLeftFunc(s, unicode.IsSpace)
+	i := 0
+	for i < len(s) && isNameRune(rune(s[i]), i == 0) {
+		i++
+	}
+	return s[:i], s[i:]
+}
+
+func isNameRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || r == '-' || r == '.' || r == ':'
+}
+
+// ----- content model -----
+
+type nodeKind uint8
+
+const (
+	nName nodeKind = iota
+	nSeq
+	nChoice
+	nPCData
+)
+
+type contentNode struct {
+	kind     nodeKind
+	name     string
+	children []*contentNode
+	occ      byte // 0, '?', '*', '+'
+}
+
+// parseContent parses a parenthesized content model.
+func parseContent(s string) (*contentNode, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") {
+		return nil, "", fmt.Errorf("content model must start with '(' at %q", s)
+	}
+	node, rest, err := parseGroup(s[1:])
+	if err != nil {
+		return nil, "", err
+	}
+	rest = strings.TrimSpace(rest)
+	if len(rest) > 0 {
+		switch rest[0] {
+		case '?', '*', '+':
+			node = &contentNode{kind: nSeq, children: []*contentNode{node}, occ: rest[0]}
+			rest = rest[1:]
+		}
+	}
+	return node, rest, nil
+}
+
+// parseGroup parses the inside of a group up to its closing ')'.
+func parseGroup(s string) (*contentNode, string, error) {
+	var items []*contentNode
+	sep := byte(0)
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated group")
+		}
+		var item *contentNode
+		switch {
+		case strings.HasPrefix(s, "#PCDATA"):
+			item = &contentNode{kind: nPCData}
+			s = s[len("#PCDATA"):]
+		case s[0] == '(':
+			inner, rest, err := parseGroup(s[1:])
+			if err != nil {
+				return nil, "", err
+			}
+			item = inner
+			s = rest
+		default:
+			name, rest := takeName(s)
+			if name == "" {
+				return nil, "", fmt.Errorf("expected a name at %q", s)
+			}
+			item = &contentNode{kind: nName, name: name}
+			s = rest
+		}
+		s = strings.TrimSpace(s)
+		if len(s) > 0 && (s[0] == '?' || s[0] == '*' || s[0] == '+') {
+			item = &contentNode{kind: nSeq, children: []*contentNode{item}, occ: s[0]}
+			s = s[1:]
+			s = strings.TrimSpace(s)
+		}
+		items = append(items, item)
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated group")
+		}
+		switch s[0] {
+		case ')':
+			kind := nSeq
+			if sep == '|' {
+				kind = nChoice
+			}
+			if len(items) == 1 {
+				return items[0], s[1:], nil
+			}
+			return &contentNode{kind: kind, children: items}, s[1:], nil
+		case ',', '|':
+			if sep != 0 && sep != s[0] {
+				return nil, "", fmt.Errorf("mixed ',' and '|' in one group")
+			}
+			sep = s[0]
+			s = s[1:]
+		default:
+			return nil, "", fmt.Errorf("unexpected %q in content model", s[0])
+		}
+	}
+}
+
+// occurrences folds the content model into per-tag occurrence intervals.
+func (n *contentNode) occurrences() map[string]Interval {
+	var out map[string]Interval
+	switch n.kind {
+	case nPCData:
+		out = map[string]Interval{}
+	case nName:
+		out = map[string]Interval{n.name: {1, 1}}
+	case nSeq:
+		out = map[string]Interval{}
+		for _, c := range n.children {
+			for tag, iv := range c.occurrences() {
+				cur, ok := out[tag]
+				if !ok {
+					cur = zero
+				}
+				out[tag] = cur.add(iv)
+			}
+		}
+	case nChoice:
+		out = map[string]Interval{}
+		// A tag absent from a branch contributes [0,0] there.
+		all := map[string]bool{}
+		branch := make([]map[string]Interval, len(n.children))
+		for i, c := range n.children {
+			branch[i] = c.occurrences()
+			for tag := range branch[i] {
+				all[tag] = true
+			}
+		}
+		for tag := range all {
+			acc, started := zero, false
+			for _, b := range branch {
+				iv, ok := b[tag]
+				if !ok {
+					iv = zero
+				}
+				if !started {
+					acc, started = iv, true
+				} else {
+					acc = acc.alt(iv)
+				}
+			}
+			out[tag] = acc
+		}
+	}
+	switch n.occ {
+	case '?':
+		for tag, iv := range out {
+			out[tag] = iv.mul(Interval{0, 1})
+		}
+	case '*':
+		for tag, iv := range out {
+			out[tag] = iv.mul(Interval{0, Unbounded})
+		}
+	case '+':
+		for tag, iv := range out {
+			out[tag] = iv.mul(Interval{1, Unbounded})
+		}
+	}
+	return out
+}

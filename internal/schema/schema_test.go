@@ -1,0 +1,315 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+	"x3/internal/xq"
+)
+
+// pubDTD is a DTD for the paper's Fig. 1 publication database: author is
+// repeatable, publisher optional, year repeatable (second publication has
+// two), and the alternative authors/pubData shapes are optional wrappers.
+const pubDTD = `
+<!ELEMENT database (publication*)>
+<!ELEMENT publication (author*, authors?, publisher?, year*, pubData?)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT publisher EMPTY>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pubData (publisher, year)>
+<!ATTLIST publication id ID #REQUIRED>
+<!ATTLIST author id ID #REQUIRED>
+<!ATTLIST publisher id ID #REQUIRED>
+`
+
+// dblpDTD matches the §4.5 description: author possibly repeated and
+// missing, year and journal mandatory and unique, month possibly missing.
+const dblpDTD = `
+<!-- fragment of the DBLP DTD used in the paper's experiment -->
+<!ELEMENT dblp (article*)>
+<!ELEMENT article (author*, title, journal, year, month?)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ATTLIST article key CDATA #REQUIRED>
+`
+
+func mustParse(t *testing.T, src string) *DTD {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return d
+}
+
+func TestParsePublicationDTD(t *testing.T) {
+	d := mustParse(t, pubDTD)
+	pub := d.Element("publication")
+	if pub == nil {
+		t.Fatal("publication not declared")
+	}
+	cases := []struct {
+		child string
+		want  Interval
+	}{
+		{"author", Interval{0, Unbounded}},
+		{"publisher", Interval{0, 1}},
+		{"year", Interval{0, Unbounded}},
+		{"authors", Interval{0, 1}},
+		{"@id", Interval{1, 1}},
+		{"nosuch", Interval{0, 0}},
+	}
+	for _, c := range cases {
+		if got := d.ChildInterval("publication", c.child); got != c.want {
+			t.Errorf("publication/%s = %v, want %v", c.child, got, c.want)
+		}
+	}
+	// author has exactly one name.
+	if got := d.ChildInterval("author", "name"); got != (Interval{1, 1}) {
+		t.Errorf("author/name = %v", got)
+	}
+	// authors has one or more authors.
+	if got := d.ChildInterval("authors", "author"); got != (Interval{1, Unbounded}) {
+		t.Errorf("authors/author = %v", got)
+	}
+}
+
+func TestParseDBLPDTD(t *testing.T) {
+	d := mustParse(t, dblpDTD)
+	cases := []struct {
+		child string
+		want  Interval
+	}{
+		{"author", Interval{0, Unbounded}},
+		{"year", Interval{1, 1}},
+		{"journal", Interval{1, 1}},
+		{"month", Interval{0, 1}},
+		{"@key", Interval{1, 1}},
+	}
+	for _, c := range cases {
+		if got := d.ChildInterval("article", c.child); got != c.want {
+			t.Errorf("article/%s = %v, want %v", c.child, got, c.want)
+		}
+	}
+}
+
+func TestParseChoiceAndGroups(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT r ((a | b), (c, d)?, e+)>
+<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY><!ELEMENT e EMPTY>`)
+	cases := map[string]Interval{
+		"a": {0, 1},
+		"b": {0, 1},
+		"c": {0, 1},
+		"d": {0, 1},
+		"e": {1, Unbounded},
+	}
+	for child, want := range cases {
+		if got := d.ChildInterval("r", child); got != want {
+			t.Errorf("r/%s = %v, want %v", child, got, want)
+		}
+	}
+}
+
+func TestParseNestedOccurrence(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT r ((a, b?)*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>`)
+	if got := d.ChildInterval("r", "a"); got != (Interval{0, Unbounded}) {
+		t.Errorf("r/a = %v", got)
+	}
+	if got := d.ChildInterval("r", "b"); got != (Interval{0, Unbounded}) {
+		t.Errorf("r/b = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":          ``,
+		"no elements":    `<!ENTITY x "y">`,
+		"unterminated":   `<!ELEMENT r (a`,
+		"bad separator":  `<!ELEMENT r (a, b | c)><!ELEMENT a EMPTY>`,
+		"missing name":   `<!ELEMENT (a)>`,
+		"attlist no def": `<!ELEMENT r (a)><!ATTLIST r x CDATA>`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse succeeded", name)
+		}
+	}
+}
+
+func TestPathIntervals(t *testing.T) {
+	d := mustParse(t, pubDTD)
+	cases := []struct {
+		path string
+		want Interval
+	}{
+		{"/author/name", Interval{0, Unbounded}},
+		{"/publisher/@id", Interval{0, 1}},
+		{"//publisher/@id", Interval{0, 2}}, // direct child or under pubData
+		{"/year", Interval{0, Unbounded}},
+		{"/@id", Interval{1, 1}},
+		{"/pubData/year", Interval{0, 1}},
+		{"/nosuch", Interval{0, 0}},
+	}
+	for _, c := range cases {
+		got := d.PathInterval("publication", pattern.MustParsePath(c.path))
+		if got != c.want {
+			t.Errorf("PathInterval(publication, %s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestPathIntervalRecursiveSchema(t *testing.T) {
+	// Treebank-like recursion: S contains NP which may contain S.
+	d := mustParse(t, `<!ELEMENT S (NP, VP?)><!ELEMENT NP (S?, W)><!ELEMENT VP (W)><!ELEMENT W (#PCDATA)>`)
+	// Descendant W under S goes through a cycle: unbounded, not covered.
+	got := d.PathInterval("S", pattern.MustParsePath("//W"))
+	if got.Max != Unbounded {
+		t.Errorf("//W under recursive S = %v, want unbounded max", got)
+	}
+	// Direct child NP/W is exactly one.
+	got = d.PathInterval("S", pattern.MustParsePath("/NP/W"))
+	if got != (Interval{1, 1}) {
+		t.Errorf("/NP/W = %v, want [1,1]", got)
+	}
+}
+
+func TestUndeclaredIsUnknown(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT r (a)><!ELEMENT a ANY>`)
+	got := d.PathInterval("a", pattern.MustParsePath("/x"))
+	if got != (Interval{0, Unbounded}) {
+		t.Errorf("child of ANY = %v", got)
+	}
+	got = d.PathInterval("nosuchctx", pattern.MustParsePath("/x"))
+	if got != (Interval{0, Unbounded}) {
+		t.Errorf("child of undeclared = %v", got)
+	}
+}
+
+const dblpQuery = `
+for $a in doc("dblp.xml")//article,
+    $au in $a/author,
+    $m in $a/month,
+    $y in $a/year,
+    $j in $a/journal
+x3 $a/@key by $au (LND), $m (LND), $y (LND), $j (LND)
+return COUNT($a)`
+
+func TestInferDBLP(t *testing.T) {
+	d := mustParse(t, dblpDTD)
+	q, err := xq.Parse(dblpQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := Infer(d, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axis order: author, month, year, journal — the §4.5 knowledge:
+	// "author is possibly repeated and missing, year and journal are
+	// mandatory and unique, and month is possibly missing."
+	type pd struct{ cov, dis bool }
+	want := []pd{
+		{false, false}, // author
+		{false, true},  // month
+		{true, true},   // year
+		{true, true},   // journal
+	}
+	for a, w := range want {
+		if got := props.Covered(a, 0); got != w.cov {
+			t.Errorf("axis %d Covered = %t, want %t", a, got, w.cov)
+		}
+		if got := props.Disjoint(a, 0); got != w.dis {
+			t.Errorf("axis %d Disjoint = %t, want %t", a, got, w.dis)
+		}
+	}
+	s := props.String()
+	if !strings.Contains(s, "$au") || !strings.Contains(s, "rigid") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestInferQuery1Ladders(t *testing.T) {
+	d := mustParse(t, pubDTD)
+	q, err := xq.Parse(`
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+x3 $b/@id by $n (LND, SP, PC-AD), $p (LND, PC-AD), $y (LND)
+return COUNT($b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := Infer(d, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// $n: repeated author means no state is disjoint or covered.
+	for s := 0; s < 3; s++ {
+		if props.Disjoint(0, s) {
+			t.Errorf("$n state %d inferred disjoint", s)
+		}
+		if props.Covered(0, s) {
+			t.Errorf("$n state %d inferred covered", s)
+		}
+	}
+	// $p at rigid (//publisher/@id): at most 2 via pubData, not disjoint.
+	if props.Disjoint(1, 0) {
+		t.Error("$p inferred disjoint despite pubData route")
+	}
+	// $y rigid: year repeatable -> not disjoint; optional -> not covered.
+	if props.Disjoint(2, 0) || props.Covered(2, 0) {
+		t.Error("$y inference wrong")
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	d := mustParse(t, dblpDTD)
+	q, err := xq.Parse(`
+for $b in doc("x")//nosuchfact, $y in $b/year
+x3 $b by $y (LND) return COUNT($b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(d, lat); err == nil {
+		t.Error("Infer accepted undeclared fact element")
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{1, 2}
+	b := Interval{0, Unbounded}
+	if got := a.add(b); got != (Interval{1, Unbounded}) {
+		t.Errorf("add = %v", got)
+	}
+	if got := a.alt(b); got != (Interval{0, Unbounded}) {
+		t.Errorf("alt = %v", got)
+	}
+	if got := a.mul(Interval{0, 1}); got != (Interval{0, 2}) {
+		t.Errorf("mul = %v", got)
+	}
+	if got := b.mul(Interval{0, 0}); got != (Interval{0, 0}) {
+		t.Errorf("mul zero = %v", got)
+	}
+	if (Interval{0, Unbounded}).String() != "[0,*]" {
+		t.Error("String unbounded")
+	}
+}

@@ -1,0 +1,176 @@
+package sjoin
+
+import (
+	"fmt"
+	"strconv"
+
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// Evaluate matches the query against a structural-join Source and builds
+// the same fact table match.Evaluate builds from an in-memory document —
+// but using only tag-indexed streams and stack-tree joins, the way the
+// paper's TIMBER-backed implementation does. The two evaluators are
+// cross-checked in tests.
+func Evaluate(src Source, lat *lattice.Lattice) (*match.Set, error) {
+	dicts := make([]*match.Dict, len(lat.Query.Axes))
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	return EvaluateWith(src, lat, dicts)
+}
+
+// EvaluateWith is Evaluate interning values into the caller's dictionaries
+// (see match.EvaluateWith).
+func EvaluateWith(src Source, lat *lattice.Lattice, dicts []*match.Dict) (*match.Set, error) {
+	q := lat.Query
+	if len(dicts) != len(q.Axes) {
+		return nil, fmt.Errorf("sjoin: %d dictionaries for %d axes", len(dicts), len(q.Axes))
+	}
+	set := &match.Set{Lattice: lat, Dicts: dicts}
+
+	factItems, err := EvalPathFromRoot(src, q.FactPath)
+	if err != nil {
+		return nil, err
+	}
+	ordinal := make(map[xmltree.NodeID]int, len(factItems))
+	facts := make([]Tagged, len(factItems))
+	for i, t := range factItems {
+		ordinal[t.ID] = i
+		facts[i] = Tagged{Item: t.Item, Fact: t.ID}
+		set.Facts = append(set.Facts, &match.Fact{
+			ID:      int64(i),
+			Key:     "#" + strconv.Itoa(int(t.ID)),
+			Measure: 1,
+			Axes:    make([][][]match.ValueID, len(q.Axes)),
+		})
+	}
+
+	// Fact keys from the X³ clause target.
+	if len(q.FactIDPath) > 0 {
+		keys, err := EvalAxis(src, facts, q.FactIDPath)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[xmltree.NodeID]bool{}
+		for _, t := range keys {
+			if seen[t.Fact] {
+				continue // first match wins, as in match.Evaluate
+			}
+			seen[t.Fact] = true
+			v, err := src.Value(t.ID)
+			if err != nil {
+				return nil, err
+			}
+			set.Facts[ordinal[t.Fact]].Key = v
+		}
+	}
+
+	// Measures.
+	if q.Agg != pattern.Count {
+		ms, err := EvalAxis(src, facts, q.MeasurePath)
+		if err != nil {
+			return nil, err
+		}
+		for i := range set.Facts {
+			set.Facts[i].Measure = 0
+		}
+		for _, t := range ms {
+			v, err := src.Value(t.ID)
+			if err != nil {
+				return nil, err
+			}
+			if v == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sjoin: measure %q is not numeric", v)
+			}
+			set.Facts[ordinal[t.Fact]].Measure += x
+		}
+	}
+
+	// Axis value sets per live ladder state.
+	for a, lad := range lat.Ladders {
+		live := lad.Len()
+		if lad.HasDeleted() {
+			live--
+		}
+		for i := range set.Facts {
+			set.Facts[i].Axes[a] = make([][]match.ValueID, live)
+		}
+		for s := 0; s < live; s++ {
+			ts, err := EvalAxis(src, facts, lad.States[s].Path)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range ts {
+				v, err := src.Value(t.ID)
+				if err != nil {
+					return nil, err
+				}
+				f := set.Facts[ordinal[t.Fact]]
+				f.Axes[a][s] = append(f.Axes[a][s], set.Dicts[a].ID(v))
+			}
+			for _, f := range set.Facts {
+				f.Axes[a][s] = sortDedupIDs(f.Axes[a][s])
+			}
+		}
+	}
+	if err := set.CheckMonotone(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+func sortDedupIDs(ids []match.ValueID) []match.ValueID {
+	if len(ids) <= 1 {
+		return ids
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DocSource adapts an in-memory xmltree.Document to the Source interface.
+type DocSource struct {
+	Doc *xmltree.Document
+}
+
+// ByTag implements Source.
+func (d DocSource) ByTag(tag string) ([]Item, error) {
+	ids := d.Doc.ByTag(tag)
+	out := make([]Item, len(ids))
+	for i, id := range ids {
+		n := d.Doc.Node(id)
+		out[i] = Item{ID: id, Start: n.Start, End: n.End, Level: n.Level}
+	}
+	return out, nil
+}
+
+// Tags implements Source.
+func (d DocSource) Tags() ([]string, error) { return d.Doc.Tags(), nil }
+
+// Value implements Source.
+func (d DocSource) Value(id xmltree.NodeID) (string, error) {
+	n := d.Doc.Node(id)
+	if n == nil {
+		return "", fmt.Errorf("sjoin: node %d out of range", id)
+	}
+	return n.Value, nil
+}
+
+var _ Source = DocSource{}

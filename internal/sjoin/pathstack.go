@@ -1,0 +1,127 @@
+package sjoin
+
+import (
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// EvalAxisHolistic evaluates a fact-relative axis path with a single
+// holistic pass in the style of PathStack (Bruno, Koudas, Srivastava:
+// "Holistic Twig Joins"), instead of the cascade of binary stack-tree
+// joins EvalAxis performs. All streams — the fact items and one stream per
+// step — are merged in one document-order sweep over linked stacks; leaf
+// pushes enumerate the root-to-leaf chains, checking parent-child edges by
+// level along the way.
+//
+// The two evaluators return identical (fact, leaf) pairs; tests and a
+// benchmark compare them (cascaded joins materialize every intermediate
+// result, the holistic join does not).
+func EvalAxisHolistic(src Source, facts []Tagged, p pattern.Path) ([]Tagged, error) {
+	if len(p) == 0 {
+		return nil, nil
+	}
+	if p.HasPreds() {
+		// Existence predicates need semi-joins the pure stack merge does
+		// not express; fall back to the cascaded evaluator.
+		return EvalAxis(src, facts, p)
+	}
+	// streams[0] is the fact stream; streams[i] the step i-1 stream.
+	streams := make([][]stackEntry, len(p)+1)
+	for _, f := range facts {
+		streams[0] = append(streams[0], stackEntry{item: f.Item, fact: f.Fact})
+	}
+	for i, st := range p {
+		items, err := tagStream(src, st)
+		if err != nil {
+			return nil, err
+		}
+		es := make([]stackEntry, len(items))
+		for j, it := range items {
+			es[j] = stackEntry{item: it, fact: it.ID}
+		}
+		streams[i+1] = es
+	}
+
+	stacks := make([][]stackEntry, len(streams))
+	heads := make([]int, len(streams))
+	var out []Tagged
+
+	for {
+		// qmin: the stream whose head starts first.
+		qmin := -1
+		for q := range streams {
+			if heads[q] >= len(streams[q]) {
+				continue
+			}
+			if qmin < 0 || streams[q][heads[q]].item.Start < streams[qmin][heads[qmin]].item.Start {
+				qmin = q
+			}
+		}
+		if qmin < 0 {
+			break
+		}
+		next := streams[qmin][heads[qmin]]
+		heads[qmin]++
+
+		// Pop every stack entry that ends before this node starts.
+		for q := range stacks {
+			s := stacks[q]
+			for len(s) > 0 && s[len(s)-1].item.End < next.item.Start {
+				s = s[:len(s)-1]
+			}
+			stacks[q] = s
+		}
+
+		if qmin == 0 {
+			stacks[0] = append(stacks[0], next)
+			continue
+		}
+		// A step node only joins if some chain of open ancestors exists.
+		if len(stacks[qmin-1]) == 0 {
+			continue
+		}
+		next.ptr = len(stacks[qmin-1]) - 1
+		stacks[qmin] = append(stacks[qmin], next)
+		if qmin == len(streams)-1 {
+			emitChains(stacks, qmin, len(stacks[qmin])-1, p, &out)
+			// The leaf entry never has stack descendants; drop it now.
+			stacks[qmin] = stacks[qmin][:len(stacks[qmin])-1]
+		}
+	}
+	return dedup(out), nil
+}
+
+// stackEntry is one open node on a PathStack stack; ptr points to the top
+// of the previous stack at push time, bounding the compatible ancestors.
+type stackEntry struct {
+	item Item
+	fact xmltree.NodeID
+	ptr  int
+}
+
+// emitChains enumerates every valid root-to-leaf chain ending at
+// stacks[leafQ][leafIdx] and appends (fact, leaf) pairs.
+func emitChains(stacks [][]stackEntry, leafQ, leafIdx int, p pattern.Path, out *[]Tagged) {
+	leaf := stacks[leafQ][leafIdx]
+	var rec func(q, maxIdx int, child stackEntry)
+	rec = func(q, maxIdx int, child stackEntry) {
+		// Edge between pattern level q (stack q) and its child at q+1:
+		// p[q] is the step matched by the child.
+		st := p[q]
+		for i := 0; i <= maxIdx && i < len(stacks[q]); i++ {
+			anc := stacks[q][i]
+			if !anc.item.contains(child.item) {
+				continue
+			}
+			if st.Axis == pattern.Child && anc.item.Level+1 != child.item.Level {
+				continue
+			}
+			if q == 0 {
+				*out = append(*out, Tagged{Item: leaf.item, Fact: anc.fact})
+				continue
+			}
+			rec(q-1, anc.ptr, anc)
+		}
+	}
+	rec(leafQ-1, leaf.ptr, leaf)
+}

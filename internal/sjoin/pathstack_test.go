@@ -1,0 +1,155 @@
+package sjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// pairsOf renders tagged results as comparable strings.
+func pairsOf(ts []Tagged) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range ts {
+		out[fmt.Sprintf("%d->%d", t.Fact, t.ID)] = true
+	}
+	return out
+}
+
+func assertSamePairs(t *testing.T, label string, a, b []Tagged) {
+	t.Helper()
+	pa, pb := pairsOf(a), pairsOf(b)
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: %d pairs vs %d", label, len(pa), len(pb))
+	}
+	for k := range pa {
+		if !pb[k] {
+			t.Fatalf("%s: pair %s missing from holistic result", label, k)
+		}
+	}
+}
+
+func TestHolisticMatchesCascadedOnPaperData(t *testing.T) {
+	src, _ := docSource(t, paperXML)
+	facts, err := EvalPathFromRoot(src, pattern.MustParsePath("//publication"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range []string{
+		"/author/name", "//author//name", "//name", "//publisher/@id",
+		"/year", "//*/@id", "/pubData/publisher", "//publisher", "/nosuch",
+	} {
+		p := pattern.MustParsePath(ps)
+		want, err := EvalAxis(src, facts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvalAxisHolistic(src, facts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSamePairs(t, ps, want, got)
+	}
+}
+
+func TestHolisticMatchesCascadedOnRandomDocs(t *testing.T) {
+	paths := []string{
+		"/a", "//a", "/a/b", "//a/b", "/a//b", "//a//b",
+		"//a//b//c", "/a/b/c", "//b/a",
+	}
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 31))
+		doc := randomDoc(rng, 10+rng.Intn(200))
+		src := DocSource{Doc: doc}
+		// Facts: every <a> (nested facts exercise overlapping chains).
+		factItems, err := src.ByTag("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts := make([]Tagged, len(factItems))
+		for i, it := range factItems {
+			facts[i] = Tagged{Item: it, Fact: it.ID}
+		}
+		for _, ps := range paths {
+			p := pattern.MustParsePath(ps)
+			want, err := EvalAxis(src, facts, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EvalAxisHolistic(src, facts, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSamePairs(t, fmt.Sprintf("trial %d %s", trial, ps), want, got)
+		}
+	}
+}
+
+func TestHolisticOnTreebankWorkload(t *testing.T) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 5, PMissing: 0.2, PNest: 0.4, PRepeat: 0.3,
+			Relax: pattern.RelaxSet(0).With(pattern.LND).With(pattern.PCAD)},
+	}
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: 21, Facts: 300, Axes: axes, Noise: 2})
+	src := DocSource{Doc: doc}
+	facts, err := EvalPathFromRoot(src, pattern.MustParsePath("//s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range []string{"/w0", "//w0", "//ph/w0"} {
+		p := pattern.MustParsePath(ps)
+		want, _ := EvalAxis(src, facts, p)
+		got, err := EvalAxisHolistic(src, facts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSamePairs(t, ps, want, got)
+	}
+}
+
+func TestHolisticEmptyInputs(t *testing.T) {
+	src, _ := docSource(t, paperXML)
+	got, err := EvalAxisHolistic(src, nil, pattern.MustParsePath("/year"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("no facts: %v, %v", got, err)
+	}
+	facts, _ := EvalPathFromRoot(src, pattern.MustParsePath("//publication"))
+	got, err = EvalAxisHolistic(src, facts, nil)
+	if err != nil || got != nil {
+		t.Fatalf("empty path: %v, %v", got, err)
+	}
+}
+
+func BenchmarkCascadedVsHolistic(b *testing.B) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 10, PNest: 0.4, PRepeat: 0.3,
+			Relax: pattern.RelaxSet(0).With(pattern.LND).With(pattern.PCAD)},
+	}
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: 3, Facts: 5000, Axes: axes, Noise: 3})
+	src := DocSource{Doc: doc}
+	factItems, err := EvalPathFromRoot(src, pattern.MustParsePath("//s"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := make([]Tagged, len(factItems))
+	copy(facts, factItems)
+	p := pattern.MustParsePath("//w0")
+	b.Run("cascaded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvalAxis(src, facts, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("holistic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvalAxisHolistic(src, facts, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = xmltree.NilNode
+}

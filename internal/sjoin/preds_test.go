@@ -1,0 +1,100 @@
+package sjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"x3/internal/match"
+	"x3/internal/pattern"
+)
+
+// TestPredicatesMatchDocumentEvaluator cross-checks structural-join
+// predicate evaluation against the in-memory evaluator.
+func TestPredicatesMatchDocumentEvaluator(t *testing.T) {
+	src, doc := docSource(t, paperXML)
+	paths := []string{
+		"//publication[author]",
+		"//publication[//author]",
+		"//publication[publisher]",
+		"//publication[//publisher][year]",
+		"//publication[publisher]/year",
+		"//publication[author[name]]",
+		"//author[@id]/name",
+		"//publication[price]",
+		"//publication[pubData]/author",
+	}
+	for _, ps := range paths {
+		p := pattern.MustParsePath(ps)
+		want := match.EvalPathFromRoot(doc, p)
+		got, err := EvalPathFromRoot(src, p)
+		if err != nil {
+			t.Fatalf("%s: %v", ps, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d vs %d nodes", ps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i] {
+				t.Fatalf("%s node %d: %d vs %d", ps, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+// TestPredicatesOnRandomDocs fuzzes predicate evaluation over random trees.
+func TestPredicatesOnRandomDocs(t *testing.T) {
+	paths := []string{
+		"//a[b]", "//a[//c]", "//a[b]/c", "/r/a[b][c]",
+		"//a[b[c]]", "//b[a]//c",
+	}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 101))
+		doc := randomDoc(rng, 20+rng.Intn(200))
+		src := DocSource{Doc: doc}
+		for _, ps := range paths {
+			p := pattern.MustParsePath(ps)
+			want := match.EvalPathFromRoot(doc, p)
+			got, err := EvalPathFromRoot(src, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// sjoin returns (first-step node, leaf) pairs when first-step
+			// matches nest; compare the distinct leaf node sets.
+			gotNodes := map[int32]bool{}
+			for _, g := range got {
+				gotNodes[int32(g.ID)] = true
+			}
+			if len(gotNodes) != len(want) {
+				t.Fatalf("trial %d %s: %d vs %d distinct nodes", trial, ps, len(gotNodes), len(want))
+			}
+			for _, w := range want {
+				if !gotNodes[int32(w)] {
+					t.Fatalf("trial %d %s: node %d missing", trial, ps, w)
+				}
+			}
+		}
+	}
+}
+
+// TestHolisticFallsBackOnPredicates ensures the holistic evaluator returns
+// the same pairs for predicated paths (via its cascaded fallback).
+func TestHolisticFallsBackOnPredicates(t *testing.T) {
+	src, _ := docSource(t, paperXML)
+	facts, err := EvalPathFromRoot(src, pattern.MustParsePath("//publication"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustParsePath("/author[name]/name")
+	want, err := EvalAxis(src, facts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalAxisHolistic(src, facts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(pairsOf(want)) != fmt.Sprint(pairsOf(got)) {
+		t.Fatalf("pairs differ: %v vs %v", pairsOf(want), pairsOf(got))
+	}
+}

@@ -1,0 +1,241 @@
+// Package sjoin implements the structural join machinery TIMBER evaluates
+// tree patterns with (paper §4): stack-tree merge joins over region-encoded
+// node streams, and a cascaded-join evaluator for the linear axis paths of
+// X³ queries.
+//
+// Inputs are document-ordered streams of Items (region-encoded node
+// references). The stack-tree join walks both streams once, maintaining a
+// stack of open ancestors, and emits every (ancestor, descendant) or
+// (parent, child) pair in O(input + output).
+package sjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// Item is a region-encoded reference to a stored node.
+type Item struct {
+	ID    xmltree.NodeID
+	Start uint32
+	End   uint32
+	Level uint16
+}
+
+// contains reports whether a's region strictly contains b's.
+func (a Item) contains(b Item) bool {
+	return a.Start < b.Start && b.End < a.End
+}
+
+// Tagged is an Item carrying the fact binding it descends from, so a
+// cascade of joins can group axis matches per fact.
+type Tagged struct {
+	Item
+	Fact xmltree.NodeID
+}
+
+// Source provides document-ordered node streams by tag, the way TIMBER's
+// element index does. Tag "@name" addresses attribute nodes. Implementors:
+// store.Store (paged, on disk) and DocSource (in memory).
+type Source interface {
+	// ByTag returns all nodes with the given tag in document order.
+	ByTag(tag string) ([]Item, error)
+	// Tags lists every distinct tag (elements, and attributes with "@").
+	Tags() ([]string, error)
+	// Value returns the grouping value of a node (text or attr value).
+	Value(id xmltree.NodeID) (string, error)
+}
+
+// Join performs a stack-tree structural join between document-ordered
+// ancestor candidates (with payloads) and descendant candidates; axis
+// selects ancestor-descendant or parent-child semantics. The result is
+// (payload-preserving) Tagged items for each matched descendant, in
+// document order of the descendants, deduplicated per (fact, node).
+func Join(anc []Tagged, desc []Item, axis pattern.Axis) []Tagged {
+	var out []Tagged
+	var stack []Tagged
+	i, j := 0, 0
+	for j < len(desc) {
+		// Push every ancestor that starts before the next descendant.
+		if i < len(anc) && anc[i].Start < desc[j].Start {
+			// Pop closed ancestors first.
+			for len(stack) > 0 && stack[len(stack)-1].End < anc[i].Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, anc[i])
+			i++
+			continue
+		}
+		for len(stack) > 0 && stack[len(stack)-1].End < desc[j].Start {
+			stack = stack[:len(stack)-1]
+		}
+		d := desc[j]
+		j++
+		for k := len(stack) - 1; k >= 0; k-- {
+			a := stack[k]
+			if !a.Item.contains(d) {
+				continue
+			}
+			// For parent-child only the node one level up matches, but it
+			// may appear on the stack several times tagged with different
+			// facts (nested fact matches), so keep scanning.
+			if axis == pattern.Child && a.Level+1 != d.Level {
+				continue
+			}
+			out = append(out, Tagged{Item: d, Fact: a.Fact})
+		}
+	}
+	return dedup(out)
+}
+
+// dedup removes duplicate (fact, node) pairs, keeping document order by
+// (node, fact).
+func dedup(ts []Tagged) []Tagged {
+	if len(ts) <= 1 {
+		return ts
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].Start != ts[b].Start {
+			return ts[a].Start < ts[b].Start
+		}
+		return ts[a].Fact < ts[b].Fact
+	})
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		last := out[len(out)-1]
+		if t.ID != last.ID || t.Fact != last.Fact {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// tagStream fetches the document-ordered stream for one step's node test,
+// merging all element tags for a wildcard.
+func tagStream(src Source, st pattern.Step) ([]Item, error) {
+	if !st.IsWildcard() {
+		return src.ByTag(st.Tag)
+	}
+	tags, err := src.Tags()
+	if err != nil {
+		return nil, err
+	}
+	var all []Item
+	for _, t := range tags {
+		if len(t) > 0 && t[0] == '@' {
+			continue
+		}
+		items, err := src.ByTag(t)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, items...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	return all, nil
+}
+
+// EvalPathFromRoot evaluates an absolute path over the source with a
+// cascade of structural joins, returning matched nodes tagged with
+// themselves (Fact == ID), in document order.
+func EvalPathFromRoot(src Source, p pattern.Path) ([]Tagged, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("sjoin: empty path")
+	}
+	first, err := tagStream(src, p[0])
+	if err != nil {
+		return nil, err
+	}
+	var cur []Tagged
+	for _, it := range first {
+		if p[0].Axis == pattern.Child && it.Level != 0 {
+			continue // "/tag" from the document node matches only the root
+		}
+		cur = append(cur, Tagged{Item: it, Fact: it.ID})
+	}
+	if len(p[0].Preds) > 0 {
+		var err error
+		cur, err = filterPreds(src, cur, p[0].Preds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return evalSteps(src, cur, p[1:])
+}
+
+// EvalAxis evaluates a fact-relative axis path: facts are the (already
+// matched) context items, and the result tags every matched node with its
+// fact, so callers can group values per fact.
+func EvalAxis(src Source, facts []Tagged, p pattern.Path) ([]Tagged, error) {
+	return evalSteps(src, facts, p)
+}
+
+func evalSteps(src Source, cur []Tagged, steps pattern.Path) ([]Tagged, error) {
+	for _, st := range steps {
+		if len(cur) == 0 {
+			return nil, nil
+		}
+		stream, err := tagStream(src, st)
+		if err != nil {
+			return nil, err
+		}
+		cur = Join(cur, stream, st.Axis)
+		if len(st.Preds) > 0 {
+			cur, err = filterPreds(src, cur, st.Preds)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+// filterPreds keeps the (fact, node) pairs whose node satisfies every
+// existence predicate, using semi-joins: each predicate is evaluated once
+// over all candidate nodes (tagged with themselves) and the survivors are
+// the facts of the result.
+func filterPreds(src Source, cur []Tagged, preds []pattern.Path) ([]Tagged, error) {
+	// Distinct candidate nodes, probed as their own facts.
+	probe := make([]Tagged, 0, len(cur))
+	seen := map[xmltree.NodeID]bool{}
+	for _, t := range cur {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			probe = append(probe, Tagged{Item: t.Item, Fact: t.ID})
+		}
+	}
+	sort.Slice(probe, func(i, j int) bool { return probe[i].Start < probe[j].Start })
+	alive := map[xmltree.NodeID]bool{}
+	for id := range seen {
+		alive[id] = true
+	}
+	for _, pred := range preds {
+		res, err := evalSteps(src, probe, pred)
+		if err != nil {
+			return nil, err
+		}
+		hit := map[xmltree.NodeID]bool{}
+		for _, t := range res {
+			hit[t.Fact] = true
+		}
+		next := probe[:0]
+		for _, t := range probe {
+			if hit[t.Fact] {
+				next = append(next, t)
+			} else {
+				delete(alive, t.Fact)
+			}
+		}
+		probe = next
+	}
+	out := cur[:0]
+	for _, t := range cur {
+		if alive[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

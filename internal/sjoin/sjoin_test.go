@@ -1,0 +1,266 @@
+package sjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+	"x3/internal/xq"
+)
+
+const paperXML = `
+<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a3"><name>Bob</name></author>
+    <publisher id="p1"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a1"><name>John</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Amy</name></author>
+    <pubData><publisher id="p2"/><year>2005</year></pubData>
+  </publication>
+</database>`
+
+func docSource(t *testing.T, xml string) (DocSource, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DocSource{Doc: doc}, doc
+}
+
+// TestJoinAgainstNaive cross-checks the stack-tree join with a quadratic
+// nested loop on random documents.
+func TestJoinAgainstNaive(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		doc := randomDoc(rng, 5+rng.Intn(150))
+		src := DocSource{Doc: doc}
+		tags, _ := src.Tags()
+		for _, at := range tags {
+			for _, dt := range tags {
+				ancItems, _ := src.ByTag(at)
+				anc := make([]Tagged, len(ancItems))
+				for i, it := range ancItems {
+					anc[i] = Tagged{Item: it, Fact: it.ID}
+				}
+				descItems, _ := src.ByTag(dt)
+				for _, axis := range []pattern.Axis{pattern.Child, pattern.Descendant} {
+					got := Join(anc, descItems, axis)
+					want := naiveJoin(doc, ancItems, descItems, axis)
+					if len(got) != len(want) {
+						t.Fatalf("trial %d %s/%s axis %v: %d pairs, want %d",
+							trial, at, dt, axis, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Fact != want[i].Fact || got[i].ID != want[i].ID {
+							t.Fatalf("trial %d %s/%s axis %v pair %d: %+v vs %+v",
+								trial, at, dt, axis, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func naiveJoin(doc *xmltree.Document, anc, desc []Item, axis pattern.Axis) []Tagged {
+	var out []Tagged
+	for _, d := range desc {
+		for _, a := range anc {
+			an, dn := doc.Node(a.ID), doc.Node(d.ID)
+			ok := an.IsAncestorOf(dn)
+			if axis == pattern.Child {
+				ok = an.IsParentOf(dn)
+			}
+			if ok {
+				out = append(out, Tagged{Item: d, Fact: a.ID})
+			}
+		}
+	}
+	return dedup(out)
+}
+
+func randomDoc(rng *rand.Rand, n int) *xmltree.Document {
+	var b xmltree.Builder
+	tags := []string{"a", "b", "c"}
+	b.Open("r")
+	open := 1
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 && open > 1 {
+			b.Close()
+			open--
+			continue
+		}
+		b.Open(tags[rng.Intn(len(tags))])
+		b.Text("x")
+		open++
+	}
+	for open > 0 {
+		b.Close()
+		open--
+	}
+	return b.MustDone()
+}
+
+// TestEvalPathMatchesDocumentEvaluator cross-checks the join-based path
+// evaluator with match.EvalPathFromRoot on the paper data.
+func TestEvalPathMatchesDocumentEvaluator(t *testing.T) {
+	src, doc := docSource(t, paperXML)
+	paths := []string{
+		"//publication", "/database", "//author", "//author/name",
+		"//publication/author/name", "//publication//name",
+		"//publisher/@id", "//*/@id", "//publication/year", "//year",
+		"//pubData/publisher", "//nosuch", "/publication",
+	}
+	for _, ps := range paths {
+		p := pattern.MustParsePath(ps)
+		want := match.EvalPathFromRoot(doc, p)
+		got, err := EvalPathFromRoot(src, p)
+		if err != nil {
+			t.Fatalf("%s: %v", ps, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d nodes, want %d", ps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i] {
+				t.Fatalf("%s: node %d = %d, want %d", ps, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateMatchesMatchEvaluate cross-checks the full structural-join
+// evaluator against the document evaluator, fact by fact, on Query 1 and
+// on generated corpora.
+func TestEvaluateMatchesMatchEvaluate(t *testing.T) {
+	const query1Text = `
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD), $p (LND, PC-AD), $y (LND)
+return COUNT($b).`
+
+	check := func(t *testing.T, doc *xmltree.Document, q *pattern.CubeQuery) {
+		t.Helper()
+		lat, err := lattice.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := match.Evaluate(doc, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat2, err := lattice.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Evaluate(DocSource{Doc: doc}, lat2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumFacts() != want.NumFacts() {
+			t.Fatalf("facts %d vs %d", got.NumFacts(), want.NumFacts())
+		}
+		for i := range want.Facts {
+			wf, gf := want.Facts[i], got.Facts[i]
+			if wf.Key != gf.Key || wf.Measure != gf.Measure {
+				t.Fatalf("fact %d: key/measure %q/%v vs %q/%v", i, wf.Key, wf.Measure, gf.Key, gf.Measure)
+			}
+			for a := range wf.Axes {
+				for s := range wf.Axes[a] {
+					ws := valueStrings(want, wf, a, s)
+					gs := valueStrings(got, gf, a, s)
+					if fmt.Sprint(ws) != fmt.Sprint(gs) {
+						t.Fatalf("fact %d axis %d state %d: %v vs %v", i, a, s, ws, gs)
+					}
+				}
+			}
+		}
+	}
+
+	t.Run("query1", func(t *testing.T) {
+		doc, err := xmltree.ParseString(paperXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := xq.Parse(query1Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, doc, q)
+	})
+
+	t.Run("treebank", func(t *testing.T) {
+		axes := []dataset.AxisConfig{
+			{Tag: "w0", Cardinality: 5, PMissing: 0.3, PNest: 0.3,
+				Relax: pattern.RelaxSet(0).With(pattern.LND).With(pattern.PCAD)},
+			{Tag: "w1", Cardinality: 4, PRepeat: 0.4,
+				Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		}
+		cfg := dataset.TreebankConfig{Seed: 77, Facts: 150, Axes: axes, Noise: 2}
+		check(t, dataset.Treebank(cfg), dataset.TreebankQuery(axes))
+	})
+
+	t.Run("dblp", func(t *testing.T) {
+		doc := dataset.DBLP(dataset.DefaultDBLPConfig(200, 5))
+		check(t, doc, dataset.DBLPQuery())
+	})
+}
+
+func valueStrings(set *match.Set, f *match.Fact, a, s int) []string {
+	var out []string
+	for _, id := range f.Values(a, s) {
+		out = append(out, set.Dicts[a].Value(id))
+	}
+	return out
+}
+
+func TestEvalAxisGroupsPerFact(t *testing.T) {
+	src, _ := docSource(t, paperXML)
+	facts, err := EvalPathFromRoot(src, pattern.MustParsePath("//publication"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 4 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+	years, err := EvalAxis(src, facts, pattern.MustParsePath("/year"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFact := map[xmltree.NodeID]int{}
+	for _, y := range years {
+		perFact[y.Fact]++
+	}
+	// pub1: 1 year, pub2: 2 years, pub3: 1, pub4: 0 (nested in pubData).
+	if len(years) != 4 || perFact[facts[1].ID] != 2 {
+		t.Fatalf("year matches = %v", perFact)
+	}
+}
+
+func TestEmptyPathRejected(t *testing.T) {
+	src, _ := docSource(t, paperXML)
+	if _, err := EvalPathFromRoot(src, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}

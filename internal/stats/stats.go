@@ -1,0 +1,156 @@
+// Package stats collects per-axis statistics from a materialized fact
+// table and estimates cuboid sizes from them, so planning decisions (view
+// selection, algorithm choice between dense- and sparse-cube specialists)
+// can be made without computing the cube first.
+//
+// The estimator is the classic attribute-independence model adapted to the
+// X³ lattice: a cuboid's group count is the product of its live axes'
+// distinct-value counts at their ladder states, capped by the number of
+// facts that can actually appear there (facts carrying a value at every
+// live axis, scaled by per-axis presence probabilities — coverage
+// violations shrink cuboids).
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"x3/internal/lattice"
+	"x3/internal/match"
+)
+
+// AxisStateStats describes one axis at one live ladder state.
+type AxisStateStats struct {
+	// Distinct is the number of distinct values observed.
+	Distinct int64
+	// PresentFrac is the fraction of facts with at least one value.
+	PresentFrac float64
+	// AvgValues is the mean number of values among present facts (>1
+	// indicates disjointness violations).
+	AvgValues float64
+}
+
+// Stats holds the collected statistics.
+type Stats struct {
+	Facts int64
+	// Axis[a][s] is the statistics of axis a at live state s.
+	Axis [][]AxisStateStats
+}
+
+// Collect scans the source once.
+func Collect(lat *lattice.Lattice, src interface {
+	NumFacts() int
+	Each(func(*match.Fact) error) error
+}) (*Stats, error) {
+	st := &Stats{}
+	type acc struct {
+		seen    map[match.ValueID]bool
+		present int64
+		values  int64
+	}
+	accs := make([][]*acc, lat.NumAxes())
+	for a := range accs {
+		live := lat.Ladders[a].Len()
+		if lat.Ladders[a].HasDeleted() {
+			live--
+		}
+		accs[a] = make([]*acc, live)
+		for s := range accs[a] {
+			accs[a][s] = &acc{seen: map[match.ValueID]bool{}}
+		}
+	}
+	err := src.Each(func(f *match.Fact) error {
+		st.Facts++
+		for a := range f.Axes {
+			for s := range f.Axes[a] {
+				vs := f.Values(a, s)
+				if len(vs) == 0 {
+					continue
+				}
+				ac := accs[a][s]
+				ac.present++
+				ac.values += int64(len(vs))
+				for _, v := range vs {
+					ac.seen[v] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Axis = make([][]AxisStateStats, len(accs))
+	for a := range accs {
+		st.Axis[a] = make([]AxisStateStats, len(accs[a]))
+		for s, ac := range accs[a] {
+			out := AxisStateStats{Distinct: int64(len(ac.seen))}
+			if st.Facts > 0 {
+				out.PresentFrac = float64(ac.present) / float64(st.Facts)
+			}
+			if ac.present > 0 {
+				out.AvgValues = float64(ac.values) / float64(ac.present)
+			}
+			st.Axis[a][s] = out
+		}
+	}
+	return st, nil
+}
+
+// EstimateCuboidSize predicts the group count of one cuboid.
+func (st *Stats) EstimateCuboidSize(lat *lattice.Lattice, p lattice.Point) int64 {
+	live := lat.LiveAxes(p)
+	if len(live) == 0 {
+		if st.Facts == 0 {
+			return 0
+		}
+		return 1
+	}
+	// Group-count upper bound from value-combination space.
+	combos := 1.0
+	// Fact-presence bound: expected facts carrying all live axes, times
+	// the average multiplicity (overlap creates extra memberships).
+	factBound := float64(st.Facts)
+	for _, a := range live {
+		s := int(p[a])
+		as := st.Axis[a][s]
+		if as.Distinct == 0 {
+			return 0
+		}
+		combos *= float64(as.Distinct)
+		factBound *= as.PresentFrac * math.Max(1, as.AvgValues)
+		if combos > 1e18 {
+			combos = 1e18
+		}
+	}
+	est := math.Min(combos, factBound)
+	if est < 1 {
+		if factBound > 0 {
+			return 1
+		}
+		return 0
+	}
+	return int64(est)
+}
+
+// EstimateAllSizes estimates every cuboid of the lattice, keyed by point
+// ID — the input view selection expects.
+func (st *Stats) EstimateAllSizes(lat *lattice.Lattice) map[uint32]int64 {
+	out := make(map[uint32]int64, lat.Size())
+	for _, p := range lat.Points() {
+		out[lat.ID(p)] = st.EstimateCuboidSize(lat, p)
+	}
+	return out
+}
+
+// String renders a per-axis summary.
+func (st *Stats) String() string {
+	out := fmt.Sprintf("facts: %d\n", st.Facts)
+	for a := range st.Axis {
+		for s, as := range st.Axis[a] {
+			out += fmt.Sprintf("axis %d state %d: distinct=%d present=%.2f avgValues=%.2f\n",
+				a, s, as.Distinct, as.PresentFrac, as.AvgValues)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"x3/internal/cube"
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/pattern"
+)
+
+func workload(t *testing.T, axes []dataset.AxisConfig, facts int) (*lattice.Lattice, *match.Set) {
+	t.Helper()
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: 5, Facts: facts, Axes: axes})
+	lat, err := lattice.New(dataset.TreebankQuery(axes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat, set
+}
+
+func lnd() pattern.RelaxSet { return pattern.RelaxSet(0).With(pattern.LND) }
+
+func TestCollectBasics(t *testing.T) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 10, Relax: lnd()},
+		{Tag: "w1", Cardinality: 10, PMissing: 0.5, Relax: lnd()},
+		{Tag: "w2", Cardinality: 10, PRepeat: 0.5, Relax: lnd()},
+	}
+	lat, set := workload(t, axes, 1000)
+	st, err := Collect(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Facts != 1000 {
+		t.Fatalf("facts = %d", st.Facts)
+	}
+	// Axis 0: always present, single-valued, 10 distinct.
+	a0 := st.Axis[0][0]
+	if a0.Distinct != 10 || a0.PresentFrac != 1 || a0.AvgValues != 1 {
+		t.Errorf("axis 0 stats = %+v", a0)
+	}
+	// Axis 1: about half the facts present.
+	a1 := st.Axis[1][0]
+	if a1.PresentFrac < 0.4 || a1.PresentFrac > 0.6 {
+		t.Errorf("axis 1 present = %v", a1.PresentFrac)
+	}
+	// Axis 2: repeated values -> avg > 1.
+	a2 := st.Axis[2][0]
+	if a2.AvgValues <= 1.2 {
+		t.Errorf("axis 2 avg values = %v", a2.AvgValues)
+	}
+	if !strings.Contains(st.String(), "facts: 1000") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+// TestEstimatesTrackRealSizes compares estimated cuboid sizes with the
+// real ones from a computed cube: every estimate within a small constant
+// factor on independent uniform data.
+func TestEstimatesTrackRealSizes(t *testing.T) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 8, Relax: lnd()},
+		{Tag: "w1", Cardinality: 12, PMissing: 0.3, Relax: lnd()},
+		{Tag: "w2", Cardinality: 50, Relax: lnd()},
+	}
+	lat, set := workload(t, axes, 2000)
+	st, err := Collect(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := cube.RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lat.Points() {
+		got := st.EstimateCuboidSize(lat, p)
+		want := int64(real.CuboidSize(p))
+		if want == 0 {
+			if got > 2 {
+				t.Errorf("%s: estimate %d for empty cuboid", lat.Label(p), got)
+			}
+			continue
+		}
+		ratio := float64(got) / float64(want)
+		if ratio < 1/3.0 || ratio > 3.0 {
+			t.Errorf("%s: estimate %d vs real %d (ratio %.2f)", lat.Label(p), got, want, ratio)
+		}
+	}
+}
+
+func TestEstimateAllSizesFeedsViewSelection(t *testing.T) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 6, Relax: lnd()},
+		{Tag: "w1", Cardinality: 6, Relax: lnd()},
+	}
+	lat, set := workload(t, axes, 500)
+	st, err := Collect(lat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := st.EstimateAllSizes(lat)
+	if len(sizes) != lat.Size() {
+		t.Fatalf("sizes = %d, want %d", len(sizes), lat.Size())
+	}
+	// The bottom cuboid has exactly one group.
+	if got := sizes[lat.ID(lat.Bottom())]; got != 1 {
+		t.Errorf("bottom estimate = %d", got)
+	}
+	// Finer cuboids never estimate smaller than the coarsest.
+	top := sizes[lat.ID(lat.Top())]
+	if top < 6 {
+		t.Errorf("top estimate = %d", top)
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	axes := []dataset.AxisConfig{{Tag: "w0", Cardinality: 3, Relax: lnd()}}
+	lat, _ := workload(t, axes, 10)
+	empty := &match.Set{Lattice: lat, Dicts: []*match.Dict{match.NewDict()}}
+	st, err := Collect(lat, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lat.Points() {
+		if got := st.EstimateCuboidSize(lat, p); got != 0 {
+			t.Errorf("%s: empty source estimate %d", lat.Label(p), got)
+		}
+	}
+	if math.IsNaN(st.Axis[0][0].PresentFrac) {
+		t.Error("NaN fraction on empty source")
+	}
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+	"x3/internal/sjoin"
+	"x3/internal/xmltree"
+)
+
+func benchStore(b *testing.B, poolPages int) *Store {
+	b.Helper()
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 30, Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		{Tag: "w1", Cardinality: 30, Relax: pattern.RelaxSet(0).With(pattern.LND)},
+	}
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: 4, Facts: 5000, Axes: axes, Noise: 2})
+	path := filepath.Join(b.TempDir(), "bench.x3st")
+	if err := Create(path, doc); err != nil {
+		b.Fatal(err)
+	}
+	st, err := Open(path, poolPages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+// BenchmarkByTagCold measures element-index scans with a cold pool.
+func BenchmarkByTagCold(b *testing.B) {
+	st := benchStore(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.DropCache()
+		items, err := st.ByTag("w0")
+		if err != nil || len(items) == 0 {
+			b.Fatalf("%d items, %v", len(items), err)
+		}
+	}
+}
+
+// BenchmarkEvaluateOverStore measures full structural-join pattern
+// evaluation against the paged file, cold cache per iteration (the
+// paper's measurement mode).
+func BenchmarkEvaluateOverStore(b *testing.B) {
+	st := benchStore(b, 1024)
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 30, Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		{Tag: "w1", Cardinality: 30, Relax: pattern.RelaxSet(0).With(pattern.LND)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.DropCache()
+		lat, err := lattice.New(dataset.TreebankQuery(axes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := sjoin.Evaluate(st, lat)
+		if err != nil || set.NumFacts() != 5000 {
+			b.Fatalf("facts=%d err=%v", set.NumFacts(), err)
+		}
+	}
+}
+
+// BenchmarkPoolPressure measures random node access under a tiny pool
+// (heavy eviction) vs. an ample one.
+func BenchmarkPoolPressure(b *testing.B) {
+	for _, pages := range []int{4, 4096} {
+		st := benchStore(b, pages)
+		name := "tiny"
+		if pages > 4 {
+			name = "ample"
+		}
+		b.Run(name, func(b *testing.B) {
+			n := st.NumNodes()
+			for i := 0; i < b.N; i++ {
+				id := (i * 7919) % n
+				if _, err := st.Value(xmltree.NodeID(id)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// TestConcurrentReaders hammers one store from many goroutines with a
+// tiny pool (heavy eviction), checking values stay correct under races.
+// Run with -race for full effect.
+func TestConcurrentReaders(t *testing.T) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 20, Relax: pattern.RelaxSet(0).With(pattern.LND)},
+	}
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: 12, Facts: 1500, Axes: axes, Noise: 2})
+	st := createStore(t, doc, 8)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			n := st.NumNodes()
+			for i := 0; i < 400; i++ {
+				id := xmltree.NodeID((seed*911 + i*37) % n)
+				v, err := st.Value(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != doc.Node(id).Value {
+					errs <- errValueMismatch
+					return
+				}
+				if i%50 == 0 {
+					if _, err := st.ByTag("w0"); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st.Stats().Evictions == 0 {
+		t.Error("tiny pool never evicted under concurrency")
+	}
+}
+
+var errValueMismatch = &mismatchErr{}
+
+type mismatchErr struct{}
+
+func (*mismatchErr) Error() string { return "store: concurrent read returned wrong value" }

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size, matching the paper's 8 KB configuration.
+const PageSize = 8192
+
+// PoolStats counts buffer pool activity.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Reads     int64 // physical page reads
+	Evictions int64
+}
+
+// pool is a read-only LRU buffer pool over a page file. It is safe for
+// concurrent readers: frame bookkeeping is mutex-protected, and pinned
+// frames are never evicted, so the page data a caller holds stays valid
+// until unpinned.
+type pool struct {
+	mu     sync.Mutex
+	f      *os.File
+	cap    int
+	frames map[uint32]*frame
+	lru    *list.List // front = most recently used; holds *frame
+	stats  PoolStats
+}
+
+type frame struct {
+	pid  uint32
+	data []byte
+	pins int
+	el   *list.Element
+}
+
+func newPool(f *os.File, capPages int) *pool {
+	if capPages < 4 {
+		capPages = 4
+	}
+	return &pool{f: f, cap: capPages, frames: map[uint32]*frame{}, lru: list.New()}
+}
+
+// page pins and returns the frame for pid. Callers must unpin it.
+func (p *pool) page(pid uint32) (*frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[pid]; ok {
+		p.stats.Hits++
+		fr.pins++
+		p.lru.MoveToFront(fr.el)
+		return fr, nil
+	}
+	p.stats.Misses++
+	if len(p.frames) >= p.cap {
+		if err := p.evict(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{pid: pid, data: make([]byte, PageSize), pins: 1}
+	n, err := p.f.ReadAt(fr.data, int64(pid)*PageSize)
+	if err != nil && n == 0 {
+		return nil, fmt.Errorf("store: read page %d: %w", pid, err)
+	}
+	p.stats.Reads++
+	fr.el = p.lru.PushFront(fr)
+	p.frames[pid] = fr
+	return fr, nil
+}
+
+func (p *pool) unpin(fr *frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("store: unpin of unpinned frame")
+	}
+	fr.pins--
+}
+
+// snapshot returns the stats under the lock.
+func (p *pool) snapshot() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// evict drops the least recently used unpinned frame. The caller holds
+// the pool lock (it is only reached from page).
+func (p *pool) evict() error {
+	for el := p.lru.Back(); el != nil; el = el.Prev() {
+		fr := el.Value.(*frame)
+		if fr.pins == 0 {
+			p.lru.Remove(el)
+			delete(p.frames, fr.pid)
+			p.stats.Evictions++
+			return nil
+		}
+	}
+	return fmt.Errorf("store: buffer pool of %d pages has no evictable frame", p.cap)
+}
+
+// drop empties the pool (cold-cache runs). Pinned frames are a bug.
+func (p *pool) drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.pins != 0 {
+			panic("store: drop with pinned frames")
+		}
+	}
+	p.frames = map[uint32]*frame{}
+	p.lru.Init()
+}
+
+// section is a byte range of the file spanning whole pages.
+type section struct {
+	firstPage uint32
+	length    int64
+}
+
+// readAt copies len(buf) bytes from the section starting at byte offset
+// off, crossing pages through the pool.
+func (p *pool) readAt(s section, off int64, buf []byte) error {
+	if off < 0 || off+int64(len(buf)) > s.length {
+		return fmt.Errorf("store: section read [%d,+%d) out of bounds (%d)", off, len(buf), s.length)
+	}
+	done := 0
+	for done < len(buf) {
+		pid := s.firstPage + uint32(off/PageSize)
+		po := int(off % PageSize)
+		n := PageSize - po
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		fr, err := p.page(pid)
+		if err != nil {
+			return err
+		}
+		copy(buf[done:done+n], fr.data[po:po+n])
+		p.unpin(fr)
+		done += n
+		off += int64(n)
+	}
+	return nil
+}
+
+// cursor is a sequential byte reader over a section, for varint streams.
+type cursor struct {
+	p   *pool
+	s   section
+	off int64
+	fr  *frame
+	pid uint32
+}
+
+func (c *cursor) ReadByte() (byte, error) {
+	if c.off >= c.s.length {
+		return 0, fmt.Errorf("store: cursor past section end")
+	}
+	pid := c.s.firstPage + uint32(c.off/PageSize)
+	if c.fr == nil || pid != c.pid {
+		if c.fr != nil {
+			c.p.unpin(c.fr)
+			c.fr = nil
+		}
+		fr, err := c.p.page(pid)
+		if err != nil {
+			return 0, err
+		}
+		c.fr, c.pid = fr, pid
+	}
+	b := c.fr.data[c.off%PageSize]
+	c.off++
+	return b, nil
+}
+
+func (c *cursor) close() {
+	if c.fr != nil {
+		c.p.unpin(c.fr)
+		c.fr = nil
+	}
+}

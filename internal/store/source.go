@@ -1,0 +1,83 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"x3/internal/sjoin"
+	"x3/internal/xmltree"
+)
+
+// ByTag implements sjoin.Source: it decodes the tag's element-index stream
+// into document-ordered items without touching node pages, the way
+// TIMBER's element index feeds its structural joins.
+func (s *Store) ByTag(tag string) ([]sjoin.Item, error) {
+	ti, ok := s.tagIDs[tag]
+	if !ok {
+		return nil, nil
+	}
+	var dir [indexDirEntry]byte
+	if err := s.pool.readAt(s.secIdxDir, int64(ti)*indexDirEntry, dir[:]); err != nil {
+		return nil, err
+	}
+	off := int64(binary.BigEndian.Uint64(dir[0:]))
+	count := int(binary.BigEndian.Uint32(dir[8:]))
+	c := &cursor{p: s.pool, s: s.secIdx, off: off}
+	defer c.close()
+	out := make([]sjoin.Item, 0, count)
+	prevID, prevStart := uint64(0), uint64(0)
+	for i := 0; i < count; i++ {
+		dID, err := binary.ReadUvarint(c)
+		if err != nil {
+			return nil, fmt.Errorf("store: index stream for %q: %w", tag, err)
+		}
+		dStart, err := binary.ReadUvarint(c)
+		if err != nil {
+			return nil, err
+		}
+		span, err := binary.ReadUvarint(c)
+		if err != nil {
+			return nil, err
+		}
+		level, err := binary.ReadUvarint(c)
+		if err != nil {
+			return nil, err
+		}
+		prevID += dID
+		prevStart += dStart
+		out = append(out, sjoin.Item{
+			ID:    xmltree.NodeID(prevID),
+			Start: uint32(prevStart),
+			End:   uint32(prevStart + span),
+			Level: uint16(level),
+		})
+	}
+	return out, nil
+}
+
+// Tags implements sjoin.Source.
+func (s *Store) Tags() ([]string, error) { return s.tags, nil }
+
+// Value implements sjoin.Source: it reads the node record and then its
+// slice of the value heap.
+func (s *Store) Value(id xmltree.NodeID) (string, error) {
+	if int(id) < 0 || int(id) >= s.numNodes {
+		return "", fmt.Errorf("store: node %d out of range", id)
+	}
+	var rec [nodeRecSize]byte
+	if err := s.pool.readAt(s.secNodes, int64(id)*nodeRecSize, rec[:]); err != nil {
+		return "", err
+	}
+	valOff := int64(binary.BigEndian.Uint64(rec[28:]))
+	valLen := int(binary.BigEndian.Uint32(rec[36:]))
+	if valLen == 0 {
+		return "", nil
+	}
+	buf := make([]byte, valLen)
+	if err := s.pool.readAt(s.secHeap, valOff, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+var _ sjoin.Source = (*Store)(nil)

@@ -1,0 +1,270 @@
+// Package store is a paged, native XML store in the mould of TIMBER (the
+// substrate the paper implements its cube algorithms on): region-encoded
+// nodes in fixed-width records, a value heap, a per-tag element index
+// holding (id, start, end, level) streams for structural joins, and a
+// read-side LRU buffer pool with a configurable frame budget.
+//
+// A Store implements sjoin.Source, so the structural-join evaluator runs
+// directly against the paged file; DropCache gives the paper's cold-cache
+// measurement mode.
+//
+// File layout (all pages PageSize bytes):
+//
+//	page 0          meta: magic, node/tag counts, section table
+//	tag dictionary  uvarint count, then length-prefixed tag strings
+//	value heap      concatenated node value bytes
+//	node records    fixed 40-byte records in node-ID order
+//	index directory 16 bytes per tag: stream offset u64, entry count u32, pad
+//	index streams   per tag: delta-encoded (id, start, len, level) entries
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"x3/internal/xmltree"
+)
+
+var storeMagic = [4]byte{'X', '3', 'S', 'T'}
+
+const (
+	storeVersion  = 1
+	nodeRecSize   = 40
+	indexDirEntry = 16
+)
+
+// Store is an open page file.
+type Store struct {
+	f    *os.File
+	pool *pool
+
+	numNodes int
+	tags     []string
+	tagIDs   map[string]int
+
+	secDict   section
+	secHeap   section
+	secNodes  section
+	secIdxDir section
+	secIdx    section
+}
+
+// NodeInfo is one decoded node record.
+type NodeInfo struct {
+	ID          xmltree.NodeID
+	Parent      xmltree.NodeID
+	FirstChild  xmltree.NodeID
+	NextSibling xmltree.NodeID
+	Start, End  uint32
+	Level       uint16
+	Kind        xmltree.Kind
+	Tag         string
+}
+
+// Create bulk-loads the document into a new store file at path.
+func Create(path string, doc *xmltree.Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+
+	// Assign tag IDs in sorted order.
+	tags := doc.Tags()
+	tagID := map[string]int{}
+	for i, t := range tags {
+		tagID[t] = i
+	}
+
+	// Build the sections in memory.
+	var dict []byte
+	dict = appendUvarint(dict, uint64(len(tags)))
+	for _, t := range tags {
+		dict = appendUvarint(dict, uint64(len(t)))
+		dict = append(dict, t...)
+	}
+
+	var heap []byte
+	nodes := make([]byte, 0, len(doc.Nodes)*nodeRecSize)
+	for i := range doc.Nodes {
+		n := &doc.Nodes[i]
+		valOff := uint64(len(heap))
+		heap = append(heap, n.Value...)
+		var rec [nodeRecSize]byte
+		binary.BigEndian.PutUint32(rec[0:], uint32(n.Parent))
+		binary.BigEndian.PutUint32(rec[4:], uint32(n.FirstChild))
+		binary.BigEndian.PutUint32(rec[8:], uint32(n.NextSibling))
+		binary.BigEndian.PutUint32(rec[12:], n.Start)
+		binary.BigEndian.PutUint32(rec[16:], n.End)
+		binary.BigEndian.PutUint16(rec[20:], n.Level)
+		rec[22] = byte(n.Kind)
+		binary.BigEndian.PutUint32(rec[24:], uint32(tagID[n.Tag]))
+		binary.BigEndian.PutUint64(rec[28:], valOff)
+		binary.BigEndian.PutUint32(rec[36:], uint32(len(n.Value)))
+		nodes = append(nodes, rec[:]...)
+	}
+
+	// Element index: per tag, delta-encoded entries in document order.
+	var idx []byte
+	idxDir := make([]byte, len(tags)*indexDirEntry)
+	for ti, t := range tags {
+		ids := doc.ByTag(t)
+		binary.BigEndian.PutUint64(idxDir[ti*indexDirEntry:], uint64(len(idx)))
+		binary.BigEndian.PutUint32(idxDir[ti*indexDirEntry+8:], uint32(len(ids)))
+		prevID, prevStart := uint64(0), uint64(0)
+		for _, id := range ids {
+			n := doc.Node(id)
+			idx = appendUvarint(idx, uint64(id)-prevID)
+			idx = appendUvarint(idx, uint64(n.Start)-prevStart)
+			idx = appendUvarint(idx, uint64(n.End-n.Start))
+			idx = appendUvarint(idx, uint64(n.Level))
+			prevID, prevStart = uint64(id), uint64(n.Start)
+		}
+	}
+
+	// Lay out sections on page boundaries after the meta page.
+	type sec struct {
+		data []byte
+		page uint32
+	}
+	secs := []*sec{{data: dict}, {data: heap}, {data: nodes}, {data: idxDir}, {data: idx}}
+	next := uint32(1)
+	for _, s := range secs {
+		s.page = next
+		next += uint32((len(s.data) + PageSize - 1) / PageSize)
+	}
+
+	// Meta page.
+	meta := make([]byte, PageSize)
+	copy(meta, storeMagic[:])
+	meta[4] = storeVersion
+	binary.BigEndian.PutUint32(meta[8:], uint32(len(doc.Nodes)))
+	binary.BigEndian.PutUint32(meta[12:], uint32(len(tags)))
+	off := 16
+	for _, s := range secs {
+		binary.BigEndian.PutUint32(meta[off:], s.page)
+		binary.BigEndian.PutUint64(meta[off+4:], uint64(len(s.data)))
+		off += 12
+	}
+	if _, err := w.Write(meta); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, s := range secs {
+		if _, err := w.Write(s.data); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if pad := (PageSize - len(s.data)%PageSize) % PageSize; pad > 0 {
+			if _, err := w.Write(make([]byte, pad)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Open opens a store file with a buffer pool of poolPages frames.
+func Open(path string, poolPages int) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := &Store{f: f, pool: newPool(f, poolPages)}
+	meta := make([]byte, PageSize)
+	if _, err := f.ReadAt(meta, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: meta page: %w", err)
+	}
+	if [4]byte(meta[0:4]) != storeMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a store file", path)
+	}
+	if meta[4] != storeVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", meta[4])
+	}
+	st.numNodes = int(binary.BigEndian.Uint32(meta[8:]))
+	numTags := int(binary.BigEndian.Uint32(meta[12:]))
+	secp := []*section{&st.secDict, &st.secHeap, &st.secNodes, &st.secIdxDir, &st.secIdx}
+	off := 16
+	for _, s := range secp {
+		s.firstPage = binary.BigEndian.Uint32(meta[off:])
+		s.length = int64(binary.BigEndian.Uint64(meta[off+4:]))
+		off += 12
+	}
+	// Load the tag dictionary eagerly; it is tiny.
+	dict := make([]byte, st.secDict.length)
+	if err := st.pool.readAt(st.secDict, 0, dict); err != nil {
+		f.Close()
+		return nil, err
+	}
+	cnt, n := binary.Uvarint(dict)
+	if n <= 0 || int(cnt) != numTags {
+		f.Close()
+		return nil, fmt.Errorf("store: corrupt tag dictionary")
+	}
+	dict = dict[n:]
+	st.tagIDs = make(map[string]int, numTags)
+	for i := 0; i < numTags; i++ {
+		l, n := binary.Uvarint(dict)
+		if n <= 0 || int(l) > len(dict)-n {
+			f.Close()
+			return nil, fmt.Errorf("store: corrupt tag dictionary entry %d", i)
+		}
+		tag := string(dict[n : n+int(l)])
+		dict = dict[n+int(l):]
+		st.tags = append(st.tags, tag)
+		st.tagIDs[tag] = i
+	}
+	return st, nil
+}
+
+// Close releases the file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// NumNodes returns the number of stored nodes.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// Stats returns buffer pool statistics.
+func (s *Store) Stats() PoolStats { return s.pool.snapshot() }
+
+// DropCache empties the buffer pool, forcing cold reads — the paper
+// measures all runs with a cold cache.
+func (s *Store) DropCache() { s.pool.drop() }
+
+// Node reads one node record.
+func (s *Store) Node(id xmltree.NodeID) (NodeInfo, error) {
+	if int(id) < 0 || int(id) >= s.numNodes {
+		return NodeInfo{}, fmt.Errorf("store: node %d out of range", id)
+	}
+	var rec [nodeRecSize]byte
+	if err := s.pool.readAt(s.secNodes, int64(id)*nodeRecSize, rec[:]); err != nil {
+		return NodeInfo{}, err
+	}
+	tagID := binary.BigEndian.Uint32(rec[24:])
+	if int(tagID) >= len(s.tags) {
+		return NodeInfo{}, fmt.Errorf("store: node %d has corrupt tag id %d", id, tagID)
+	}
+	return NodeInfo{
+		ID:          id,
+		Parent:      xmltree.NodeID(int32(binary.BigEndian.Uint32(rec[0:]))),
+		FirstChild:  xmltree.NodeID(int32(binary.BigEndian.Uint32(rec[4:]))),
+		NextSibling: xmltree.NodeID(int32(binary.BigEndian.Uint32(rec[8:]))),
+		Start:       binary.BigEndian.Uint32(rec[12:]),
+		End:         binary.BigEndian.Uint32(rec[16:]),
+		Level:       binary.BigEndian.Uint16(rec[20:]),
+		Kind:        xmltree.Kind(rec[22]),
+		Tag:         s.tags[tagID],
+	}, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(b, buf[:n]...)
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/pattern"
+	"x3/internal/sjoin"
+	"x3/internal/xmltree"
+	"x3/internal/xq"
+)
+
+const paperXML = `
+<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a3"><name>Bob</name></author>
+    <publisher id="p1"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a1"><name>John</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Amy</name></author>
+    <pubData><publisher id="p2"/><year>2005</year></pubData>
+  </publication>
+</database>`
+
+func createStore(t *testing.T, doc *xmltree.Document, poolPages int) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.x3st")
+	if err := Create(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestRoundTripNodes(t *testing.T) {
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := createStore(t, doc, 64)
+	if st.NumNodes() != doc.Len() {
+		t.Fatalf("NumNodes = %d, want %d", st.NumNodes(), doc.Len())
+	}
+	for i := range doc.Nodes {
+		want := &doc.Nodes[i]
+		got, err := st.Node(xmltree.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag != want.Tag || got.Start != want.Start || got.End != want.End ||
+			got.Level != want.Level || got.Kind != want.Kind ||
+			got.Parent != want.Parent || got.FirstChild != want.FirstChild ||
+			got.NextSibling != want.NextSibling {
+			t.Fatalf("node %d: %+v vs %+v", i, got, want)
+		}
+		v, err := st.Value(xmltree.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want.Value {
+			t.Fatalf("node %d value %q, want %q", i, v, want.Value)
+		}
+	}
+}
+
+func TestByTagMatchesDocument(t *testing.T) {
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := createStore(t, doc, 64)
+	tags, err := st.Tags()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != len(doc.Tags()) {
+		t.Fatalf("tags %v vs %v", tags, doc.Tags())
+	}
+	for _, tag := range tags {
+		items, err := st.ByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := doc.ByTag(tag)
+		if len(items) != len(want) {
+			t.Fatalf("%s: %d items, want %d", tag, len(items), len(want))
+		}
+		for i, it := range items {
+			n := doc.Node(want[i])
+			if it.ID != want[i] || it.Start != n.Start || it.End != n.End || it.Level != n.Level {
+				t.Fatalf("%s[%d]: %+v vs %+v", tag, i, it, n)
+			}
+		}
+	}
+	// Unknown tag: empty, no error.
+	items, err := st.ByTag("nosuch")
+	if err != nil || items != nil {
+		t.Fatalf("ByTag(nosuch) = %v, %v", items, err)
+	}
+}
+
+// TestStoreBackedEvaluation runs the full pipeline — generate, store on
+// disk, evaluate with structural joins over the paged file — and compares
+// against the in-memory evaluator.
+func TestStoreBackedEvaluation(t *testing.T) {
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 6, PMissing: 0.2, PNest: 0.3,
+			Relax: pattern.RelaxSet(0).With(pattern.LND).With(pattern.PCAD)},
+		{Tag: "w1", Cardinality: 4, PRepeat: 0.3,
+			Relax: pattern.RelaxSet(0).With(pattern.LND)},
+	}
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: 9, Facts: 200, Axes: axes, Noise: 1})
+	q := dataset.TreebankQuery(axes)
+
+	lat1, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := match.Evaluate(doc, lat1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := createStore(t, doc, 32)
+	lat2, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sjoin.Evaluate(st, lat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFacts() != want.NumFacts() {
+		t.Fatalf("facts %d vs %d", got.NumFacts(), want.NumFacts())
+	}
+	for i := range want.Facts {
+		wf, gf := want.Facts[i], got.Facts[i]
+		if wf.Key != gf.Key {
+			t.Fatalf("fact %d key %q vs %q", i, wf.Key, gf.Key)
+		}
+		for a := range wf.Axes {
+			for s := range wf.Axes[a] {
+				ws := fmt.Sprint(valueStrings(want, wf, a, s))
+				gs := fmt.Sprint(valueStrings(got, gf, a, s))
+				if ws != gs {
+					t.Fatalf("fact %d axis %d state %d: %s vs %s", i, a, s, ws, gs)
+				}
+			}
+		}
+	}
+	if st.Stats().Reads == 0 {
+		t.Error("no physical page reads recorded")
+	}
+}
+
+func valueStrings(set *match.Set, f *match.Fact, a, s int) []string {
+	out := []string{}
+	for _, id := range f.Values(a, s) {
+		out = append(out, set.Dicts[a].Value(id))
+	}
+	return out
+}
+
+func TestQuery1OverStore(t *testing.T) {
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(`
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+x3 $b/@id by $n (LND, SP, PC-AD), $p (LND, PC-AD), $y (LND)
+return COUNT($b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := createStore(t, doc, 16)
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := sjoin.Evaluate(st, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumFacts() != 4 {
+		t.Fatalf("facts = %d", set.NumFacts())
+	}
+	if set.Facts[0].Key != "1" || set.Facts[3].Key != "4" {
+		t.Fatalf("keys = %q, %q", set.Facts[0].Key, set.Facts[3].Key)
+	}
+}
+
+func TestTinyPoolEvicts(t *testing.T) {
+	doc := dataset.Treebank(dataset.TreebankConfig{
+		Seed: 3, Facts: 2000,
+		Axes: []dataset.AxisConfig{{Tag: "w0", Cardinality: 50,
+			Relax: pattern.RelaxSet(0).With(pattern.LND)}},
+		Noise: 3,
+	})
+	st := createStore(t, doc, 4) // minimum pool
+	// Touch many nodes to force eviction churn.
+	for i := 0; i < st.NumNodes(); i += 7 {
+		if _, err := st.Value(xmltree.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Evictions == 0 {
+		t.Errorf("tiny pool never evicted: %+v", stats)
+	}
+	if stats.Hits == 0 {
+		t.Errorf("no hits at all: %+v", stats)
+	}
+}
+
+func TestDropCacheForcesColdReads(t *testing.T) {
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := createStore(t, doc, 64)
+	if _, err := st.Value(1); err != nil {
+		t.Fatal(err)
+	}
+	r1 := st.Stats().Reads
+	if _, err := st.Value(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Reads != r1 {
+		t.Fatal("warm read went to disk")
+	}
+	st.DropCache()
+	if _, err := st.Value(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Reads == r1 {
+		t.Fatal("cold read served from cache")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing"), 8); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, make([]byte, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad, 8); err == nil {
+		t.Error("zero file accepted")
+	}
+}
+
+func TestNodeOutOfRange(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><b>x</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := createStore(t, doc, 8)
+	if _, err := st.Node(99); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := st.Value(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package views selects cuboids to materialize under a view-count budget,
+// in the style of Harinarayan–Rajaraman–Ullman's greedy algorithm — with
+// an XML twist taken from the paper: a materialized cuboid can only answer
+// a coarser cuboid if every relaxation step between them is *safe* (the
+// relaxed axis is covered and disjoint at the relevant ladder states,
+// §3.2/§3.7), because unsafe roll-ups double-count or drop facts. The
+// summarizability properties therefore shape not just cube computation but
+// which materializations are useful at all.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"x3/internal/cube"
+	"x3/internal/lattice"
+)
+
+// Suggestion is one selected view with its standing in the greedy order.
+type Suggestion struct {
+	Point lattice.Point
+	// Size is the cuboid's cell count (the cost of scanning it).
+	Size int64
+	// Benefit is the total query-cost reduction this view contributed
+	// when it was picked.
+	Benefit int64
+}
+
+// Select greedily picks up to k cuboids to materialize. sizes maps lattice
+// point IDs to cuboid cell counts (cuboids absent from the map are treated
+// as answerable only from base data); baseRows is the cost of computing a
+// cuboid from scratch. props certifies which lattice edges roll up safely;
+// nil means nothing is safe (every view then only answers itself).
+func Select(lat *lattice.Lattice, props cube.Props, sizes map[uint32]int64, baseRows int64, k int) ([]Suggestion, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("views: k must be positive")
+	}
+	if baseRows <= 0 {
+		return nil, fmt.Errorf("views: baseRows must be positive")
+	}
+	pts := lat.Points()
+	n := len(pts)
+	idx := make(map[uint32]int, n)
+	for i, p := range pts {
+		idx[lat.ID(p)] = i
+	}
+
+	// answers[i] lists the point indexes cuboid i can answer: itself plus
+	// everything reachable through safe relaxation edges.
+	answers := make([][]int, n)
+	for i, p := range pts {
+		seen := make(map[int]bool)
+		var dfs func(q lattice.Point)
+		dfs = func(q lattice.Point) {
+			qi := idx[lat.ID(q)]
+			if seen[qi] {
+				return
+			}
+			seen[qi] = true
+			for a := range q {
+				if int(q[a])+1 >= lat.Ladders[a].Len() {
+					continue
+				}
+				c := q.Clone()
+				c[a]++
+				if props != nil && edgeSafe(lat, props, c, a) {
+					dfs(c)
+				}
+			}
+		}
+		dfs(p)
+		for qi := range seen {
+			answers[i] = append(answers[i], qi)
+		}
+		sort.Ints(answers[i])
+	}
+
+	sizeOf := func(i int) int64 {
+		if s, ok := sizes[lat.ID(pts[i])]; ok && s > 0 {
+			return s
+		}
+		return baseRows
+	}
+
+	// cost[j]: cheapest currently-materialized provider of cuboid j.
+	cost := make([]int64, n)
+	for j := range cost {
+		cost[j] = baseRows
+	}
+	chosen := make([]bool, n)
+	var out []Suggestion
+	for round := 0; round < k; round++ {
+		best, bestBenefit := -1, int64(0)
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			var benefit int64
+			si := sizeOf(i)
+			for _, j := range answers[i] {
+				if si < cost[j] {
+					benefit += cost[j] - si
+				}
+			}
+			if benefit > bestBenefit || (benefit == bestBenefit && benefit > 0 && best >= 0 && sizeOf(i) < sizeOf(best)) {
+				best, bestBenefit = i, benefit
+			}
+		}
+		if best < 0 || bestBenefit == 0 {
+			break // nothing left improves any query
+		}
+		chosen[best] = true
+		si := sizeOf(best)
+		for _, j := range answers[best] {
+			if si < cost[j] {
+				cost[j] = si
+			}
+		}
+		out = append(out, Suggestion{Point: pts[best].Clone(), Size: si, Benefit: bestBenefit})
+	}
+	return out, nil
+}
+
+// edgeSafe reports whether the lattice edge into p that relaxed axis a is
+// a safe roll-up (the TDCUST criterion): for an LND step the dropped axis
+// must be covered and disjoint at the finer state; for a ladder state step
+// it must be covered below and disjoint above, making the two states'
+// value sets identical.
+func edgeSafe(lat *lattice.Lattice, props cube.Props, p lattice.Point, a int) bool {
+	sq := int(p[a]) - 1
+	if lat.Deleted(p, a) {
+		return props.Covered(a, sq) && props.Disjoint(a, sq)
+	}
+	return props.Covered(a, sq) && props.Disjoint(a, int(p[a]))
+}

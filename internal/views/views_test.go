@@ -1,0 +1,145 @@
+package views
+
+import (
+	"testing"
+
+	"x3/internal/cube"
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+)
+
+// threeAxisLattice builds a plain 2^3 LND lattice.
+func threeAxisLattice(t *testing.T) *lattice.Lattice {
+	t.Helper()
+	q := &pattern.CubeQuery{
+		FactVar:  "$f",
+		FactPath: pattern.MustParsePath("//f"),
+		Agg:      pattern.Count,
+		Axes: []pattern.AxisSpec{
+			{Var: "$a", Path: pattern.MustParsePath("/a"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+			{Var: "$b", Path: pattern.MustParsePath("/b"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+			{Var: "$c", Path: pattern.MustParsePath("/c"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		},
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+// sizesFor assigns sizes shrinking with the number of deleted axes.
+func sizesFor(lat *lattice.Lattice) map[uint32]int64 {
+	out := map[uint32]int64{}
+	for _, p := range lat.Points() {
+		live := len(lat.LiveAxes(p))
+		out[lat.ID(p)] = int64(1) << (2 * live) // 1, 4, 16, 64
+	}
+	return out
+}
+
+func TestSelectGreedyPicksTopFirst(t *testing.T) {
+	lat := threeAxisLattice(t)
+	sizes := sizesFor(lat)
+	// Everything summarizable: all edges safe.
+	sugs, err := Select(lat, cube.AssumeAllProps{}, sizes, 10_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// The finest cuboid answers everything at cost 64 << 10000, so it is
+	// the first pick.
+	if len(lat.LiveAxes(sugs[0].Point)) != 3 {
+		t.Errorf("first pick = %v, want the top cuboid", lat.Label(sugs[0].Point))
+	}
+	if sugs[0].Benefit <= 0 {
+		t.Errorf("benefit = %d", sugs[0].Benefit)
+	}
+	// Benefits are non-increasing in greedy order.
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i].Benefit > sugs[i-1].Benefit {
+			t.Errorf("benefit grew: %v", sugs)
+		}
+	}
+}
+
+func TestSelectNothingSafeMeansSelfOnly(t *testing.T) {
+	lat := threeAxisLattice(t)
+	sizes := sizesFor(lat)
+	sugs, err := Select(lat, cube.PessimisticProps{}, sizes, 10_000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no safe edges a view only answers itself; every view has equal
+	// standalone benefit and the greedy should simply pick views, each
+	// benefiting only its own queries.
+	for _, s := range sugs {
+		if s.Benefit != 10_000-s.Size {
+			t.Errorf("view %v benefit %d, want %d", lat.Label(s.Point), s.Benefit, 10_000-s.Size)
+		}
+	}
+	if len(sugs) != 8 {
+		t.Errorf("picked %d views, want all 8", len(sugs))
+	}
+}
+
+func TestSelectStopsWhenNoBenefit(t *testing.T) {
+	lat := threeAxisLattice(t)
+	sizes := sizesFor(lat)
+	// Base is as cheap as any view: no view helps.
+	sugs, err := Select(lat, cube.AssumeAllProps{}, sizes, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 0 {
+		t.Errorf("picked %d views despite free base", len(sugs))
+	}
+}
+
+func TestSelectPartialSafety(t *testing.T) {
+	lat := threeAxisLattice(t)
+	sizes := sizesFor(lat)
+	// Only axis 2 ($c) is safe to drop: the top view answers itself and
+	// the cuboid with $c deleted, nothing else.
+	props := &axisProps{safe: map[int]bool{2: true}}
+	sugs, err := Select(lat, props, sizes, 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 1 {
+		t.Fatal("no pick")
+	}
+	// Every view can answer at most itself plus the one safe roll-up
+	// (dropping $c). The cheapest two-query cover is the $c-only cuboid
+	// (size 4), answering itself and the bottom.
+	got := sugs[0]
+	if lat.Label(got.Point) != "[$a:LND $b:LND $c:rigid]" {
+		t.Errorf("pick = %s", lat.Label(got.Point))
+	}
+	wantBenefit := int64(10_000-4) * 2
+	if got.Benefit != wantBenefit {
+		t.Errorf("benefit = %d, want %d", got.Benefit, wantBenefit)
+	}
+}
+
+type axisProps struct{ safe map[int]bool }
+
+func (a *axisProps) Disjoint(axis, _ int) bool { return a.safe[axis] }
+func (a *axisProps) Covered(axis, _ int) bool  { return a.safe[axis] }
+
+func TestSelectErrors(t *testing.T) {
+	lat := threeAxisLattice(t)
+	if _, err := Select(lat, nil, nil, 10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Select(lat, nil, nil, 0, 1); err == nil {
+		t.Error("baseRows=0 accepted")
+	}
+	// nil props: no edge is safe, still works.
+	sugs, err := Select(lat, nil, sizesFor(lat), 100, 2)
+	if err != nil || len(sugs) == 0 {
+		t.Errorf("nil props: %v, %v", sugs, err)
+	}
+}

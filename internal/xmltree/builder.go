@@ -1,0 +1,172 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+)
+
+// Builder constructs a Document incrementally in document order. It is the
+// single way Documents are created, so every Document satisfies Validate.
+//
+// Usage:
+//
+//	var b xmltree.Builder
+//	b.Open("publication")
+//	b.Attr("id", "1")
+//	b.Open("year")
+//	b.Text("2003")
+//	b.Close()
+//	b.Close()
+//	doc, err := b.Done()
+type Builder struct {
+	doc     Document
+	stack   []NodeID // open elements
+	lastSib []NodeID // last child appended at each stack depth
+	counter uint32   // region-encoding counter
+	err     error
+}
+
+// Open starts a new element with the given tag as a child of the currently
+// open element (or as the document root).
+func (b *Builder) Open(tag string) {
+	if b.err != nil {
+		return
+	}
+	if len(b.stack) == 0 && len(b.doc.Nodes) > 0 {
+		b.err = errors.New("xmltree: document already has a root")
+		return
+	}
+	id := NodeID(len(b.doc.Nodes))
+	b.counter++
+	n := Node{
+		ID:          id,
+		Parent:      NilNode,
+		FirstChild:  NilNode,
+		NextSibling: NilNode,
+		Start:       b.counter,
+		Kind:        Element,
+		Tag:         tag,
+		Level:       uint16(len(b.stack)),
+	}
+	if len(b.stack) > 0 {
+		n.Parent = b.stack[len(b.stack)-1]
+	}
+	b.doc.Nodes = append(b.doc.Nodes, n)
+	b.link(id)
+	b.stack = append(b.stack, id)
+	b.lastSib = append(b.lastSib, NilNode)
+}
+
+// Attr adds an attribute to the currently open element. Attributes must be
+// added before any child elements or text.
+func (b *Builder) Attr(name, value string) {
+	if b.err != nil {
+		return
+	}
+	if len(b.stack) == 0 {
+		b.err = errors.New("xmltree: Attr with no open element")
+		return
+	}
+	parent := b.stack[len(b.stack)-1]
+	if b.doc.Nodes[parent].FirstChild != NilNode &&
+		b.doc.Nodes[b.doc.Nodes[parent].FirstChild].Kind == Element {
+		b.err = errors.New("xmltree: Attr after child element")
+		return
+	}
+	id := NodeID(len(b.doc.Nodes))
+	b.counter++
+	n := Node{
+		ID:          id,
+		Parent:      parent,
+		FirstChild:  NilNode,
+		NextSibling: NilNode,
+		Start:       b.counter,
+		End:         b.counter,
+		Kind:        Attr,
+		Tag:         "@" + name,
+		Value:       value,
+		Level:       uint16(len(b.stack)),
+	}
+	b.doc.Nodes = append(b.doc.Nodes, n)
+	b.link(id)
+}
+
+// Text appends character data to the currently open element's Value.
+// Whitespace-only data is ignored; nonempty fragments are joined by a
+// single space.
+func (b *Builder) Text(s string) {
+	if b.err != nil {
+		return
+	}
+	if len(b.stack) == 0 {
+		b.err = errors.New("xmltree: Text with no open element")
+		return
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return
+	}
+	n := &b.doc.Nodes[b.stack[len(b.stack)-1]]
+	if n.Value == "" {
+		n.Value = s
+	} else {
+		n.Value += " " + s
+	}
+}
+
+// Close ends the currently open element.
+func (b *Builder) Close() {
+	if b.err != nil {
+		return
+	}
+	if len(b.stack) == 0 {
+		b.err = errors.New("xmltree: Close with no open element")
+		return
+	}
+	id := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.lastSib = b.lastSib[:len(b.lastSib)-1]
+	b.counter++
+	b.doc.Nodes[id].End = b.counter
+}
+
+// link appends id to its parent's child list.
+func (b *Builder) link(id NodeID) {
+	if len(b.stack) == 0 {
+		return // root
+	}
+	depth := len(b.stack) - 1
+	parent := b.stack[depth]
+	if prev := b.lastSib[depth]; prev == NilNode {
+		b.doc.Nodes[parent].FirstChild = id
+	} else {
+		b.doc.Nodes[prev].NextSibling = id
+	}
+	b.lastSib[depth] = id
+}
+
+// Done finishes building and returns the document. It fails if elements
+// remain open, no root was created, or any earlier call failed.
+func (b *Builder) Done() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stack) != 0 {
+		return nil, errors.New("xmltree: unclosed elements at Done")
+	}
+	if len(b.doc.Nodes) == 0 {
+		return nil, errors.New("xmltree: empty document")
+	}
+	doc := b.doc
+	b.doc = Document{}
+	return &doc, nil
+}
+
+// MustDone is Done for tests and generators with known-good input.
+func (b *Builder) MustDone() *Document {
+	d, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

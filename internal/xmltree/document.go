@@ -1,0 +1,167 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Document is an in-memory XML tree: an arena of nodes in document order
+// plus a tag index. The zero value is an empty document; use a Builder or
+// Parse to populate one.
+type Document struct {
+	// Nodes holds every node in document order. Nodes[i].ID == i.
+	Nodes []Node
+
+	// byTag maps a tag (elements by name, attributes by "@name") to the
+	// IDs of all nodes with that tag, in document order. Built lazily.
+	byTag map[string][]NodeID
+}
+
+// Len returns the number of nodes in the document.
+func (d *Document) Len() int { return len(d.Nodes) }
+
+// Root returns the root element, or nil for an empty document.
+func (d *Document) Root() *Node {
+	if len(d.Nodes) == 0 {
+		return nil
+	}
+	return &d.Nodes[0]
+}
+
+// Node returns the node with the given ID, or nil if out of range.
+func (d *Document) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(d.Nodes) {
+		return nil
+	}
+	return &d.Nodes[id]
+}
+
+// Children returns the IDs of the direct children of id (attributes first,
+// then element children, both in document order).
+func (d *Document) Children(id NodeID) []NodeID {
+	var out []NodeID
+	for c := d.Nodes[id].FirstChild; c != NilNode; c = d.Nodes[c].NextSibling {
+		out = append(out, c)
+	}
+	return out
+}
+
+// EachChild calls fn for each direct child of id in order. Returning false
+// from fn stops the iteration.
+func (d *Document) EachChild(id NodeID, fn func(NodeID) bool) {
+	for c := d.Nodes[id].FirstChild; c != NilNode; c = d.Nodes[c].NextSibling {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// Descendants returns the IDs of all proper descendants of id in document
+// order, including attribute nodes.
+func (d *Document) Descendants(id NodeID) []NodeID {
+	n := &d.Nodes[id]
+	var out []NodeID
+	// Descendants are exactly the nodes with Start in (n.Start, n.End);
+	// since IDs follow document order we can scan forward from id+1.
+	for j := int(id) + 1; j < len(d.Nodes); j++ {
+		if d.Nodes[j].Start >= n.End {
+			break
+		}
+		out = append(out, NodeID(j))
+	}
+	return out
+}
+
+// ByTag returns the IDs of all nodes with the given tag in document order.
+// The returned slice is shared; callers must not modify it.
+func (d *Document) ByTag(tag string) []NodeID {
+	if d.byTag == nil {
+		d.buildTagIndex()
+	}
+	return d.byTag[tag]
+}
+
+// Tags returns all distinct tags in the document, sorted.
+func (d *Document) Tags() []string {
+	if d.byTag == nil {
+		d.buildTagIndex()
+	}
+	out := make([]string, 0, len(d.byTag))
+	for t := range d.byTag {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (d *Document) buildTagIndex() {
+	d.byTag = make(map[string][]NodeID)
+	for i := range d.Nodes {
+		t := d.Nodes[i].Tag
+		d.byTag[t] = append(d.byTag[t], NodeID(i))
+	}
+}
+
+// Validate checks the structural invariants of the document: dense IDs in
+// document order, consistent parent/child threading, well-nested region
+// encoding and correct levels. It returns the first violation found.
+func (d *Document) Validate() error {
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("xmltree: node at index %d has ID %d", i, n.ID)
+		}
+		if n.Start >= n.End && n.Kind == Element {
+			return fmt.Errorf("xmltree: element %v has empty region [%d,%d]", n, n.Start, n.End)
+		}
+		if i == 0 {
+			if n.Parent != NilNode {
+				return fmt.Errorf("xmltree: root has parent %d", n.Parent)
+			}
+			if n.Level != 0 {
+				return fmt.Errorf("xmltree: root has level %d", n.Level)
+			}
+			continue
+		}
+		p := d.Node(n.Parent)
+		if p == nil {
+			return fmt.Errorf("xmltree: node %v has invalid parent %d", n, n.Parent)
+		}
+		if !p.IsAncestorOf(n) {
+			return fmt.Errorf("xmltree: parent region %v does not contain %v", p, n)
+		}
+		if p.Level+1 != n.Level {
+			return fmt.Errorf("xmltree: node %v level %d, parent level %d", n, n.Level, p.Level)
+		}
+	}
+	// Verify threading agrees with Parent links.
+	for i := range d.Nodes {
+		for c := d.Nodes[i].FirstChild; c != NilNode; c = d.Nodes[c].NextSibling {
+			if d.Nodes[c].Parent != NodeID(i) {
+				return fmt.Errorf("xmltree: threading lists %d as child of %d but parent is %d",
+					c, i, d.Nodes[c].Parent)
+			}
+		}
+	}
+	return nil
+}
+
+// Sketch renders an indented one-line-per-node view of the subtree rooted
+// at id, useful in tests and error messages.
+func (d *Document) Sketch(id NodeID) string {
+	var b strings.Builder
+	var rec func(NodeID, int)
+	rec = func(n NodeID, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(d.Nodes[n].String())
+		b.WriteByte('\n')
+		for c := d.Nodes[n].FirstChild; c != NilNode; c = d.Nodes[c].NextSibling {
+			rec(c, depth+1)
+		}
+	}
+	if d.Node(id) != nil {
+		rec(id, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package xmltree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the XML parser: it must never panic,
+// and every accepted document must satisfy the structural invariants and
+// survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a x="1"><b>t</b></a>`,
+		`<database><publication id="1"><year>2003</year></publication></database>`,
+		`<a>&lt;&amp;</a>`,
+		`<a><b></a></b>`,
+		`<a`,
+		`<?xml version="1.0"?><a/>`,
+		`<a xmlns:x="u"><x:b/></a>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("accepted document invalid: %v\ninput: %q", err, data)
+		}
+		var buf bytes.Buffer
+		if err := doc.Write(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		doc2, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("round trip does not re-parse: %v\nrendered: %q", err, buf.String())
+		}
+		if doc2.Len() != doc.Len() {
+			t.Fatalf("round trip changed node count %d -> %d", doc.Len(), doc2.Len())
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Package xmltree implements the XML data model underlying the X³ cube
+// operator: ordered, labelled trees with region-encoded nodes.
+//
+// Every node carries a (Start, End, Level) region encoding assigned in
+// document order, so that structural relationships reduce to integer
+// comparisons: a is an ancestor of d iff a.Start < d.Start && d.End < a.End,
+// and a is the parent of d iff additionally a.Level+1 == d.Level. This is
+// the encoding TIMBER uses to drive structural joins, and packages
+// internal/store and internal/sjoin rely on it.
+package xmltree
+
+import "fmt"
+
+// Kind classifies a node.
+type Kind uint8
+
+const (
+	// Element is an XML element node. Its Value holds the concatenation
+	// of the element's direct (non-descendant) character data, trimmed;
+	// the paper's model quotes text directly under its element node.
+	Element Kind = iota
+	// Attr is an attribute node. Its Tag includes the leading "@" so a
+	// pattern step "@id" matches it directly; Value holds the attribute
+	// value.
+	Attr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attr:
+		return "attr"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NodeID identifies a node within its Document. IDs are dense and assigned
+// in document order, so they double as indexes into Document.Nodes.
+type NodeID int32
+
+// NilNode is the null node reference (e.g. the parent of the root).
+const NilNode NodeID = -1
+
+// Node is a single node of an XML tree.
+//
+// Nodes are plain values; a Document holds them in one arena slice in
+// document order. Tree navigation uses the FirstChild/NextSibling threading
+// maintained by the Builder.
+type Node struct {
+	ID     NodeID
+	Parent NodeID
+	// FirstChild and NextSibling thread the tree for O(1) child iteration.
+	// Attribute nodes appear before element children in sibling order.
+	FirstChild  NodeID
+	NextSibling NodeID
+
+	// Start and End are the region encoding. Start increases in document
+	// order; End is assigned when the element closes. For attributes
+	// Start == End.
+	Start uint32
+	End   uint32
+	// Level is the depth of the node; the document root element has
+	// Level 0, its attributes and children Level 1, and so on.
+	Level uint16
+
+	Kind  Kind
+	Tag   string // element tag, or attribute name prefixed with "@"
+	Value string // direct text (elements) or attribute value (attrs)
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of other, using only
+// the region encoding.
+func (n *Node) IsAncestorOf(other *Node) bool {
+	return n.Start < other.Start && other.End < n.End
+}
+
+// IsParentOf reports whether n is the parent of other.
+func (n *Node) IsParentOf(other *Node) bool {
+	return n.IsAncestorOf(other) && n.Level+1 == other.Level
+}
+
+func (n *Node) String() string {
+	if n.Kind == Attr {
+		return fmt.Sprintf("%s=%q #%d", n.Tag, n.Value, n.ID)
+	}
+	if n.Value != "" {
+		return fmt.Sprintf("<%s>%q #%d", n.Tag, n.Value, n.ID)
+	}
+	return fmt.Sprintf("<%s> #%d", n.Tag, n.ID)
+}

@@ -1,0 +1,133 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into a Document. Processing
+// instructions, comments and namespace details are ignored; attribute
+// order is preserved.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var b Builder
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 && len(b.doc.Nodes) > 0 {
+				return nil, fmt.Errorf("xmltree: multiple root elements")
+			}
+			b.Open(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attr(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.Close()
+			depth--
+		case xml.CharData:
+			if depth > 0 {
+				b.Text(string(t))
+			}
+		}
+	}
+	return b.Done()
+}
+
+// ParseString is Parse over a string, convenient in tests.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write serializes the document as indented XML. The output round-trips
+// through Parse (modulo whitespace normalization inside mixed content).
+func (d *Document) Write(w io.Writer) error {
+	if len(d.Nodes) == 0 {
+		return nil
+	}
+	bw := &errWriter{w: w}
+	d.writeNode(bw, 0, 0)
+	bw.writeString("\n")
+	return bw.err
+}
+
+func (d *Document) writeNode(w *errWriter, id NodeID, depth int) {
+	n := &d.Nodes[id]
+	w.writeString(strings.Repeat("  ", depth))
+	w.writeString("<")
+	w.writeString(n.Tag)
+	c := n.FirstChild
+	for ; c != NilNode && d.Nodes[c].Kind == Attr; c = d.Nodes[c].NextSibling {
+		a := &d.Nodes[c]
+		w.writeString(" ")
+		w.writeString(a.Tag[1:]) // drop "@"
+		w.writeString(`="`)
+		xmlEscape(w, a.Value, true)
+		w.writeString(`"`)
+	}
+	if c == NilNode && n.Value == "" {
+		w.writeString("/>")
+		return
+	}
+	w.writeString(">")
+	if n.Value != "" {
+		xmlEscape(w, n.Value, false)
+	}
+	if c != NilNode {
+		for ; c != NilNode; c = d.Nodes[c].NextSibling {
+			w.writeString("\n")
+			d.writeNode(w, c, depth+1)
+		}
+		w.writeString("\n")
+		w.writeString(strings.Repeat("  ", depth))
+	}
+	w.writeString("</")
+	w.writeString(n.Tag)
+	w.writeString(">")
+}
+
+func xmlEscape(w *errWriter, s string, attr bool) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			w.writeString("&amp;")
+		case '<':
+			w.writeString("&lt;")
+		case '>':
+			w.writeString("&gt;")
+		case '"':
+			if attr {
+				w.writeString("&quot;")
+			} else {
+				w.writeString(`"`)
+			}
+		default:
+			w.writeString(string(r))
+		}
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}

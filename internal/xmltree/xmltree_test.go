@@ -1,0 +1,384 @@
+package xmltree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperXML is the publication database of the paper's Figure 1 (the parts
+// spelled out in the text): four publications with heterogeneous structure.
+const paperXML = `
+<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a3"><name>Bob</name></author>
+    <publisher id="p1"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a1"><name>John</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Amy</name></author>
+    <pubData>
+      <publisher id="p2"/>
+      <year>2005</year>
+    </pubData>
+  </publication>
+</database>`
+
+func mustParse(t *testing.T, s string) *Document {
+	t.Helper()
+	d, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return d
+}
+
+func TestParsePaperExample(t *testing.T) {
+	d := mustParse(t, paperXML)
+	if got := d.Root().Tag; got != "database" {
+		t.Fatalf("root tag = %q, want database", got)
+	}
+	pubs := d.ByTag("publication")
+	if len(pubs) != 4 {
+		t.Fatalf("publications = %d, want 4", len(pubs))
+	}
+	years := d.ByTag("year")
+	if len(years) != 5 {
+		t.Fatalf("years = %d, want 5", len(years))
+	}
+	if v := d.Node(years[0]).Value; v != "2003" {
+		t.Errorf("first year value = %q, want 2003", v)
+	}
+	// publication 2 has two year children.
+	var yearKids int
+	d.EachChild(pubs[1], func(c NodeID) bool {
+		if d.Node(c).Tag == "year" {
+			yearKids++
+		}
+		return true
+	})
+	if yearKids != 2 {
+		t.Errorf("publication 2 year children = %d, want 2", yearKids)
+	}
+	// publication 3 has no publisher descendant.
+	for _, id := range d.Descendants(pubs[2]) {
+		if d.Node(id).Tag == "publisher" {
+			t.Errorf("publication 3 unexpectedly has a publisher")
+		}
+	}
+}
+
+func TestAttributesAreNodes(t *testing.T) {
+	d := mustParse(t, paperXML)
+	ids := d.ByTag("@id")
+	if len(ids) == 0 {
+		t.Fatal("no @id nodes")
+	}
+	n := d.Node(ids[0])
+	if n.Kind != Attr {
+		t.Errorf("kind = %v, want attr", n.Kind)
+	}
+	if n.Start != n.End {
+		t.Errorf("attr region [%d,%d], want point region", n.Start, n.End)
+	}
+	p := d.Node(n.Parent)
+	if p.Tag != "publication" {
+		t.Errorf("first @id parent = %q, want publication", p.Tag)
+	}
+	if !p.IsParentOf(n) {
+		t.Errorf("IsParentOf(attr) = false")
+	}
+}
+
+func TestRegionEncodingAncestry(t *testing.T) {
+	d := mustParse(t, paperXML)
+	root := d.Root()
+	for i := 1; i < d.Len(); i++ {
+		n := d.Node(NodeID(i))
+		if !root.IsAncestorOf(n) {
+			t.Fatalf("root not ancestor of %v", n)
+		}
+		if root.IsParentOf(n) != (n.Parent == root.ID) {
+			t.Fatalf("IsParentOf disagrees with Parent for %v", n)
+		}
+	}
+	// Siblings are never ancestors of each other.
+	pubs := d.ByTag("publication")
+	for _, a := range pubs {
+		for _, b := range pubs {
+			if a != b && d.Node(a).IsAncestorOf(d.Node(b)) {
+				t.Fatalf("sibling %d ancestor of %d", a, b)
+			}
+		}
+	}
+}
+
+func TestDescendantsMatchesRegionScan(t *testing.T) {
+	d := mustParse(t, paperXML)
+	for i := range d.Nodes {
+		n := d.Node(NodeID(i))
+		desc := d.Descendants(NodeID(i))
+		want := 0
+		for j := range d.Nodes {
+			if n.IsAncestorOf(d.Node(NodeID(j))) {
+				want++
+			}
+		}
+		if len(desc) != want {
+			t.Fatalf("node %v: Descendants=%d, region scan=%d", n, len(desc), want)
+		}
+	}
+}
+
+func TestChildrenThreading(t *testing.T) {
+	d := mustParse(t, paperXML)
+	for i := range d.Nodes {
+		for _, c := range d.Children(NodeID(i)) {
+			if d.Node(c).Parent != NodeID(i) {
+				t.Fatalf("child %d of %d has parent %d", c, i, d.Node(c).Parent)
+			}
+		}
+	}
+}
+
+func TestMixedTextJoined(t *testing.T) {
+	d := mustParse(t, `<a>hello <b/> world</a>`)
+	if got := d.Root().Value; got != "hello world" {
+		t.Errorf("mixed text = %q, want %q", got, "hello world")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("unclosed", func(t *testing.T) {
+		var b Builder
+		b.Open("a")
+		if _, err := b.Done(); err == nil {
+			t.Error("Done with open element: no error")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		var b Builder
+		if _, err := b.Done(); err == nil {
+			t.Error("Done on empty builder: no error")
+		}
+	})
+	t.Run("two roots", func(t *testing.T) {
+		var b Builder
+		b.Open("a")
+		b.Close()
+		b.Open("b")
+		b.Close()
+		if _, err := b.Done(); err == nil {
+			t.Error("two roots: no error")
+		}
+	})
+	t.Run("attr after child", func(t *testing.T) {
+		var b Builder
+		b.Open("a")
+		b.Open("c")
+		b.Close()
+		b.Attr("x", "1")
+		b.Close()
+		if _, err := b.Done(); err == nil {
+			t.Error("attr after child element: no error")
+		}
+	})
+	t.Run("close without open", func(t *testing.T) {
+		var b Builder
+		b.Close()
+		if _, err := b.Done(); err == nil {
+			t.Error("stray Close: no error")
+		}
+	})
+	t.Run("text without open", func(t *testing.T) {
+		var b Builder
+		b.Text("x")
+		if _, err := b.Done(); err == nil {
+			t.Error("stray Text: no error")
+		}
+	})
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		`<a><b></a></b>`,
+		`<a>`,
+		`<a/><b/>`,
+		``,
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q): no error", bad)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	d := mustParse(t, paperXML)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	d2 := mustParse(t, buf.String())
+	if d.Len() != d2.Len() {
+		t.Fatalf("round trip node count %d -> %d\n%s", d.Len(), d2.Len(), buf.String())
+	}
+	for i := range d.Nodes {
+		a, b := d.Nodes[i], d2.Nodes[i]
+		if a.Tag != b.Tag || a.Kind != b.Kind || a.Value != b.Value || a.Level != b.Level {
+			t.Fatalf("round trip node %d: %v -> %v", i, a, b)
+		}
+	}
+}
+
+func TestWriteEscaping(t *testing.T) {
+	var b Builder
+	b.Open("a")
+	b.Attr("q", `x<&>"y`)
+	b.Text(`m<&>"n`)
+	b.Close()
+	d := b.MustDone()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	d2 := mustParse(t, buf.String())
+	if got := d2.Node(1).Value; got != `x<&>"y` {
+		t.Errorf("attr round trip = %q", got)
+	}
+	if got := d2.Root().Value; got != `m<&>"n` {
+		t.Errorf("text round trip = %q", got)
+	}
+}
+
+// randomDoc builds a random tree with the given rng; used by the property
+// tests below.
+func randomDoc(rng *rand.Rand, maxNodes int) *Document {
+	var b Builder
+	tags := []string{"a", "b", "c", "d", "e"}
+	b.Open("root")
+	open := 1
+	n := 1
+	canAttr := []bool{true} // per open element: no child element emitted yet
+	for n < maxNodes {
+		switch r := rng.Intn(10); {
+		case r < 5: // open element
+			canAttr[len(canAttr)-1] = false
+			b.Open(tags[rng.Intn(len(tags))])
+			canAttr = append(canAttr, true)
+			open++
+			n++
+		case r < 7 && open > 1: // close
+			b.Close()
+			canAttr = canAttr[:len(canAttr)-1]
+			open--
+		case r < 8 && canAttr[len(canAttr)-1]:
+			b.Attr("k", tags[rng.Intn(len(tags))])
+			n++
+		default:
+			b.Text(tags[rng.Intn(len(tags))])
+		}
+	}
+	for open > 0 {
+		b.Close()
+		open--
+	}
+	return b.MustDone()
+}
+
+func TestRandomDocumentsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 1+rng.Intn(200))
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 1+rng.Intn(100))
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			return false
+		}
+		d2, err := ParseString(buf.String())
+		if err != nil || d2.Len() != d.Len() {
+			return false
+		}
+		for i := range d.Nodes {
+			if d.Nodes[i].Tag != d2.Nodes[i].Tag || d.Nodes[i].Value != d2.Nodes[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionWellNested(t *testing.T) {
+	// For any two nodes, regions are either disjoint or nested.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 1+rng.Intn(120))
+		for i := range d.Nodes {
+			for j := i + 1; j < len(d.Nodes); j++ {
+				a, b := &d.Nodes[i], &d.Nodes[j]
+				nested := a.IsAncestorOf(b) || b.IsAncestorOf(a)
+				disjoint := a.End < b.Start || b.End < a.Start
+				if !nested && !disjoint {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchContainsTags(t *testing.T) {
+	d := mustParse(t, paperXML)
+	s := d.Sketch(0)
+	for _, want := range []string{"database", "publication", "author", "year"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Sketch missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTags(t *testing.T) {
+	d := mustParse(t, paperXML)
+	tags := d.Tags()
+	want := map[string]bool{"database": true, "publication": true, "@id": true}
+	seen := map[string]bool{}
+	for _, tg := range tags {
+		seen[tg] = true
+	}
+	for w := range want {
+		if !seen[w] {
+			t.Errorf("Tags() missing %q (got %v)", w, tags)
+		}
+	}
+}

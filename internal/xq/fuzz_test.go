@@ -1,0 +1,33 @@
+package xq
+
+import "testing"
+
+// FuzzParse throws arbitrary text at the query parser; it must never
+// panic, and whatever it accepts must render and be structurally valid.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`for $b in doc("book.xml")//publication, $n in $b/author/name
+x^3 $b/@id by $n (LND, SP, PC-AD) return COUNT($b).`,
+		`for $a in doc("d")//article, $y in $a/year x3 $a by $y return count($a)`,
+		`for $a in doc("d")//r[x], $y in $a/y[z] x3 $a by $y (LND) return SUM($a/m) having COUNT($a) >= 3`,
+		`for $b in`,
+		`x3 by return`,
+		`for $b in doc(")//p x3 $b by $b return COUNT($b)`,
+		"for $b in doc(\"x\")//p,\x00 $y in $b/y x3 $b by $y return COUNT($b)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v\ninput: %q", err, src)
+		}
+		if q.String() == "" {
+			t.Fatalf("accepted query renders empty: %q", src)
+		}
+	})
+}

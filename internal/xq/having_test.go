@@ -1,0 +1,79 @@
+package xq
+
+import "testing"
+
+func TestParseHaving(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year
+x3 $b by $y (LND)
+return COUNT($b) having COUNT($b) >= 5.`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.MinSupport != 5 {
+		t.Errorf("MinSupport = %d, want 5", q.MinSupport)
+	}
+}
+
+func TestParseHavingCaseInsensitive(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year
+x3 $b by $y (LND)
+return count($b) HAVING count($b) >= 12`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.MinSupport != 12 {
+		t.Errorf("MinSupport = %d", q.MinSupport)
+	}
+}
+
+func TestParseWithoutHaving(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year
+x3 $b by $y (LND) return COUNT($b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MinSupport != 0 {
+		t.Errorf("MinSupport = %d, want 0", q.MinSupport)
+	}
+}
+
+func TestParseHavingErrors(t *testing.T) {
+	base := `for $b in doc("x")//pub, $y in $b/year x3 $b by $y (LND) return COUNT($b) having `
+	for name, tail := range map[string]string{
+		"sum":            `SUM($b) >= 5`,
+		"wrong var":      `COUNT($y) >= 5`,
+		"zero":           `COUNT($b) >= 0`,
+		"negative-ish":   `COUNT($b) >= -3`,
+		"missing number": `COUNT($b) >=`,
+		"missing ge":     `COUNT($b) 5`,
+		"bare gt":        `COUNT($b) > 5`,
+	} {
+		if _, err := Parse(base + tail); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHavingSurvivesString(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year
+x3 $b by $y (LND) return COUNT($b) having COUNT($b) >= 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); !contains(got, "having COUNT($b) >= 7") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+// Package xq parses the X³ query language: the XQuery FLWOR fragment the
+// paper augments with an X³ clause (§2.3, Query 1):
+//
+//	for $b in doc("book.xml")//publication,
+//	    $n in $b/author/name,
+//	    $p in $b//publisher/@id,
+//	    $y in $b/year
+//	x^3 $b/@id by $n (LND, SP, PC-AD),
+//	           $p (LND, PC-AD),
+//	           $y (LND)
+//	return COUNT($b).
+//
+// Parse returns the corresponding pattern.CubeQuery.
+package xq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF    tokKind = iota
+	tokName           // for, in, by, return, COUNT, LND, PC-AD, x3 ...
+	tokVar            // $b
+	tokString         // "book.xml"
+	tokPath           // a /-led path fragment, kept raw for pattern parsing
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot    // statement-terminating period
+	tokNumber // integer literal (HAVING threshold)
+	tokGE     // ">="
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokName:
+		return "name"
+	case tokVar:
+		return "variable"
+	case tokString:
+		return "string"
+	case tokPath:
+		return "path"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokNumber:
+		return "number"
+	case tokGE:
+		return "'>='"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer splits the query text into tokens. Paths are recognized as single
+// tokens: any maximal run starting with '/' consisting of path characters.
+type lexer struct {
+	src string
+	pos int
+}
+
+// The paper writes the clause keyword as X^3; normalize the caret away so
+// it lexes as the single name "X3".
+func newLexer(src string) *lexer {
+	return &lexer{src: strings.ReplaceAll(src, "^", "")}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '/':
+		end := l.pos
+		for end < len(l.src) && isPathByte(l.src[end]) {
+			end++
+		}
+		text := l.src[l.pos:end]
+		l.pos = end
+		return token{tokPath, text, start}, nil
+	case c == '$':
+		end := l.pos + 1
+		for end < len(l.src) && isNameByte(l.src[end], end == l.pos+1) {
+			end++
+		}
+		if end == l.pos+1 {
+			return token{}, fmt.Errorf("xq: bare '$' at offset %d", start)
+		}
+		text := l.src[l.pos:end]
+		l.pos = end
+		return token{tokVar, text, start}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		end := l.pos + 1
+		for end < len(l.src) && l.src[end] != quote {
+			end++
+		}
+		if end >= len(l.src) {
+			return token{}, fmt.Errorf("xq: unterminated string at offset %d", start)
+		}
+		text := l.src[l.pos+1 : end]
+		l.pos = end + 1
+		return token{tokString, text, start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokGE, ">=", start}, nil
+		}
+		return token{}, fmt.Errorf("xq: expected '>=' at offset %d", start)
+	case c >= '0' && c <= '9':
+		end := l.pos
+		for end < len(l.src) && l.src[end] >= '0' && l.src[end] <= '9' {
+			end++
+		}
+		text := l.src[l.pos:end]
+		l.pos = end
+		return token{tokNumber, text, start}, nil
+	case isNameByte(c, true):
+		end := l.pos
+		for end < len(l.src) && isNameByte(l.src[end], end == l.pos) {
+			end++
+		}
+		// A trailing '.' that ends the statement must not be eaten as a
+		// name character ("COUNT($b)." -> the ')' already stopped us, but
+		// "LND." inside would; strip trailing dots from names).
+		text := l.src[l.pos:end]
+		for len(text) > 1 && text[len(text)-1] == '.' {
+			text = text[:len(text)-1]
+			end--
+		}
+		l.pos = end
+		return token{tokName, text, start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	}
+	return token{}, fmt.Errorf("xq: unexpected character %q at offset %d", c, start)
+}
+
+func isNameByte(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return c >= '0' && c <= '9' || c == '-' || c == '.'
+}
+
+// isPathByte accepts the bytes that may appear inside a path token,
+// including existence predicates like //publication[author]/year.
+func isPathByte(c byte) bool {
+	return isNameByte(c, false) || c == '/' || c == '@' || c == '*' || c == '[' || c == ']'
+}

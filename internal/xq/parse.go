@@ -1,0 +1,389 @@
+package xq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"x3/internal/pattern"
+)
+
+// Parse parses an X³ query and returns the corresponding CubeQuery.
+//
+// Grammar (keywords case-insensitive; X^3, X3 and CUBE are synonyms):
+//
+//	query   := FOR binding ("," binding)* x3 RETURN agg "."?
+//	binding := VAR IN source
+//	source  := DOC "(" STRING ")" PATH | VAR PATH
+//	x3      := X3 VAR PATH? BY axis ("," axis)*
+//	axis    := VAR "(" name ("," name)* ")" | VAR
+//	agg     := NAME "(" VAR PATH? ")"
+//
+// Variables bound to other variables concatenate their paths, so axis
+// paths are always resolved relative to the fact binding.
+func Parse(src string) (*pattern.CubeQuery, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type binding struct {
+	base string // variable the path is relative to; "" for doc root
+	path pattern.Path
+	doc  string
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xq: offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %v, found %v %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) keyword(words ...string) bool {
+	if p.tok.kind != tokName {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(p.tok.text, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*pattern.CubeQuery, error) {
+	if !p.keyword("for") {
+		return nil, p.errf("query must start with FOR")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+
+	binds := map[string]binding{}
+	var order []string
+	for {
+		v, err := p.expect(tokVar)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := binds[v.text]; dup {
+			return nil, p.errf("variable %s bound twice", v.text)
+		}
+		if !p.keyword("in") {
+			return nil, p.errf("expected IN after %s", v.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		b, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		binds[v.text] = b
+		order = append(order, v.text)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	// The fact binding is the (single) one rooted at the document.
+	q := &pattern.CubeQuery{}
+	for _, v := range order {
+		b := binds[v]
+		if b.base == "" {
+			if q.FactVar != "" {
+				return nil, fmt.Errorf("xq: multiple document-rooted bindings (%s and %s)", q.FactVar, v)
+			}
+			q.FactVar = v
+			q.FactPath = b.path
+			q.Doc = b.doc
+		}
+	}
+	if q.FactVar == "" {
+		return nil, fmt.Errorf("xq: no binding is rooted at doc(...)")
+	}
+	// Resolve every other binding to a path relative to the fact.
+	resolved := map[string]pattern.Path{q.FactVar: nil}
+	var resolve func(v string, seen map[string]bool) (pattern.Path, error)
+	resolve = func(v string, seen map[string]bool) (pattern.Path, error) {
+		if rp, ok := resolved[v]; ok {
+			return rp, nil
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("xq: circular binding through %s", v)
+		}
+		seen[v] = true
+		b, ok := binds[v]
+		if !ok {
+			return nil, fmt.Errorf("xq: unbound variable %s", v)
+		}
+		basePath, err := resolve(b.base, seen)
+		if err != nil {
+			return nil, err
+		}
+		rp := append(basePath.Clone(), b.path...)
+		resolved[v] = rp
+		return rp, nil
+	}
+	for _, v := range order {
+		if _, err := resolve(v, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+
+	if !p.keyword("x3", "cube") {
+		return nil, p.errf("expected X^3 clause, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// Target: $b or $b/@id.
+	tv, err := p.expect(tokVar)
+	if err != nil {
+		return nil, err
+	}
+	if tv.text != q.FactVar {
+		return nil, fmt.Errorf("xq: X^3 target %s is not the fact binding %s", tv.text, q.FactVar)
+	}
+	if p.tok.kind == tokPath {
+		fp, err := pattern.ParsePath(p.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		q.FactIDPath = fp
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.keyword("by") {
+		return nil, p.errf("expected BY in X^3 clause")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+
+	for {
+		av, err := p.expect(tokVar)
+		if err != nil {
+			return nil, err
+		}
+		rp, ok := resolved[av.text]
+		if !ok || av.text == q.FactVar {
+			return nil, fmt.Errorf("xq: X^3 axis %s is not a grouping binding", av.text)
+		}
+		spec := pattern.AxisSpec{Var: av.text, Path: rp}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				name, err := p.expect(tokName)
+				if err != nil {
+					return nil, err
+				}
+				r, err := parseRelaxName(name.text)
+				if err != nil {
+					return nil, err
+				}
+				spec.Relax = spec.Relax.With(r)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		}
+		q.Axes = append(q.Axes, spec)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	if !p.keyword("return") {
+		return nil, p.errf("expected RETURN")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(tokName)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := pattern.ParseAggFunc(fn.text)
+	if err != nil {
+		return nil, err
+	}
+	q.Agg = agg
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	mv, err := p.expect(tokVar)
+	if err != nil {
+		return nil, err
+	}
+	mbase, ok := resolved[mv.text]
+	if !ok {
+		return nil, fmt.Errorf("xq: RETURN references unbound %s", mv.text)
+	}
+	if p.tok.kind == tokPath {
+		mp, err := pattern.ParsePath(p.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		q.MeasurePath = append(mbase.Clone(), mp...)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else if len(mbase) > 0 {
+		q.MeasurePath = mbase.Clone()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if p.keyword("having") {
+		if err := p.parseHaving(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.tok.text)
+	}
+	return q, nil
+}
+
+// parseHaving parses the iceberg clause: HAVING COUNT($fact) >= N.
+func (p *parser) parseHaving(q *pattern.CubeQuery) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	fn, err := p.expect(tokName)
+	if err != nil {
+		return err
+	}
+	if agg, err := pattern.ParseAggFunc(fn.text); err != nil || agg != pattern.Count {
+		return fmt.Errorf("xq: HAVING supports only COUNT, got %q", fn.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return err
+	}
+	if v.text != q.FactVar {
+		return fmt.Errorf("xq: HAVING COUNT(%s) must count the fact binding %s", v.text, q.FactVar)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokGE); err != nil {
+		return err
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	n, err := strconv.ParseInt(num.text, 10, 64)
+	if err != nil || n < 1 {
+		return fmt.Errorf("xq: HAVING threshold %q must be a positive integer", num.text)
+	}
+	q.MinSupport = n
+	return nil
+}
+
+// parseSource parses either doc("uri")path or $var path.
+func (p *parser) parseSource() (binding, error) {
+	if p.keyword("doc") {
+		if err := p.advance(); err != nil {
+			return binding{}, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return binding{}, err
+		}
+		uri, err := p.expect(tokString)
+		if err != nil {
+			return binding{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return binding{}, err
+		}
+		pt, err := p.expect(tokPath)
+		if err != nil {
+			return binding{}, err
+		}
+		path, err := pattern.ParsePath(pt.text)
+		if err != nil {
+			return binding{}, err
+		}
+		return binding{base: "", path: path, doc: uri.text}, nil
+	}
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return binding{}, err
+	}
+	pt, err := p.expect(tokPath)
+	if err != nil {
+		return binding{}, err
+	}
+	path, err := pattern.ParsePath(pt.text)
+	if err != nil {
+		return binding{}, err
+	}
+	return binding{base: v.text, path: path}, nil
+}
+
+func parseRelaxName(s string) (pattern.Relaxation, error) {
+	switch strings.ToUpper(s) {
+	case "LND":
+		return pattern.LND, nil
+	case "SP":
+		return pattern.SP, nil
+	case "PC-AD", "PCAD":
+		return pattern.PCAD, nil
+	}
+	return 0, fmt.Errorf("xq: unknown relaxation %q", s)
+}

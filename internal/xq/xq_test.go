@@ -1,0 +1,180 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+
+	"x3/internal/pattern"
+)
+
+// query1Text is the paper's Query 1, verbatim.
+const query1Text = `
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD),
+            $p (LND, PC-AD),
+            $y (LND)
+return COUNT($b).`
+
+func TestParseQuery1(t *testing.T) {
+	q, err := Parse(query1Text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Doc != "book.xml" {
+		t.Errorf("Doc = %q", q.Doc)
+	}
+	if q.FactVar != "$b" || q.FactPath.String() != "//publication" {
+		t.Errorf("fact = %s %s", q.FactVar, q.FactPath)
+	}
+	if q.FactIDPath.String() != "/@id" {
+		t.Errorf("fact id path = %s", q.FactIDPath)
+	}
+	if len(q.Axes) != 3 {
+		t.Fatalf("axes = %d", len(q.Axes))
+	}
+	wantPaths := []string{"/author/name", "//publisher/@id", "/year"}
+	for i, w := range wantPaths {
+		if got := q.Axes[i].Path.String(); got != w {
+			t.Errorf("axis %d path = %q, want %q", i, got, w)
+		}
+	}
+	n := q.Axes[0]
+	if !n.Relax.Has(pattern.LND) || !n.Relax.Has(pattern.SP) || !n.Relax.Has(pattern.PCAD) {
+		t.Errorf("$n relax = %v", n.Relax)
+	}
+	p := q.Axes[1]
+	if !p.Relax.Has(pattern.LND) || p.Relax.Has(pattern.SP) || !p.Relax.Has(pattern.PCAD) {
+		t.Errorf("$p relax = %v", p.Relax)
+	}
+	y := q.Axes[2]
+	if !y.Relax.Has(pattern.LND) || y.Relax.Has(pattern.SP) || y.Relax.Has(pattern.PCAD) {
+		t.Errorf("$y relax = %v", y.Relax)
+	}
+	if q.Agg != pattern.Count {
+		t.Errorf("agg = %v", q.Agg)
+	}
+}
+
+func TestParseDBLPQuery(t *testing.T) {
+	// The §4.5 experiment: cube articles by /author, /month, /year, /journal.
+	q, err := Parse(`
+for $a in doc("dblp.xml")//article,
+    $au in $a/author,
+    $m in $a/month,
+    $y in $a/year,
+    $j in $a/journal
+x3 $a/@key by $au (LND), $m (LND), $y (LND), $j (LND)
+return count($a)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Axes) != 4 {
+		t.Fatalf("axes = %d", len(q.Axes))
+	}
+	if q.FactIDPath.String() != "/@key" {
+		t.Errorf("fact id = %s", q.FactIDPath)
+	}
+}
+
+func TestParseChainedBindings(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $a in $b/author, $n in $a/name
+cube $b by $n (LND)
+return COUNT($b)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := q.Axes[0].Path.String(); got != "/author/name" {
+		t.Errorf("chained path = %q, want /author/name", got)
+	}
+}
+
+func TestParseSumWithMeasure(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year
+x3 $b by $y (LND)
+return SUM($b/price)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Agg != pattern.Sum || q.MeasurePath.String() != "/price" {
+		t.Errorf("agg=%v measure=%s", q.Agg, q.MeasurePath)
+	}
+}
+
+func TestParseMeasureThroughBinding(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year, $pr in $b/info/price
+x3 $b by $y (LND)
+return SUM($pr)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.MeasurePath.String() != "/info/price" {
+		t.Errorf("measure = %s", q.MeasurePath)
+	}
+}
+
+func TestParseAxisWithoutRelaxations(t *testing.T) {
+	q, err := Parse(`
+for $b in doc("x")//pub, $y in $b/year
+x3 $b by $y
+return COUNT($b)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Axes[0].Relax != 0 {
+		t.Errorf("relax = %v, want empty", q.Axes[0].Relax)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no for":          `$b in doc("x")//p x3 $b by $b return COUNT($b)`,
+		"no doc binding":  `for $b in $c/x x3 $b by $b return COUNT($b)`,
+		"two doc roots":   `for $a in doc("x")//p, $b in doc("y")//q x3 $a by $b return COUNT($a)`,
+		"unbound axis":    `for $b in doc("x")//p x3 $b by $z return COUNT($b)`,
+		"unbound in for":  `for $b in doc("x")//p, $n in $q/name x3 $b by $n (LND) return COUNT($b)`,
+		"circular":        `for $b in doc("x")//p, $m in $n/a, $n in $m/b x3 $b by $n (LND) return COUNT($b)`,
+		"bad relax":       `for $b in doc("x")//p, $n in $b/a x3 $b by $n (XYZ) return COUNT($b)`,
+		"bad agg":         `for $b in doc("x")//p, $n in $b/a x3 $b by $n (LND) return MEDIAN($b)`,
+		"target not fact": `for $b in doc("x")//p, $n in $b/a x3 $n by $n (LND) return COUNT($b)`,
+		"axis is fact":    `for $b in doc("x")//p, $n in $b/a x3 $b by $b return COUNT($b)`,
+		"trailing junk":   `for $b in doc("x")//p, $n in $b/a x3 $b by $n (LND) return COUNT($b) garbage`,
+		"dup binding":     `for $b in doc("x")//p, $b in $b/a x3 $b by $b (LND) return COUNT($b)`,
+		"sum no measure":  `for $b in doc("x")//p, $n in $b/a x3 $b by $n (LND) return SUM($b)`,
+		"unterminated":    `for $b in doc("x)//p x3 $b by $b return COUNT($b)`,
+		"bare dollar":     `for $ in doc("x")//p x3 $ by $ return COUNT($)`,
+		"empty":           ``,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse succeeded unexpectedly", name)
+		}
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	for _, kw := range []string{"X3", "x3", "X^3", "CUBE", "cube"} {
+		src := `FOR $b IN doc("x")//p, $n IN $b/a ` + kw + ` $b BY $n (lnd) RETURN Count($b)`
+		if _, err := Parse(src); err != nil {
+			t.Errorf("keyword %q: %v", kw, err)
+		}
+	}
+}
+
+func TestParsedQueryRoundTripsThroughString(t *testing.T) {
+	q, err := Parse(query1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"//publication", "/author/name", "COUNT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

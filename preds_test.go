@@ -1,0 +1,86 @@
+package x3
+
+import "testing"
+
+// TestPredicatedFactPath restricts facts with an existence predicate in
+// the FOR clause: only publications with a direct publisher child are
+// cubed.
+func TestPredicatedFactPath(t *testing.T) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`
+for $b in doc("book.xml")//publication[publisher],
+    $y in $b/year
+x^3 $b/@id by $y (LND)
+return COUNT($b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publications 1 and 2 qualify (3 has no publisher, 4's is nested).
+	if res.NumFacts() != 2 {
+		t.Fatalf("facts = %d, want 2", res.NumFacts())
+	}
+	c, err := res.Cuboid(map[string]string{"$y": "rigid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		year string
+		n    float64
+	}{{"2003", 1}, {"2004", 1}, {"2005", 1}} {
+		if v, ok := c.Get(want.year); !ok || v != want.n {
+			t.Errorf("%s = %v, %v; want %v", want.year, v, ok, want.n)
+		}
+	}
+}
+
+// TestPredicatedAxisPath uses a predicate on a grouping axis: group by the
+// names of authors that carry an @id.
+func TestPredicatedAxisPath(t *testing.T) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`
+for $b in doc("book.xml")//publication,
+    $n in $b/author[@id]/name
+x^3 $b/@id by $n (LND, SP, PC-AD)
+return COUNT($b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := res.Cuboid(map[string]string{"$n": "rigid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get("John"); !ok || v != 1 {
+		t.Errorf("rigid John = %v, %v", v, ok)
+	}
+	// The store-backed path agrees.
+	path := t.TempDir() + "/preds.x3st"
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := OpenStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	res2, err := sdb.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalCells() != res.TotalCells() {
+		t.Errorf("store-backed predicated cube cells %d vs %d", res2.TotalCells(), res.TotalCells())
+	}
+}
