@@ -1,0 +1,29 @@
+# Tier-1 verification targets. `make ci` is the full gate.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench-seed
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent pieces — BUCPAR's worker pool and LockedSink, the sjoin
+# evaluator over the shared buffer pool — under the race detector.
+race:
+	$(GO) test -race ./internal/cube/... ./internal/sjoin/... ./internal/store/... ./internal/obs/...
+
+# Short fuzz smoke of the query parser (the CI-sized budget).
+fuzz:
+	$(GO) test ./internal/xq/ -fuzz FuzzParse -fuzztime 30s
+
+# Regenerate the committed metrics baseline (see EXPERIMENTS.md).
+bench-seed:
+	$(GO) run ./cmd/x3bench -figure fig4 -scale 0.002 -axes 2,3 -quiet -metrics BENCH_seed.json

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"x3/internal/harness"
+	"x3/internal/obs"
 )
 
 // parseInts parses a comma-separated integer list ("" -> nil).
@@ -61,6 +62,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
 		axes    = flag.String("axes", "", `restrict the axis sweep, e.g. "2,4,7"`)
 		algs    = flag.String("algorithms", "", `restrict the algorithms, e.g. "TD,BUC"`)
+		metrics = flag.String("metrics", "", "write pipeline metrics as JSON here (evaluates through the paged store)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,12 @@ func main() {
 	opt := harness.Options{Scale: *scale, Timeout: *timeout, Seed: *seed}
 	if !*quiet {
 		opt.Log = os.Stderr
+	}
+	if *metrics != "" {
+		// Metrics runs evaluate through a persisted paged store so the
+		// buffer-pool and structural-join counters see real page traffic.
+		opt.Registry = obs.New()
+		opt.UseStore = true
 	}
 
 	var figs []harness.Config
@@ -112,5 +120,11 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *metrics != "" {
+		if err := opt.Registry.WriteJSONFile(*metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "x3bench: metrics written to %s\n", *metrics)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"x3"
+	"x3/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		lattice   = flag.Bool("lattice", false, "print the query's relaxed-cube lattice (Fig. 3 style) and exit")
 		list      = flag.Bool("list", false, "list algorithms and exit")
 		poolPages = flag.Int("pool", 0, "store buffer pool pages (0 = default)")
+		metrics   = flag.String("metrics", "", "write pipeline metrics as JSON here")
 	)
 	flag.Parse()
 
@@ -98,6 +100,20 @@ func main() {
 		}
 		opts = append(opts, x3.WithDTD(string(b)))
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.New()
+		opts = append(opts, x3.WithRegistry(reg))
+	}
+	writeMetrics := func() {
+		if *metrics == "" {
+			return
+		}
+		if err := reg.WriteJSONFile(*metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "x3cube: metrics written to %s\n", *metrics)
+	}
 	if *cellsPath != "" {
 		cells, st, err := db.CubeToFile(q, *cellsPath, opts...)
 		if err != nil {
@@ -105,12 +121,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "x3cube: %s: %d cells streamed to %s (passes=%d sorts=%d external=%d)\n",
 			*algorithm, cells, *cellsPath, st.Passes, st.Sorts, st.ExternalSorts)
+		writeMetrics()
 		return
 	}
 	res, err := db.Cube(q, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	writeMetrics()
 
 	st := res.Stats()
 	fmt.Fprintf(os.Stderr,

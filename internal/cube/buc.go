@@ -76,6 +76,7 @@ type bucRun struct {
 // Run implements Algorithm.
 func (b BUC) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: b.Name()}
+	defer in.observe(&st)()
 	if b.Cust && in.Props == nil {
 		return st, fmt.Errorf("cube: BUCCUST requires Input.Props")
 	}

@@ -42,6 +42,7 @@ type counterPart struct {
 // Run implements Algorithm.
 func (c Counter) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: c.Name()}
+	defer in.observe(&st)()
 	seed := maphash.MakeSeed()
 	work := []counterPart{{mod: 1, res: 0}}
 	for len(work) > 0 {

@@ -25,11 +25,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 
 	"x3/internal/agg"
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/mem"
+	"x3/internal/obs"
 	"x3/internal/pattern"
 )
 
@@ -68,6 +70,9 @@ type Input struct {
 	// ladder state; the CUST algorithms require it, the others ignore it.
 	// nil means nothing is guaranteed.
 	Props Props
+	// Reg receives per-run metrics and a phase span under the
+	// cube.<algorithm>.* keys. nil disables observability at zero cost.
+	Reg *obs.Registry
 }
 
 func (in *Input) budget() *mem.Budget {
@@ -151,6 +156,35 @@ type Stats struct {
 	Copies  int
 	// PeakBytes is the budget high-water mark during the run.
 	PeakBytes int64
+}
+
+// observe opens the run's phase span and returns the finisher that closes
+// it and folds the final Stats into the registry under the
+// cube.<algorithm>.* keys. Use as `defer in.observe(&st)()` at the top of
+// a Run, after st.Algorithm is set. A nil registry makes both halves
+// no-ops.
+func (in *Input) observe(st *Stats) func() {
+	if in.Reg == nil {
+		return func() {}
+	}
+	reg := in.Reg
+	prefix := "cube." + strings.ToLower(st.Algorithm) + "."
+	span := reg.Span("cube." + strings.ToLower(st.Algorithm))
+	return func() {
+		span.SetPeakBytes(st.PeakBytes)
+		span.End()
+		reg.Counter(prefix + "runs").Inc()
+		reg.Counter(prefix + "cells").Add(st.Cells)
+		reg.Counter(prefix + "passes").Add(int64(st.Passes))
+		reg.Counter(prefix + "restarts").Add(int64(st.Restarts))
+		reg.Counter(prefix + "sorts").Add(int64(st.Sorts))
+		reg.Counter(prefix + "sorts.external").Add(int64(st.ExternalSorts))
+		reg.Counter(prefix + "spill.bytes").Add(st.SpillBytes)
+		reg.Counter(prefix + "rows.sorted").Add(st.RowsSorted)
+		reg.Counter(prefix + "rollups").Add(int64(st.Rollups))
+		reg.Counter(prefix + "copies").Add(int64(st.Copies))
+		reg.Gauge(prefix + "peak_bytes").SetMax(st.PeakBytes)
+	}
 }
 
 // Requirements documents the summarizability preconditions an algorithm

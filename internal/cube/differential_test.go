@@ -1,0 +1,264 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/mem"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// The differential sweep: every registered algorithm, on every seeded
+// dataset, under every memory budget, against the oracle. An algorithm is
+// compared only when the dataset's *measured* summarizability properties
+// satisfy its declared requirements — the globally-optimized variants are
+// wrong on violating data by design (§4.3) — but every algorithm must at
+// least run without error on every input. The first divergence fails with
+// a minimal decoded cell-level diff.
+
+// diffDataset is one generated workload family of the sweep.
+type diffDataset struct {
+	name  string
+	build func(tb testing.TB, seed int64) (*lattice.Lattice, *match.Set)
+}
+
+// diffTreebank builds a Treebank corpus, evaluates the generated query and
+// returns the fact table.
+func diffTreebank(tb testing.TB, cfg dataset.TreebankConfig) (*lattice.Lattice, *match.Set) {
+	tb.Helper()
+	doc := dataset.Treebank(cfg)
+	return diffEval(tb, doc, dataset.TreebankQuery(cfg.Axes))
+}
+
+func diffEval(tb testing.TB, doc *xmltree.Document, q *pattern.CubeQuery) (*lattice.Lattice, *match.Set) {
+	tb.Helper()
+	lat, err := lattice.New(q)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return lat, set
+}
+
+// diffDatasets returns the sweep's dataset families. "tiny" is a small
+// clean-ish corpus with mild coverage gaps; "skewed" is dense
+// (low-cardinality) with nesting and the extra PC-AD relaxation; "multi"
+// repeats axis elements so grouping sets are multi-valued (disjointness
+// fails); "dblp" is the §4.5 article corpus (author repeated and
+// optional).
+func diffDatasets() []diffDataset {
+	treebank := func(card int, pMissing, pRepeat, pNest float64, extraRelax bool) func(testing.TB, int64) (*lattice.Lattice, *match.Set) {
+		return func(tb testing.TB, seed int64) (*lattice.Lattice, *match.Set) {
+			axes := make([]dataset.AxisConfig, 3)
+			for i := range axes {
+				relax := pattern.RelaxSet(0).With(pattern.LND)
+				if extraRelax {
+					relax = relax.With(pattern.PCAD)
+				}
+				axes[i] = dataset.AxisConfig{
+					Tag:         fmt.Sprintf("w%d", i),
+					Cardinality: card,
+					PMissing:    pMissing,
+					PRepeat:     pRepeat,
+					PNest:       pNest,
+					Relax:       relax,
+				}
+			}
+			return diffTreebank(tb, dataset.TreebankConfig{Seed: seed, Facts: 60, Axes: axes})
+		}
+	}
+	return []diffDataset{
+		{name: "tiny", build: treebank(8, 0.15, 0, 0, false)},
+		{name: "skewed", build: treebank(3, 0.25, 0, 0.3, true)},
+		{name: "multi", build: treebank(5, 0.1, 0.4, 0, false)},
+		{name: "dblp", build: func(tb testing.TB, seed int64) (*lattice.Lattice, *match.Set) {
+			cfg := dataset.DefaultDBLPConfig(50, seed)
+			cfg.Journals = 6
+			cfg.Authors = 25
+			return diffEval(tb, dataset.DBLP(cfg), dataset.DBLPQuery())
+		}},
+	}
+}
+
+// diffBudget is one memory setting of the sweep. tight is sized so sorts
+// and partitions feel pressure on these workloads while every algorithm —
+// including TDOPTALL's cuboid retention — still completes.
+type diffBudget struct {
+	name  string
+	bytes int64 // 0 = unlimited
+}
+
+func diffBudgets() []diffBudget {
+	return []diffBudget{
+		{name: "tight", bytes: 48 << 10},
+		{name: "roomy", bytes: 0},
+	}
+}
+
+// diffRun runs one algorithm on the workload under the budget.
+func diffRun(tb testing.TB, alg Algorithm, lat *lattice.Lattice, set *match.Set, props *MeasuredProps, b diffBudget) (*Result, error) {
+	tb.Helper()
+	res := NewResult(lat, set.Dicts)
+	in := &Input{
+		Lattice: lat,
+		Source:  set,
+		Dicts:   set.Dicts,
+		TmpDir:  tb.TempDir(),
+		Props:   props,
+	}
+	if b.bytes > 0 {
+		in.Budget = mem.New(b.bytes)
+	}
+	_, err := alg.Run(in, res)
+	return res, err
+}
+
+// satisfies reports whether the measured dataset properties meet an
+// algorithm's declared requirements, i.e. whether its result is defined
+// to equal the oracle's.
+func satisfies(props *MeasuredProps, req Requirements) bool {
+	if req.Disjointness && !props.GloballyDisjoint() {
+		return false
+	}
+	if req.Coverage && !props.GloballyCovered() {
+		return false
+	}
+	return true
+}
+
+// TestDifferentialSweep is the harness: ≥20 seeds × dataset families ×
+// budgets × every registered algorithm, against the oracle.
+func TestDifferentialSweep(t *testing.T) {
+	const seeds = 20
+	datasets := diffDatasets()
+	budgets := diffBudgets()
+	algs := Algorithms()
+	names := Names()
+
+	for _, ds := range datasets {
+		t.Run(ds.name, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				lat, set := ds.build(t, seed)
+				oracle, err := RunOracle(lat, set, set.Dicts)
+				if err != nil {
+					t.Fatalf("seed %d: oracle: %v", seed, err)
+				}
+				props, err := MeasureProps(lat, set)
+				if err != nil {
+					t.Fatalf("seed %d: props: %v", seed, err)
+				}
+				for _, b := range budgets {
+					for _, name := range names {
+						alg := algs[name]
+						res, err := diffRun(t, alg, lat, set, props, b)
+						if err != nil {
+							t.Fatalf("%s seed=%d budget=%s: run: %v", name, seed, b.name, err)
+						}
+						if !satisfies(props, alg.Requires()) {
+							continue // result intentionally undefined here
+						}
+						if diff := diffResults(lat, set.Dicts, oracle, res); diff != "" {
+							t.Fatalf("%s diverges from oracle (dataset=%s seed=%d budget=%s):\n%s",
+								name, ds.name, seed, b.name, diff)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// diffResults compares got against the oracle cell by cell and renders a
+// minimal decoded diff: the first few differing cells, one line each, with
+// the cuboid's ladder-state label and the group's value strings. Empty
+// means identical.
+func diffResults(lat *lattice.Lattice, dicts []*match.Dict, oracle, got *Result) string {
+	const maxLines = 5
+	byID := make(map[uint32]lattice.Point, lat.Size())
+	for _, p := range lat.Points() {
+		byID[lat.ID(p)] = p
+	}
+	var lines []string
+	add := func(format string, args ...any) bool {
+		lines = append(lines, fmt.Sprintf(format, args...))
+		return len(lines) >= maxLines
+	}
+	// Deterministic cuboid order.
+	pids := make([]uint32, 0, len(oracle.Cuboids))
+	for pid := range oracle.Cuboids {
+		pids = append(pids, pid)
+	}
+	for pid := range got.Cuboids {
+		if _, ok := oracle.Cuboids[pid]; !ok {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+scan:
+	for _, pid := range pids {
+		p := byID[pid]
+		want, got := oracle.Cuboids[pid], got.Cuboids[pid]
+		keys := make([]string, 0, len(want))
+		for k := range want {
+			keys = append(keys, k)
+		}
+		for k := range got {
+			if _, ok := want[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w, inWant := want[k]
+			g, inGot := got[k]
+			cell := cellLabel(lat, dicts, p, k)
+			switch {
+			case !inGot:
+				if add("  %s: missing (oracle N=%d Sum=%g)", cell, w.N, w.Sum) {
+					break scan
+				}
+			case !inWant:
+				if add("  %s: spurious (got N=%d Sum=%g)", cell, g.N, g.Sum) {
+					break scan
+				}
+			case w.N != g.N || math.Abs(w.Sum-g.Sum) > 1e-9:
+				if add("  %s: N=%d Sum=%g, oracle N=%d Sum=%g", cell, g.N, g.Sum, w.N, w.Sum) {
+					break scan
+				}
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n")
+}
+
+// cellLabel renders one cell as "cuboid-label [v0 v1 ...]" with dictionary
+// strings instead of value IDs.
+func cellLabel(lat *lattice.Lattice, dicts []*match.Dict, p lattice.Point, packed string) string {
+	live := lat.LiveAxes(p)
+	vals := unpackKey([]byte(packed))
+	parts := make([]string, 0, len(vals))
+	for i, v := range vals {
+		if i < len(live) && v != Null {
+			parts = append(parts, dicts[live[i]].Value(v))
+		} else if v == Null {
+			parts = append(parts, "<null>")
+		} else {
+			parts = append(parts, fmt.Sprintf("#%d", v))
+		}
+	}
+	return fmt.Sprintf("%s [%s]", lat.Label(p), strings.Join(parts, " "))
+}

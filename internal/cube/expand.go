@@ -162,6 +162,14 @@ func sortLimit(in *Input) int64 {
 	return limit
 }
 
+// newSorter builds a sorter for rows of the given width under the input's
+// budget share, wired to the input's registry (extsort.* keys).
+func newSorter(in *Input, width int) *extsort.Sorter {
+	s := extsort.New(width, sortLimit(in), in.TmpDir)
+	s.Observe(in.Reg)
+	return s
+}
+
 // accumulateSortStats folds one extsort run into the algorithm stats.
 func accumulateSortStats(st *Stats, es extsort.Stats) {
 	st.Sorts++

@@ -1,0 +1,67 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+
+	"x3/internal/obs"
+)
+
+// TestObservedRunMetrics pins the cube.* key family one observed run
+// produces, and that the counters agree with the returned Stats.
+func TestObservedRunMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 120, 4, 0.1, 0.2)
+	reg := obs.New()
+	res, st := runAlg(t, TD{}, lat, set, func(in *Input) { in.Reg = reg })
+	snap := reg.Snapshot()
+	c := snap.Counters
+	if c["cube.td.runs"] != 1 {
+		t.Errorf("cube.td.runs = %d, want 1", c["cube.td.runs"])
+	}
+	if c["cube.td.cells"] != st.Cells || st.Cells != res.Cells {
+		t.Errorf("cells: counter=%d stats=%d result=%d", c["cube.td.cells"], st.Cells, res.Cells)
+	}
+	if c["cube.td.sorts"] != int64(st.Sorts) {
+		t.Errorf("cube.td.sorts = %d, stats say %d", c["cube.td.sorts"], st.Sorts)
+	}
+	// The sorters feed the shared extsort.* keys too, and both views must
+	// agree on the row count.
+	if c["extsort.rows.sorted"] != st.RowsSorted {
+		t.Errorf("extsort.rows.sorted = %d, stats say %d", c["extsort.rows.sorted"], st.RowsSorted)
+	}
+	found := false
+	for _, s := range snap.Spans {
+		if s.Name == "cube.td" {
+			found = true
+			if s.DurationNS < 0 {
+				t.Errorf("cube.td span has negative duration %d", s.DurationNS)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no cube.td span recorded; spans = %+v", snap.Spans)
+	}
+}
+
+// TestObservedParallelRun runs the parallel BUC variant with a live
+// registry: its workers hammer the same counters concurrently, which the
+// race target verifies stays clean.
+func TestObservedParallelRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 200, 4, 0, 0)
+	oracle, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	res, _ := runAlg(t, BUCParallel{}, lat, set, func(in *Input) { in.Reg = reg })
+	if err := sameResults(oracle, res); err != nil {
+		t.Fatalf("observed BUCPAR differs: %v", err)
+	}
+	c := reg.Snapshot().Counters
+	if c["cube.bucpar.runs"] != 1 || c["cube.bucpar.cells"] != res.Cells {
+		t.Errorf("bucpar counters: runs=%d cells=%d want 1/%d",
+			c["cube.bucpar.runs"], c["cube.bucpar.cells"], res.Cells)
+	}
+}

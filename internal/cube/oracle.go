@@ -23,6 +23,7 @@ func (Oracle) Requires() Requirements { return Requirements{} }
 // Run implements Algorithm.
 func (Oracle) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: "ORACLE"}
+	defer in.observe(&st)()
 	lat := in.Lattice
 	for _, p := range lat.Points() {
 		st.Passes++

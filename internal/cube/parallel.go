@@ -51,6 +51,7 @@ type parallelUnit struct {
 // Run implements Algorithm.
 func (b BUCParallel) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: b.Name()}
+	defer in.observe(&st)()
 	workers := b.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

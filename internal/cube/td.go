@@ -70,6 +70,7 @@ func (t TD) Requires() Requirements {
 // Run implements Algorithm.
 func (t TD) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: t.Name()}
+	defer in.observe(&st)()
 	var err error
 	switch t.Mode {
 	case TDModeBase:
@@ -88,7 +89,7 @@ func (t TD) runBase(in *Input, sink Sink, st *Stats) error {
 	lat := in.Lattice
 	for _, p := range lat.Points() {
 		cols := colsOf(lat, p)
-		sorter := extsort.New(rowWidth(len(cols), true), sortLimit(in), in.TmpDir)
+		sorter := newSorter(in, rowWidth(len(cols), true))
 		err := expandInto(in, cols, expandOpts{withID: true}, sorter)
 		st.Passes++
 		if err != nil {
@@ -159,7 +160,7 @@ func (t TD) runOpt(in *Input, sink Sink, st *Stats) error {
 			processed[id] = true
 		}
 
-		sorter := extsort.New(rowWidth(m, false), sortLimit(in), in.TmpDir)
+		sorter := newSorter(in, rowWidth(m, false))
 		err := expandInto(in, cols, expandOpts{firstOnly: true, nullMissing: true}, sorter)
 		st.Passes++
 		if err != nil {

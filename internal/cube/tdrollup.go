@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"x3/internal/agg"
-	"x3/internal/extsort"
 	"x3/internal/lattice"
 )
 
@@ -156,7 +155,7 @@ func (t TD) cellsFromBase(in *Input, sink Sink, st *Stats, p lattice.Point) ([]b
 		}
 		opts.withID = withID
 	}
-	sorter := extsort.New(rowWidth(len(cols), withID), sortLimit(in), in.TmpDir)
+	sorter := newSorter(in, rowWidth(len(cols), withID))
 	err := expandInto(in, cols, opts, sorter)
 	st.Passes++
 	if err != nil {
@@ -258,7 +257,7 @@ func (t TD) rollup(in *Input, sink Sink, st *Stats, store *cellStore, p lattice.
 	} else {
 		// An interior column drop (TDCUST when only that edge is safe):
 		// regroup with a sort.
-		sorter := extsort.New(wp, sortLimit(in), in.TmpDir)
+		sorter := newSorter(in, wp)
 		row := make([]byte, wp)
 		for off := 0; off+wq <= len(parentCells); off += wq {
 			key := parentCells[off : off+4*kq]

@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"x3/internal/obs"
 )
 
 // Stats describes one completed sort.
@@ -38,6 +40,7 @@ type Sorter struct {
 	runs  []*os.File
 	stats Stats
 	done  bool
+	reg   *obs.Registry
 }
 
 // New returns a Sorter for rows of the given width. limit caps the
@@ -45,6 +48,27 @@ type Sorter struct {
 // (empty: the OS temp dir).
 func New(width int, limit int64, dir string) *Sorter {
 	return &Sorter{width: width, limit: limit, dir: dir}
+}
+
+// Observe attaches a metrics registry: on Finish the sort's statistics are
+// folded into the extsort.* keys (sorts, sorts.external, runs.spilled,
+// rows.sorted, spill.bytes) and the run-size histogram. A nil registry is
+// a no-op.
+func (s *Sorter) Observe(reg *obs.Registry) { s.reg = reg }
+
+// observeFinish publishes the completed sort's stats.
+func (s *Sorter) observeFinish() {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("extsort.sorts").Inc()
+	if s.stats.External {
+		s.reg.Counter("extsort.sorts.external").Inc()
+	}
+	s.reg.Counter("extsort.runs.spilled").Add(int64(s.stats.Runs))
+	s.reg.Counter("extsort.rows.sorted").Add(s.stats.Rows)
+	s.reg.Counter("extsort.spill.bytes").Add(s.stats.SpillBytes)
+	s.reg.Histogram("extsort.sort.rows").Observe(s.stats.Rows)
 }
 
 // Add appends one row. The row is copied.
@@ -101,6 +125,7 @@ func (s *Sorter) Finish() (*Iterator, Stats, error) {
 	s.done = true
 	if len(s.runs) == 0 {
 		sortRows(s.buf, s.width)
+		s.observeFinish()
 		return &Iterator{width: s.width, mem: s.buf}, s.stats, nil
 	}
 	if err := s.spill(); err != nil {
@@ -124,6 +149,7 @@ func (s *Sorter) Finish() (*Iterator, Stats, error) {
 		}
 	}
 	heap.Init(&it.h)
+	s.observeFinish()
 	return it, s.stats, nil
 }
 

@@ -1,0 +1,114 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"x3/internal/obs"
+)
+
+// feedRows adds n distinct 8-byte rows to the sorter.
+func feedRows(t *testing.T, s *Sorter, n int) {
+	t.Helper()
+	var row [8]byte
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(row[:], uint64(i*2654435761)) // scrambled order
+		if err := s.Add(row[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func drainCount(t *testing.T, it *Iterator) int {
+	t.Helper()
+	defer it.Close()
+	n := 0
+	for {
+		row, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			return n
+		}
+		n++
+	}
+}
+
+// TestObserveNoSpillWhenBudgetFits pins the invariant the pipeline metrics
+// rely on: a sort whose input fits the buffer spills nothing — zero
+// runs, zero spilled bytes, not counted as external.
+func TestObserveNoSpillWhenBudgetFits(t *testing.T) {
+	reg := obs.New()
+	s := New(8, 1<<20, t.TempDir()) // budget far above the input
+	s.Observe(reg)
+	feedRows(t, s, 100)
+	it, _, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainCount(t, it); got != 100 {
+		t.Fatalf("drained %d rows, want 100", got)
+	}
+	c := reg.Snapshot().Counters
+	if c["extsort.sorts"] != 1 {
+		t.Errorf("extsort.sorts = %d, want 1", c["extsort.sorts"])
+	}
+	if c["extsort.runs.spilled"] != 0 || c["extsort.spill.bytes"] != 0 || c["extsort.sorts.external"] != 0 {
+		t.Errorf("in-memory sort spilled: runs=%d bytes=%d external=%d",
+			c["extsort.runs.spilled"], c["extsort.spill.bytes"], c["extsort.sorts.external"])
+	}
+	if c["extsort.rows.sorted"] != 100 {
+		t.Errorf("extsort.rows.sorted = %d, want 100", c["extsort.rows.sorted"])
+	}
+}
+
+// TestObserveSpillsUnderTightBudget is the complement: a buffer far below
+// the input must spill runs, and the counters must account for every
+// spilled byte.
+func TestObserveSpillsUnderTightBudget(t *testing.T) {
+	reg := obs.New()
+	s := New(8, 128, t.TempDir()) // 16 rows per run
+	s.Observe(reg)
+	feedRows(t, s, 100)
+	it, stats, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainCount(t, it); got != 100 {
+		t.Fatalf("drained %d rows, want 100", got)
+	}
+	c := reg.Snapshot().Counters
+	if c["extsort.sorts.external"] != 1 {
+		t.Errorf("extsort.sorts.external = %d, want 1", c["extsort.sorts.external"])
+	}
+	if c["extsort.runs.spilled"] < 2 {
+		t.Errorf("extsort.runs.spilled = %d, want >= 2", c["extsort.runs.spilled"])
+	}
+	if c["extsort.spill.bytes"] != int64(stats.SpillBytes) || c["extsort.spill.bytes"] != 800 {
+		t.Errorf("extsort.spill.bytes = %d, want %d (= 100 rows x 8 bytes)",
+			c["extsort.spill.bytes"], stats.SpillBytes)
+	}
+	if c["extsort.runs.spilled"] != int64(stats.Runs) {
+		t.Errorf("extsort.runs.spilled = %d disagrees with Stats.Runs = %d",
+			c["extsort.runs.spilled"], stats.Runs)
+	}
+}
+
+// TestObserveNilRegistryHarmless: a sorter without a registry behaves
+// identically.
+func TestObserveNilRegistryHarmless(t *testing.T) {
+	s := New(8, 128, t.TempDir())
+	s.Observe(nil)
+	feedRows(t, s, 50)
+	it, stats, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainCount(t, it); got != 50 {
+		t.Fatalf("drained %d rows, want 50", got)
+	}
+	if !stats.External {
+		t.Error("expected external sort")
+	}
+}

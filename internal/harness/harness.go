@@ -22,8 +22,12 @@ import (
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/matchfile"
+	"x3/internal/obs"
 	"x3/internal/pattern"
 	"x3/internal/schema"
+	"x3/internal/sjoin"
+	"x3/internal/store"
+	"x3/internal/xmltree"
 )
 
 // Row is one measured run: one algorithm on one axis count of one figure.
@@ -53,6 +57,15 @@ type Options struct {
 	// Log, when non-nil, receives progress lines.
 	Log  io.Writer
 	Seed int64
+	// Registry, when non-nil, receives pipeline metrics and phase spans
+	// (harness.generate / harness.match / harness.materialize, plus the
+	// store.pool.*, sjoin.*, match.*, extsort.* and cube.* key families).
+	Registry *obs.Registry
+	// UseStore persists each generated corpus as a paged store file and
+	// evaluates the query with structural joins through the buffer pool —
+	// the paper's TIMBER configuration — instead of the in-memory
+	// evaluator. Required for store.pool.* and sjoin.* metrics to be live.
+	UseStore bool
 }
 
 // DefaultOptions reads X3_SCALE (a float, e.g. "0.02") and returns
@@ -208,40 +221,38 @@ func Prepare(cfg Config, opt Options, d int) (*Workload, error) {
 	if trees < 10 {
 		trees = 10
 	}
+	genSpan := opt.Registry.Span("harness.generate")
 	var (
-		lat *lattice.Lattice
-		set *match.Set
-		dtd string
+		doc  *xmltree.Document
+		spec *pattern.CubeQuery
+		dtd  string
 	)
 	if cfg.DBLP {
-		doc := dataset.DBLP(dataset.DefaultDBLPConfig(trees, opt.Seed))
-		var err error
-		lat, err = lattice.New(dataset.DBLPQuery())
-		if err != nil {
-			return nil, err
-		}
-		set, err = match.Evaluate(doc, lat)
-		if err != nil {
-			return nil, err
-		}
+		doc = dataset.DBLP(dataset.DefaultDBLPConfig(trees, opt.Seed))
+		spec = dataset.DBLPQuery()
 		dtd = dataset.DBLPDTD
 	} else {
 		tcfg := treebankConfig(cfg, opt, trees, d)
-		doc := dataset.Treebank(tcfg)
-		q := dataset.TreebankQuery(tcfg.Axes)
-		var err error
-		lat, err = lattice.New(q)
-		if err != nil {
-			return nil, err
-		}
-		set, err = match.Evaluate(doc, lat)
-		if err != nil {
-			return nil, err
-		}
+		doc = dataset.Treebank(tcfg)
+		spec = dataset.TreebankQuery(tcfg.Axes)
 		dtd = dataset.TreebankDTD(tcfg)
 	}
+	genSpan.End()
+	lat, err := lattice.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	matchSpan := opt.Registry.Span("harness.match")
+	set, err := evaluateDoc(doc, lat, cfg, opt, d)
+	matchSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	matSpan := opt.Registry.Span("harness.materialize")
 	mfPath := filepath.Join(opt.TmpDir, fmt.Sprintf("%s-d%d-%d.x3mf", cfg.ID, d, os.Getpid()))
-	if err := matchfile.WriteFile(mfPath, set); err != nil {
+	err = matchfile.WriteFile(mfPath, set)
+	matSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	props, err := inferProps(dtd, lat)
@@ -279,6 +290,7 @@ func (w *Workload) RunAlgorithm(name string, opt Options) (Row, error) {
 		Budget:  memBudget(w.Budget),
 		TmpDir:  opt.TmpDir,
 		Props:   w.Props,
+		Reg:     opt.Registry,
 	}
 	sink := &deadlineSink{}
 	if opt.Timeout > 0 {
@@ -299,6 +311,33 @@ func (w *Workload) RunAlgorithm(name string, opt Options) (Row, error) {
 		}
 	}
 	return row, nil
+}
+
+// evaluateDoc builds the fact table for a generated corpus. The default
+// path is the in-memory evaluator; with UseStore the corpus is persisted
+// as a paged store file first and evaluated with structural joins through
+// the buffer pool, so the store.pool.* and sjoin.* metrics reflect real
+// page traffic.
+func evaluateDoc(doc *xmltree.Document, lat *lattice.Lattice, cfg Config, opt Options, d int) (*match.Set, error) {
+	dicts := make([]*match.Dict, len(lat.Query.Axes))
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	if !opt.UseStore {
+		return match.EvaluateObserved(doc, lat, dicts, opt.Registry)
+	}
+	stPath := filepath.Join(opt.TmpDir, fmt.Sprintf("%s-d%d-%d.x3st", cfg.ID, d, os.Getpid()))
+	if err := store.Create(stPath, doc); err != nil {
+		return nil, err
+	}
+	defer os.Remove(stPath)
+	st, err := store.Open(stPath, 256)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	st.Observe(opt.Registry)
+	return sjoin.EvaluateObserved(st, lat, dicts, opt.Registry)
 }
 
 // treebankConfig derives the per-axis knobs of a Treebank figure.

@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"x3/internal/lattice"
+	"x3/internal/obs"
 	"x3/internal/pattern"
 	"x3/internal/xmltree"
 )
@@ -87,12 +88,21 @@ func Evaluate(doc *xmltree.Document, lat *lattice.Lattice) (*Set, error) {
 // dictionaries — the way incremental additions to an already-computed cube
 // must be evaluated, so value IDs stay consistent across batches.
 func EvaluateWith(doc *xmltree.Document, lat *lattice.Lattice, dicts []*Dict) (*Set, error) {
+	return EvaluateObserved(doc, lat, dicts, nil)
+}
+
+// EvaluateObserved is EvaluateWith reporting match-phase activity into the
+// registry (match.facts, match.paths.evaluated); reg may be nil.
+func EvaluateObserved(doc *xmltree.Document, lat *lattice.Lattice, dicts []*Dict, reg *obs.Registry) (*Set, error) {
+	pathsEvaluated := reg.Counter("match.paths.evaluated")
 	q := lat.Query
 	if len(dicts) != len(q.Axes) {
 		return nil, fmt.Errorf("match: %d dictionaries for %d axes", len(dicts), len(q.Axes))
 	}
 	set := &Set{Lattice: lat, Dicts: dicts}
 	factNodes := EvalPathFromRoot(doc, q.FactPath)
+	pathsEvaluated.Inc()
+	reg.Counter("match.facts").Add(int64(len(factNodes)))
 	for i, fn := range factNodes {
 		f := &Fact{ID: int64(i), Measure: 1}
 		// Fact key.
@@ -120,6 +130,7 @@ func EvaluateWith(doc *xmltree.Document, lat *lattice.Lattice, dicts []*Dict) (*
 			f.Axes[a] = make([][]ValueID, live)
 			for st := 0; st < live; st++ {
 				nodes := EvalPath(doc, fn, lad.States[st].Path)
+				pathsEvaluated.Inc()
 				f.Axes[a][st] = valueSet(doc, nodes, set.Dicts[a])
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"x3/internal/lattice"
 	"x3/internal/match"
+	"x3/internal/obs"
 	"x3/internal/pattern"
 	"x3/internal/xmltree"
 )
@@ -26,16 +27,25 @@ func Evaluate(src Source, lat *lattice.Lattice) (*match.Set, error) {
 // EvaluateWith is Evaluate interning values into the caller's dictionaries
 // (see match.EvaluateWith).
 func EvaluateWith(src Source, lat *lattice.Lattice, dicts []*match.Dict) (*match.Set, error) {
+	return EvaluateObserved(src, lat, dicts, nil)
+}
+
+// EvaluateObserved is EvaluateWith reporting join activity (sjoin.* keys)
+// and the match-phase fact count (match.facts) into the registry; reg may
+// be nil.
+func EvaluateObserved(src Source, lat *lattice.Lattice, dicts []*match.Dict, reg *obs.Registry) (*match.Set, error) {
+	tr := newTracer(reg)
 	q := lat.Query
 	if len(dicts) != len(q.Axes) {
 		return nil, fmt.Errorf("sjoin: %d dictionaries for %d axes", len(dicts), len(q.Axes))
 	}
 	set := &match.Set{Lattice: lat, Dicts: dicts}
 
-	factItems, err := EvalPathFromRoot(src, q.FactPath)
+	factItems, err := evalPathFromRoot(src, q.FactPath, tr)
 	if err != nil {
 		return nil, err
 	}
+	reg.Counter("match.facts").Add(int64(len(factItems)))
 	ordinal := make(map[xmltree.NodeID]int, len(factItems))
 	facts := make([]Tagged, len(factItems))
 	for i, t := range factItems {
@@ -51,7 +61,7 @@ func EvaluateWith(src Source, lat *lattice.Lattice, dicts []*match.Dict) (*match
 
 	// Fact keys from the X³ clause target.
 	if len(q.FactIDPath) > 0 {
-		keys, err := EvalAxis(src, facts, q.FactIDPath)
+		keys, err := evalSteps(src, facts, q.FactIDPath, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +81,7 @@ func EvaluateWith(src Source, lat *lattice.Lattice, dicts []*match.Dict) (*match
 
 	// Measures.
 	if q.Agg != pattern.Count {
-		ms, err := EvalAxis(src, facts, q.MeasurePath)
+		ms, err := evalSteps(src, facts, q.MeasurePath, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +114,7 @@ func EvaluateWith(src Source, lat *lattice.Lattice, dicts []*match.Dict) (*match
 			set.Facts[i].Axes[a] = make([][]match.ValueID, live)
 		}
 		for s := 0; s < live; s++ {
-			ts, err := EvalAxis(src, facts, lad.States[s].Path)
+			ts, err := evalSteps(src, facts, lad.States[s].Path, tr)
 			if err != nil {
 				return nil, err
 			}

@@ -13,9 +13,39 @@ import (
 	"fmt"
 	"sort"
 
+	"x3/internal/obs"
 	"x3/internal/pattern"
 	"x3/internal/xmltree"
 )
+
+// tracer carries cached obs handles through the join cascade. The zero
+// value (all-nil handles) is observability off; every Add/Inc is then a
+// no-op costing one branch.
+type tracer struct {
+	joins   *obs.Counter // structural joins performed
+	scanned *obs.Counter // elements read across both join inputs
+	pairs   *obs.Counter // (fact, node) pairs emitted by joins
+	preds   *obs.Counter // predicate semi-joins evaluated
+}
+
+// newTracer resolves the sjoin.* handles; reg may be nil.
+func newTracer(reg *obs.Registry) tracer {
+	return tracer{
+		joins:   reg.Counter("sjoin.joins"),
+		scanned: reg.Counter("sjoin.elements.scanned"),
+		pairs:   reg.Counter("sjoin.pairs.emitted"),
+		preds:   reg.Counter("sjoin.preds.evaluated"),
+	}
+}
+
+// join is Join plus instrumentation.
+func (tr tracer) join(anc []Tagged, desc []Item, axis pattern.Axis) []Tagged {
+	tr.joins.Inc()
+	tr.scanned.Add(int64(len(anc) + len(desc)))
+	out := Join(anc, desc, axis)
+	tr.pairs.Add(int64(len(out)))
+	return out
+}
 
 // Item is a region-encoded reference to a stored node.
 type Item struct {
@@ -142,6 +172,10 @@ func tagStream(src Source, st pattern.Step) ([]Item, error) {
 // cascade of structural joins, returning matched nodes tagged with
 // themselves (Fact == ID), in document order.
 func EvalPathFromRoot(src Source, p pattern.Path) ([]Tagged, error) {
+	return evalPathFromRoot(src, p, tracer{})
+}
+
+func evalPathFromRoot(src Source, p pattern.Path, tr tracer) ([]Tagged, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("sjoin: empty path")
 	}
@@ -158,22 +192,22 @@ func EvalPathFromRoot(src Source, p pattern.Path) ([]Tagged, error) {
 	}
 	if len(p[0].Preds) > 0 {
 		var err error
-		cur, err = filterPreds(src, cur, p[0].Preds)
+		cur, err = filterPreds(src, cur, p[0].Preds, tr)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return evalSteps(src, cur, p[1:])
+	return evalSteps(src, cur, p[1:], tr)
 }
 
 // EvalAxis evaluates a fact-relative axis path: facts are the (already
 // matched) context items, and the result tags every matched node with its
 // fact, so callers can group values per fact.
 func EvalAxis(src Source, facts []Tagged, p pattern.Path) ([]Tagged, error) {
-	return evalSteps(src, facts, p)
+	return evalSteps(src, facts, p, tracer{})
 }
 
-func evalSteps(src Source, cur []Tagged, steps pattern.Path) ([]Tagged, error) {
+func evalSteps(src Source, cur []Tagged, steps pattern.Path, tr tracer) ([]Tagged, error) {
 	for _, st := range steps {
 		if len(cur) == 0 {
 			return nil, nil
@@ -182,9 +216,9 @@ func evalSteps(src Source, cur []Tagged, steps pattern.Path) ([]Tagged, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur = Join(cur, stream, st.Axis)
+		cur = tr.join(cur, stream, st.Axis)
 		if len(st.Preds) > 0 {
-			cur, err = filterPreds(src, cur, st.Preds)
+			cur, err = filterPreds(src, cur, st.Preds, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -197,7 +231,7 @@ func evalSteps(src Source, cur []Tagged, steps pattern.Path) ([]Tagged, error) {
 // existence predicate, using semi-joins: each predicate is evaluated once
 // over all candidate nodes (tagged with themselves) and the survivors are
 // the facts of the result.
-func filterPreds(src Source, cur []Tagged, preds []pattern.Path) ([]Tagged, error) {
+func filterPreds(src Source, cur []Tagged, preds []pattern.Path, tr tracer) ([]Tagged, error) {
 	// Distinct candidate nodes, probed as their own facts.
 	probe := make([]Tagged, 0, len(cur))
 	seen := map[xmltree.NodeID]bool{}
@@ -213,7 +247,8 @@ func filterPreds(src Source, cur []Tagged, preds []pattern.Path) ([]Tagged, erro
 		alive[id] = true
 	}
 	for _, pred := range preds {
-		res, err := evalSteps(src, probe, pred)
+		tr.preds.Inc()
+		res, err := evalSteps(src, probe, pred, tr)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/obs"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// TestPoolMetricsInvariants drives eviction churn through an observed pool
+// and checks the accounting identities: every lookup is either a hit or a
+// miss, and every miss causes exactly one physical read. The registry
+// counters must also agree with the pool's own PoolStats.
+func TestPoolMetricsInvariants(t *testing.T) {
+	doc := dataset.Treebank(dataset.TreebankConfig{
+		Seed: 3, Facts: 2000,
+		Axes: []dataset.AxisConfig{{Tag: "w0", Cardinality: 50,
+			Relax: pattern.RelaxSet(0).With(pattern.LND)}},
+		Noise: 3,
+	})
+	st := createStore(t, doc, 4)
+	reg := obs.New()
+	st.Observe(reg)
+	for i := 0; i < st.NumNodes(); i += 7 {
+		if _, err := st.Value(xmltree.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	c := snap.Counters
+	lookups, hits, misses := c["store.pool.lookups"], c["store.pool.hits"], c["store.pool.misses"]
+	reads, evictions := c["store.pool.reads"], c["store.pool.evictions"]
+	if lookups == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if hits+misses != lookups {
+		t.Errorf("hits (%d) + misses (%d) != lookups (%d)", hits, misses, lookups)
+	}
+	if reads != misses {
+		t.Errorf("reads (%d) != misses (%d)", reads, misses)
+	}
+	if evictions == 0 {
+		t.Error("4-frame pool never evicted")
+	}
+
+	// The registry mirrors what it saw since Observe; the pool's own stats
+	// include the pre-Observe reads done by Open, so counters are bounded
+	// by them.
+	ps := st.Stats()
+	if hits > ps.Hits || misses > ps.Misses || reads > ps.Reads || evictions > ps.Evictions {
+		t.Errorf("registry counters exceed pool stats: reg={%d %d %d %d} pool=%+v",
+			hits, misses, reads, evictions, ps)
+	}
+}

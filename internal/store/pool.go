@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"x3/internal/obs"
 )
 
 // PageSize is the fixed page size, matching the paper's 8 KB configuration.
@@ -29,6 +31,22 @@ type pool struct {
 	frames map[uint32]*frame
 	lru    *list.List // front = most recently used; holds *frame
 	stats  PoolStats
+
+	// Cached obs handles (nil = observability off, zero overhead). Set
+	// once via observe before concurrent use.
+	obsLookups, obsHits, obsMisses, obsReads, obsEvictions *obs.Counter
+}
+
+// observe wires the pool's activity into the registry under the
+// store.pool.* namespace. reg may be nil (no-op handles).
+func (p *pool) observe(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obsLookups = reg.Counter("store.pool.lookups")
+	p.obsHits = reg.Counter("store.pool.hits")
+	p.obsMisses = reg.Counter("store.pool.misses")
+	p.obsReads = reg.Counter("store.pool.reads")
+	p.obsEvictions = reg.Counter("store.pool.evictions")
 }
 
 type frame struct {
@@ -49,13 +67,16 @@ func newPool(f *os.File, capPages int) *pool {
 func (p *pool) page(pid uint32) (*frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.obsLookups.Inc()
 	if fr, ok := p.frames[pid]; ok {
 		p.stats.Hits++
+		p.obsHits.Inc()
 		fr.pins++
 		p.lru.MoveToFront(fr.el)
 		return fr, nil
 	}
 	p.stats.Misses++
+	p.obsMisses.Inc()
 	if len(p.frames) >= p.cap {
 		if err := p.evict(); err != nil {
 			return nil, err
@@ -67,6 +88,7 @@ func (p *pool) page(pid uint32) (*frame, error) {
 		return nil, fmt.Errorf("store: read page %d: %w", pid, err)
 	}
 	p.stats.Reads++
+	p.obsReads.Inc()
 	fr.el = p.lru.PushFront(fr)
 	p.frames[pid] = fr
 	return fr, nil
@@ -97,6 +119,7 @@ func (p *pool) evict() error {
 			p.lru.Remove(el)
 			delete(p.frames, fr.pid)
 			p.stats.Evictions++
+			p.obsEvictions.Inc()
 			return nil
 		}
 	}

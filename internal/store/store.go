@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"x3/internal/obs"
 	"x3/internal/xmltree"
 )
 
@@ -232,6 +233,12 @@ func (s *Store) NumNodes() int { return s.numNodes }
 
 // Stats returns buffer pool statistics.
 func (s *Store) Stats() PoolStats { return s.pool.snapshot() }
+
+// Observe mirrors the buffer pool's activity into the registry under the
+// store.pool.* keys (lookups, hits, misses, reads, evictions). A nil
+// registry detaches observability at zero overhead. Call before issuing
+// concurrent reads.
+func (s *Store) Observe(reg *obs.Registry) { s.pool.observe(reg) }
 
 // DropCache empties the buffer pool, forcing cold reads — the paper
 // measures all runs with a cold cache.

@@ -3,17 +3,41 @@ package xq
 import "testing"
 
 // FuzzParse throws arbitrary text at the query parser; it must never
-// panic, and whatever it accepts must render and be structurally valid.
+// panic, and whatever it accepts must render a non-empty normal form,
+// survive validation, and parse deterministically (two parses of the same
+// input render identically).
 func FuzzParse(f *testing.F) {
 	seeds := []string{
+		// The paper's Query 1 (§2), verbatim shape: three axes with
+		// distinct relaxation sets, attribute steps, COUNT.
+		`for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD), $p (LND, PC-AD), $y (LND)
+return COUNT($b).`,
+		// Query 1 syntax variations: spelling of the operator, casing,
+		// no trailing period, collapsed whitespace.
 		`for $b in doc("book.xml")//publication, $n in $b/author/name
 x^3 $b/@id by $n (LND, SP, PC-AD) return COUNT($b).`,
+		`FOR $b IN doc("book.xml")//publication, $y IN $b/year X^3 $b/@id BY $y (LND) RETURN COUNT($b)`,
 		`for $a in doc("d")//article, $y in $a/year x3 $a by $y return count($a)`,
+		// Other aggregates and measure paths.
+		`for $a in doc("d")//sale, $r in $a/region x3 $a by $r (LND) return SUM($a/amount)`,
+		`for $a in doc("d")//sale, $r in $a/region x3 $a by $r (LND) return AVG($a/amount)`,
+		`for $a in doc("d")//sale, $r in $a/region x3 $a by $r return MIN($a/amount)`,
+		`for $a in doc("d")//sale, $r in $a/region x3 $a by $r return MAX($a/amount)`,
+		// Predicates, wildcards and iceberg having.
 		`for $a in doc("d")//r[x], $y in $a/y[z] x3 $a by $y (LND) return SUM($a/m) having COUNT($a) >= 3`,
+		`for $b in doc("d")//p[@kind], $w in $b/*/w x3 $b by $w (LND, SP) return COUNT($b)`,
+		`for $b in doc("d")/root/p, $n in $b/a/b/c/name x3 $b/@id by $n (LND, SP, PC-AD) return COUNT($b).`,
+		// Degenerate and malformed inputs.
 		`for $b in`,
 		`x3 by return`,
 		`for $b in doc(")//p x3 $b by $b return COUNT($b)`,
 		"for $b in doc(\"x\")//p,\x00 $y in $b/y x3 $b by $y return COUNT($b)",
+		`for $b in doc("x")//p, $y in $b/y x3 $b by $y (LND, LND) return COUNT($b)`,
+		`for $b in doc("x")//p, $y in $b/y x3 $b by $y ( return COUNT($b)`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -26,8 +50,17 @@ x^3 $b/@id by $n (LND, SP, PC-AD) return COUNT($b).`,
 		if err := q.Validate(); err != nil {
 			t.Fatalf("accepted query fails validation: %v\ninput: %q", err, src)
 		}
-		if q.String() == "" {
+		rendered := q.String()
+		if rendered == "" {
 			t.Fatalf("accepted query renders empty: %q", src)
+		}
+		// Parsing is deterministic: a second parse renders identically.
+		q2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("second parse rejected: %v\ninput: %q", err, src)
+		}
+		if again := q2.String(); again != rendered {
+			t.Fatalf("parse not deterministic:\nfirst:  %q\nsecond: %q\ninput: %q", rendered, again, src)
 		}
 	})
 }

@@ -1,0 +1,115 @@
+package x3
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"x3/internal/obs"
+)
+
+// TestCubeWithRegistryInMemory: a Cube call with a registry attached must
+// report the match phase, the algorithm's run and its span — and produce
+// the exact same cube as an unobserved call.
+func TestCubeWithRegistryInMemory(t *testing.T) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	res, err := db.Cube(q, WithAlgorithm("TD"), WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := db.Cube(q, WithAlgorithm("TD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCells() != plain.TotalCells() {
+		t.Errorf("observed run: %d cells, unobserved: %d", res.TotalCells(), plain.TotalCells())
+	}
+
+	snap := reg.Snapshot()
+	c := snap.Counters
+	if c["match.facts"] != 4 {
+		t.Errorf("match.facts = %d, want 4", c["match.facts"])
+	}
+	if c["cube.td.runs"] != 1 {
+		t.Errorf("cube.td.runs = %d, want 1", c["cube.td.runs"])
+	}
+	if c["cube.td.cells"] != res.TotalCells() {
+		t.Errorf("cube.td.cells = %d, want %d", c["cube.td.cells"], res.TotalCells())
+	}
+	if c["extsort.sorts"] == 0 {
+		t.Error("TD ran no observed sorts")
+	}
+	if c["extsort.rows.sorted"] != c["cube.td.rows.sorted"] {
+		t.Errorf("extsort.rows.sorted (%d) != cube.td.rows.sorted (%d)",
+			c["extsort.rows.sorted"], c["cube.td.rows.sorted"])
+	}
+	var names []string
+	for _, s := range snap.Spans {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "match") || !strings.Contains(joined, "cube.td") {
+		t.Errorf("spans = %v, want match and cube.td", names)
+	}
+}
+
+// TestCubeWithRegistryOverStore: the store-backed path must additionally
+// surface buffer-pool and structural-join traffic.
+func TestCubeWithRegistryOverStore(t *testing.T) {
+	db, err := LoadXMLString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.x3st")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := OpenStore(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+
+	q, err := ParseQuery(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	res, err := sdb.Cube(q, WithAlgorithm("BUC"), WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := db.Cube(q, WithAlgorithm("BUC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCells() != plain.TotalCells() {
+		t.Errorf("store-backed observed run: %d cells, in-memory: %d", res.TotalCells(), plain.TotalCells())
+	}
+	c := reg.Snapshot().Counters
+	if c["store.pool.lookups"] == 0 {
+		t.Error("no buffer pool lookups recorded")
+	}
+	if c["store.pool.hits"]+c["store.pool.misses"] != c["store.pool.lookups"] {
+		t.Errorf("pool identity broken: hits=%d misses=%d lookups=%d",
+			c["store.pool.hits"], c["store.pool.misses"], c["store.pool.lookups"])
+	}
+	if c["sjoin.joins"] == 0 || c["sjoin.elements.scanned"] == 0 {
+		t.Errorf("no structural join activity: joins=%d scanned=%d",
+			c["sjoin.joins"], c["sjoin.elements.scanned"])
+	}
+	if c["match.facts"] != 4 {
+		t.Errorf("match.facts = %d, want 4", c["match.facts"])
+	}
+	if c["cube.buc.runs"] != 1 {
+		t.Errorf("cube.buc.runs = %d, want 1", c["cube.buc.runs"])
+	}
+}
