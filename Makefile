@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-seed
+.PHONY: ci vet build test race fuzz bench-seed bench-pr2
 
 ci: vet build test race
 
@@ -15,10 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent pieces — BUCPAR's worker pool and LockedSink, the sjoin
-# evaluator over the shared buffer pool — under the race detector.
+# The concurrent pieces — the shared worker pool behind BUCPAR/TDPAR, the
+# batched sinks, extsort's background run formation and chunked sorts, the
+# sjoin evaluator over the shared buffer pool — under the race detector.
 race:
-	$(GO) test -race ./internal/cube/... ./internal/sjoin/... ./internal/store/... ./internal/obs/...
+	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/...
 
 # Short fuzz smoke of the query parser (the CI-sized budget).
 fuzz:
@@ -27,3 +28,10 @@ fuzz:
 # Regenerate the committed metrics baseline (see EXPERIMENTS.md).
 bench-seed:
 	$(GO) run ./cmd/x3bench -figure fig4 -scale 0.002 -axes 2,3 -quiet -metrics BENCH_seed.json
+
+# Regenerate the committed parallel-scaling snapshot (see EXPERIMENTS.md):
+# the DBLP figure across a worker sweep, serial baselines (TD, BUC,
+# COUNTER) next to the parallel engines (TDPAR, BUCPAR). The
+# harness.run.*.w<N>.ns keys carry the wall-clock comparison.
+bench-pr2:
+	$(GO) run ./cmd/x3bench -figure fig10 -scale 0.05 -algorithms COUNTER,TD,BUC,TDPAR,BUCPAR -workers 1,2,4,8 -quiet -metrics BENCH_pr2.json

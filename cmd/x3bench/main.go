@@ -63,12 +63,20 @@ func main() {
 		axes    = flag.String("axes", "", `restrict the axis sweep, e.g. "2,4,7"`)
 		algs    = flag.String("algorithms", "", `restrict the algorithms, e.g. "TD,BUC"`)
 		metrics = flag.String("metrics", "", "write pipeline metrics as JSON here (evaluates through the paged store)")
+		workers = flag.String("workers", "0", `comma-separated worker counts to sweep, e.g. "1,2,4" (0 = GOMAXPROCS)`)
 	)
 	flag.Parse()
 
 	axesSweep, err := parseInts(*axes)
 	if err != nil {
 		log.Fatal(err)
+	}
+	workerSweep, err := parseInts(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(workerSweep) == 0 {
+		workerSweep = []int{0}
 	}
 
 	opt := harness.Options{Scale: *scale, Timeout: *timeout, Seed: *seed}
@@ -101,15 +109,22 @@ func main() {
 		if *algs != "" {
 			cfg.Algorithms = splitList(*algs)
 		}
-		fmt.Printf("\n== %s: %s ==\n", cfg.ID, cfg.Title)
-		start := time.Now()
-		rows, err := harness.Run(cfg, opt)
-		if err != nil {
-			log.Fatal(err)
+		for _, nw := range workerSweep {
+			opt.Workers = nw
+			if len(workerSweep) > 1 {
+				fmt.Printf("\n== %s: %s (workers=%d) ==\n", cfg.ID, cfg.Title, nw)
+			} else {
+				fmt.Printf("\n== %s: %s ==\n", cfg.ID, cfg.Title)
+			}
+			start := time.Now()
+			rows, err := harness.Run(cfg, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			harness.WriteTable(os.Stdout, rows)
+			fmt.Printf("(%s, scale=%g, wall %.1fs)\n", cfg.ID, *scale, time.Since(start).Seconds())
+			all = append(all, rows...)
 		}
-		harness.WriteTable(os.Stdout, rows)
-		fmt.Printf("(%s, scale=%g, wall %.1fs)\n", cfg.ID, *scale, time.Since(start).Seconds())
-		all = append(all, rows...)
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

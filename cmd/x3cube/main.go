@@ -37,6 +37,7 @@ func main() {
 		list      = flag.Bool("list", false, "list algorithms and exit")
 		poolPages = flag.Int("pool", 0, "store buffer pool pages (0 = default)")
 		metrics   = flag.String("metrics", "", "write pipeline metrics as JSON here")
+		workers   = flag.Int("workers", 0, "worker fan-out for parallel algorithms and sorts (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -92,7 +93,7 @@ func main() {
 		return
 	}
 
-	opts := []x3.Option{x3.WithAlgorithm(*algorithm), x3.WithMemoryBudget(*budget)}
+	opts := []x3.Option{x3.WithAlgorithm(*algorithm), x3.WithMemoryBudget(*budget), x3.WithWorkers(*workers)}
 	if *dtdFile != "" {
 		b, err := os.ReadFile(*dtdFile)
 		if err != nil {

@@ -1,0 +1,206 @@
+package cube
+
+import (
+	"x3/internal/agg"
+	"x3/internal/match"
+	"x3/internal/obs"
+)
+
+// cellTable is the allocation-lean cell accumulation kernel: an
+// open-addressing hash table keyed on fixed-width rows of match.ValueID,
+// with keys stored contiguously in an arena and aggregate states in a
+// parallel slice. It replaces the map[string]agg.State + packKey-string
+// hot path of the counter-based and reference algorithms: no per-cell key
+// packing, no string conversion, no per-entry map bucket allocation —
+// the only heap traffic is the amortized growth of three flat slices.
+//
+// The table is deletion-free (cube accumulation only ever inserts and
+// folds), so linear probing needs no tombstones and every probe sequence
+// terminates at the first empty slot. Entries keep insertion order, which
+// makes iteration deterministic for a deterministic insert sequence.
+//
+// A cellTable is not safe for concurrent use; parallel algorithms shard
+// one table per worker and merge at barriers.
+type cellTable struct {
+	kw     int             // key width in ValueID words (fixed per table)
+	seed   uint32          // mixed into every hash (COUNTER seeds with the cuboid id)
+	slots  []int32         // open addressing; 0 = empty, else entry index + 1
+	mask   uint64          // len(slots) - 1 (power of two)
+	keys   []match.ValueID // arena: entry e's key is keys[e*kw : (e+1)*kw]
+	states []agg.State     // entry e's aggregate
+	// probes counts slot inspections beyond the first (collision cost);
+	// resizes counts table growths. Both are local; flushObs folds them
+	// into the celltable.* registry keys.
+	probes  int64
+	resizes int64
+}
+
+// cellTableMinSlots is the smallest slot array (power of two).
+const cellTableMinSlots = 16
+
+// newCellTable returns a table for keys of keyWords ValueIDs, pre-sized so
+// capHint entries fit without a resize. seed is folded into every hash;
+// COUNTER uses the cuboid id so its partition hash doubles as the
+// placement hash.
+func newCellTable(keyWords, capHint int, seed uint32) *cellTable {
+	n := cellTableMinSlots
+	for n < capHint*2 { // keep load factor under 1/2 at the hint
+		n <<= 1
+	}
+	t := &cellTable{kw: keyWords, seed: seed, slots: make([]int32, n), mask: uint64(n - 1)}
+	if capHint > 0 {
+		t.keys = make([]match.ValueID, 0, capHint*keyWords)
+		t.states = make([]agg.State, 0, capHint)
+	}
+	return t
+}
+
+// hashCell mixes a cuboid id and a key into a 64-bit hash (FNV-1a over the
+// 32-bit words, finalized with a murmur-style avalanche so the low bits —
+// the ones the mask keeps — are well distributed). It is deterministic,
+// which keeps COUNTER's partition membership stable across passes.
+func hashCell(point uint32, key []match.ValueID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(point)
+	h *= prime64
+	for _, v := range key {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// hash returns the placement hash of key under the table's seed.
+func (t *cellTable) hash(key []match.ValueID) uint64 { return hashCell(t.seed, key) }
+
+// len returns the number of distinct keys in the table.
+func (t *cellTable) len() int { return len(t.states) }
+
+// keyAt returns entry e's key slice (a view into the arena).
+func (t *cellTable) keyAt(e int) []match.ValueID {
+	return t.keys[e*t.kw : (e+1)*t.kw]
+}
+
+// keyEqual reports whether entry e's key equals key.
+func (t *cellTable) keyEqual(e int, key []match.ValueID) bool {
+	stored := t.keys[e*t.kw:]
+	for i, v := range key {
+		if stored[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// findHashed returns the entry index of key (pre-hashed with t.hash), or
+// -1 when absent.
+func (t *cellTable) findHashed(h uint64, key []match.ValueID) int {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		t.probes++
+		if e := int(s - 1); t.keyEqual(e, key) {
+			return e
+		}
+	}
+}
+
+// insertHashed adds a new entry for key (pre-hashed, must be absent) and
+// returns its index. The key is copied into the arena.
+func (t *cellTable) insertHashed(h uint64, key []match.ValueID) int {
+	if uint64(len(t.states)+1)*2 > uint64(len(t.slots)) {
+		t.grow()
+	}
+	e := len(t.states)
+	t.keys = append(t.keys, key...)
+	t.states = append(t.states, agg.State{})
+	t.place(h, e)
+	return e
+}
+
+// upsertHashed returns key's entry index, inserting an empty state when
+// absent. h must equal t.hash(key).
+func (t *cellTable) upsertHashed(h uint64, key []match.ValueID) int {
+	if e := t.findHashed(h, key); e >= 0 {
+		return e
+	}
+	return t.insertHashed(h, key)
+}
+
+// add folds one measure into key's cell.
+func (t *cellTable) add(key []match.ValueID, m float64) {
+	e := t.upsertHashed(t.hash(key), key)
+	t.states[e].Add(m)
+}
+
+// merge folds an aggregate state into key's cell.
+func (t *cellTable) merge(key []match.ValueID, s agg.State) {
+	e := t.upsertHashed(t.hash(key), key)
+	t.states[e].Merge(s)
+}
+
+// grow doubles the slot array and rehashes every entry. Entry indices (and
+// the arena) are untouched, so held indices stay valid.
+func (t *cellTable) grow() {
+	t.resizes++
+	n := len(t.slots) * 2
+	t.slots = make([]int32, n)
+	t.mask = uint64(n - 1)
+	for e := range t.states {
+		t.place(t.hash(t.keyAt(e)), e)
+	}
+}
+
+// place writes entry e into the first free slot of h's probe sequence.
+func (t *cellTable) place(h uint64, e int) {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		if t.slots[i] == 0 {
+			t.slots[i] = int32(e + 1)
+			return
+		}
+		t.probes++
+	}
+}
+
+// each calls fn for every cell in insertion order. The key slice is a view
+// into the arena — valid only during the call.
+func (t *cellTable) each(fn func(key []match.ValueID, s *agg.State) error) error {
+	for e := range t.states {
+		if err := fn(t.keyAt(e), &t.states[e]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reset empties the table, keeping every allocation (slot array and
+// arenas) for reuse — the zero-garbage steady state of a per-cuboid or
+// per-partition accumulation loop.
+func (t *cellTable) reset() {
+	clear(t.slots)
+	t.keys = t.keys[:0]
+	t.states = t.states[:0]
+}
+
+// resetWidth is reset for a new key width sharing the same arenas.
+func (t *cellTable) resetWidth(keyWords int) {
+	t.reset()
+	t.kw = keyWords
+}
+
+// flushObs folds the table's probe and resize counts into the registry's
+// celltable.* keys and zeroes the local counts. Nil-registry safe.
+func (t *cellTable) flushObs(reg *obs.Registry) {
+	reg.Counter("celltable.probes").Add(t.probes)
+	reg.Counter("celltable.resizes").Add(t.resizes)
+	t.probes, t.resizes = 0, 0
+}

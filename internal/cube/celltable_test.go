@@ -1,0 +1,248 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+	"x3/internal/obs"
+)
+
+// randKeys generates n random keys of kw words over a small domain (so
+// duplicates occur) plus a parallel measure stream.
+func randKeys(rng *rand.Rand, n, kw, card int) ([][]match.ValueID, []float64) {
+	keys := make([][]match.ValueID, n)
+	ms := make([]float64, n)
+	for i := range keys {
+		k := make([]match.ValueID, kw)
+		for j := range k {
+			k[j] = match.ValueID(rng.Intn(card))
+		}
+		keys[i] = k
+		ms[i] = float64(1 + rng.Intn(9))
+	}
+	return keys, ms
+}
+
+// TestCellTableMatchesMap accumulates random keys and checks the table
+// against a reference map, including iteration in first-insertion order.
+func TestCellTableMatchesMap(t *testing.T) {
+	for _, kw := range []int{1, 2, 4, 7} {
+		rng := rand.New(rand.NewSource(int64(kw)))
+		keys, ms := randKeys(rng, 2000, kw, 6)
+		tab := newCellTable(kw, 0, 0)
+		want := map[string]agg.State{}
+		var order []string
+		for i, k := range keys {
+			tab.add(k, ms[i])
+			pk := string(packKey(nil, k))
+			if _, seen := want[pk]; !seen {
+				order = append(order, pk)
+			}
+			s := want[pk]
+			s.Add(ms[i])
+			want[pk] = s
+		}
+		if tab.len() != len(want) {
+			t.Fatalf("kw=%d: %d entries, want %d", kw, tab.len(), len(want))
+		}
+		i := 0
+		if err := tab.each(func(key []match.ValueID, s *agg.State) error {
+			pk := string(packKey(nil, key))
+			if pk != order[i] {
+				return fmt.Errorf("entry %d out of insertion order", i)
+			}
+			w := want[pk]
+			if s.N != w.N || math.Abs(s.Sum-w.Sum) > 1e-9 {
+				return fmt.Errorf("key %v: N=%d Sum=%g, want N=%d Sum=%g", key, s.N, s.Sum, w.N, w.Sum)
+			}
+			i++
+			return nil
+		}); err != nil {
+			t.Fatalf("kw=%d: %v", kw, err)
+		}
+	}
+}
+
+// TestCellTableGrowKeepsEntries forces resizes and checks that entry
+// indices, keys and states survive, and that absent keys still miss.
+func TestCellTableGrowKeepsEntries(t *testing.T) {
+	const kw = 3
+	tab := newCellTable(kw, 0, 42)
+	n := 1000
+	for i := 0; i < n; i++ {
+		key := []match.ValueID{match.ValueID(i), match.ValueID(i * 7), match.ValueID(i % 13)}
+		tab.add(key, float64(i))
+	}
+	if tab.resizes == 0 {
+		t.Fatal("expected at least one resize")
+	}
+	if tab.len() != n {
+		t.Fatalf("%d entries, want %d", tab.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		key := []match.ValueID{match.ValueID(i), match.ValueID(i * 7), match.ValueID(i % 13)}
+		e := tab.findHashed(tab.hash(key), key)
+		if e != i {
+			t.Fatalf("key %d found at entry %d", i, e)
+		}
+		if got := tab.states[e].Sum; got != float64(i) {
+			t.Fatalf("key %d: Sum=%g", i, got)
+		}
+	}
+	absent := []match.ValueID{Null, Null, Null}
+	if e := tab.findHashed(tab.hash(absent), absent); e != -1 {
+		t.Fatalf("absent key found at %d", e)
+	}
+}
+
+// TestCellTableCapHint checks that a capacity hint pre-sizes the table so
+// the hinted number of entries triggers no resize.
+func TestCellTableCapHint(t *testing.T) {
+	tab := newCellTable(2, 500, 0)
+	for i := 0; i < 500; i++ {
+		tab.add([]match.ValueID{match.ValueID(i), match.ValueID(i + 1)}, 1)
+	}
+	if tab.resizes != 0 {
+		t.Fatalf("hinted table resized %d times", tab.resizes)
+	}
+}
+
+// TestCellTableResetReuse checks reset/resetWidth keep the arenas (zero
+// steady-state garbage) while fully clearing the contents.
+func TestCellTableResetReuse(t *testing.T) {
+	tab := newCellTable(2, 256, 0)
+	for i := 0; i < 200; i++ {
+		tab.add([]match.ValueID{match.ValueID(i), match.ValueID(i)}, 2)
+	}
+	slotCap, keyCap, stateCap := len(tab.slots), cap(tab.keys), cap(tab.states)
+	tab.reset()
+	if tab.len() != 0 {
+		t.Fatalf("reset left %d entries", tab.len())
+	}
+	if len(tab.slots) != slotCap || cap(tab.keys) != keyCap || cap(tab.states) != stateCap {
+		t.Fatal("reset dropped the arenas")
+	}
+	key := []match.ValueID{1, 1}
+	if e := tab.findHashed(tab.hash(key), key); e != -1 {
+		t.Fatal("stale entry visible after reset")
+	}
+	tab.add(key, 5)
+	if tab.len() != 1 || tab.states[0].Sum != 5 {
+		t.Fatal("reuse after reset broken")
+	}
+
+	tab.resetWidth(3)
+	if tab.kw != 3 || tab.len() != 0 {
+		t.Fatalf("resetWidth: kw=%d len=%d", tab.kw, tab.len())
+	}
+	wide := []match.ValueID{1, 2, 3}
+	tab.add(wide, 7)
+	if e := tab.findHashed(tab.hash(wide), wide); e != 0 {
+		t.Fatalf("wide key at entry %d", e)
+	}
+}
+
+// TestCellTableSeedsIndependent checks two tables with different seeds
+// accumulate identically — the seed only permutes slot placement.
+func TestCellTableSeedsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys, ms := randKeys(rng, 1500, 2, 5)
+	a, b := newCellTable(2, 0, 0), newCellTable(2, 0, 0xdeadbeef)
+	for i := range keys {
+		a.add(keys[i], ms[i])
+		b.add(keys[i], ms[i])
+	}
+	if a.len() != b.len() {
+		t.Fatalf("entry counts differ: %d vs %d", a.len(), b.len())
+	}
+	i := 0
+	if err := a.each(func(key []match.ValueID, s *agg.State) error {
+		if !b.keyEqual(i, key) {
+			return fmt.Errorf("entry %d keys differ", i)
+		}
+		if o := b.states[i]; s.N != o.N || s.Sum != o.Sum {
+			return fmt.Errorf("entry %d states differ", i)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCellTableMerge checks merge folds full states like repeated adds.
+func TestCellTableMerge(t *testing.T) {
+	tab := newCellTable(1, 0, 0)
+	key := []match.ValueID{3}
+	tab.add(key, 2)
+	tab.merge(key, agg.State{N: 3, Sum: 9, MinV: 1, MaxV: 5})
+	if tab.len() != 1 {
+		t.Fatalf("%d entries", tab.len())
+	}
+	s := tab.states[0]
+	if s.N != 4 || s.Sum != 11 {
+		t.Fatalf("merged state %+v", s)
+	}
+}
+
+// TestCellTableObs checks probe/resize counters flush into the registry
+// and zero out locally.
+func TestCellTableObs(t *testing.T) {
+	reg := obs.New()
+	tab := newCellTable(1, 0, 0)
+	for i := 0; i < 100; i++ {
+		tab.add([]match.ValueID{match.ValueID(i)}, 1)
+	}
+	if tab.resizes == 0 {
+		t.Fatal("expected resizes")
+	}
+	wantResizes := tab.resizes
+	tab.flushObs(reg)
+	if tab.probes != 0 || tab.resizes != 0 {
+		t.Fatal("flushObs did not zero local counts")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["celltable.resizes"] != wantResizes {
+		t.Fatalf("celltable.resizes = %d, want %d", snap.Counters["celltable.resizes"], wantResizes)
+	}
+	// Nil registry must be a no-op, not a panic.
+	tab.flushObs(nil)
+}
+
+// TestCellTableZeroAllocs pins the allocation-free steady state of the
+// cell-table path: folding measures into existing cells allocates nothing,
+// and refilling a warmed (pre-grown) table after reset allocates nothing
+// either. A regression here reintroduces per-cell garbage in every
+// algorithm built on the table.
+func TestCellTableZeroAllocs(t *testing.T) {
+	const kw, n = 3, 512
+	keys := make([][]match.ValueID, n)
+	for i := range keys {
+		keys[i] = []match.ValueID{match.ValueID(i), match.ValueID(i % 7), match.ValueID(i % 3)}
+	}
+	tab := newCellTable(kw, n, 0)
+	for _, k := range keys {
+		tab.add(k, 1)
+	}
+
+	if avg := testing.AllocsPerRun(20, func() {
+		for _, k := range keys {
+			tab.add(k, 1)
+		}
+	}); avg != 0 {
+		t.Fatalf("accumulate into existing cells: %.1f allocs per run, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(20, func() {
+		tab.reset()
+		for _, k := range keys {
+			tab.add(k, 1)
+		}
+	}); avg != 0 {
+		t.Fatalf("refill after reset: %.1f allocs per run, want 0", avg)
+	}
+}

@@ -2,7 +2,6 @@ package cube
 
 import (
 	"fmt"
-	"hash/maphash"
 
 	"x3/internal/agg"
 	"x3/internal/match"
@@ -17,6 +16,11 @@ import (
 // that still does not fit is split recursively (h mod m = r becomes
 // h mod 2m ∈ {r, r+m}), so cells already emitted for completed partitions
 // are never re-emitted.
+//
+// Counters live in per-cuboid cellTables (one table per lattice point,
+// seeded with the cuboid id), so the hash that selects the partition is
+// the same hash that places the cell — one hash computation per group
+// membership, and no per-cell key packing or map-bucket allocation.
 type Counter struct{}
 
 // Name implements Algorithm.
@@ -25,8 +29,8 @@ func (Counter) Name() string { return "COUNTER" }
 // Requires implements Algorithm: COUNTER is always correct.
 func (Counter) Requires() Requirements { return Requirements{} }
 
-// counterEntryOverhead approximates the bytes of map bookkeeping per
-// counter beyond the key bytes (bucket slot, header, aggregate state).
+// counterEntryOverhead approximates the bytes of table bookkeeping per
+// counter beyond the key bytes (slot word, arena slack, aggregate state).
 const counterEntryOverhead = 64
 
 // maxCounterPartitions bounds the recursive splitting; beyond this even a
@@ -43,12 +47,11 @@ type counterPart struct {
 func (c Counter) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: c.Name()}
 	defer in.observe(&st)()
-	seed := maphash.MakeSeed()
 	work := []counterPart{{mod: 1, res: 0}}
 	for len(work) > 0 {
 		part := work[0]
 		work = work[1:]
-		ok, err := c.pass(in, sink, &st, part, seed)
+		ok, err := c.pass(in, sink, &st, part)
 		if err != nil {
 			return st, err
 		}
@@ -67,16 +70,16 @@ func (c Counter) Run(in *Input, sink Sink) (Stats, error) {
 
 // pass scans the source once, counting only keys in the given partition.
 // It reports false (emitting nothing) when the partition's counters
-// overflow the budget.
-func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart, seed maphash.Seed) (ok bool, err error) {
+// overflow the budget. Partition membership uses hashCell, which is
+// deterministic, so a key lands in the same partition on every re-scan.
+func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart) (ok bool, err error) {
 	lat := in.Lattice
 	d := lat.NumAxes()
 
 	point := make([]uint8, d)
 	key := make([]match.ValueID, 0, d)
-	keyBuf := make([]byte, 0, 4+4*d)
 
-	counters := make(map[string]*agg.State)
+	tables := make([]*cellTable, lat.Size())
 	var reserved int64
 	defer func() { in.budget().Release(reserved) }()
 	fits := true
@@ -92,28 +95,26 @@ func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart, seed ma
 			}
 			if a == d {
 				pid := lat.ID(point)
-				keyBuf = keyBuf[:0]
-				keyBuf = append(keyBuf, byte(pid>>24), byte(pid>>16), byte(pid>>8), byte(pid))
-				keyBuf = packKey(keyBuf, key)
-				if part.mod > 1 {
-					if maphash.Bytes(seed, keyBuf)%part.mod != part.res {
-						return
-					}
+				h := hashCell(pid, key)
+				if part.mod > 1 && h%part.mod != part.res {
+					return
 				}
-				// The string(keyBuf) map read does not allocate; only a
-				// brand-new counter copies the key.
-				s, exists := counters[string(keyBuf)]
-				if !exists {
-					need := int64(len(keyBuf)) + counterEntryOverhead
+				tab := tables[pid]
+				if tab == nil {
+					tab = newCellTable(len(key), 0, pid)
+					tables[pid] = tab
+				}
+				e := tab.findHashed(h, key)
+				if e < 0 {
+					need := int64(4+4*len(key)) + counterEntryOverhead
 					if !in.budget().TryReserve(need) {
 						fits = false
 						return
 					}
 					reserved += need
-					s = &agg.State{}
-					counters[string(keyBuf)] = s
+					e = tab.insertHashed(h, key)
 				}
-				s.Add(f.Measure)
+				tab.states[e].Add(f.Measure)
 				return
 			}
 			lad := lat.Ladders[a]
@@ -141,6 +142,13 @@ func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart, seed ma
 		return nil
 	})
 	st.Passes++
+	defer func() {
+		for _, tab := range tables {
+			if tab != nil {
+				tab.flushObs(in.Reg)
+			}
+		}
+	}()
 	if err != nil {
 		return false, err
 	}
@@ -148,16 +156,23 @@ func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart, seed ma
 		return false, nil
 	}
 	minSup := in.minSupport()
-	for k, s := range counters {
-		if s.N < minSup {
-			continue // iceberg threshold
+	for pid, tab := range tables {
+		if tab == nil {
+			continue
 		}
-		b := []byte(k)
-		pid := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
-		if err := sink.Cell(pid, unpackKey(b[4:]), *s); err != nil {
+		err := tab.each(func(k []match.ValueID, s *agg.State) error {
+			if s.N < minSup {
+				return nil // iceberg threshold
+			}
+			if err := sink.Cell(uint32(pid), k, *s); err != nil {
+				return err
+			}
+			st.Cells++
+			return nil
+		})
+		if err != nil {
 			return false, err
 		}
-		st.Cells++
 	}
 	return true, nil
 }

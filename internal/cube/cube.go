@@ -73,6 +73,10 @@ type Input struct {
 	// Reg receives per-run metrics and a phase span under the
 	// cube.<algorithm>.* keys. nil disables observability at zero cost.
 	Reg *obs.Registry
+	// Workers is the fan-out of the parallel algorithms (BUCPAR, TDPAR)
+	// and of parallel sort phases; 0 selects GOMAXPROCS. The serial
+	// algorithms ignore it.
+	Workers int
 }
 
 func (in *Input) budget() *mem.Budget {
@@ -214,6 +218,7 @@ func Algorithms() map[string]Algorithm {
 		"TDOPT":    TD{Mode: TDModeOpt},
 		"TDOPTALL": TD{Mode: TDModeOptAll},
 		"TDCUST":   TD{Mode: TDModeCust},
+		"TDPAR":    TDParallel{},
 	}
 }
 
@@ -265,6 +270,9 @@ type Result struct {
 	// key.
 	Cuboids map[uint32]map[string]agg.State
 	Cells   int64
+	// keyBuf is reused across Cell calls so the duplicate probe packs the
+	// key without allocating; only a genuinely new cell materializes it.
+	keyBuf []byte
 }
 
 // NewResult returns an empty result collector for the lattice.
@@ -279,11 +287,11 @@ func (r *Result) Cell(point uint32, key []match.ValueID, s agg.State) error {
 		m = make(map[string]agg.State)
 		r.Cuboids[point] = m
 	}
-	k := string(packKey(nil, key))
-	if _, dup := m[k]; dup {
+	r.keyBuf = packKey(r.keyBuf[:0], key)
+	if _, dup := m[string(r.keyBuf)]; dup { // compiler elides this conversion
 		return fmt.Errorf("cube: duplicate cell for point %d key %v", point, key)
 	}
-	m[k] = s
+	m[string(r.keyBuf)] = s
 	r.Cells++
 	return nil
 }

@@ -592,7 +592,7 @@ func TestBUCBudgetExceededByFactTable(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 9 {
+	if len(names) != 10 {
 		t.Fatalf("algorithms = %v", names)
 	}
 	for _, n := range names {
@@ -610,6 +610,7 @@ func TestRegistry(t *testing.T) {
 		"BUCOPT":   {Disjointness: true},
 		"TDOPT":    {Disjointness: true},
 		"TDOPTALL": {Disjointness: true, Coverage: true},
+		"TDPAR":    {Disjointness: true, Coverage: true},
 	}
 	for n, want := range reqs {
 		alg, _ := ByName(n)

@@ -1,0 +1,95 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelDeterminism checks the determinism contract of the parallel
+// algorithms: across 10 seeded workloads — including coverage and
+// disjointness violations, where results are defined by the algorithm
+// rather than the oracle — BUCPAR must produce the exact Result snapshot
+// of serial BUC and TDPAR the snapshot of serial TDOPTALL, at every worker
+// count. Worker scheduling, work stealing and batch flush order must never
+// show in the output.
+func TestParallelDeterminism(t *testing.T) {
+	shapes := [][]int{{1, 1}, {2, 1}, {3, 2}, {1, 1, 1}, {2, 1, 1}}
+	pairs := []struct {
+		name     string
+		serial   Algorithm
+		parallel func(workers int) Algorithm
+	}{
+		{"BUCPAR-vs-BUC", BUC{}, func(w int) Algorithm { return BUCParallel{Workers: w} }},
+		{"TDPAR-vs-TDOPTALL", TD{Mode: TDModeOptAll}, func(w int) Algorithm { return TDParallel{Workers: w} }},
+	}
+	for _, pair := range pairs {
+		t.Run(pair.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 10; seed++ {
+				rng := rand.New(rand.NewSource(seed * 1789))
+				shape := shapes[int(seed)%len(shapes)]
+				// Nonzero pMissing/pRepeat: coverage and disjointness both
+				// violated on most seeds.
+				lat, set := synthSet(t, rng, shape, 40+rng.Intn(120), 4, 0.2, 0.3)
+				want, _ := runAlg(t, pair.serial, lat, set)
+				for _, workers := range []int{1, 2, 4} {
+					got, _ := runAlg(t, pair.parallel(workers), lat, set)
+					if err := sameResults(want, got); err != nil {
+						t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTDParallelMatchesOracle fuzzes TDPAR against the oracle on data that
+// satisfies its declared requirements (disjoint, covering), across worker
+// counts and lattice shapes — the TDPAR analogue of
+// TestParallelMatchesOracle.
+func TestTDParallelMatchesOracle(t *testing.T) {
+	// Single-state ladders only: synthSet thins value sets toward rigid
+	// states on taller ladders, which violates coverage — where TDOPTALL
+	// semantics diverge from the oracle by design.
+	shapes := [][]int{{1}, {1, 1}, {1, 1, 1}, {1, 1, 1, 1}}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*977 + 5))
+		shape := shapes[trial%len(shapes)]
+		// pMissing=0, pRepeat=0: every fact covered, single-valued groups.
+		lat, set := synthSet(t, rng, shape, 50+rng.Intn(150), 4, 0, 0)
+		props, err := MeasureProps(lat, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !props.GloballyDisjoint() || !props.GloballyCovered() {
+			t.Fatalf("trial %d: workload unexpectedly violates TDPAR requirements", trial)
+		}
+		oracle, err := RunOracle(lat, set, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			res, st := runAlg(t, TDParallel{Workers: workers}, lat, set)
+			if err := sameResults(oracle, res); err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if st.Cells != oracle.Cells {
+				t.Fatalf("trial %d workers=%d: cells %d vs %d", trial, workers, st.Cells, oracle.Cells)
+			}
+		}
+	}
+}
+
+// TestTDParallelSinkErrorStopsWorkers ensures a failing sink aborts a TDPAR
+// run, surfaces the error and releases every budget reservation.
+func TestTDParallelSinkErrorStopsWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	lat, set := synthSet(t, rng, []int{1, 1, 1}, 200, 4, 0, 0)
+	in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: t.TempDir()}
+	_, err := (TDParallel{Workers: 4}).Run(in, &failingSink{after: 5})
+	if err == nil {
+		t.Fatal("sink error swallowed")
+	}
+	if used := in.Budget.Used(); used != 0 {
+		t.Fatalf("leaked %d budget bytes", used)
+	}
+}

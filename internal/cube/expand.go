@@ -163,10 +163,14 @@ func sortLimit(in *Input) int64 {
 }
 
 // newSorter builds a sorter for rows of the given width under the input's
-// budget share, wired to the input's registry (extsort.* keys).
+// budget share, wired to the input's registry (extsort.* keys) and to the
+// input's worker knob (background run formation, chunked in-memory sorts).
 func newSorter(in *Input, width int) *extsort.Sorter {
 	s := extsort.New(width, sortLimit(in), in.TmpDir)
 	s.Observe(in.Reg)
+	if in.Workers != 1 {
+		s.Parallel(resolveWorkers(0, in.Workers))
+	}
 	return s
 }
 

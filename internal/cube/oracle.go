@@ -25,34 +25,27 @@ func (Oracle) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: "ORACLE"}
 	defer in.observe(&st)()
 	lat := in.Lattice
+	tab := newCellTable(0, 0, 0)
 	for _, p := range lat.Points() {
 		st.Passes++
-		cells := make(map[string]agg.State)
 		live := lat.LiveAxes(p)
+		tab.resetWidth(len(live))
+		key := make([]match.ValueID, 0, len(live))
 		err := in.Source.Each(func(f *match.Fact) error {
-			var emitCombos func(i int, key []match.ValueID)
-			var state agg.State
-			state.Add(f.Measure)
-			keys := make([][]match.ValueID, 0, 8)
-			emitCombos = func(i int, key []match.ValueID) {
+			var emitCombos func(i int)
+			emitCombos = func(i int) {
 				if i == len(live) {
-					cp := make([]match.ValueID, len(key))
-					copy(cp, key)
-					keys = append(keys, cp)
+					tab.add(key, f.Measure)
 					return
 				}
 				a := live[i]
 				for _, v := range f.Values(a, int(p[a])) {
-					emitCombos(i+1, append(key, v))
+					key = append(key, v)
+					emitCombos(i + 1)
+					key = key[:len(key)-1]
 				}
 			}
-			emitCombos(0, nil)
-			for _, k := range keys {
-				ks := string(packKey(nil, k))
-				s := cells[ks]
-				s.Add(f.Measure)
-				cells[ks] = s
-			}
+			emitCombos(0)
 			return nil
 		})
 		if err != nil {
@@ -60,16 +53,21 @@ func (Oracle) Run(in *Input, sink Sink) (Stats, error) {
 		}
 		pid := lat.ID(p)
 		minSup := in.minSupport()
-		for k, s := range cells {
+		err = tab.each(func(k []match.ValueID, s *agg.State) error {
 			if s.N < minSup {
-				continue // iceberg threshold
+				return nil // iceberg threshold
 			}
-			if err := sink.Cell(pid, unpackKey([]byte(k)), s); err != nil {
-				return st, err
+			if err := sink.Cell(pid, k, *s); err != nil {
+				return err
 			}
 			st.Cells++
+			return nil
+		})
+		if err != nil {
+			return st, err
 		}
 	}
+	tab.flushObs(in.Reg)
 	return st, nil
 }
 

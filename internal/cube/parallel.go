@@ -2,14 +2,19 @@ package cube
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"x3/internal/agg"
 	"x3/internal/match"
 )
 
-// LockedSink serializes a Sink for concurrent emitters.
+// LockedSink serializes a Sink for concurrent emitters by taking a mutex
+// around every cell. It is the compatibility fallback for external callers
+// that hand a non-thread-safe Sink to hand-rolled goroutines; the parallel
+// algorithms in this package no longer use it — they emit through
+// worker-local batchSinks (see sinkBatcher), which deliver the same
+// serialized call sequence downstream at one lock acquisition per batch
+// instead of per cell.
 type LockedSink struct {
 	mu   sync.Mutex
 	Next Sink
@@ -23,13 +28,13 @@ func (l *LockedSink) Cell(point uint32, key []match.ValueID, s agg.State) error 
 }
 
 // BUCParallel is plain (overlap-tolerant, always-correct) BUC with the
-// top level of the recursive partitioning fanned out across worker
-// goroutines. Each top-level value partition roots an independent
+// top level of the recursive partitioning fanned out across the shared
+// worker pool. Each top-level value partition roots an independent
 // sub-lattice computation, so workers share only the read-only fact table
-// and a serialized sink. This is a this-library extension beyond the
+// and the batched sink. This is a this-library extension beyond the
 // paper, which evaluates single-threaded algorithms only.
 type BUCParallel struct {
-	// Workers is the fan-out; 0 selects GOMAXPROCS.
+	// Workers is the fan-out; 0 selects Input.Workers, then GOMAXPROCS.
 	Workers int
 }
 
@@ -52,10 +57,8 @@ type parallelUnit struct {
 func (b BUCParallel) Run(in *Input, sink Sink) (Stats, error) {
 	st := Stats{Algorithm: b.Name()}
 	defer in.observe(&st)()
-	workers := b.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := resolveWorkers(b.Workers, in.Workers)
+	in.budget() // resolve the lazy default before workers share it
 
 	// Load the shared fact table once (same budget accounting as BUC).
 	loader := &bucRun{in: in, sink: sink, st: &st, d: in.Lattice.NumAxes()}
@@ -80,15 +83,15 @@ func (b BUCParallel) Run(in *Input, sink Sink) (Stats, error) {
 	for i := range items {
 		items[i] = int32(i)
 	}
-	locked := &LockedSink{Next: sink}
 
-	// The bottom cell (nothing chosen) is emitted once, serially.
+	// The bottom cell (nothing chosen) is emitted once, serially, before
+	// the pool starts.
 	if baseMissing == 0 && int64(len(items)) >= in.minSupport() && len(items) > 0 {
 		var s agg.State
 		for _, it := range items {
 			s.Add(facts[it].measure)
 		}
-		if err := locked.Cell(in.Lattice.ID(basePoint), nil, s); err != nil {
+		if err := sink.Cell(in.Lattice.ID(basePoint), nil, s); err != nil {
 			return st, err
 		}
 		st.Cells++
@@ -110,76 +113,64 @@ func (b BUCParallel) Run(in *Input, sink Sink) (Stats, error) {
 		}
 	}
 
-	// Workers drain the unit queue; each clone owns its own mutable
-	// traversal state and local stats.
-	unitCh := make(chan parallelUnit)
-	errCh := make(chan error, workers)
-	statCh := make(chan Stats, workers)
-	var wg sync.WaitGroup
+	// Each worker owns a cloned traversal state, local stats and a batched
+	// sink front-end; units are seeded round-robin and stolen when queues
+	// drain unevenly.
+	batcher := newSinkBatcher(sink)
+	locals := make([]Stats, workers)
+	outs := make([]*batchSink, workers)
+	clones := make([]*bucRun, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			local := Stats{}
-			clone := &bucRun{
-				in:         in,
-				sink:       locked,
-				st:         &local,
-				facts:      facts,
-				d:          d,
-				disjointAt: func(_, _ int) bool { return false },
-				point:      make([]uint8, d),
-				missingLND: baseMissing,
-			}
-			copy(clone.point, basePoint)
-			for u := range unitCh {
-				if !in.Lattice.Ladders[u.axis].HasDeleted() {
-					clone.missingLND = baseMissing - 1
-				} else {
-					clone.missingLND = baseMissing
-				}
-				// Units for axis j must not descend into axes < j (those
-				// combinations are owned by the lower-axis units), which
-				// chain's rec(items, j+1) recursion guarantees.
-				if err := clone.chain(u.items, u.axis, u.state, u.value); err != nil {
-					errCh <- err
-					break
-				}
-			}
-			statCh <- local
-		}()
-	}
-	var sendErr error
-	for _, u := range units {
-		select {
-		case unitCh <- u:
-		case sendErr = <-errCh:
+		outs[w] = batcher.worker()
+		clone := &bucRun{
+			in:         in,
+			sink:       outs[w],
+			st:         &locals[w],
+			facts:      facts,
+			d:          d,
+			disjointAt: func(_, _ int) bool { return false },
+			point:      make([]uint8, d),
+			missingLND: baseMissing,
 		}
-		if sendErr != nil {
-			break
-		}
+		copy(clone.point, basePoint)
+		clones[w] = clone
 	}
-	close(unitCh)
-	wg.Wait()
-	close(statCh)
-	close(errCh)
-	if sendErr == nil {
-		for err := range errCh {
-			if err != nil {
-				sendErr = err
+	pool := newWorkerPool(workers)
+	for i := range units {
+		u := units[i]
+		pool.submit(i, func(w int) error {
+			clone := clones[w]
+			if !in.Lattice.Ladders[u.axis].HasDeleted() {
+				clone.missingLND = baseMissing - 1
+			} else {
+				clone.missingLND = baseMissing
+			}
+			// Units for axis j must not descend into axes < j (those
+			// combinations are owned by the lower-axis units), which
+			// chain's rec(items, j+1) recursion guarantees.
+			return clone.chain(u.items, u.axis, u.state, u.value)
+		})
+	}
+	runErr := pool.wait()
+	if runErr == nil {
+		for _, o := range outs {
+			if err := o.flush(); err != nil {
+				runErr = err
 				break
 			}
 		}
 	}
-	for s := range statCh {
+	for _, s := range locals {
 		st.Cells += s.Cells
 		st.Sorts += s.Sorts
 		st.RowsSorted += s.RowsSorted
 	}
+	pool.flushObs(in.Reg)
+	batcher.flushObs(in.Reg)
 	st.Passes = 1
 	st.PeakBytes = in.budget().HighWater()
-	if sendErr != nil {
-		return st, fmt.Errorf("cube: BUCPAR worker: %w", sendErr)
+	if runErr != nil {
+		return st, fmt.Errorf("cube: BUCPAR worker: %w", runErr)
 	}
 	return st, nil
 }

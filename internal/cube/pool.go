@@ -1,0 +1,139 @@
+package cube
+
+import (
+	"runtime"
+	"sync"
+
+	"x3/internal/obs"
+)
+
+// workerPool is the shared scheduler behind the parallel cube algorithms
+// (BUCPAR, TDPAR) and any future fan-out: a fixed set of worker
+// goroutines, each with its own LIFO queue, stealing FIFO from the longest
+// other queue when idle. Tasks may submit further tasks while running —
+// that is how TDPAR expresses its roll-up dependency DAG: a cuboid's task
+// is queued only once its parent has been computed. The first task error
+// aborts the pool; queued tasks are dropped and wait returns that error.
+type workerPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]poolTask
+	pending int // queued + running tasks
+	closed  bool
+	err     error
+	steals  int64
+	wg      sync.WaitGroup
+}
+
+// poolTask is one unit of work; w identifies the executing worker so tasks
+// can use worker-local state (cloned traversal state, batched sinks).
+type poolTask func(w int) error
+
+// resolveWorkers picks the effective fan-out: an algorithm-level override,
+// else the Input-level knob, else GOMAXPROCS.
+func resolveWorkers(override, inputWorkers int) int {
+	if override > 0 {
+		return override
+	}
+	if inputWorkers > 0 {
+		return inputWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// newWorkerPool starts a pool of the given size (at least 1).
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{queues: make([][]poolTask, workers)}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return p
+}
+
+// workers returns the pool size.
+func (p *workerPool) workers() int { return len(p.queues) }
+
+// submit queues t on worker w's queue (modulo the pool size). Tasks pass
+// their own worker index to keep children local; initial seeding can
+// round-robin. Safe to call from any goroutine until wait returns.
+func (p *workerPool) submit(w int, t poolTask) {
+	p.mu.Lock()
+	w %= len(p.queues)
+	p.queues[w] = append(p.queues[w], t)
+	p.pending++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// take pops a task for worker w: newest from its own queue, else the
+// oldest from the longest other queue (a steal). Caller holds p.mu.
+func (p *workerPool) take(w int) poolTask {
+	if q := p.queues[w]; len(q) > 0 {
+		t := q[len(q)-1]
+		p.queues[w] = q[:len(q)-1]
+		return t
+	}
+	best := -1
+	for i := range p.queues {
+		if i != w && len(p.queues[i]) > 0 && (best < 0 || len(p.queues[i]) > len(p.queues[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := p.queues[best][0]
+	p.queues[best] = p.queues[best][1:]
+	p.steals++
+	return t
+}
+
+func (p *workerPool) run(w int) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if p.err != nil || (p.closed && p.pending == 0) {
+			p.mu.Unlock()
+			return
+		}
+		t := p.take(w)
+		if t == nil {
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+		err := t(w)
+		p.mu.Lock()
+		p.pending--
+		if err != nil && p.err == nil {
+			p.err = err
+		}
+		if p.err != nil || p.pending == 0 {
+			p.cond.Broadcast()
+		}
+	}
+}
+
+// wait closes the pool to outside submissions, drains it (running tasks
+// may still submit children), joins the workers and returns the first task
+// error, if any.
+func (p *workerPool) wait() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	return p.err
+}
+
+// flushObs folds the pool's steal count into cube.par.steals. Call after
+// wait; nil-registry safe.
+func (p *workerPool) flushObs(reg *obs.Registry) {
+	reg.Counter("cube.par.steals").Add(p.steals)
+	p.steals = 0
+}

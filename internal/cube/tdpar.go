@@ -1,0 +1,201 @@
+package cube
+
+import (
+	"fmt"
+	"sync"
+
+	"x3/internal/lattice"
+)
+
+// TDParallel (TDPAR) is TDOPTALL driven by the shared worker pool: the
+// cube is derived top-down along the same canonical parent edges, but
+// independent lattice points are computed concurrently. A cuboid's task is
+// submitted only once its parent's cells are stored, so the pool's dynamic
+// submission expresses the roll-up dependency DAG directly; workers emit
+// through batched per-worker sinks and read parent cells as immutable byte
+// slices, leaving the cuboid store and the dependency counts as the only
+// shared mutable state (one mutex). Base-data scans are serialized — fact
+// sources are not safe for concurrent iteration — but those happen once at
+// the lattice top; the fan-out lives in the roll-ups.
+//
+// Like TDOPTALL it assumes disjointness and coverage globally and computes
+// wrong results on data violating them (deliberately, §4.3). Unlike
+// TDOPTALL it does not fail when the budget refuses to retain a parent
+// cuboid: the child falls back to recomputing from base under the same
+// assumptions — slower, never wrong(er).
+type TDParallel struct {
+	// Workers is the fan-out; 0 selects Input.Workers, then GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Algorithm.
+func (TDParallel) Name() string { return "TDPAR" }
+
+// Requires implements Algorithm: same preconditions as TDOPTALL.
+func (TDParallel) Requires() Requirements {
+	return Requirements{Disjointness: true, Coverage: true}
+}
+
+// tdparChild is one dependency edge: point p is derived from its parent
+// over edge once the parent is available.
+type tdparChild struct {
+	p    lattice.Point
+	edge *parentEdge
+}
+
+// tdparRun is the shared state of one TDPAR run.
+type tdparRun struct {
+	in *Input
+	td TD // TDModeOptAll, for cellsFromBase semantics
+
+	pool   *workerPool
+	locals []Stats
+	outs   []*batchSink
+
+	// storeMu guards store, refcnt and the budget accounting inside them.
+	storeMu sync.Mutex
+	store   *cellStore
+	refcnt  map[uint32]int
+
+	// baseMu serializes fact-source scans (sources are not concurrent-safe).
+	baseMu   sync.Mutex
+	children map[uint32][]tdparChild
+}
+
+// Run implements Algorithm.
+func (t TDParallel) Run(in *Input, sink Sink) (Stats, error) {
+	st := Stats{Algorithm: t.Name()}
+	defer in.observe(&st)()
+	workers := resolveWorkers(t.Workers, in.Workers)
+	in.budget() // resolve the lazy default before workers share it
+
+	lat := in.Lattice
+	// Build the dependency tree over the same canonical edges the serial
+	// roll-up walks; refcnt mirrors its release discipline.
+	children := make(map[uint32][]tdparChild)
+	refcnt := make(map[uint32]int)
+	var top lattice.Point
+	haveTop := false
+	for _, p := range lat.Points() {
+		e := chooseParent(lat, p)
+		if e == nil {
+			top = p
+			haveTop = true
+			continue
+		}
+		qid := lat.ID(e.parent)
+		children[qid] = append(children[qid], tdparChild{p: p, edge: e})
+		refcnt[qid]++
+	}
+
+	batcher := newSinkBatcher(sink)
+	r := &tdparRun{
+		in:       in,
+		td:       TD{Mode: TDModeOptAll},
+		locals:   make([]Stats, workers),
+		outs:     make([]*batchSink, workers),
+		store:    newCellStore(in),
+		refcnt:   refcnt,
+		children: children,
+	}
+	for w := 0; w < workers; w++ {
+		r.outs[w] = batcher.worker()
+	}
+	defer func() {
+		r.storeMu.Lock()
+		r.store.releaseAll()
+		r.storeMu.Unlock()
+	}()
+
+	r.pool = newWorkerPool(workers)
+	if haveTop {
+		r.pool.submit(0, func(w int) error { return r.compute(w, top, nil) })
+	}
+	runErr := r.pool.wait()
+	if runErr == nil {
+		for _, o := range r.outs {
+			if err := o.flush(); err != nil {
+				runErr = err
+				break
+			}
+		}
+	}
+	for _, s := range r.locals {
+		st.Cells += s.Cells
+		st.Passes += s.Passes
+		st.Sorts += s.Sorts
+		st.ExternalSorts += s.ExternalSorts
+		st.SpillBytes += s.SpillBytes
+		st.RowsSorted += s.RowsSorted
+		st.Rollups += s.Rollups
+		st.Copies += s.Copies
+	}
+	r.pool.flushObs(in.Reg)
+	batcher.flushObs(in.Reg)
+	st.PeakBytes = in.budget().HighWater()
+	if runErr != nil {
+		return st, fmt.Errorf("cube: TDPAR worker: %w", runErr)
+	}
+	return st, nil
+}
+
+// compute derives one cuboid on worker w, stores it, releases its parent
+// when fully consumed, and submits the cuboids that depend on it.
+func (r *tdparRun) compute(w int, p lattice.Point, edge *parentEdge) error {
+	in, lat := r.in, r.in.Lattice
+	st, out := &r.locals[w], r.outs[w]
+	pid := lat.ID(p)
+
+	var parentCells []byte
+	haveParent := false
+	if edge != nil {
+		r.storeMu.Lock()
+		parentCells, haveParent = r.store.cells[lat.ID(edge.parent)]
+		r.storeMu.Unlock()
+	}
+
+	var cells []byte
+	var err error
+	switch {
+	case edge == nil || !haveParent:
+		// Lattice top — or a parent the budget refused to retain, in which
+		// case we recompute from base rather than fail like TDOPTALL does.
+		r.baseMu.Lock()
+		cells, err = r.td.cellsFromBase(in, out, st, p)
+		r.baseMu.Unlock()
+	case !edge.drop:
+		// Ladder state step: identical cells, new cuboid id.
+		cells = append([]byte(nil), parentCells...)
+		st.Copies++
+		err = emitCells(out, st, pid, len(lat.LiveAxes(p)), cells, in.minSupport())
+	default:
+		// LND step: regroup the parent's cells without the dropped axis's
+		// key column. parentCells is immutable, so no lock is held here.
+		cells, err = rollupCells(in, out, st, parentCells, p, edge)
+	}
+	if err != nil {
+		return err
+	}
+
+	r.storeMu.Lock()
+	r.store.put(pid, cells)
+	if edge != nil {
+		qid := lat.ID(edge.parent)
+		r.refcnt[qid]--
+		if r.refcnt[qid] == 0 {
+			r.store.release(qid)
+		}
+	}
+	if r.refcnt[pid] == 0 {
+		r.store.release(pid)
+	}
+	r.storeMu.Unlock()
+
+	for _, c := range r.children[pid] {
+		c := c
+		r.pool.submit(w, func(w2 int) error { return r.compute(w2, c.p, c.edge) })
+	}
+	return nil
+}
+
+var _ Algorithm = TDParallel{}

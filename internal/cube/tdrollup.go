@@ -191,12 +191,21 @@ func (t TD) cellsFromBase(in *Input, sink Sink, st *Stats, p lattice.Point) ([]b
 // column of edge.axis and merging groups that collide.
 func (t TD) rollup(in *Input, sink Sink, st *Stats, store *cellStore, p lattice.Point, edge *parentEdge) ([]byte, error) {
 	lat := in.Lattice
-	qid := lat.ID(edge.parent)
-	parentCells, ok := store.cells[qid]
+	parentCells, ok := store.cells[lat.ID(edge.parent)]
 	if !ok {
 		return nil, fmt.Errorf("cube: %s: roll-up parent %s not retained (budget too small)",
 			t.Name(), lat.Label(edge.parent))
 	}
+	return rollupCells(in, sink, st, parentCells, p, edge)
+}
+
+// rollupCells is the roll-up core shared by the serial and parallel
+// top-down algorithms: it derives cuboid p's packed cells from its
+// parent's, emitting at-threshold cells along the way. parentCells is
+// read-only; callers that fetch it from a shared store may do so under a
+// lock and pass the (immutable) byte slice in.
+func rollupCells(in *Input, sink Sink, st *Stats, parentCells []byte, p lattice.Point, edge *parentEdge) ([]byte, error) {
+	lat := in.Lattice
 	parentLive := lat.LiveAxes(edge.parent)
 	dropPos := -1
 	for i, a := range parentLive {

@@ -8,16 +8,23 @@
 // sorted stream. The number of external runs is reported in Stats — the
 // paper's "exponential number of (external) sorts" effect for the top-down
 // algorithms is measured with it.
+//
+// Parallel (see Sorter.Parallel) overlaps run formation with row intake —
+// full buffers are sorted and written by background workers while Add
+// keeps filling a recycled buffer — and splits large in-memory sorts into
+// concurrently sorted chunks. Either way the merge is a loser-tree
+// tournament, and the output byte sequence is identical to a serial sort:
+// equal rows are byte-identical, so tie order cannot show.
 package extsort
 
 import (
 	"bufio"
 	"bytes"
-	"container/heap"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"x3/internal/obs"
 )
@@ -35,12 +42,24 @@ type Sorter struct {
 	width int
 	limit int64 // buffer cap in bytes; <= 0 means unlimited (never spill)
 	dir   string
+	par   int // max concurrent sort workers; <= 1 is fully serial
 
 	buf   []byte
 	runs  []*os.File
 	stats Stats
 	done  bool
 	reg   *obs.Registry
+
+	// Async run formation (par > 1): full buffers are handed to background
+	// goroutines that sort and spill them while Add refills a recycled
+	// buffer. mu guards runs, the spill-side stats and spillErr against
+	// those workers; sem caps them at par in flight; free recycles their
+	// buffers back to Add.
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	sem      chan struct{}
+	free     chan []byte
+	spillErr error
 }
 
 // New returns a Sorter for rows of the given width. limit caps the
@@ -48,6 +67,16 @@ type Sorter struct {
 // (empty: the OS temp dir).
 func New(width int, limit int64, dir string) *Sorter {
 	return &Sorter{width: width, limit: limit, dir: dir}
+}
+
+// Parallel allows up to n concurrent sort workers: run formation happens
+// in the background while rows keep arriving, and a large in-memory sort
+// is split into n concurrently sorted chunks merged at Finish. n <= 1
+// keeps the sorter fully serial. Call before the first Add.
+func (s *Sorter) Parallel(n int) {
+	if n > 1 {
+		s.par = n
+	}
 }
 
 // Observe attaches a metrics registry: on Finish the sort's statistics are
@@ -82,39 +111,109 @@ func (s *Sorter) Add(row []byte) error {
 	s.buf = append(s.buf, row...)
 	s.stats.Rows++
 	if s.limit > 0 && int64(len(s.buf)) >= s.limit {
+		if s.par > 1 {
+			return s.spillAsync()
+		}
 		return s.spill()
 	}
 	return nil
 }
 
-// spill sorts the buffer and writes it out as a new run.
+// spill sorts the buffer and writes it out as a new run, serially.
 func (s *Sorter) spill() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
 	sortRows(s.buf, s.width)
-	f, err := os.CreateTemp(s.dir, "x3sort-*")
+	f, err := writeRun(s.dir, s.buf)
 	if err != nil {
-		return fmt.Errorf("extsort: spill: %w", err)
+		return err
+	}
+	s.recordRun(f, int64(len(s.buf)))
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// spillAsync hands the full buffer to a background worker (at most par in
+// flight) and continues with a recycled or fresh one. The worker's error,
+// if any, surfaces on a later Add or on Finish.
+func (s *Sorter) spillAsync() error {
+	s.mu.Lock()
+	err := s.spillErr
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.sem == nil {
+		s.sem = make(chan struct{}, s.par)
+		s.free = make(chan []byte, s.par)
+	}
+	buf := s.buf
+	select {
+	case b := <-s.free:
+		s.buf = b[:0]
+	default:
+		s.buf = make([]byte, 0, cap(buf))
+	}
+	s.sem <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer func() { <-s.sem; s.wg.Done() }()
+		sortRows(buf, s.width)
+		f, err := writeRun(s.dir, buf)
+		s.mu.Lock()
+		if err != nil {
+			if s.spillErr == nil {
+				s.spillErr = err
+			}
+		} else {
+			s.recordRunLocked(f, int64(len(buf)))
+		}
+		s.mu.Unlock()
+		select {
+		case s.free <- buf[:0]:
+		default:
+		}
+	}()
+	return nil
+}
+
+func (s *Sorter) recordRun(f *os.File, n int64) {
+	s.mu.Lock()
+	s.recordRunLocked(f, n)
+	s.mu.Unlock()
+}
+
+func (s *Sorter) recordRunLocked(f *os.File, n int64) {
+	s.runs = append(s.runs, f)
+	s.stats.Runs++
+	s.stats.External = true
+	s.stats.SpillBytes += n
+}
+
+// writeRun writes one sorted buffer to an unlinked temp file.
+func writeRun(dir string, buf []byte) (*os.File, error) {
+	f, err := os.CreateTemp(dir, "x3sort-*")
+	if err != nil {
+		return nil, fmt.Errorf("extsort: spill: %w", err)
 	}
 	// Unlink immediately; the open handle keeps the data alive.
 	os.Remove(f.Name())
 	w := bufio.NewWriter(f)
-	if _, err := w.Write(s.buf); err != nil {
+	if _, err := w.Write(buf); err != nil {
 		f.Close()
-		return fmt.Errorf("extsort: spill write: %w", err)
+		return nil, fmt.Errorf("extsort: spill write: %w", err)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		return fmt.Errorf("extsort: spill flush: %w", err)
+		return nil, fmt.Errorf("extsort: spill flush: %w", err)
 	}
-	s.stats.SpillBytes += int64(len(s.buf))
-	s.runs = append(s.runs, f)
-	s.stats.Runs++
-	s.stats.External = true
-	s.buf = s.buf[:0]
-	return nil
+	return f, nil
 }
+
+// parallelSortMinRows is the smallest in-memory sort worth splitting
+// across workers; below it the chunk-merge overhead dominates.
+const parallelSortMinRows = 4096
 
 // Finish sorts any buffered rows and returns an iterator over the full
 // sorted sequence plus the sort's statistics. The Sorter cannot be reused.
@@ -123,50 +222,105 @@ func (s *Sorter) Finish() (*Iterator, Stats, error) {
 		return nil, s.stats, fmt.Errorf("extsort: Finish twice")
 	}
 	s.done = true
+	if s.par > 1 {
+		s.wg.Wait() // all background runs recorded (or failed) after this
+		if s.spillErr != nil {
+			s.closeRuns()
+			return nil, s.stats, s.spillErr
+		}
+	}
 	if len(s.runs) == 0 {
-		sortRows(s.buf, s.width)
-		s.observeFinish()
-		return &Iterator{width: s.width, mem: s.buf}, s.stats, nil
+		return s.finishMem()
 	}
 	if err := s.spill(); err != nil {
+		s.closeRuns()
 		return nil, s.stats, err
 	}
-	it := &Iterator{width: s.width}
+	srcs := make([]mergeSource, 0, len(s.runs))
 	for _, f := range s.runs {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			it.Close()
+			s.closeRuns()
 			return nil, s.stats, fmt.Errorf("extsort: seek run: %w", err)
 		}
 		rr := &runReader{r: bufio.NewReaderSize(f, 1<<16), f: f, row: make([]byte, s.width)}
-		if err := rr.advance(); err != nil && err != io.EOF {
-			it.Close()
+		if err := rr.next(); err != nil { // load the first row
+			s.closeRuns()
 			return nil, s.stats, err
 		}
-		if !rr.eof {
-			it.h = append(it.h, rr)
-		} else {
-			f.Close()
+		if rr.cur() == nil {
+			rr.closeFile()
+			continue
 		}
+		srcs = append(srcs, rr)
 	}
-	heap.Init(&it.h)
 	s.observeFinish()
-	return it, s.stats, nil
+	if len(srcs) == 0 {
+		return &Iterator{width: s.width}, s.stats, nil
+	}
+	return &Iterator{width: s.width, lt: newLoserTree(srcs)}, s.stats, nil
+}
+
+// finishMem completes a sort that never spilled. The serial path returns
+// the zero-copy in-place iterator; with workers, large buffers are split
+// into row-aligned chunks sorted concurrently and merged by a loser tree.
+func (s *Sorter) finishMem() (*Iterator, Stats, error) {
+	rows := 0
+	if s.width > 0 {
+		rows = len(s.buf) / s.width
+	}
+	if s.par > 1 && rows >= parallelSortMinRows {
+		chunks := s.par
+		if chunks > rows {
+			chunks = rows
+		}
+		per := (rows + chunks - 1) / chunks
+		srcs := make([]mergeSource, 0, chunks)
+		var wg sync.WaitGroup
+		for start := 0; start < rows; start += per {
+			end := start + per
+			if end > rows {
+				end = rows
+			}
+			chunk := s.buf[start*s.width : end*s.width]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sortRows(chunk, s.width)
+			}()
+			srcs = append(srcs, &memRun{buf: chunk, w: s.width})
+		}
+		wg.Wait()
+		s.observeFinish()
+		return &Iterator{width: s.width, lt: newLoserTree(srcs)}, s.stats, nil
+	}
+	sortRows(s.buf, s.width)
+	s.observeFinish()
+	return &Iterator{width: s.width, mem: s.buf}, s.stats, nil
+}
+
+// closeRuns releases all run files on an error path.
+func (s *Sorter) closeRuns() {
+	for _, f := range s.runs {
+		f.Close()
+	}
+	s.runs = nil
 }
 
 // Iterator yields sorted rows. The slice returned by Next is only valid
 // until the following call.
 type Iterator struct {
 	width int
-	// In-memory case.
+	// Serial in-memory case: rows are zero-copy subslices of the buffer.
 	mem []byte
 	pos int
-	// External case: a min-heap of run readers.
-	h runHeap
+	// Merge case (spilled runs or parallel-sorted chunks).
+	lt     *loserTree
+	rowBuf []byte
 }
 
 // Next returns the next row, or nil at the end of the sequence.
 func (it *Iterator) Next() ([]byte, error) {
-	if it.mem != nil || it.h == nil {
+	if it.lt == nil {
 		if it.pos+it.width <= len(it.mem) {
 			row := it.mem[it.pos : it.pos+it.width]
 			it.pos += it.width
@@ -174,46 +328,61 @@ func (it *Iterator) Next() ([]byte, error) {
 		}
 		return nil, nil
 	}
-	if it.h.Len() == 0 {
+	w := it.lt.winner()
+	if w < 0 {
 		return nil, nil
 	}
-	top := it.h[0]
-	row := append(top.out[:0], top.row...)
-	top.out = row
-	if err := top.advance(); err != nil && err != io.EOF {
+	src := it.lt.srcs[w]
+	row := src.cur()
+	if row == nil {
+		return nil, nil
+	}
+	it.rowBuf = append(it.rowBuf[:0], row...)
+	if err := src.next(); err != nil {
 		return nil, err
 	}
-	if top.eof {
-		heap.Pop(&it.h)
-		top.f.Close()
-	} else {
-		heap.Fix(&it.h, 0)
-	}
-	return row, nil
+	it.lt.replay()
+	return it.rowBuf, nil
 }
 
 // Close releases any temp files still open.
 func (it *Iterator) Close() {
-	for _, rr := range it.h {
-		rr.f.Close()
+	if it.lt != nil {
+		for _, src := range it.lt.srcs {
+			if rr, ok := src.(*runReader); ok {
+				rr.closeFile()
+			}
+		}
+		it.lt = nil
 	}
-	it.h = nil
 	it.mem = nil
 }
 
+// runReader streams one spilled run as a mergeSource, closing its file as
+// soon as the run is exhausted.
 type runReader struct {
 	r   *bufio.Reader
 	f   *os.File
 	row []byte
-	out []byte
 	eof bool
 }
 
-func (rr *runReader) advance() error {
+func (rr *runReader) cur() []byte {
+	if rr.eof {
+		return nil
+	}
+	return rr.row
+}
+
+func (rr *runReader) next() error {
+	if rr.eof {
+		return nil
+	}
 	_, err := io.ReadFull(rr.r, rr.row)
 	if err == io.EOF {
 		rr.eof = true
-		return io.EOF
+		rr.closeFile()
+		return nil
 	}
 	if err == io.ErrUnexpectedEOF {
 		return fmt.Errorf("extsort: truncated run file")
@@ -221,18 +390,11 @@ func (rr *runReader) advance() error {
 	return err
 }
 
-type runHeap []*runReader
-
-func (h runHeap) Len() int            { return len(h) }
-func (h runHeap) Less(i, j int) bool  { return bytes.Compare(h[i].row, h[j].row) < 0 }
-func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
-func (h *runHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (rr *runReader) closeFile() {
+	if rr.f != nil {
+		rr.f.Close()
+		rr.f = nil
+	}
 }
 
 // sortRows quicksorts the rows of buf (fixed width) in place by raw byte

@@ -1,0 +1,114 @@
+package extsort
+
+import "bytes"
+
+// mergeSource is one sorted input of a k-way merge: a spilled run on disk
+// (runReader) or a sorted in-memory chunk (memRun).
+type mergeSource interface {
+	// cur returns the current row, or nil when the source is exhausted.
+	// The slice is only valid until the following next call.
+	cur() []byte
+	// next advances to the following row (io.EOF is consumed, not
+	// returned; after the last row cur reports nil).
+	next() error
+}
+
+// loserTree is a tournament tree over k sorted sources: internal node n
+// holds the index of the source that lost the match at n, and nodes[0]
+// holds the overall winner. Selecting the next row then costs one root-to-
+// leaf replay of ⌈log2 k⌉ comparisons against the recorded losers —
+// roughly half the comparisons of a binary heap, which re-compares two
+// children per level on the way down. Exhausted sources compare as +∞ and
+// sink to the bottom of the bracket; ties break toward the lower source
+// index, which makes the merge stable (and, since equal rows are
+// byte-identical here, makes the output bytes independent of run order).
+type loserTree struct {
+	nodes []int // nodes[0] = winner; nodes[1:] = losers, -1 = unplayed
+	srcs  []mergeSource
+}
+
+// newLoserTree builds the bracket; every source must already be positioned
+// on its first row (or exhausted).
+func newLoserTree(srcs []mergeSource) *loserTree {
+	k := len(srcs)
+	n := k
+	if n < 1 {
+		n = 1
+	}
+	lt := &loserTree{srcs: srcs, nodes: make([]int, n)}
+	for i := range lt.nodes {
+		lt.nodes[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		lt.seed(i)
+	}
+	return lt
+}
+
+// less orders sources by current row (exhausted = +∞, ties by index).
+func (lt *loserTree) less(i, j int) bool {
+	a, b := lt.srcs[i].cur(), lt.srcs[j].cur()
+	if b == nil {
+		return a != nil || i < j
+	}
+	if a == nil {
+		return false
+	}
+	if c := bytes.Compare(a, b); c != 0 {
+		return c < 0
+	}
+	return i < j
+}
+
+// seed plays source s up from its leaf during construction. Meeting an
+// empty node parks the current winner there — its opponent has not played
+// yet; the last source on each path carries the match through to the root.
+func (lt *loserTree) seed(s int) {
+	k := len(lt.srcs)
+	winner := s
+	for n := (s + k) / 2; n > 0; n /= 2 {
+		if lt.nodes[n] < 0 {
+			lt.nodes[n] = winner
+			return
+		}
+		if lt.less(lt.nodes[n], winner) {
+			winner, lt.nodes[n] = lt.nodes[n], winner
+		}
+	}
+	lt.nodes[0] = winner
+}
+
+// winner returns the source index holding the smallest current row. Check
+// its cur() for nil to detect the end of the whole merge.
+func (lt *loserTree) winner() int { return lt.nodes[0] }
+
+// replay re-runs the winner's root-to-leaf path after its source advanced.
+func (lt *loserTree) replay() {
+	k := len(lt.srcs)
+	winner := lt.nodes[0]
+	for n := (winner + k) / 2; n > 0; n /= 2 {
+		if lt.nodes[n] >= 0 && lt.less(lt.nodes[n], winner) {
+			winner, lt.nodes[n] = lt.nodes[n], winner
+		}
+	}
+	lt.nodes[0] = winner
+}
+
+// memRun adapts a sorted in-memory row buffer as a mergeSource.
+type memRun struct {
+	buf []byte
+	w   int
+	pos int
+}
+
+func (m *memRun) cur() []byte {
+	if m.pos+m.w <= len(m.buf) {
+		return m.buf[m.pos : m.pos+m.w]
+	}
+	return nil
+}
+
+func (m *memRun) next() error {
+	m.pos += m.w
+	return nil
+}

@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -36,9 +37,12 @@ type Row struct {
 	Algorithm string
 	Axes      int
 	Facts     int
-	Seconds   float64
-	Cells     int64
-	Stats     cube.Stats
+	// Workers is the fan-out the run was configured with (0 = GOMAXPROCS;
+	// only meaningful for the parallel algorithms and parallel sorts).
+	Workers int
+	Seconds float64
+	Cells   int64
+	Stats   cube.Stats
 	// DNF is non-empty when the run hit the timeout ("the algorithm did
 	// not finish in a reasonable time", as the paper reports for several
 	// 7-axis points).
@@ -66,6 +70,10 @@ type Options struct {
 	// the paper's TIMBER configuration — instead of the in-memory
 	// evaluator. Required for store.pool.* and sjoin.* metrics to be live.
 	UseStore bool
+	// Workers sets the cube fan-out (cube.Input.Workers): the parallel
+	// algorithms' worker count and the sorters' background parallelism.
+	// 0 selects GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOptions reads X3_SCALE (a float, e.g. "0.02") and returns
@@ -291,6 +299,7 @@ func (w *Workload) RunAlgorithm(name string, opt Options) (Row, error) {
 		TmpDir:  opt.TmpDir,
 		Props:   w.Props,
 		Reg:     opt.Registry,
+		Workers: opt.Workers,
 	}
 	sink := &deadlineSink{}
 	if opt.Timeout > 0 {
@@ -298,13 +307,19 @@ func (w *Workload) RunAlgorithm(name string, opt Options) (Row, error) {
 	}
 	start := time.Now()
 	st, err := alg.Run(in, sink)
-	elapsed := time.Since(start).Seconds()
+	elapsed := time.Since(start)
+	if opt.Registry != nil {
+		opt.Registry.Counter(fmt.Sprintf("harness.run.%s.d%d.%s.w%d.ns",
+			w.Figure, w.Axes, name, opt.Workers)).Add(elapsed.Nanoseconds())
+	}
 	row := Row{
 		Figure: w.Figure, Algorithm: name, Axes: w.Axes, Facts: w.Facts,
-		Seconds: elapsed, Cells: sink.cells, Stats: st,
+		Workers: opt.Workers, Seconds: elapsed.Seconds(), Cells: sink.cells, Stats: st,
 	}
 	if err != nil {
-		if err == errDeadline {
+		// Parallel algorithms wrap worker errors, so unwrap to detect the
+		// deadline sentinel.
+		if errors.Is(err, errDeadline) {
 			row.DNF = "timeout"
 		} else {
 			row.DNF = err.Error()

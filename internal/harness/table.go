@@ -54,10 +54,10 @@ func WriteTable(w io.Writer, rows []Row) {
 
 // WriteCSV renders rows as CSV with full statistics, one row per run.
 func WriteCSV(w io.Writer, rows []Row) {
-	fmt.Fprintln(w, "figure,algorithm,axes,facts,seconds,cells,dnf,passes,restarts,sorts,external_sorts,spill_bytes,rows_sorted,rollups,copies,peak_bytes")
+	fmt.Fprintln(w, "figure,algorithm,axes,facts,workers,seconds,cells,dnf,passes,restarts,sorts,external_sorts,spill_bytes,rows_sorted,rollups,copies,peak_bytes")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%.6f,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-			r.Figure, r.Algorithm, r.Axes, r.Facts, r.Seconds, r.Cells, r.DNF,
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.6f,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.Figure, r.Algorithm, r.Axes, r.Facts, r.Workers, r.Seconds, r.Cells, r.DNF,
 			r.Stats.Passes, r.Stats.Restarts, r.Stats.Sorts, r.Stats.ExternalSorts,
 			r.Stats.SpillBytes, r.Stats.RowsSorted, r.Stats.Rollups, r.Stats.Copies,
 			r.Stats.PeakBytes)

@@ -8,13 +8,15 @@ package mem
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Budget tracks reserved bytes against a fixed total. The zero value is an
-// unlimited budget. Budgets are not safe for concurrent use; the cube
-// algorithms are single-threaded, as in the paper.
+// unlimited budget. Budgets are safe for concurrent use: the parallel cube
+// algorithms (BUCPAR, TDPAR) share one budget across their workers.
 type Budget struct {
-	total     int64
+	mu        sync.Mutex
+	total     int64 // immutable after New
 	used      int64
 	highWater int64
 }
@@ -38,16 +40,26 @@ func (b *Budget) IsUnlimited() bool { return b.total == 0 }
 func (b *Budget) Total() int64 { return b.total }
 
 // Used returns the bytes currently reserved.
-func (b *Budget) Used() int64 { return b.used }
+func (b *Budget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
 
 // HighWater returns the maximum bytes ever reserved at once.
-func (b *Budget) HighWater() int64 { return b.highWater }
+func (b *Budget) HighWater() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.highWater
+}
 
 // Remaining returns the bytes still available (MaxInt64 when unlimited).
 func (b *Budget) Remaining() int64 {
 	if b.IsUnlimited() {
 		return math.MaxInt64
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	r := b.total - b.used
 	if r < 0 {
 		return 0
@@ -60,6 +72,8 @@ func (b *Budget) TryReserve(n int64) bool {
 	if n < 0 {
 		return false
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if !b.IsUnlimited() && b.used+n > b.total {
 		return false
 	}
@@ -74,7 +88,7 @@ func (b *Budget) TryReserve(n int64) bool {
 func (b *Budget) Reserve(n int64) error {
 	if !b.TryReserve(n) {
 		return fmt.Errorf("mem: budget exhausted: %d used + %d requested > %d total",
-			b.used, n, b.total)
+			b.Used(), n, b.total)
 	}
 	return nil
 }
@@ -82,6 +96,8 @@ func (b *Budget) Reserve(n int64) error {
 // Release returns n bytes to the budget. Releasing more than is reserved
 // panics: it is always an accounting bug.
 func (b *Budget) Release(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if n < 0 || n > b.used {
 		panic(fmt.Sprintf("mem: release %d with %d used", n, b.used))
 	}
@@ -90,7 +106,7 @@ func (b *Budget) Release(n int64) {
 
 func (b *Budget) String() string {
 	if b.IsUnlimited() {
-		return fmt.Sprintf("budget{unlimited, used=%d}", b.used)
+		return fmt.Sprintf("budget{unlimited, used=%d}", b.Used())
 	}
-	return fmt.Sprintf("budget{%d/%d}", b.used, b.total)
+	return fmt.Sprintf("budget{%d/%d}", b.Used(), b.total)
 }

@@ -284,7 +284,7 @@ func TestMemoryBudgetOption(t *testing.T) {
 	if res.Stats().PeakBytes == 0 {
 		t.Error("budgeted run recorded no peak memory")
 	}
-	if len(Algorithms()) != 9 {
+	if len(Algorithms()) != 10 {
 		t.Errorf("Algorithms() = %v", Algorithms())
 	}
 }
