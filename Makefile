@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-seed bench-pr2
+.PHONY: ci vet build test race fuzz cover bench-seed bench-pr2 bench-pr3
 
-ci: vet build test race
+ci: vet build test race cover
 
 vet:
 	$(GO) vet ./...
@@ -19,11 +19,18 @@ test:
 # batched sinks, extsort's background run formation and chunked sorts, the
 # sjoin evaluator over the shared buffer pool — under the race detector.
 race:
-	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/...
+	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./cmd/x3serve/
 
-# Short fuzz smoke of the query parser (the CI-sized budget).
+# Short fuzz smoke of the query parser and the cell-file readers (the
+# CI-sized budget).
 fuzz:
 	$(GO) test ./internal/xq/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/cellfile/ -fuzz FuzzCellfile -fuzztime 30s
+
+# Per-package coverage floors (see scripts/cover_floors.txt): the serving
+# layer and its cell-file substrate must stay above 80% of statements.
+cover:
+	sh scripts/cover.sh
 
 # Regenerate the committed metrics baseline (see EXPERIMENTS.md).
 bench-seed:
@@ -35,3 +42,9 @@ bench-seed:
 # harness.run.*.w<N>.ns keys carry the wall-clock comparison.
 bench-pr2:
 	$(GO) run ./cmd/x3bench -figure fig10 -scale 0.05 -algorithms COUNTER,TD,BUC,TDPAR,BUCPAR -workers 1,2,4,8 -quiet -metrics BENCH_pr2.json
+
+# Regenerate the committed serve-latency snapshot (see EXPERIMENTS.md):
+# a full-lattice sweep of cuboid queries over the DBLP cube, answered by
+# a cold v1 full scan, the v2 indexed store, and the warm block cache.
+bench-pr3:
+	$(GO) run ./cmd/x3serve -bench -scale 2000 -metrics BENCH_pr3.json

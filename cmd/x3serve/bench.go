@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"x3/internal/cellfile"
+	"x3/internal/cube"
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// runBench measures serve latency for one full-lattice sweep of cuboid
+// slice queries under three read strategies over the same cube:
+//
+//	coldscan — the v1 streaming file: every query scans the whole file
+//	           and filters for its cuboid (the pre-index baseline)
+//	indexed  — the v2 indexed store with a cold block cache: a seek and
+//	           a bounded scan per query
+//	cached   — the same store with the block cache warm
+//
+// Timers land in bench.serve.{coldscan,indexed,cached}; the serve.*
+// counters of the sweep (scan cells, cache hits/misses) ride along.
+func runBench(scale int, metricsPath string, reg *obs.Registry) error {
+	doc := dataset.DBLP(dataset.DefaultDBLPConfig(scale, 1))
+	lat, err := lattice.New(dataset.DBLPQuery())
+	if err != nil {
+		return err
+	}
+	dicts := make([]*match.Dict, lat.NumAxes())
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	set, err := match.EvaluateWith(doc, lat, dicts)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "x3serve-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The pre-index baseline: the same cube as a v1 streaming file.
+	v1 := filepath.Join(dir, "cube.x3cf")
+	sink, err := cellfile.Create(v1)
+	if err != nil {
+		return err
+	}
+	in := &cube.Input{Lattice: lat, Source: set, Dicts: set.Dicts}
+	if _, err := (cube.Counter{}).Run(in, sink); err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+
+	// The serving store; its planner sweep fills the serve.* counters and
+	// the serve.answer timer.
+	s, err := serve.Build(filepath.Join(dir, "cube.x3ci"), lat, set,
+		serve.Options{Registry: reg, CacheBlocks: 1 << 16})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	points := lat.Points()
+	for _, p := range points {
+		if _, err := s.Answer(serve.Query{Point: p}); err != nil {
+			return err
+		}
+	}
+
+	// The read-latency table: fetching one cuboid's cells under each
+	// strategy. This is the part the index and the cache change; the
+	// aggregation on top is common to all three.
+	cold := reg.Timer("bench.serve.coldscan")
+	for _, p := range points {
+		pid := lat.ID(p)
+		start := time.Now()
+		var rows int
+		err := cellfile.Each(v1, func(c cellfile.Cell) error {
+			if c.Point == pid {
+				rows++
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		cold.Observe(time.Since(start))
+	}
+	r, err := cellfile.OpenIndexed(s.Path())
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	r.Observe(reg)
+	r.SetCache(cellfile.NewBlockCache(1 << 16))
+	// The first sweep runs against a cold cache, the second fully warm.
+	for _, name := range []string{"indexed", "cached"} {
+		t := reg.Timer("bench.serve." + name)
+		for _, p := range points {
+			start := time.Now()
+			if err := r.EachCuboid(lat.ID(p), func(cellfile.Cell) error { return nil }); err != nil {
+				return err
+			}
+			t.Observe(time.Since(start))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "x3serve: bench over %d articles, %d facts, %d cuboids\n",
+		scale, set.NumFacts(), lat.Size())
+	n := int64(len(points))
+	for _, name := range []string{"coldscan", "indexed", "cached"} {
+		t := reg.Timer("bench.serve." + name)
+		fmt.Fprintf(os.Stderr, "  %-9s %12v / query\n", name, t.Total()/time.Duration(n))
+	}
+	fmt.Fprintf(os.Stderr, "  cache: %d hits, %d misses; scanned %d cells over %d queries\n",
+		reg.Counter("serve.cache.hits").Value(), reg.Counter("serve.cache.misses").Value(),
+		reg.Counter("serve.scan.cells").Value(), reg.Counter("serve.queries").Value())
+	if metricsPath != "" {
+		if err := reg.WriteJSONFile(metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "x3serve: metrics written to %s\n", metricsPath)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command x3serve materializes an X³ cube and serves point, slice and
+// roll-up queries over HTTP from the indexed cell file, re-aggregating
+// safe roll-ups from the cheapest materialized ancestor and falling back
+// to base facts where summarizability does not hold.
+//
+// Usage:
+//
+//	x3serve -xml dblp.xml -queryfile q.xq -addr :8733
+//	x3serve -xml dblp.xml -queryfile q.xq -views 5 -cells cube.x3ci
+//	x3serve -bench -scale 200 -metrics BENCH_pr3.json
+//
+// Endpoints:
+//
+//	POST /query    {"cuboid":{"$a":"LND"},"where":{"$j":"tods"}} → rows
+//	POST /refresh  XML document body → facts folded into the cube
+//	GET  /cuboids  materialized cuboids and their cell counts
+//	GET  /metrics  serve.* counters, cache hit rates, latency timers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"x3/internal/cube"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/schema"
+	"x3/internal/serve"
+	"x3/internal/xmltree"
+	"x3/internal/xq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("x3serve: ")
+	var (
+		xmlPath   = flag.String("xml", "", "XML input file")
+		queryText = flag.String("query", "", "X³ query text")
+		queryFile = flag.String("queryfile", "", "file containing the X³ query")
+		dtdFile   = flag.String("dtdfile", "", "DTD certifying summarizability (default: measure from data)")
+		algorithm = flag.String("algorithm", "COUNTER", "cube algorithm for the initial build")
+		views     = flag.Int("views", 0, "materialize only the top-k cuboids by greedy view selection (0 = all)")
+		cellsPath = flag.String("cells", "", "indexed cell file path (default: a temp file)")
+		addr      = flag.String("addr", ":8733", "HTTP listen address")
+		cache     = flag.Int("cache", 64, "LRU block cache size in blocks (negative disables)")
+		bench     = flag.Bool("bench", false, "run the serve-latency benchmark (cold scan vs indexed vs cached) and exit")
+		scale     = flag.Int("scale", 200, "benchmark dataset size in DBLP articles")
+		metrics   = flag.String("metrics", "", "write metrics as JSON here")
+	)
+	flag.Parse()
+
+	reg := obs.New()
+	if *bench {
+		if err := runBench(*scale, *metrics, reg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	lat, set, props, err := buildInputs(*xmlPath, *queryText, *queryFile, *dtdFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *cellsPath
+	if path == "" {
+		dir, err := os.MkdirTemp("", "x3serve")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "cube.x3ci")
+	}
+	store, err := serve.Build(path, lat, set, serve.Options{
+		Algorithm:   *algorithm,
+		Views:       *views,
+		CacheBlocks: *cache,
+		Props:       props,
+		Registry:    reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	for _, mc := range store.Materialized() {
+		fmt.Fprintf(os.Stderr, "x3serve: materialized %-50s %8d cells\n", mc.Label, mc.Cells)
+	}
+	fmt.Fprintf(os.Stderr, "x3serve: %d facts, %d/%d cuboids materialized, listening on %s\n",
+		store.NumFacts(), len(store.Materialized()), lat.Size(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(store, reg)))
+}
+
+// buildInputs parses the document and query and evaluates the match phase.
+func buildInputs(xmlPath, queryText, queryFile, dtdFile string) (*lattice.Lattice, *match.Set, cube.Props, error) {
+	if xmlPath == "" {
+		return nil, nil, nil, fmt.Errorf("need -xml (or -bench)")
+	}
+	qt := queryText
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		qt = string(b)
+	}
+	if qt == "" {
+		return nil, nil, nil, fmt.Errorf("need -query or -queryfile")
+	}
+	spec, err := xq.Parse(qt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lat, err := lattice.New(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := os.Open(xmlPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	doc, err := xmltree.Parse(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dicts := make([]*match.Dict, lat.NumAxes())
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	set, err := match.EvaluateWith(doc, lat, dicts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var props cube.Props
+	if dtdFile != "" {
+		b, err := os.ReadFile(dtdFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		d, err := schema.Parse(string(b))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		props, err = schema.Infer(d, lat)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return lat, set, props, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"x3/internal/obs"
+	"x3/internal/serve"
+	"x3/internal/xmltree"
+)
+
+// maxBody bounds request bodies: queries are small JSON, refreshes are
+// XML documents — neither should be unbounded.
+const maxBody = 64 << 20
+
+// newServer wires a serving store into an http.Handler. The handler is
+// safe for concurrent use: queries run under the store's read lock and
+// refreshes swap state atomically, so mixed traffic never tears.
+func newServer(s *serve.Store, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := s.ServeRequest(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := xmltree.Parse(io.LimitReader(r.Body, maxBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		added, err := s.RefreshDoc(doc)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, map[string]int64{"added": added})
+	})
+
+	mux.HandleFunc("GET /cuboids", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Materialized())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

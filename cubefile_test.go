@@ -56,3 +56,52 @@ func TestCubeToFileBadPath(t *testing.T) {
 		t.Error("unwritable path accepted")
 	}
 }
+
+func TestCubeToIndexedFile(t *testing.T) {
+	db, q := loadPaper(t)
+	want, err := db.Cube(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cube.x3ci")
+	cells, stats, err := db.CubeToIndexedFile(q, path, WithAlgorithm("BUC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != want.TotalCells() {
+		t.Fatalf("indexed file cells = %d, want %d", cells, want.TotalCells())
+	}
+	if stats.Algorithm != "BUC" {
+		t.Errorf("stats algorithm = %s", stats.Algorithm)
+	}
+	// The indexed reader serves per-cuboid slices that sum to the whole.
+	r, err := cellfile.OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var viaCuboids int64
+	for _, pid := range r.Points() {
+		if err := r.EachCuboid(pid, func(cellfile.Cell) error { viaCuboids++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if viaCuboids != cells {
+		t.Fatalf("cuboid slices yield %d cells, wrote %d", viaCuboids, cells)
+	}
+	// The version-dispatching Each reads v2 files transparently.
+	var viaEach int64
+	if err := cellfile.Each(path, func(cellfile.Cell) error { viaEach++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if viaEach != cells {
+		t.Fatalf("Each read %d cells, wrote %d", viaEach, cells)
+	}
+}
+
+func TestCubeToIndexedFileBadAlgorithm(t *testing.T) {
+	db, q := loadPaper(t)
+	if _, _, err := db.CubeToIndexedFile(q, filepath.Join(t.TempDir(), "x"), WithAlgorithm("NOPE")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package cellfile
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// readerGen hands every IndexedReader a distinct cache-key namespace, so
+// a shared BlockCache survives a reader swap (serving refresh) without
+// ever returning a stale predecessor block.
+var readerGen atomic.Uint64
+
+func nextReaderGen() uint64 { return readerGen.Add(1) }
+
+// BlockCache is a fixed-capacity LRU over decoded index blocks. It is
+// safe for concurrent use and may be shared by any number of readers;
+// capacity is counted in blocks, so its memory footprint is roughly
+// capacity × block cell count × cell size.
+type BlockCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	m   map[blockKey]*list.Element
+}
+
+type blockKey struct {
+	gen   uint64
+	block int
+}
+
+type blockEntry struct {
+	key   blockKey
+	cells []Cell
+}
+
+// NewBlockCache returns a cache holding up to capacity decoded blocks
+// (minimum 1).
+func NewBlockCache(capacity int) *BlockCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BlockCache{cap: capacity, ll: list.New(), m: make(map[blockKey]*list.Element)}
+}
+
+// Len returns the number of cached blocks.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *BlockCache) get(gen uint64, block int) ([]Cell, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[blockKey{gen, block}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*blockEntry).cells, true
+}
+
+func (c *BlockCache) put(gen uint64, block int, cells []Cell) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := blockKey{gen, block}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*blockEntry).cells = cells
+		return
+	}
+	el := c.ll.PushFront(&blockEntry{key: key, cells: cells})
+	c.m[key] = el
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*blockEntry).key)
+	}
+}

@@ -139,7 +139,19 @@ func Each(path string, fn func(Cell) error) error {
 	if err != nil {
 		return err
 	}
-	if ver != version {
+	switch ver {
+	case version:
+		// the streaming v1 format, handled below
+	case indexedVersion:
+		// the indexed v2 format: delegate to the indexed reader, which
+		// knows where the data section ends and the index begins.
+		ir, err := OpenIndexed(path)
+		if err != nil {
+			return err
+		}
+		defer ir.Close()
+		return ir.Each(fn)
+	default:
 		return fmt.Errorf("cellfile: unsupported version %d", ver)
 	}
 	var count int64
@@ -156,6 +168,14 @@ func Each(path string, fn func(Cell) error) error {
 			}
 			if int64(want) != count {
 				return fmt.Errorf("cellfile: %s: trailer says %d cells, read %d", path, want, count)
+			}
+			// The trailer must be the last bytes of the file: anything
+			// after it means the count only covers a prefix — a forged or
+			// misplaced trailer would otherwise silently truncate the
+			// cube (the count would "agree" with the cells read so far
+			// while disagreeing with the cells actually stored).
+			if _, err := r.ReadByte(); err != io.EOF {
+				return fmt.Errorf("cellfile: %s: data after trailer (trailer count %d does not cover the whole file)", path, want)
 			}
 			return nil
 		case 0x01:

@@ -122,6 +122,59 @@ func TestTruncationDetected(t *testing.T) {
 	}
 }
 
+// TestTrailerCountMismatchRejected is the regression test for the v1
+// trailer hole: a file whose trailer is not the last thing in it — e.g. a
+// forged or misplaced trailer whose count matches only the cells before
+// it — used to read back "successfully" while silently dropping every
+// cell after the trailer.
+func TestTrailerCountMismatchRejected(t *testing.T) {
+	lat := makeLattice(t)
+	set := makeSet(t, lat, 50, 9)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cube.x3cf")
+	sink, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &cube.Input{Lattice: lat, Source: set, Dicts: set.Dicts}
+	if _, err := (cube.Counter{}).Run(in, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A trailer whose count simply disagrees with the cells stored.
+	bumped := append([]byte{}, data...)
+	bumped[len(bumped)-1]++
+	miscounted := filepath.Join(dir, "miscounted.x3cf")
+	if err := os.WriteFile(miscounted, bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Each(miscounted, func(Cell) error { return nil }); err == nil {
+		t.Error("trailer count mismatch read without error")
+	}
+
+	// An early trailer: take a valid file and append a full extra copy of
+	// its cell section after the trailer. The trailer count agrees with
+	// the cells read up to it but not with the cells actually stored.
+	early := append([]byte{}, data...)
+	early = append(early, data[5:]...)
+	earlyPath := filepath.Join(dir, "early.x3cf")
+	if err := os.WriteFile(earlyPath, early, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var read int
+	err = Each(earlyPath, func(Cell) error { read++; return nil })
+	if err == nil {
+		t.Errorf("early trailer read without error (%d cells silently dropped)", read)
+	}
+}
+
 func TestLargePointIDsSurvive(t *testing.T) {
 	// Point IDs whose uvarint encoding starts with a continuation byte
 	// must not be confused with markers.

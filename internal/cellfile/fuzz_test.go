@@ -1,0 +1,118 @@
+package cellfile
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+)
+
+// fuzzSeedV1 builds a small valid v1 cell file in memory.
+func fuzzSeedV1(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.x3cf")
+	sink, err := Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var s agg.State
+	s.Add(2)
+	for p := uint32(0); p < 4; p++ {
+		if err := sink.Cell(p, []match.ValueID{match.ValueID(p), 300}, s); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// fuzzSeedV2 builds a small valid v2 (indexed) cell file in memory.
+func fuzzSeedV2(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.x3ci")
+	var cells []Cell
+	var s agg.State
+	s.Add(3)
+	for p := uint32(0); p < 6; p++ {
+		for k := 0; k < 5; k++ {
+			cells = append(cells, Cell{Point: p, Key: []match.ValueID{match.ValueID(k)}, State: s})
+		}
+	}
+	if err := WriteIndexed(path, cells); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzCellfile throws arbitrary bytes at both reader paths — the v1
+// streaming reader and the v2 indexed open/scan — which must reject
+// corrupt input with an error, never panic, and never trust an
+// attacker-chosen count or offset enough to allocate unboundedly. The
+// seeds cover both valid formats plus the historically dangerous shapes:
+// truncation, forged trailers, corrupt markers, and oversized uvarints.
+func FuzzCellfile(f *testing.F) {
+	v1 := fuzzSeedV1(f)
+	v2 := fuzzSeedV2(f)
+	f.Add(v1)
+	f.Add(v2)
+	f.Add(v1[:len(v1)-3])              // truncated trailer
+	f.Add(v2[:len(v2)-footerLen+4])    // truncated footer
+	f.Add(v2[:len(v2)/2])              // truncated mid-index
+	f.Add(append([]byte{}, v1[:5]...)) // header only, no trailer
+	corrupt := append([]byte{}, v1...)
+	corrupt[6] = 0x7E // clobber the first record marker
+	f.Add(corrupt)
+	// An oversized uvarint where a key length belongs.
+	huge := []byte{'X', '3', 'C', 'F', 1, 0x01, 0x00}
+	huge = binary.AppendUvarint(huge, 1<<40)
+	f.Add(huge)
+	// A v2 footer claiming a gigantic cell count over a tiny file.
+	lying := append([]byte{}, v2...)
+	binary.BigEndian.PutUint64(lying[len(lying)-footerLen:], 1<<50)
+	f.Add(lying)
+	// A v2 index offset pointing past EOF.
+	past := append([]byte{}, v2...)
+	binary.BigEndian.PutUint64(past[len(past)-footerLen+8:], 1<<40)
+	f.Add(past)
+	// An early v1 trailer with trailing data (the fixed trailer hole).
+	f.Add(append(append([]byte{}, v1...), v1[5:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.x3cf")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The version-dispatching entry point: any outcome but a panic or
+		// an unbounded allocation is acceptable; errors are the job.
+		_ = Each(path, func(c Cell) error {
+			if len(c.Key) > 1<<16 {
+				t.Fatalf("reader surfaced an implausible key of %d values", len(c.Key))
+			}
+			return nil
+		})
+		// The indexed reader directly, including its random-access path.
+		r, err := OpenIndexed(path)
+		if err != nil {
+			return
+		}
+		defer r.Close()
+		_ = r.Each(func(Cell) error { return nil })
+		for _, p := range r.Points() {
+			_ = r.EachCuboid(p, func(Cell) error { return nil })
+		}
+		_ = r.EachCuboid(1<<31, func(Cell) error { return nil })
+	})
+}

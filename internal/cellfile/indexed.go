@@ -1,0 +1,566 @@
+// The indexed v2 cell-file format. Where v1 is a write-once stream that
+// can only be consumed front to back, v2 lays the cells out sorted by
+// (point id, key) and appends a sparse block index plus a per-cuboid
+// directory, so a serving layer can answer "give me cuboid P" with one
+// binary search, one seek and a bounded scan instead of a full-file pass.
+//
+// Layout:
+//
+//	magic "X3CF", version byte 2
+//	data section: cell records, sorted by (point, key):
+//	    uvarint point, uvarint key length, key ValueIDs (uvarints),
+//	    32-byte aggregate state
+//	index section (at the footer's index offset):
+//	    uvarint block count
+//	    per block: uvarint absolute offset, uvarint first point,
+//	               uvarint cell count
+//	    uvarint cuboid count
+//	    per cuboid: uvarint point, uvarint cell count
+//	footer (final 20 bytes): big-endian uint64 total cell count,
+//	    big-endian uint64 index offset, magic "X3IX"
+//
+// Records deliberately drop v1's per-record 0x01 marker: block cell
+// counts come from the index, and the fixed footer makes truncation
+// detection positional rather than sentinel-based.
+package cellfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"x3/internal/agg"
+	"x3/internal/cube"
+	"x3/internal/match"
+	"x3/internal/obs"
+)
+
+const indexedVersion = 2
+
+// footerLen is the fixed byte length of the v2 footer.
+const footerLen = 20
+
+var indexMagic = [4]byte{'X', '3', 'I', 'X'}
+
+// headerLen is magic + version.
+const headerLen = 5
+
+// DefaultBlockCells is the block granularity of the sparse index: a new
+// block starts every this-many cells.
+const DefaultBlockCells = 256
+
+// minRecordLen is the smallest possible encoded cell (1-byte point,
+// zero-length key, state); it bounds how many cells a block of known byte
+// length can claim, which keeps corrupt counts from forcing allocations.
+const minRecordLen = 2 + agg.EncodedSize
+
+// IndexedSink collects cells and writes them as an indexed v2 file on
+// Close. It implements cube.Sink, so any cube algorithm can compute
+// straight into it; unlike FileSink it must buffer the cells in memory
+// until Close to sort them, so it suits cubes meant to be *served*, not
+// the unbounded streaming case v1 covers.
+type IndexedSink struct {
+	path string
+	// BlockCells overrides the index block granularity (cells per block);
+	// 0 selects DefaultBlockCells. Set it before Close.
+	BlockCells int
+	cells      []Cell
+}
+
+// CreateIndexed returns a sink that will write an indexed cell file at
+// path when closed.
+func CreateIndexed(path string) *IndexedSink {
+	return &IndexedSink{path: path}
+}
+
+// Cell implements cube.Sink.
+func (s *IndexedSink) Cell(point uint32, key []match.ValueID, st agg.State) error {
+	k := make([]match.ValueID, len(key))
+	copy(k, key)
+	s.cells = append(s.cells, Cell{Point: point, Key: k, State: st})
+	return nil
+}
+
+// Cells returns the number of cells collected so far.
+func (s *IndexedSink) Cells() int64 { return int64(len(s.cells)) }
+
+// Close sorts the collected cells by (point, key) and writes the indexed
+// file.
+func (s *IndexedSink) Close() error {
+	sort.Slice(s.cells, func(i, j int) bool {
+		a, b := &s.cells[i], &s.cells[j]
+		if a.Point != b.Point {
+			return a.Point < b.Point
+		}
+		n := len(a.Key)
+		if len(b.Key) < n {
+			n = len(b.Key)
+		}
+		for k := 0; k < n; k++ {
+			if a.Key[k] != b.Key[k] {
+				return a.Key[k] < b.Key[k]
+			}
+		}
+		return len(a.Key) < len(b.Key)
+	})
+	f, err := os.Create(s.path)
+	if err != nil {
+		return fmt.Errorf("cellfile: %w", err)
+	}
+	if err := writeIndexed(f, s.cells, s.BlockCells); err != nil {
+		f.Close()
+		os.Remove(s.path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(s.path)
+		return err
+	}
+	return nil
+}
+
+var _ cube.Sink = (*IndexedSink)(nil)
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// writeIndexed writes the sorted cells, the index and the footer to w.
+func writeIndexed(w io.Writer, cells []Cell, blockCells int) error {
+	if blockCells <= 0 {
+		blockCells = DefaultBlockCells
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{indexedVersion}); err != nil {
+		return err
+	}
+	type blockMetaW struct {
+		off        uint64
+		firstPoint uint32
+		cells      int
+	}
+	var (
+		blocks []blockMetaW
+		buf    []byte
+		off    = uint64(headerLen)
+	)
+	for i := range cells {
+		c := &cells[i]
+		if i%blockCells == 0 {
+			blocks = append(blocks, blockMetaW{off: off, firstPoint: c.Point})
+		}
+		buf = buf[:0]
+		buf = putUvarint(buf, uint64(c.Point))
+		buf = putUvarint(buf, uint64(len(c.Key)))
+		for _, v := range c.Key {
+			buf = putUvarint(buf, uint64(v))
+		}
+		var enc [agg.EncodedSize]byte
+		c.State.Encode(enc[:])
+		buf = append(buf, enc[:]...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		off += uint64(len(buf))
+		blocks[len(blocks)-1].cells++
+	}
+	indexOff := off
+
+	var idx []byte
+	idx = putUvarint(idx, uint64(len(blocks)))
+	for _, b := range blocks {
+		idx = putUvarint(idx, b.off)
+		idx = putUvarint(idx, uint64(b.firstPoint))
+		idx = putUvarint(idx, uint64(b.cells))
+	}
+	// Cuboid directory: the cells are sorted, so runs of equal points are
+	// contiguous.
+	var dirPoints []uint32
+	var dirCells []uint64
+	for i := 0; i < len(cells); {
+		j := i
+		for j < len(cells) && cells[j].Point == cells[i].Point {
+			j++
+		}
+		dirPoints = append(dirPoints, cells[i].Point)
+		dirCells = append(dirCells, uint64(j-i))
+		i = j
+	}
+	idx = putUvarint(idx, uint64(len(dirPoints)))
+	for i, p := range dirPoints {
+		idx = putUvarint(idx, uint64(p))
+		idx = putUvarint(idx, dirCells[i])
+	}
+	if _, err := w.Write(idx); err != nil {
+		return err
+	}
+
+	var foot [footerLen]byte
+	binary.BigEndian.PutUint64(foot[0:], uint64(len(cells)))
+	binary.BigEndian.PutUint64(foot[8:], indexOff)
+	copy(foot[16:], indexMagic[:])
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// WriteIndexed writes cells (any order; they are sorted in place) as an
+// indexed cell file at path.
+func WriteIndexed(path string, cells []Cell) error {
+	s := CreateIndexed(path)
+	s.cells = cells
+	return s.Close()
+}
+
+// blockMeta is one sparse-index entry of an open reader.
+type blockMeta struct {
+	off        int64  // absolute file offset of the block's first record
+	length     int64  // byte length of the block
+	firstPoint uint32 // point id of the block's first cell
+	cells      int    // number of cells in the block
+}
+
+// IndexedReader serves cuboid slices out of a v2 cell file. It is safe
+// for concurrent use: all file access goes through ReadAt, the metadata
+// is immutable after Open, and the optional block cache locks internally.
+type IndexedReader struct {
+	f      *os.File
+	path   string
+	blocks []blockMeta
+	// points and pointCells are the cuboid directory, sorted by point.
+	points     []uint32
+	pointCells []int64
+	cells      int64
+	cache      *BlockCache
+	gen        uint64 // cache-key namespace for this reader instance
+
+	// resolved obs handles (nil-safe; see package obs).
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	scanCells   *obs.Counter
+}
+
+// OpenIndexed opens a v2 cell file and loads its index. Every structural
+// claim the file makes (offsets, counts, ordering) is validated against
+// the file size before any dependent allocation, so corrupt or truncated
+// files fail with an error rather than a panic or an absurd allocation.
+func OpenIndexed(path string) (*IndexedReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cellfile: %w", err)
+	}
+	r, err := loadIndex(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func loadIndex(f *os.File, path string) (*IndexedReader, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < headerLen+footerLen {
+		return nil, fmt.Errorf("cellfile: %s: too short for an indexed cell file", path)
+	}
+	var hdr [headerLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("cellfile: %s is not a cell file", path)
+	}
+	if hdr[4] != indexedVersion {
+		return nil, fmt.Errorf("cellfile: %s: not an indexed cell file (version %d)", path, hdr[4])
+	}
+	var foot [footerLen]byte
+	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
+		return nil, err
+	}
+	if [4]byte(foot[16:]) != indexMagic {
+		return nil, fmt.Errorf("cellfile: %s: missing index footer (truncated?)", path)
+	}
+	totalCells := binary.BigEndian.Uint64(foot[0:])
+	indexOff := binary.BigEndian.Uint64(foot[8:])
+	if indexOff < headerLen || int64(indexOff) > size-footerLen {
+		return nil, fmt.Errorf("cellfile: %s: index offset %d out of range", path, indexOff)
+	}
+	if totalCells > uint64(indexOff-headerLen)/minRecordLen {
+		return nil, fmt.Errorf("cellfile: %s: footer claims %d cells, data section fits at most %d",
+			path, totalCells, (indexOff-headerLen)/minRecordLen)
+	}
+	idx := make([]byte, size-footerLen-int64(indexOff))
+	if _, err := f.ReadAt(idx, int64(indexOff)); err != nil {
+		return nil, err
+	}
+	br := bytes.NewReader(idx)
+	numBlocks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("cellfile: %s: corrupt index: %w", path, err)
+	}
+	// Each block entry takes at least 3 bytes; a larger claim cannot
+	// parse, so reject it before looping.
+	if numBlocks > uint64(len(idx))/3+1 {
+		return nil, fmt.Errorf("cellfile: %s: index claims %d blocks in %d bytes", path, numBlocks, len(idx))
+	}
+	r := &IndexedReader{f: f, path: path, cells: int64(totalCells), gen: nextReaderGen()}
+	var sum int64
+	for i := uint64(0); i < numBlocks; i++ {
+		off, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cellfile: %s: corrupt block entry %d: %w", path, i, err)
+		}
+		firstPoint, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cellfile: %s: corrupt block entry %d: %w", path, i, err)
+		}
+		cells, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cellfile: %s: corrupt block entry %d: %w", path, i, err)
+		}
+		if off < headerLen || off >= indexOff {
+			return nil, fmt.Errorf("cellfile: %s: block %d offset %d outside data section", path, i, off)
+		}
+		if n := len(r.blocks); n > 0 {
+			prev := &r.blocks[n-1]
+			if int64(off) <= prev.off {
+				return nil, fmt.Errorf("cellfile: %s: block offsets not increasing", path)
+			}
+			if firstPoint < uint64(prev.firstPoint) {
+				return nil, fmt.Errorf("cellfile: %s: block first points not sorted", path)
+			}
+			prev.length = int64(off) - prev.off
+			if uint64(prev.cells) > uint64(prev.length)/minRecordLen+1 {
+				return nil, fmt.Errorf("cellfile: %s: block %d claims %d cells in %d bytes", path, n-1, prev.cells, prev.length)
+			}
+		}
+		if firstPoint > 1<<32-1 {
+			return nil, fmt.Errorf("cellfile: %s: block %d first point %d overflows", path, i, firstPoint)
+		}
+		r.blocks = append(r.blocks, blockMeta{off: int64(off), firstPoint: uint32(firstPoint), cells: int(cells)})
+		sum += int64(cells)
+	}
+	if n := len(r.blocks); n > 0 {
+		last := &r.blocks[n-1]
+		last.length = int64(indexOff) - last.off
+		if uint64(last.cells) > uint64(last.length)/minRecordLen+1 {
+			return nil, fmt.Errorf("cellfile: %s: block %d claims %d cells in %d bytes", path, n-1, last.cells, last.length)
+		}
+	}
+	if sum != int64(totalCells) {
+		return nil, fmt.Errorf("cellfile: %s: index blocks hold %d cells, footer says %d", path, sum, totalCells)
+	}
+	numCuboids, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("cellfile: %s: corrupt cuboid directory: %w", path, err)
+	}
+	if numCuboids > uint64(len(idx))/2+1 {
+		return nil, fmt.Errorf("cellfile: %s: directory claims %d cuboids in %d bytes", path, numCuboids, len(idx))
+	}
+	var dirSum int64
+	for i := uint64(0); i < numCuboids; i++ {
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cellfile: %s: corrupt cuboid entry %d: %w", path, i, err)
+		}
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cellfile: %s: corrupt cuboid entry %d: %w", path, i, err)
+		}
+		if p > 1<<32-1 {
+			return nil, fmt.Errorf("cellfile: %s: cuboid entry %d point %d overflows", path, i, p)
+		}
+		if n := len(r.points); n > 0 && uint32(p) <= r.points[n-1] {
+			return nil, fmt.Errorf("cellfile: %s: cuboid directory not sorted", path)
+		}
+		r.points = append(r.points, uint32(p))
+		r.pointCells = append(r.pointCells, int64(c))
+		dirSum += int64(c)
+	}
+	if dirSum != int64(totalCells) {
+		return nil, fmt.Errorf("cellfile: %s: cuboid directory holds %d cells, footer says %d", path, dirSum, totalCells)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("cellfile: %s: %d trailing bytes after index", path, br.Len())
+	}
+	return r, nil
+}
+
+// Observe resolves the serving counters (serve.cache.hits,
+// serve.cache.misses, serve.scan.cells) against reg. A nil registry
+// leaves observability off.
+func (r *IndexedReader) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.cacheHits = reg.Counter("serve.cache.hits")
+	r.cacheMisses = reg.Counter("serve.cache.misses")
+	r.scanCells = reg.Counter("serve.scan.cells")
+}
+
+// SetCache attaches an LRU block cache. Readers may share one cache;
+// entries are keyed per reader instance, so a reader swapped in after a
+// refresh never sees a predecessor's blocks.
+func (r *IndexedReader) SetCache(c *BlockCache) { r.cache = c }
+
+// NumCells returns the total number of cells in the file.
+func (r *IndexedReader) NumCells() int64 { return r.cells }
+
+// NumBlocks returns the number of index blocks.
+func (r *IndexedReader) NumBlocks() int { return len(r.blocks) }
+
+// Points returns the materialized cuboid ids, sorted.
+func (r *IndexedReader) Points() []uint32 {
+	out := make([]uint32, len(r.points))
+	copy(out, r.points)
+	return out
+}
+
+// CuboidCells returns the cell count of cuboid point (0 when absent) and
+// whether the cuboid is materialized in this file.
+func (r *IndexedReader) CuboidCells(point uint32) (int64, bool) {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= point })
+	if i < len(r.points) && r.points[i] == point {
+		return r.pointCells[i], true
+	}
+	return 0, false
+}
+
+// Path returns the file path the reader was opened on.
+func (r *IndexedReader) Path() string { return r.path }
+
+// Close releases the file handle.
+func (r *IndexedReader) Close() error { return r.f.Close() }
+
+// readBlock returns block bi's decoded cells, via the cache when one is
+// attached.
+func (r *IndexedReader) readBlock(bi int) ([]Cell, error) {
+	if r.cache != nil {
+		if cells, ok := r.cache.get(r.gen, bi); ok {
+			r.cacheHits.Inc()
+			return cells, nil
+		}
+		r.cacheMisses.Inc()
+	}
+	b := &r.blocks[bi]
+	buf := make([]byte, b.length)
+	if _, err := r.f.ReadAt(buf, b.off); err != nil {
+		return nil, fmt.Errorf("cellfile: %s: block %d: %w", r.path, bi, err)
+	}
+	cells, err := decodeBlock(buf, b.cells)
+	if err != nil {
+		return nil, fmt.Errorf("cellfile: %s: block %d: %w", r.path, bi, err)
+	}
+	if r.cache != nil {
+		r.cache.put(r.gen, bi, cells)
+	}
+	return cells, nil
+}
+
+// decodeBlock parses exactly count cell records out of buf.
+func decodeBlock(buf []byte, count int) ([]Cell, error) {
+	br := bytes.NewReader(buf)
+	cells := make([]Cell, 0, count)
+	for i := 0; i < count; i++ {
+		point, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+		if point > 1<<32-1 {
+			return nil, fmt.Errorf("cell %d: point %d overflows", i, point)
+		}
+		klen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+		if klen > 1<<16 {
+			return nil, fmt.Errorf("cell %d: implausible key length %d", i, klen)
+		}
+		c := Cell{Point: uint32(point), Key: make([]match.ValueID, klen)}
+		for k := range c.Key {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("cell %d: %w", i, err)
+			}
+			if v > 1<<32-1 {
+				return nil, fmt.Errorf("cell %d: value id %d overflows", i, v)
+			}
+			c.Key[k] = match.ValueID(v)
+		}
+		var enc [agg.EncodedSize]byte
+		if _, err := io.ReadFull(br, enc[:]); err != nil {
+			return nil, fmt.Errorf("cell %d state: %w", i, err)
+		}
+		c.State = agg.Decode(enc[:])
+		cells = append(cells, c)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%d stray bytes after %d cells", br.Len(), count)
+	}
+	return cells, nil
+}
+
+// EachCuboid streams cuboid point's cells, in key order, to fn. Only the
+// blocks that can contain the cuboid are read: a binary search finds the
+// first candidate block and the scan stops at the first cell of a later
+// cuboid. Every decoded cell — including same-block neighbours that are
+// skipped — counts toward serve.scan.cells, so the counter reflects real
+// read amplification.
+func (r *IndexedReader) EachCuboid(point uint32, fn func(Cell) error) error {
+	if _, ok := r.CuboidCells(point); !ok {
+		return nil
+	}
+	// First block that could contain the cuboid: the one before the first
+	// block starting at a later point (the cuboid's first cells can sit
+	// at the tail of a block whose firstPoint is smaller).
+	bi := sort.Search(len(r.blocks), func(i int) bool { return r.blocks[i].firstPoint >= point })
+	if bi > 0 {
+		bi--
+	}
+	for ; bi < len(r.blocks) && r.blocks[bi].firstPoint <= point; bi++ {
+		cells, err := r.readBlock(bi)
+		if err != nil {
+			return err
+		}
+		r.scanCells.Add(int64(len(cells)))
+		for i := range cells {
+			c := &cells[i]
+			if c.Point < point {
+				continue
+			}
+			if c.Point > point {
+				return nil
+			}
+			if err := fn(*c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Each streams every cell of the file, in (point, key) order.
+func (r *IndexedReader) Each(fn func(Cell) error) error {
+	for bi := range r.blocks {
+		cells, err := r.readBlock(bi)
+		if err != nil {
+			return err
+		}
+		r.scanCells.Add(int64(len(cells)))
+		for i := range cells {
+			if err := fn(cells[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"x3/internal/agg"
+	"x3/internal/cellfile"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/views"
+)
+
+// PlanKind says how a query was answered.
+type PlanKind int
+
+const (
+	// PlanDirect reads the target cuboid straight from the indexed store.
+	PlanDirect PlanKind = iota
+	// PlanRollup re-aggregates a finer materialized cuboid whose every
+	// relaxation step to the target is safe.
+	PlanRollup
+	// PlanBase recomputes the target cuboid from the base facts — the
+	// fallback when no safe materialized ancestor exists.
+	PlanBase
+)
+
+// String implements fmt.Stringer.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanDirect:
+		return "direct"
+	case PlanRollup:
+		return "rollup"
+	case PlanBase:
+		return "base"
+	}
+	return fmt.Sprintf("plan(%d)", int(k))
+}
+
+// Query addresses one target cuboid with optional equality constraints.
+// A fully constrained query (every live axis pinned) is a point lookup; a
+// partially constrained one is a slice; an unconstrained one streams the
+// whole cuboid — which, for a coarse target, is exactly a roll-up query.
+type Query struct {
+	// Point is the target cuboid.
+	Point lattice.Point
+	// Where pins live axes of Point (by axis index) to required values;
+	// nil or empty answers the whole cuboid.
+	Where map[int]match.ValueID
+}
+
+// Row is one answered cell: the group key over the target's live axes and
+// the aggregate state (callers pick the aggregate via State.Final).
+type Row struct {
+	Key   []match.ValueID
+	State agg.State
+}
+
+// Answer is the planner's result.
+type Answer struct {
+	Plan PlanKind
+	// From is the materialized cuboid the answer was served from
+	// (Direct and Rollup plans only).
+	From lattice.Point
+	// Rows are the matching cells, sorted by key.
+	Rows []Row
+}
+
+// Answer plans and executes one query. It holds the store's read lock for
+// the whole execution, so a concurrent refresh never swaps state under a
+// half-answered query.
+func (s *Store) Answer(q Query) (*Answer, error) {
+	start := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	if err := s.lat.Validate(q.Point); err != nil {
+		return nil, err
+	}
+	live := s.lat.LiveAxes(q.Point)
+	liveSet := make(map[int]bool, len(live))
+	for _, a := range live {
+		liveSet[a] = true
+	}
+	for a := range q.Where {
+		if !liveSet[a] {
+			return nil, fmt.Errorf("serve: axis %d is not live at %s", a, s.lat.Label(q.Point))
+		}
+	}
+
+	ans, err := s.execute(q, live)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Counter("serve.queries").Inc()
+	s.reg.Counter("serve.plan." + ans.Plan.String()).Inc()
+	s.reg.Counter("serve.rows").Add(int64(len(ans.Rows)))
+	s.reg.Timer("serve.answer").Observe(time.Since(start))
+	return ans, nil
+}
+
+// plan picks the cheapest materialized cuboid that can answer the target
+// safely, or nil for base-fact recomputation.
+func (s *Store) plan(target lattice.Point) (from lattice.Point, cost int64) {
+	targetID := s.lat.ID(target)
+	var (
+		best     lattice.Point
+		bestCost int64 = -1
+		bestID   uint32
+	)
+	for _, pid := range s.rdr.Points() {
+		cells, _ := s.rdr.CuboidCells(pid)
+		if bestCost >= 0 && (cells > bestCost || (cells == bestCost && pid >= bestID)) {
+			continue // cannot beat the incumbent; skip the safety walk
+		}
+		p := s.lat.FromID(pid)
+		if pid != targetID && !views.PathSafe(s.lat, s.props, p, target) {
+			continue
+		}
+		best, bestCost, bestID = p, cells, pid
+	}
+	return best, bestCost
+}
+
+// execute routes the query to its plan and runs it.
+func (s *Store) execute(q Query, live []int) (*Answer, error) {
+	from, _ := s.plan(q.Point)
+	switch {
+	case from == nil:
+		rows, err := s.answerFromBase(q, live)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Plan: PlanBase, Rows: rows}, nil
+	case s.lat.ID(from) == s.lat.ID(q.Point):
+		rows, err := s.answerDirect(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Plan: PlanDirect, From: from, Rows: rows}, nil
+	default:
+		rows, err := s.answerRollup(q, live, from)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Plan: PlanRollup, From: from, Rows: rows}, nil
+	}
+}
+
+// answerDirect streams the materialized target cuboid, filtering.
+func (s *Store) answerDirect(q Query) ([]Row, error) {
+	live := s.lat.LiveAxes(q.Point)
+	var rows []Row
+	err := s.rdr.EachCuboid(s.lat.ID(q.Point), func(c cellfile.Cell) error {
+		for i, a := range live {
+			if want, ok := q.Where[a]; ok && c.Key[i] != want {
+				return nil
+			}
+		}
+		key := make([]match.ValueID, len(c.Key))
+		copy(key, c.Key)
+		rows = append(rows, Row{Key: key, State: c.State})
+		return nil
+	})
+	return rows, err // already in key order: the file is sorted
+}
+
+// answerRollup streams the finer materialized cuboid `from` and merges
+// its cells into the target's coarser groups. Safe relaxation steps make
+// this exact: across a ladder state step the cells coincide, and across
+// an LND step the dropped axis's groups partition the facts, so
+// aggregate-state merging (internal/agg) reproduces the target cuboid.
+func (s *Store) answerRollup(q Query, live []int, from lattice.Point) ([]Row, error) {
+	fromLive := s.lat.LiveAxes(from)
+	// proj[i] is the position within from's key of the target's i-th
+	// live axis.
+	proj := make([]int, len(live))
+	for i, a := range live {
+		pos := -1
+		for j, fa := range fromLive {
+			if fa == a {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("serve: internal: axis %d live at %s but not at finer %s",
+				a, s.lat.Label(q.Point), s.lat.Label(from))
+		}
+		proj[i] = pos
+	}
+	groups := make(map[string]agg.State)
+	key := make([]match.ValueID, len(live))
+	var buf []byte
+	err := s.rdr.EachCuboid(s.lat.ID(from), func(c cellfile.Cell) error {
+		for i := range live {
+			key[i] = c.Key[proj[i]]
+		}
+		for i, a := range live {
+			if want, ok := q.Where[a]; ok && key[i] != want {
+				return nil
+			}
+		}
+		buf = packKey(buf[:0], key)
+		st := groups[string(buf)]
+		st.Merge(c.State)
+		groups[string(buf)] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rowsFromGroups(groups), nil
+}
+
+// answerFromBase recomputes the target cuboid from the base facts — the
+// oracle-style enumeration of each fact's group memberships at the
+// target's ladder states, restricted by the query's constraints.
+func (s *Store) answerFromBase(q Query, live []int) ([]Row, error) {
+	groups := make(map[string]agg.State)
+	key := make([]match.ValueID, 0, len(live))
+	var buf []byte
+	var facts int64
+	err := s.base.Each(func(f *match.Fact) error {
+		facts++
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(live) {
+				buf = packKey(buf[:0], key)
+				st := groups[string(buf)]
+				st.Add(f.Measure)
+				groups[string(buf)] = st
+				return
+			}
+			a := live[i]
+			want, constrained := q.Where[a]
+			for _, v := range f.Values(a, int(q.Point[a])) {
+				if constrained && v != want {
+					continue
+				}
+				key = append(key, v)
+				rec(i + 1)
+				key = key[:len(key)-1]
+			}
+		}
+		rec(0)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Counter("serve.base.facts").Add(facts)
+	return rowsFromGroups(groups), nil
+}
+
+// rowsFromGroups converts an aggregation map into key-sorted rows.
+func rowsFromGroups(groups map[string]agg.State) []Row {
+	rows := make([]Row, 0, len(groups))
+	for k, st := range groups {
+		rows = append(rows, Row{Key: unpackKey([]byte(k)), State: st})
+	}
+	sortRows(rows)
+	return rows
+}

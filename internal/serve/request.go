@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"x3/internal/lattice"
+	"x3/internal/match"
+)
+
+// Request is the wire-level query form the HTTP server accepts: cuboid
+// states and constraint values as strings, resolved against the store's
+// lattice and dictionaries.
+type Request struct {
+	// Cuboid maps axis variables to relaxation-state labels, e.g.
+	// {"$n": "rigid", "$y": "LND"}; omitted axes default to their most
+	// relaxed state (so an empty map addresses the lattice bottom).
+	Cuboid map[string]string `json:"cuboid,omitempty"`
+	// Where pins axis variables to grouping values, e.g. {"$n": "smith"}.
+	// Pinned axes must be live at the target cuboid.
+	Where map[string]string `json:"where,omitempty"`
+}
+
+// ResponseRow is one answered cell with decoded group values.
+type ResponseRow struct {
+	Values []string `json:"values"`
+	Value  float64  `json:"value"`
+	Count  int64    `json:"count"`
+}
+
+// Response is the wire-level answer.
+type Response struct {
+	Cuboid string        `json:"cuboid"`
+	Plan   string        `json:"plan"`
+	From   string        `json:"from,omitempty"`
+	Rows   []ResponseRow `json:"rows"`
+}
+
+// PointFromStates resolves axis-variable → state-label assignments to a
+// lattice point; omitted axes default to their most relaxed state.
+func (s *Store) PointFromStates(states map[string]string) (lattice.Point, error) {
+	lat := s.lat
+	p := lat.Bottom()
+	used := map[string]bool{}
+	for a, lad := range lat.Ladders {
+		want, ok := states[lad.Spec.Var]
+		if !ok {
+			continue
+		}
+		used[lad.Spec.Var] = true
+		found := false
+		for si, st := range lad.States {
+			if strings.EqualFold(st.Label, want) {
+				p[a] = uint8(si)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("serve: axis %s has no state %q", lad.Spec.Var, want)
+		}
+	}
+	for v := range states {
+		if !used[v] {
+			return nil, fmt.Errorf("serve: query has no axis %q", v)
+		}
+	}
+	return p, nil
+}
+
+// axisByVar returns the axis index of a grouping variable.
+func (s *Store) axisByVar(v string) (int, error) {
+	for a, lad := range s.lat.Ladders {
+		if lad.Spec.Var == v {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: query has no axis %q", v)
+}
+
+// ServeRequest resolves a wire-level request and answers it. Constraint
+// values absent from the dictionaries yield an empty row set (the value
+// has never been seen, so no group can match).
+func (s *Store) ServeRequest(req Request) (*Response, error) {
+	p, err := s.PointFromStates(req.Cuboid)
+	if err != nil {
+		return nil, err
+	}
+	q := Query{Point: p}
+	dicts := s.Dicts()
+	unseen := false
+	if len(req.Where) > 0 {
+		q.Where = make(map[int]match.ValueID, len(req.Where))
+		for v, val := range req.Where {
+			a, err := s.axisByVar(v)
+			if err != nil {
+				return nil, err
+			}
+			if s.lat.Deleted(p, a) {
+				return nil, fmt.Errorf("serve: axis %s is deleted at %s", v, s.lat.Label(p))
+			}
+			id, ok := dicts[a].Lookup(val)
+			if !ok {
+				unseen = true
+				continue
+			}
+			q.Where[a] = id
+		}
+	}
+	resp := &Response{Cuboid: s.lat.Label(p)}
+	if unseen {
+		resp.Plan = PlanDirect.String()
+		resp.Rows = []ResponseRow{}
+		return resp, nil
+	}
+	ans, err := s.Answer(q)
+	if err != nil {
+		return nil, err
+	}
+	resp.Plan = ans.Plan.String()
+	if ans.From != nil {
+		resp.From = s.lat.Label(ans.From)
+	}
+	live := s.lat.LiveAxes(p)
+	aggFn := s.lat.Query.Agg
+	resp.Rows = make([]ResponseRow, len(ans.Rows))
+	for i, r := range ans.Rows {
+		vals := make([]string, len(r.Key))
+		for j, id := range r.Key {
+			vals[j] = dicts[live[j]].Value(id)
+		}
+		resp.Rows[i] = ResponseRow{Values: vals, Value: r.State.Final(aggFn), Count: r.State.N}
+	}
+	return resp, nil
+}

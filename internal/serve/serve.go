@@ -1,0 +1,376 @@
+// Package serve is the materialized-cube serving layer: it turns a
+// computed relaxed cube into an answerable store. A Store owns an indexed
+// cell file (internal/cellfile v2) holding the materialized cuboids, the
+// base fact table, and the summarizability properties; a query planner
+// (planner.go) answers point, slice and roll-up queries by routing each
+// target cuboid to the cheapest materialized cuboid it can be *safely*
+// derived from — reusing the §3.2/§3.7 safe-relaxation criterion that
+// package views applies to view selection — and re-aggregating on the
+// fly, falling back to base-fact recomputation when no safe ancestor is
+// materialized.
+//
+// Refreshes ride on cube.Maintain: new facts are folded into the
+// materialized cuboids without recomputing the cube, the indexed file is
+// rewritten, and the reader is swapped atomically under the store lock,
+// so a Store is safe for concurrent queries during a refresh.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"x3/internal/agg"
+	"x3/internal/cellfile"
+	"x3/internal/cube"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/views"
+	"x3/internal/xmltree"
+)
+
+// Options configure Build.
+type Options struct {
+	// Algorithm computes the initial cube (default COUNTER).
+	Algorithm string
+	// Views > 0 materializes only the cuboids picked by the greedy
+	// view-selection of package views (under the store's safety
+	// properties); 0 materializes every cuboid.
+	Views int
+	// CacheBlocks sizes the LRU block cache (default 64; negative
+	// disables caching).
+	CacheBlocks int
+	// BlockCells overrides the indexed file's block granularity
+	// (0 = cellfile.DefaultBlockCells).
+	BlockCells int
+	// Props certifies summarizability; nil measures the properties from
+	// the base facts (and re-measures them on every refresh).
+	Props cube.Props
+	// Registry receives the serve.* counters and timers; nil disables
+	// observability.
+	Registry *obs.Registry
+}
+
+// Store is a servable materialized cube. All exported methods are safe
+// for concurrent use.
+type Store struct {
+	path       string
+	lat        *lattice.Lattice
+	reg        *obs.Registry
+	cache      *cellfile.BlockCache
+	blockCells int
+
+	// refreshMu serializes refreshes; mu guards the swappable state
+	// below. Queries hold mu.RLock for their whole execution, so a
+	// refresh swap waits for in-flight answers and later answers see the
+	// new state.
+	refreshMu sync.Mutex
+	mu        sync.RWMutex
+	rdr       *cellfile.IndexedReader
+	base      *match.Set
+	dicts     []*match.Dict
+	props     cube.Props
+	measured  bool // props are data-measured: re-measure on refresh
+}
+
+// Build computes the cube of lat over base, materializes the selected
+// cuboids as an indexed cell file at path, and returns the serving store.
+// Iceberg queries (HAVING >= n) are refused: their discarded cells make
+// both roll-up serving and maintenance unsound.
+func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*Store, error) {
+	if lat.Query.MinSupport > 1 {
+		return nil, fmt.Errorf("serve: cannot serve an iceberg cube (HAVING >= %d)", lat.Query.MinSupport)
+	}
+	if opt.Algorithm == "" {
+		opt.Algorithm = "COUNTER"
+	}
+	alg, err := cube.ByName(opt.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	props := opt.Props
+	measured := false
+	if props == nil {
+		mp, err := cube.MeasureProps(lat, base)
+		if err != nil {
+			return nil, err
+		}
+		props, measured = mp, true
+	}
+	res := cube.NewResult(lat, base.Dicts)
+	in := &cube.Input{Lattice: lat, Source: base, Dicts: base.Dicts, Props: props, Reg: opt.Registry}
+	if _, err := alg.Run(in, res); err != nil {
+		return nil, err
+	}
+	keep, err := selectPoints(lat, props, res, base.NumFacts(), opt.Views)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeStore(path, lat, res, keep, opt.BlockCells); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		path:       path,
+		lat:        lat,
+		reg:        opt.Registry,
+		blockCells: opt.BlockCells,
+		base:       base,
+		dicts:      base.Dicts,
+		props:      props,
+		measured:   measured,
+	}
+	if opt.CacheBlocks >= 0 {
+		n := opt.CacheBlocks
+		if n == 0 {
+			n = 64
+		}
+		s.cache = cellfile.NewBlockCache(n)
+	}
+	rdr, err := cellfile.OpenIndexed(path)
+	if err != nil {
+		return nil, err
+	}
+	rdr.Observe(s.reg)
+	if s.cache != nil {
+		rdr.SetCache(s.cache)
+	}
+	s.rdr = rdr
+	return s, nil
+}
+
+// selectPoints returns the set of cuboid ids to materialize: every point,
+// or the greedy top-k under the safety properties.
+func selectPoints(lat *lattice.Lattice, props cube.Props, res *cube.Result, baseRows, k int) (map[uint32]bool, error) {
+	keep := make(map[uint32]bool)
+	if k <= 0 || k >= lat.Size() {
+		for _, p := range lat.Points() {
+			keep[lat.ID(p)] = true
+		}
+		return keep, nil
+	}
+	sizes := make(map[uint32]int64, lat.Size())
+	for _, p := range lat.Points() {
+		sizes[lat.ID(p)] = int64(res.CuboidSize(p))
+	}
+	rows := int64(baseRows)
+	if rows < 1 {
+		rows = 1
+	}
+	sugg, err := views.Select(lat, props, sizes, rows, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, sg := range sugg {
+		keep[lat.ID(sg.Point)] = true
+	}
+	return keep, nil
+}
+
+// writeStore writes the kept cuboids of res as an indexed cell file at
+// path, atomically (write to a temp file, then rename).
+func writeStore(path string, lat *lattice.Lattice, res *cube.Result, keep map[uint32]bool, blockCells int) error {
+	tmp := path + ".tmp"
+	sink := cellfile.CreateIndexed(tmp)
+	sink.BlockCells = blockCells
+	for _, p := range lat.Points() {
+		pid := lat.ID(p)
+		if !keep[pid] {
+			continue
+		}
+		for _, key := range res.Keys(p) {
+			st, ok := res.State(p, key)
+			if !ok {
+				return fmt.Errorf("serve: cuboid %s lost cell %v", lat.Label(p), key)
+			}
+			if err := sink.Cell(pid, key, st); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Lattice returns the store's cuboid lattice.
+func (s *Store) Lattice() *lattice.Lattice { return s.lat }
+
+// Path returns the indexed cell file backing the store.
+func (s *Store) Path() string { return s.path }
+
+// Dicts returns the store's current per-axis dictionaries. The returned
+// dictionaries are replaced, never mutated, by a refresh; holders see a
+// consistent (possibly slightly stale) view.
+func (s *Store) Dicts() []*match.Dict {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dicts
+}
+
+// NumFacts returns the number of base facts currently behind the store.
+func (s *Store) NumFacts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base.NumFacts()
+}
+
+// Materialized lists the materialized cuboids and their cell counts.
+func (s *Store) Materialized() []MaterializedCuboid {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []MaterializedCuboid
+	for _, pid := range s.rdr.Points() {
+		n, _ := s.rdr.CuboidCells(pid)
+		p := s.lat.FromID(pid)
+		out = append(out, MaterializedCuboid{Point: p, Label: s.lat.Label(p), Cells: n})
+	}
+	return out
+}
+
+// MaterializedCuboid describes one cuboid held by the indexed store.
+type MaterializedCuboid struct {
+	Point lattice.Point `json:"-"`
+	Label string        `json:"label"`
+	Cells int64         `json:"cells"`
+}
+
+// Close releases the store's reader.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rdr.Close()
+}
+
+// RefreshDoc evaluates the query over a new XML document with the store's
+// dictionaries, folds the matched facts into the materialized cuboids via
+// cube.Maintain, rewrites the indexed file, and swaps it in atomically.
+// Queries keep running against the old state until the swap. Returns the
+// number of facts added.
+func (s *Store) RefreshDoc(doc *xmltree.Document) (int64, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+
+	s.mu.RLock()
+	oldRdr, oldBase := s.rdr, s.base
+	s.mu.RUnlock()
+
+	// Work on cloned dictionaries: match evaluation interns new values,
+	// and the live dictionaries must stay immutable under readers.
+	dicts := make([]*match.Dict, len(oldBase.Dicts))
+	for i, d := range oldBase.Dicts {
+		nd := match.NewDict()
+		for _, v := range d.Values() {
+			nd.ID(v)
+		}
+		dicts[i] = nd
+	}
+	delta, err := match.EvaluateWith(doc, s.lat, dicts)
+	if err != nil {
+		return 0, err
+	}
+
+	// Load the materialized cuboids back into a Result and maintain it.
+	res := cube.NewResult(s.lat, dicts)
+	keep := make(map[uint32]bool)
+	for _, pid := range oldRdr.Points() {
+		keep[pid] = true
+		cells := make(map[string]agg.State)
+		err := oldRdr.EachCuboid(pid, func(c cellfile.Cell) error {
+			cells[string(packKey(nil, c.Key))] = c.State
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		res.Cuboids[pid] = cells
+		res.Cells += int64(len(cells))
+	}
+	added, err := cube.Maintain(res, delta)
+	if err != nil {
+		return 0, err
+	}
+
+	facts := make([]*match.Fact, 0, len(oldBase.Facts)+len(delta.Facts))
+	facts = append(facts, oldBase.Facts...)
+	facts = append(facts, delta.Facts...)
+	newBase := &match.Set{Lattice: s.lat, Dicts: dicts, Facts: facts}
+
+	props := s.props
+	if s.measured {
+		mp, err := cube.MeasureProps(s.lat, newBase)
+		if err != nil {
+			return 0, err
+		}
+		props = mp
+	}
+
+	if err := writeStore(s.path, s.lat, res, keep, s.blockCells); err != nil {
+		return 0, err
+	}
+	newRdr, err := cellfile.OpenIndexed(s.path)
+	if err != nil {
+		return 0, err
+	}
+	newRdr.Observe(s.reg)
+	if s.cache != nil {
+		newRdr.SetCache(s.cache)
+	}
+
+	s.mu.Lock()
+	s.rdr = newRdr
+	s.base = newBase
+	s.dicts = dicts
+	s.props = props
+	s.mu.Unlock()
+	oldRdr.Close()
+
+	s.reg.Counter("serve.refresh.runs").Inc()
+	s.reg.Counter("serve.refresh.added").Add(added)
+	return added, nil
+}
+
+// packKey encodes a group key as big-endian bytes (byte order = value
+// order), mirroring the cube package's cell-table keys so refreshed
+// results agree with cube.Maintain's.
+func packKey(dst []byte, vals []match.ValueID) []byte {
+	for _, v := range vals {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// unpackKey decodes a key packed by packKey.
+func unpackKey(b []byte) []match.ValueID {
+	out := make([]match.ValueID, 0, len(b)/4)
+	for i := 0; i+4 <= len(b); i += 4 {
+		out = append(out, match.ValueID(binary.BigEndian.Uint32(b[i:])))
+	}
+	return out
+}
+
+// sortRows orders rows by key, value order.
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Key, rows[j].Key
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for k := 0; k < n; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

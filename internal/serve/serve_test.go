@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/cube"
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/pattern"
+	"x3/internal/xmltree"
+)
+
+// treebankWorkload generates a Treebank corpus and evaluates its query.
+// Per-axis knobs: pMissing breaks coverage, pRepeat breaks disjointness.
+func treebankWorkload(tb testing.TB, seed int64, facts int, axes []dataset.AxisConfig) (*lattice.Lattice, *match.Set, *xmltree.Document) {
+	tb.Helper()
+	cfg := dataset.TreebankConfig{Seed: seed, Facts: facts, Axes: axes}
+	doc := dataset.Treebank(cfg)
+	lat, err := lattice.New(dataset.TreebankQuery(axes))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dicts := make([]*match.Dict, lat.NumAxes())
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	set, err := match.EvaluateWith(doc, lat, dicts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return lat, set, doc
+}
+
+// mixedAxes returns three axes with distinct summarizability behaviour:
+// axis 0 clean (safe to roll up), axis 1 breaks coverage, axis 2 breaks
+// disjointness — so a store over this data has both safe and unsafe
+// lattice edges.
+func mixedAxes() []dataset.AxisConfig {
+	lnd := pattern.RelaxSet(0).With(pattern.LND)
+	return []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 4, Relax: lnd},
+		{Tag: "w1", Cardinality: 4, PMissing: 0.25, Relax: lnd},
+		{Tag: "w2", Cardinality: 4, PRepeat: 0.4, Relax: lnd},
+	}
+}
+
+func cleanAxes(n int) []dataset.AxisConfig {
+	lnd := pattern.RelaxSet(0).With(pattern.LND)
+	axes := make([]dataset.AxisConfig, n)
+	for i := range axes {
+		axes[i] = dataset.AxisConfig{Tag: fmt.Sprintf("w%d", i), Cardinality: 4, Relax: lnd}
+	}
+	return axes
+}
+
+// assertCuboidMatchesOracle compares a full-cuboid answer with the oracle
+// cuboid cell by cell, byte-equal on keys and encoded aggregate states.
+func assertCuboidMatchesOracle(tb testing.TB, s *Store, oracle *cube.Result, p lattice.Point) PlanKind {
+	tb.Helper()
+	ans, err := s.Answer(Query{Point: p})
+	if err != nil {
+		tb.Fatalf("%s: %v", s.lat.Label(p), err)
+	}
+	keys := oracle.Keys(p)
+	if len(ans.Rows) != len(keys) {
+		tb.Fatalf("%s (plan %s): answered %d cells, oracle has %d",
+			s.lat.Label(p), ans.Plan, len(ans.Rows), len(keys))
+	}
+	for i, row := range ans.Rows {
+		if string(packKey(nil, row.Key)) != string(packKey(nil, keys[i])) {
+			tb.Fatalf("%s (plan %s) cell %d: key %v, oracle %v", s.lat.Label(p), ans.Plan, i, row.Key, keys[i])
+		}
+		want, ok := oracle.State(p, keys[i])
+		if !ok {
+			tb.Fatalf("oracle lost its own key %v", keys[i])
+		}
+		var got32, want32 [32]byte
+		row.State.Encode(got32[:])
+		want.Encode(want32[:])
+		if got32 != want32 {
+			tb.Fatalf("%s (plan %s) cell %v: state %+v, oracle %+v",
+				s.lat.Label(p), ans.Plan, row.Key, row.State, want)
+		}
+	}
+	return ans.Plan
+}
+
+func TestDirectAnswersMatchOracleEverywhere(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 7, 80, mixedAxes())
+	reg := obs.New()
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set,
+		Options{Registry: reg, BlockCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oracle, err := cube.RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lat.Points() {
+		if plan := assertCuboidMatchesOracle(t, s, oracle, p); plan != PlanDirect {
+			t.Fatalf("%s: plan %s with everything materialized, want direct", lat.Label(p), plan)
+		}
+	}
+}
+
+// TestSliceScanIsBounded pins the acceptance criterion: answering one
+// cuboid out of an indexed store must not scan the whole cell file.
+func TestSliceScanIsBounded(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 3, 300, cleanAxes(3))
+	reg := obs.New()
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set,
+		Options{Registry: reg, BlockCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	total := s.rdr.NumCells()
+	if s.rdr.NumBlocks() < 4 {
+		t.Fatalf("workload too small to test bounded scans: %d blocks", s.rdr.NumBlocks())
+	}
+	// A mid-lattice cuboid: axis 0 grouped, the others relaxed.
+	p := lat.Bottom()
+	p[0] = 0
+	before := reg.Counter("serve.scan.cells").Value()
+	if _, err := s.Answer(Query{Point: p}); err != nil {
+		t.Fatal(err)
+	}
+	scanned := reg.Counter("serve.scan.cells").Value() - before
+	if scanned == 0 {
+		t.Fatal("scan counter did not move")
+	}
+	if scanned >= total {
+		t.Fatalf("slice query scanned %d of %d cells — not using the index", scanned, total)
+	}
+}
+
+func TestBlockCacheHits(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 5, 200, cleanAxes(2))
+	reg := obs.New()
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set,
+		Options{Registry: reg, BlockCells: 16, CacheBlocks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := Query{Point: lat.Top()}
+	if _, err := s.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	misses := reg.Counter("serve.cache.misses").Value()
+	if misses == 0 {
+		t.Fatal("first read reported no cache misses")
+	}
+	if _, err := s.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("serve.cache.misses").Value() != misses {
+		t.Error("second read missed the cache")
+	}
+	if reg.Counter("serve.cache.hits").Value() == 0 {
+		t.Error("second read recorded no cache hits")
+	}
+}
+
+func TestPointAndSliceQueries(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 11, 120, cleanAxes(2))
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oracle, err := cube.RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := lat.Top()
+	keys := oracle.Keys(top)
+	if len(keys) == 0 {
+		t.Fatal("empty top cuboid")
+	}
+	// Point query: pin every live axis of the rigid cuboid.
+	where := map[int]match.ValueID{}
+	for i, a := range lat.LiveAxes(top) {
+		where[a] = keys[0][i]
+	}
+	ans, err := s.Answer(Query{Point: top, Where: where})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 {
+		t.Fatalf("point query returned %d rows", len(ans.Rows))
+	}
+	want, _ := oracle.State(top, keys[0])
+	if ans.Rows[0].State != want {
+		t.Fatalf("point query state %+v, want %+v", ans.Rows[0].State, want)
+	}
+	// Slice query: pin only the first axis; every returned cell must
+	// carry the pinned value and the set must match the oracle's slice.
+	a0 := lat.LiveAxes(top)[0]
+	slice, err := s.Answer(Query{Point: top, Where: map[int]match.ValueID{a0: keys[0][0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracleSlice int
+	for _, k := range keys {
+		if k[0] == keys[0][0] {
+			oracleSlice++
+		}
+	}
+	if len(slice.Rows) != oracleSlice {
+		t.Fatalf("slice returned %d rows, oracle slice has %d", len(slice.Rows), oracleSlice)
+	}
+	for _, r := range slice.Rows {
+		if r.Key[0] != keys[0][0] {
+			t.Fatalf("slice row %v escaped the constraint", r.Key)
+		}
+	}
+}
+
+func TestViewLimitedStoreUsesRollupAndBase(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 13, 80, mixedAxes())
+	reg := obs.New()
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set,
+		Options{Registry: reg, Views: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got, want := len(s.Materialized()), lat.Size(); got >= want {
+		t.Fatalf("view-limited store materialized %d of %d cuboids", got, want)
+	}
+	oracle, err := cube.RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lat.Points() {
+		assertCuboidMatchesOracle(t, s, oracle, p)
+	}
+	if reg.Counter("serve.plan.base").Value() == 0 {
+		t.Error("no query fell back to base recomputation on property-violating data")
+	}
+	if reg.Counter("serve.plan.direct").Value() == 0 {
+		t.Error("no query was answered directly")
+	}
+}
+
+func TestRefreshDocMaintainsServedCube(t *testing.T) {
+	axes := mixedAxes()
+	lat, set, _ := treebankWorkload(t, 17, 60, axes)
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set, Options{Views: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Expected state after refresh: the same delta evaluated against the
+	// original dictionaries (the store clones them ID-compatibly).
+	delta := dataset.Treebank(dataset.TreebankConfig{Seed: 18, Facts: 40, Axes: axes})
+	deltaSet, err := match.EvaluateWith(delta, lat, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := &match.Set{Lattice: lat, Dicts: set.Dicts,
+		Facts: append(append([]*match.Fact{}, set.Facts...), deltaSet.Facts...)}
+
+	added, err := s.RefreshDoc(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != int64(deltaSet.NumFacts()) {
+		t.Fatalf("refresh added %d facts, delta has %d", added, deltaSet.NumFacts())
+	}
+	if s.NumFacts() != combined.NumFacts() {
+		t.Fatalf("store has %d facts, want %d", s.NumFacts(), combined.NumFacts())
+	}
+	oracle, err := cube.RunOracle(lat, combined, combined.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lat.Points() {
+		assertCuboidMatchesOracle(t, s, oracle, p)
+	}
+}
+
+func TestServeRequestWireForm(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 19, 60, cleanAxes(2))
+	s, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	v0 := lat.Ladders[0].Spec.Var
+	resp, err := s.ServeRequest(Request{Cuboid: map[string]string{v0: "rigid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) == 0 || resp.Plan != "direct" {
+		t.Fatalf("unexpected response: plan=%s rows=%d", resp.Plan, len(resp.Rows))
+	}
+	var total float64
+	for _, r := range resp.Rows {
+		total += r.Value
+	}
+	// Pin one group and expect exactly its row back.
+	one, err := s.ServeRequest(Request{
+		Cuboid: map[string]string{v0: "rigid"},
+		Where:  map[string]string{v0: resp.Rows[0].Values[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Rows) != 1 || one.Rows[0].Value != resp.Rows[0].Value {
+		t.Fatalf("pinned query returned %+v, want the %v row", one.Rows, resp.Rows[0])
+	}
+	// A never-seen value answers empty, not an error.
+	none, err := s.ServeRequest(Request{
+		Cuboid: map[string]string{v0: "rigid"},
+		Where:  map[string]string{v0: "no-such-value"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none.Rows) != 0 {
+		t.Fatalf("unseen value returned %d rows", len(none.Rows))
+	}
+	// Unknown axes and states are errors.
+	if _, err := s.ServeRequest(Request{Cuboid: map[string]string{"$nope": "rigid"}}); err == nil {
+		t.Error("unknown axis accepted")
+	}
+	if _, err := s.ServeRequest(Request{Cuboid: map[string]string{v0: "warp"}}); err == nil {
+		t.Error("unknown state accepted")
+	}
+	if _, err := s.ServeRequest(Request{Where: map[string]string{v0: "a"}}); err == nil {
+		t.Error("constraint on a deleted axis accepted")
+	}
+}
+
+func TestIcebergRefused(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 23, 40, cleanAxes(2))
+	lat.Query.MinSupport = 2
+	if _, err := Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set, Options{}); err == nil {
+		t.Fatal("iceberg cube accepted for serving")
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Per-package coverage gate: every package listed in cover_floors.txt
+# (one "import/path floor-percent" per line) must meet its floor of
+# statement coverage, or the build fails.
+set -eu
+cd "$(dirname "$0")/.."
+
+floors=scripts/cover_floors.txt
+out=$(${GO:-go} test -cover $(awk '{print $1}' "$floors"))
+echo "$out"
+
+status=0
+while read -r pkg floor; do
+	[ -z "$pkg" ] && continue
+	pct=$(echo "$out" | awk -v p="$pkg" '$1 == "ok" && $2 == p { sub(/%/, "", $5); print $5 }')
+	if [ -z "$pct" ]; then
+		echo "cover: no coverage reported for $pkg" >&2
+		status=1
+		continue
+	fi
+	if ! awk -v a="$pct" -v b="$floor" 'BEGIN { exit !(a + 0 >= b + 0) }'; then
+		echo "cover: $pkg at ${pct}% is below its ${floor}% floor" >&2
+		status=1
+	fi
+done <"$floors"
+exit $status
