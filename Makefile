@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz cover bench-seed bench-pr2 bench-pr3
+.PHONY: ci vet build test race fuzz faults cover bench-seed bench-pr2 bench-pr3
 
-ci: vet build test race cover
+ci: vet build test race faults cover
 
 vet:
 	$(GO) vet ./...
@@ -21,11 +21,19 @@ test:
 race:
 	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./cmd/x3serve/
 
-# Short fuzz smoke of the query parser and the cell-file readers (the
-# CI-sized budget).
+# Short fuzz smoke of the query parser, the cell-file readers and the
+# store's meta page (the CI-sized budget).
 fuzz:
 	$(GO) test ./internal/xq/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/cellfile/ -fuzz FuzzCellfile -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzStoreMeta -fuzztime 30s
+
+# The fault-injection suite under a fixed deterministic schedule: the
+# differential serving sweep with injected corruption/short reads, the
+# crash-point refresh sweep, degraded-ladder serving off a corrupted
+# file, and the injection/retry tests of every storage layer.
+faults:
+	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./cmd/x3serve/
 
 # Per-package coverage floors (see scripts/cover_floors.txt): the serving
 # layer and its cell-file substrate must stay above 80% of statements.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -70,7 +71,7 @@ func runBench(scale int, metricsPath string, reg *obs.Registry) error {
 	defer s.Close()
 	points := lat.Points()
 	for _, p := range points {
-		if _, err := s.Answer(serve.Query{Point: p}); err != nil {
+		if _, err := s.Answer(context.Background(), serve.Query{Point: p}); err != nil {
 			return err
 		}
 	}

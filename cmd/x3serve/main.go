@@ -18,12 +18,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"x3/internal/cube"
 	"x3/internal/lattice"
@@ -51,6 +56,12 @@ func main() {
 		bench     = flag.Bool("bench", false, "run the serve-latency benchmark (cold scan vs indexed vs cached) and exit")
 		scale     = flag.Int("scale", 200, "benchmark dataset size in DBLP articles")
 		metrics   = flag.String("metrics", "", "write metrics as JSON here")
+
+		maxInFlight     = flag.Int("max-inflight", 64, "max concurrently executing requests; excess load is shed with 503 (0 disables)")
+		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expired requests are cancelled (0 disables)")
+		readTimeout     = flag.Duration("read-timeout", 2*time.Minute, "http.Server read timeout")
+		writeTimeout    = flag.Duration("write-timeout", 2*time.Minute, "http.Server write timeout")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -91,7 +102,35 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "x3serve: %d facts, %d/%d cuboids materialized, listening on %s\n",
 		store.NumFacts(), len(store.Materialized()), lat.Size(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(store, reg)))
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: newServer(store, reg, serverOptions{
+			maxInFlight:    *maxInFlight,
+			requestTimeout: *requestTimeout,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		// Graceful shutdown: stop accepting, drain in-flight requests up
+		// to the deadline, then exit. The store closes via the defer.
+		fmt.Fprintf(os.Stderr, "x3serve: %v — draining (up to %v)\n", s, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+	}
 }
 
 // buildInputs parses the document and query and evaluates the match phase.

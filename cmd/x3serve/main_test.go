@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"x3/internal/dataset"
 	"x3/internal/lattice"
@@ -41,7 +42,7 @@ func startTestServer(t *testing.T, views int) (*httptest.Server, *serve.Store, *
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv := httptest.NewServer(newServer(store, reg))
+	srv := httptest.NewServer(newServer(store, reg, serverOptions{maxInFlight: 64, requestTimeout: 30 * time.Second}))
 	t.Cleanup(srv.Close)
 	return srv, store, reg
 }
@@ -252,5 +253,144 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if len(out.Rows) != 0 {
 		t.Errorf("unseen value returned %d rows", len(out.Rows))
+	}
+}
+
+// TestStructuredErrorsAndStatusSplit pins the wire error contract:
+// {"error":..., "code":...} with 4xx for the caller's mistakes and 5xx
+// for the server's.
+func TestStructuredErrorsAndStatusSplit(t *testing.T) {
+	srv, _, _ := startTestServer(t, 0)
+	for _, tc := range []struct {
+		body   string
+		status int
+		code   string
+	}{
+		{`{"cuboid":`, http.StatusBadRequest, "bad_request"},
+		{`{"cuboid":{"$nope":"LND"}}`, http.StatusBadRequest, "bad_request"},
+		{`{"cuboid":{"$j":"warp"}}`, http.StatusBadRequest, "bad_request"},
+	} {
+		resp, b := postJSON(t, srv.URL+"/query", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: HTTP %d, want %d", tc.body, resp.StatusCode, tc.status)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(b, &e); err != nil {
+			t.Fatalf("%s: unstructured error body %q", tc.body, b)
+		}
+		if e["code"] != tc.code || e["error"] == "" {
+			t.Errorf("%s: error body %v, want code %q", tc.body, e, tc.code)
+		}
+	}
+}
+
+// TestRequestDeadline pins the acceptance criterion: a request whose
+// deadline has passed returns promptly with 504, not a hung connection.
+func TestRequestDeadline(t *testing.T) {
+	doc := dataset.DBLP(dataset.DefaultDBLPConfig(40, 7))
+	lat, err := lattice.New(dataset.DBLPQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dicts := make([]*match.Dict, lat.NumAxes())
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	set, err := match.EvaluateWith(doc, lat, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	store, err := serve.Build(filepath.Join(t.TempDir(), "cube.x3ci"), lat, set,
+		serve.Options{Registry: reg, BlockCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := httptest.NewServer(newServer(store, reg, serverOptions{requestTimeout: time.Nanosecond}))
+	t.Cleanup(srv.Close)
+
+	done := make(chan struct{})
+	var status int
+	var body []byte
+	go func() {
+		defer close(done)
+		resp, b := postJSON(t, srv.URL+"/query", `{}`)
+		status, body = resp.StatusCode, b
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired-deadline request did not return promptly")
+	}
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: HTTP %d (%s), want 504", status, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["code"] != "deadline" {
+		t.Fatalf("expired deadline: body %s, want code \"deadline\"", body)
+	}
+}
+
+// TestLoadShedding fills the single in-flight slot with a blocked request
+// and verifies the next one is shed with 503 + Retry-After and counted.
+func TestLoadShedding(t *testing.T) {
+	reg := obs.New()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := withLoadShedding(reg, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	go http.Get(srv.URL) // occupies the only slot
+	<-entered
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	close(release)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: HTTP %d (%s), want 503", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	var e map[string]string
+	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "shed" {
+		t.Fatalf("shed response body %s, want code \"shed\"", b)
+	}
+	if reg.Counter("serve.shed").Value() == 0 {
+		t.Error("serve.shed did not move")
+	}
+}
+
+// TestPanicRecovery converts a handler panic into a structured 500.
+func TestPanicRecovery(t *testing.T) {
+	reg := obs.New()
+	h := withRecovery(reg, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: HTTP %d (%s), want 500", resp.StatusCode, b)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "panic" {
+		t.Fatalf("panic response body %s, want code \"panic\"", b)
+	}
+	if reg.Counter("serve.panics").Value() == 0 {
+		t.Error("serve.panics did not move")
 	}
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"x3/internal/obs"
 	"x3/internal/serve"
@@ -14,21 +18,37 @@ import (
 // XML documents — neither should be unbounded.
 const maxBody = 64 << 20
 
+// serverOptions configure the HTTP hardening middleware.
+type serverOptions struct {
+	// maxInFlight bounds concurrently executing requests; excess load is
+	// shed with 503 + Retry-After instead of queueing without bound.
+	// 0 or negative disables shedding.
+	maxInFlight int
+	// requestTimeout is the per-request deadline; the context handed to
+	// the store expires at it, cancelling in-flight reads and
+	// recomputations. 0 disables.
+	requestTimeout time.Duration
+}
+
 // newServer wires a serving store into an http.Handler. The handler is
 // safe for concurrent use: queries run under the store's read lock and
-// refreshes swap state atomically, so mixed traffic never tears.
-func newServer(s *serve.Store, reg *obs.Registry) http.Handler {
+// refreshes swap state atomically, so mixed traffic never tears. The
+// middleware chain (outermost first) recovers panics, sheds load beyond
+// maxInFlight, and imposes the per-request deadline; handlers pass the
+// request context down so a client disconnect or an expired deadline
+// cancels the work it was paying for.
+func newServer(s *serve.Store, reg *obs.Registry, opt serverOptions) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.Request
 		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
 			return
 		}
-		resp, err := s.ServeRequest(req)
+		resp, err := s.ServeRequest(r.Context(), req)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, err)
 			return
 		}
 		writeJSON(w, resp)
@@ -37,12 +57,12 @@ func newServer(s *serve.Store, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
 		doc, err := xmltree.Parse(io.LimitReader(r.Body, maxBody))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
 			return
 		}
-		added, err := s.RefreshDoc(doc)
+		added, err := s.RefreshDoc(r.Context(), doc)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, err)
 			return
 		}
 		writeJSON(w, map[string]int64{"added": added})
@@ -55,11 +75,61 @@ func newServer(s *serve.Store, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, err)
 		}
 	})
 
-	return mux
+	var h http.Handler = mux
+	if opt.requestTimeout > 0 {
+		h = withDeadline(opt.requestTimeout, h)
+	}
+	if opt.maxInFlight > 0 {
+		h = withLoadShedding(reg, opt.maxInFlight, h)
+	}
+	return withRecovery(reg, h)
+}
+
+// withRecovery converts a handler panic into a 500 instead of tearing
+// down the connection (and, with it, the whole keep-alive client).
+func withRecovery(reg *obs.Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				reg.Counter("serve.panics").Inc()
+				writeError(w, http.StatusInternalServerError, "panic",
+					fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLoadShedding admits at most max concurrent requests; the rest are
+// answered immediately with 503 + Retry-After so clients back off
+// instead of piling onto a saturated store.
+func withLoadShedding(reg *obs.Registry, max int, next http.Handler) http.Handler {
+	slots := make(chan struct{}, max)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			reg.Counter("serve.shed").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "shed", "server at capacity")
+		}
+	})
+}
+
+// withDeadline bounds every request's context, so a slow query or a
+// stuck refresh is cancelled rather than holding a slot forever.
+func withDeadline(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -67,8 +137,26 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// httpError maps an error to the structured JSON error form and the
+// right status class: the client's fault (bad request) is 4xx, an
+// expired deadline is 504, a cancelled request 503, and everything else
+// — including detected corruption that even degraded serving could not
+// route around — is 500.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "cancelled", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
 }

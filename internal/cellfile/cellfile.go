@@ -133,7 +133,7 @@ func Each(path string, fn func(Cell) error) error {
 		return fmt.Errorf("cellfile: %s: %w", path, err)
 	}
 	if m != magic {
-		return fmt.Errorf("cellfile: %s is not a cell file", path)
+		return fmt.Errorf("%w: %s is not a cell file", ErrCorrupt, path)
 	}
 	ver, err := r.ReadByte()
 	if err != nil {
@@ -142,8 +142,8 @@ func Each(path string, fn func(Cell) error) error {
 	switch ver {
 	case version:
 		// the streaming v1 format, handled below
-	case indexedVersion:
-		// the indexed v2 format: delegate to the indexed reader, which
+	case indexedVersion, indexedVersionCRC:
+		// the indexed v2/v3 formats: delegate to the indexed reader, which
 		// knows where the data section ends and the index begins.
 		ir, err := OpenIndexed(path)
 		if err != nil {
@@ -152,22 +152,22 @@ func Each(path string, fn func(Cell) error) error {
 		defer ir.Close()
 		return ir.Each(fn)
 	default:
-		return fmt.Errorf("cellfile: unsupported version %d", ver)
+		return fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, path, ver)
 	}
 	var count int64
 	for {
 		marker, err := r.ReadByte()
 		if err != nil {
-			return fmt.Errorf("cellfile: %s: missing trailer (truncated after %d cells)", path, count)
+			return fmt.Errorf("%w: %s: missing trailer (truncated after %d cells)", ErrTruncated, path, count)
 		}
 		switch marker {
 		case 0x00:
 			want, err := binary.ReadUvarint(r)
 			if err != nil {
-				return fmt.Errorf("cellfile: %s: corrupt trailer: %w", path, err)
+				return fmt.Errorf("%w: %s: corrupt trailer: %v", ErrCorrupt, path, err)
 			}
 			if int64(want) != count {
-				return fmt.Errorf("cellfile: %s: trailer says %d cells, read %d", path, want, count)
+				return fmt.Errorf("%w: %s: trailer says %d cells, read %d", ErrCorrupt, path, want, count)
 			}
 			// The trailer must be the last bytes of the file: anything
 			// after it means the count only covers a prefix — a forged or
@@ -175,13 +175,13 @@ func Each(path string, fn func(Cell) error) error {
 			// cube (the count would "agree" with the cells read so far
 			// while disagreeing with the cells actually stored).
 			if _, err := r.ReadByte(); err != io.EOF {
-				return fmt.Errorf("cellfile: %s: data after trailer (trailer count %d does not cover the whole file)", path, want)
+				return fmt.Errorf("%w: %s: data after trailer (trailer count %d does not cover the whole file)", ErrCorrupt, path, want)
 			}
 			return nil
 		case 0x01:
 			// a cell record follows
 		default:
-			return fmt.Errorf("cellfile: %s: corrupt record marker 0x%02x", path, marker)
+			return fmt.Errorf("%w: %s: corrupt record marker 0x%02x", ErrCorrupt, path, marker)
 		}
 		point, err := binary.ReadUvarint(r)
 		if err != nil {
@@ -192,7 +192,7 @@ func Each(path string, fn func(Cell) error) error {
 			return err
 		}
 		if klen > 1<<16 {
-			return fmt.Errorf("cellfile: %s: implausible key length %d", path, klen)
+			return fmt.Errorf("%w: %s: implausible key length %d", ErrCorrupt, path, klen)
 		}
 		c := Cell{Point: uint32(point), Key: make([]match.ValueID, klen)}
 		for i := range c.Key {
@@ -204,7 +204,7 @@ func Each(path string, fn func(Cell) error) error {
 		}
 		var enc [agg.EncodedSize]byte
 		if _, err := io.ReadFull(r, enc[:]); err != nil {
-			return fmt.Errorf("cellfile: %s: cell %d state: %w", path, count, err)
+			return fmt.Errorf("%w: %s: cell %d state: %v", ErrTruncated, path, count, err)
 		}
 		c.State = agg.Decode(enc[:])
 		count++

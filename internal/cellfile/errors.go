@@ -1,0 +1,16 @@
+package cellfile
+
+import "errors"
+
+// Sentinel errors of the cell-file read path. Every error returned by the
+// readers wraps exactly one of these (or an underlying OS error), so
+// callers classify failures with errors.Is instead of string matching:
+// ErrCorrupt means the bytes are structurally wrong or fail their
+// checksum, ErrTruncated means the file ends before its own metadata says
+// it should, ErrCancelled means a context deadline or cancellation cut a
+// read short.
+var (
+	ErrCorrupt   = errors.New("cellfile: corrupt")
+	ErrTruncated = errors.New("cellfile: truncated")
+	ErrCancelled = errors.New("cellfile: cancelled")
+)

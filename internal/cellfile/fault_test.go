@@ -1,0 +1,339 @@
+package cellfile
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"x3/internal/agg"
+	"x3/internal/fault"
+	"x3/internal/match"
+	"x3/internal/obs"
+)
+
+// writeSmallIndexed writes a deterministic multi-block indexed file and
+// returns its path plus the cells written (sorted the way the file is).
+func writeSmallIndexed(t *testing.T, ver int, inj *fault.Injector) (string, []Cell) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "small.x3ci")
+	sink := CreateIndexed(path)
+	sink.BlockCells = 8
+	sink.Version = ver
+	sink.Fault = inj
+	var s agg.State
+	s.Add(2.5)
+	var cells []Cell
+	for p := uint32(0); p < 5; p++ {
+		for k := 0; k < 20; k++ {
+			key := []match.ValueID{match.ValueID(k), match.ValueID(p)}
+			if err := sink.Cell(p, key, s); err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, Cell{Point: p, Key: key, State: s})
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, cells
+}
+
+func TestV2StillReadable(t *testing.T) {
+	path, cells := writeSmallIndexed(t, 2, nil)
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != 2 {
+		t.Fatalf("wrote version 2, reader says %d", r.Version())
+	}
+	var n int
+	if err := r.Each(func(Cell) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(cells) {
+		t.Fatalf("v2 file streamed %d cells, wrote %d", n, len(cells))
+	}
+	// The version-dispatching Each handles v2 too.
+	n = 0
+	if err := Each(path, func(Cell) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(cells) {
+		t.Fatalf("Each streamed %d cells of a v2 file, wrote %d", n, len(cells))
+	}
+}
+
+func TestDefaultWriterEmitsV3(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 0, nil)
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != 3 {
+		t.Fatalf("default writer produced version %d, want 3", r.Version())
+	}
+}
+
+// TestChecksumCatchesBitFlip flips a single data bit of a v3 file on disk
+// and asserts the read fails with ErrCorrupt instead of serving a wrong
+// cell — the exact failure v2 cannot see.
+func TestChecksumCatchesBitFlip(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 3, nil)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerLen+6] ^= 0x04
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err) // index is intact; only a data block is damaged
+	}
+	defer r.Close()
+	err = r.Each(func(Cell) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reading a bit-flipped v3 block returned %v; want wrapped ErrCorrupt", err)
+	}
+}
+
+// TestV2MissesBitFlipButV3Catches documents why v3 exists: the same
+// single-bit damage that v3 rejects can pass v2's structural checks and
+// come back as a silently different cell.
+func TestV2MissesBitFlipButV3Catches(t *testing.T) {
+	for _, ver := range []int{2, 3} {
+		path, cells := writeSmallIndexed(t, ver, nil)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip a bit inside the first cell's 32-byte aggregate state: the
+		// record structure stays valid, only the value changes.
+		data[headerLen+4] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenIndexed(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wrong bool
+		rerr := r.Each(func(c Cell) error {
+			if c.State != cells[0].State && c.Point == cells[0].Point {
+				wrong = true
+			}
+			return nil
+		})
+		r.Close()
+		switch ver {
+		case 2:
+			if rerr != nil && !wrong {
+				// v2 may get lucky and fail structurally; that is fine too.
+				continue
+			}
+		case 3:
+			if !errors.Is(rerr, ErrCorrupt) {
+				t.Fatalf("v3 read of damaged state returned %v (wrong=%v); want ErrCorrupt", rerr, wrong)
+			}
+		}
+	}
+}
+
+// TestRetryHealsTransientFaults runs a heavy injected-error schedule with
+// a retry budget: every read must eventually succeed (a retry is a fresh
+// op index, so transient faults pass on re-roll) and the retry counter
+// must show it happened.
+func TestRetryHealsTransientFaults(t *testing.T) {
+	path, cells := writeSmallIndexed(t, 3, nil)
+	inj := fault.New(fault.Config{Seed: 11, ErrEvery: 3, CorruptEvery: 4, ShortEvery: 5})
+	reg := obs.New()
+	inj.Observe(reg)
+	r, err := OpenIndexedWith(path, ReadOptions{
+		Fault:        inj,
+		Retries:      20, // ample: P(20 consecutive 1-in-3 faults) ~ 3e-10
+		RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Observe(reg)
+	var n int
+	if err := r.Each(func(Cell) error { n++; return nil }); err != nil {
+		t.Fatalf("read under transient faults failed despite retries: %v", err)
+	}
+	if n != len(cells) {
+		t.Fatalf("read %d cells under faults, wrote %d", n, len(cells))
+	}
+	if reg.Counter("cellfile.read.retries").Value() == 0 {
+		t.Fatal("no retries counted under a 1-in-3 error schedule")
+	}
+	if reg.Counter("fault.injected.errors").Value() == 0 {
+		t.Fatal("injector reports no injected errors")
+	}
+}
+
+// TestInjectedCorruptionDetectedNotServed disables retries so an injected
+// bit flip has nowhere to hide: the CRC must reject it.
+func TestInjectedCorruptionDetectedNotServed(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 3, nil)
+	inj := fault.New(fault.Config{Seed: 7, CorruptEvery: 1})
+	r, err := OpenIndexedWith(path, ReadOptions{Fault: inj, Retries: -1})
+	if err == nil {
+		defer r.Close()
+		err = r.Each(func(Cell) error { return nil })
+	}
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("corrupt-every-read open/scan returned %v; want ErrCorrupt or ErrTruncated", err)
+	}
+}
+
+func TestTruncatedSurfacesSentinel(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 3, nil)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, headerLen, len(data) / 2, len(data) - 5} {
+		p := filepath.Join(t.TempDir(), "trunc.x3ci")
+		if err := os.WriteFile(p, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenIndexed(p)
+		if err == nil {
+			r.Close()
+			t.Fatalf("truncation to %d bytes opened cleanly", n)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: %v; want ErrTruncated/ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestEachCuboidCtxCancellation(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 3, nil)
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = r.EachCuboidCtx(ctx, 0, func(Cell) error { return nil })
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled EachCuboidCtx returned %v; want wrapped ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled EachCuboidCtx returned %v; want it to also wrap context.Canceled", err)
+	}
+	// ScanCuboid honours the same contract.
+	err = r.ScanCuboid(ctx, 0, func(Cell) error { return nil })
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled ScanCuboid returned %v; want wrapped ErrCancelled", err)
+	}
+}
+
+// TestScanCuboidMatchesIndexedPath asserts the degraded sequential scan
+// returns exactly the cells the fast path returns, for every cuboid.
+func TestScanCuboidMatchesIndexedPath(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 3, nil)
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	for _, p := range r.Points() {
+		var fast, slow []Cell
+		if err := r.EachCuboid(p, func(c Cell) error { fast = append(fast, c); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ScanCuboid(ctx, p, func(c Cell) error { slow = append(slow, c); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("cuboid %d: fast path %d cells, scan %d", p, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i].Point != slow[i].Point || fast[i].State != slow[i].State {
+				t.Fatalf("cuboid %d cell %d differs between fast path and scan", p, i)
+			}
+			for k := range fast[i].Key {
+				if fast[i].Key[k] != slow[i].Key[k] {
+					t.Fatalf("cuboid %d cell %d key differs between fast path and scan", p, i)
+				}
+			}
+		}
+	}
+	// Unmaterialized cuboids stream nothing from the scan path too.
+	if err := r.ScanCuboid(ctx, 99999, func(Cell) error {
+		t.Fatal("phantom cell from scan")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanCuboidBypassesCache poisons the block cache with wrong cells and
+// asserts ScanCuboid ignores it (fresh reads are the point of the rung).
+func TestScanCuboidBypassesCache(t *testing.T) {
+	path, _ := writeSmallIndexed(t, 3, nil)
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cache := NewBlockCache(64)
+	r.SetCache(cache)
+	// Poison every block's cache slot with an empty slice.
+	for bi := 0; bi < r.NumBlocks(); bi++ {
+		cache.put(r.gen, bi, nil)
+	}
+	var viaCache, viaScan int
+	if err := r.EachCuboid(0, func(Cell) error { viaCache++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ScanCuboid(context.Background(), 0, func(Cell) error { viaScan++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if viaCache != 0 {
+		t.Fatalf("poisoned cache path streamed %d cells; expected the poison to stick (%d)", viaCache, 0)
+	}
+	if viaScan == 0 {
+		t.Fatal("ScanCuboid returned nothing; it must bypass the poisoned cache")
+	}
+}
+
+// TestSinkCleansUpOnWriteFault: an injected write failure must surface
+// from Close and must not leave a half-written file behind.
+func TestSinkCleansUpOnWriteFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doomed.x3ci")
+	sink := CreateIndexed(path)
+	sink.BlockCells = 4
+	// Crash at op 0: the sink buffers through bufio, so the whole small
+	// file reaches the injected writer as its first underlying write.
+	sink.Fault = fault.NewCrash(1, 0)
+	var s agg.State
+	s.Add(1)
+	for p := uint32(0); p < 4; p++ {
+		for k := 0; k < 16; k++ {
+			if err := sink.Cell(p, []match.ValueID{match.ValueID(k)}, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	err := sink.Close()
+	if !fault.IsInjected(err) {
+		t.Fatalf("Close under a write crash returned %v; want an injected error", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("half-written file left behind (stat err %v)", err)
+	}
+}

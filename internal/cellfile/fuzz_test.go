@@ -35,19 +35,23 @@ func fuzzSeedV1(tb testing.TB) []byte {
 	return data
 }
 
-// fuzzSeedV2 builds a small valid v2 (indexed) cell file in memory.
-func fuzzSeedV2(tb testing.TB) []byte {
+// fuzzSeedIndexed builds a small valid indexed cell file of the given
+// format version in memory.
+func fuzzSeedIndexed(tb testing.TB, ver int) []byte {
 	tb.Helper()
 	path := filepath.Join(tb.TempDir(), "seed.x3ci")
-	var cells []Cell
+	sink := CreateIndexed(path)
+	sink.Version = ver
 	var s agg.State
 	s.Add(3)
 	for p := uint32(0); p < 6; p++ {
 		for k := 0; k < 5; k++ {
-			cells = append(cells, Cell{Point: p, Key: []match.ValueID{match.ValueID(k)}, State: s})
+			if err := sink.Cell(p, []match.ValueID{match.ValueID(k)}, s); err != nil {
+				tb.Fatal(err)
+			}
 		}
 	}
-	if err := WriteIndexed(path, cells); err != nil {
+	if err := sink.Close(); err != nil {
 		tb.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -65,11 +69,14 @@ func fuzzSeedV2(tb testing.TB) []byte {
 // truncation, forged trailers, corrupt markers, and oversized uvarints.
 func FuzzCellfile(f *testing.F) {
 	v1 := fuzzSeedV1(f)
-	v2 := fuzzSeedV2(f)
+	v2 := fuzzSeedIndexed(f, 2)
+	v3 := fuzzSeedIndexed(f, 3)
 	f.Add(v1)
 	f.Add(v2)
+	f.Add(v3)
 	f.Add(v1[:len(v1)-3])              // truncated trailer
-	f.Add(v2[:len(v2)-footerLen+4])    // truncated footer
+	f.Add(v2[:len(v2)-footerLen+4])    // truncated v2 footer
+	f.Add(v3[:len(v3)-footerLenCRC+4]) // truncated v3 footer
 	f.Add(v2[:len(v2)/2])              // truncated mid-index
 	f.Add(append([]byte{}, v1[:5]...)) // header only, no trailer
 	corrupt := append([]byte{}, v1...)
@@ -87,6 +94,18 @@ func FuzzCellfile(f *testing.F) {
 	past := append([]byte{}, v2...)
 	binary.BigEndian.PutUint64(past[len(past)-footerLen+8:], 1<<40)
 	f.Add(past)
+	// A v3 file with a flipped data bit (the per-block CRC's job).
+	flipped := append([]byte{}, v3...)
+	flipped[headerLen+3] ^= 0x10
+	f.Add(flipped)
+	// A v3 file whose index bytes are damaged (the index CRC's job).
+	idxFlip := append([]byte{}, v3...)
+	idxFlip[len(idxFlip)-footerLenCRC-2] ^= 0x01
+	f.Add(idxFlip)
+	// A v3 footer with a lying index checksum.
+	badCRC := append([]byte{}, v3...)
+	binary.BigEndian.PutUint32(badCRC[len(badCRC)-footerLenCRC+16:], 0xDEADBEEF)
+	f.Add(badCRC)
 	// An early v1 trailer with trailing data (the fixed trailer hole).
 	f.Add(append(append([]byte{}, v1...), v1[5:]...))
 

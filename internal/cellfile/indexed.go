@@ -1,23 +1,30 @@
-// The indexed v2 cell-file format. Where v1 is a write-once stream that
-// can only be consumed front to back, v2 lays the cells out sorted by
-// (point id, key) and appends a sparse block index plus a per-cuboid
-// directory, so a serving layer can answer "give me cuboid P" with one
-// binary search, one seek and a bounded scan instead of a full-file pass.
+// The indexed cell-file formats (v2 and the checksummed v3). Where v1 is
+// a write-once stream that can only be consumed front to back, v2 lays the
+// cells out sorted by (point id, key) and appends a sparse block index
+// plus a per-cuboid directory, so a serving layer can answer "give me
+// cuboid P" with one binary search, one seek and a bounded scan instead of
+// a full-file pass. v3 is v2 plus integrity: every data block carries a
+// CRC32-C checksum in its index entry and the index section itself is
+// checksummed in the footer, so a corrupted read is *detected* — and
+// retried, and ultimately refused — instead of served as silently wrong
+// cells. The writer emits v3; the reader accepts both.
 //
 // Layout:
 //
-//	magic "X3CF", version byte 2
+//	magic "X3CF", version byte (2 or 3)
 //	data section: cell records, sorted by (point, key):
 //	    uvarint point, uvarint key length, key ValueIDs (uvarints),
 //	    32-byte aggregate state
 //	index section (at the footer's index offset):
 //	    uvarint block count
 //	    per block: uvarint absolute offset, uvarint first point,
-//	               uvarint cell count
+//	               uvarint cell count, uvarint CRC32-C (v3 only)
 //	    uvarint cuboid count
 //	    per cuboid: uvarint point, uvarint cell count
-//	footer (final 20 bytes): big-endian uint64 total cell count,
-//	    big-endian uint64 index offset, magic "X3IX"
+//	footer: big-endian uint64 total cell count,
+//	    big-endian uint64 index offset,
+//	    big-endian uint32 index CRC32-C (v3 only),
+//	    magic "X3IX"
 //
 // Records deliberately drop v1's per-record 0x01 marker: block cell
 // counts come from the index, and the fixed footer makes truncation
@@ -25,25 +32,40 @@
 package cellfile
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"x3/internal/agg"
 	"x3/internal/cube"
+	"x3/internal/fault"
 	"x3/internal/match"
 	"x3/internal/obs"
 )
 
-const indexedVersion = 2
+const (
+	indexedVersion    = 2 // legacy, no checksums
+	indexedVersionCRC = 3 // per-block + index CRC32-C
+)
 
-// footerLen is the fixed byte length of the v2 footer.
-const footerLen = 20
+// footerLen / footerLenCRC are the fixed byte lengths of the footers.
+const (
+	footerLen    = 20
+	footerLenCRC = 24
+)
 
 var indexMagic = [4]byte{'X', '3', 'I', 'X'}
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // headerLen is magic + version.
 const headerLen = 5
@@ -57,7 +79,15 @@ const DefaultBlockCells = 256
 // length can claim, which keeps corrupt counts from forcing allocations.
 const minRecordLen = 2 + agg.EncodedSize
 
-// IndexedSink collects cells and writes them as an indexed v2 file on
+// Read-retry defaults: transient read faults (and transiently corrupted
+// buffers caught by the block checksums) are retried with doubling
+// backoff before the error surfaces.
+const (
+	defaultReadRetries  = 2
+	defaultRetryBackoff = 200 * time.Microsecond
+)
+
+// IndexedSink collects cells and writes them as an indexed cell file on
 // Close. It implements cube.Sink, so any cube algorithm can compute
 // straight into it; unlike FileSink it must buffer the cells in memory
 // until Close to sort them, so it suits cubes meant to be *served*, not
@@ -67,7 +97,12 @@ type IndexedSink struct {
 	// BlockCells overrides the index block granularity (cells per block);
 	// 0 selects DefaultBlockCells. Set it before Close.
 	BlockCells int
-	cells      []Cell
+	// Version selects the output format: 0 or 3 writes the checksummed v3,
+	// 2 writes the legacy un-checksummed v2 (compatibility tests only).
+	Version int
+	// Fault optionally injects write-path faults (crash-safety tests).
+	Fault *fault.Injector
+	cells []Cell
 }
 
 // CreateIndexed returns a sink that will write an indexed cell file at
@@ -87,8 +122,9 @@ func (s *IndexedSink) Cell(point uint32, key []match.ValueID, st agg.State) erro
 // Cells returns the number of cells collected so far.
 func (s *IndexedSink) Cells() int64 { return int64(len(s.cells)) }
 
-// Close sorts the collected cells by (point, key) and writes the indexed
-// file.
+// Close sorts the collected cells by (point, key), writes the indexed
+// file and syncs it to stable storage before returning, so a rename that
+// follows Close publishes fully durable bytes.
 func (s *IndexedSink) Close() error {
 	sort.Slice(s.cells, func(i, j int) bool {
 		a, b := &s.cells[i], &s.cells[j]
@@ -106,14 +142,31 @@ func (s *IndexedSink) Close() error {
 		}
 		return len(a.Key) < len(b.Key)
 	})
+	ver := s.Version
+	if ver == 0 {
+		ver = indexedVersionCRC
+	}
+	if ver != indexedVersion && ver != indexedVersionCRC {
+		return fmt.Errorf("cellfile: cannot write version %d", ver)
+	}
 	f, err := os.Create(s.path)
 	if err != nil {
 		return fmt.Errorf("cellfile: %w", err)
 	}
-	if err := writeIndexed(f, s.cells, s.BlockCells); err != nil {
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(s.path)
 		return err
+	}
+	w := bufio.NewWriterSize(s.Fault.Writer("cellfile.write", f), 1<<16)
+	if err := writeIndexed(w, s.cells, s.BlockCells, byte(ver)); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(s.path)
@@ -130,21 +183,23 @@ func putUvarint(dst []byte, v uint64) []byte {
 	return append(dst, buf[:n]...)
 }
 
-// writeIndexed writes the sorted cells, the index and the footer to w.
-func writeIndexed(w io.Writer, cells []Cell, blockCells int) error {
+// writeIndexed writes the sorted cells, the index and the footer to w in
+// the given format version.
+func writeIndexed(w io.Writer, cells []Cell, blockCells int, ver byte) error {
 	if blockCells <= 0 {
 		blockCells = DefaultBlockCells
 	}
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write([]byte{indexedVersion}); err != nil {
+	if _, err := w.Write([]byte{ver}); err != nil {
 		return err
 	}
 	type blockMetaW struct {
 		off        uint64
 		firstPoint uint32
 		cells      int
+		crc        uint32
 	}
 	var (
 		blocks []blockMetaW
@@ -169,7 +224,9 @@ func writeIndexed(w io.Writer, cells []Cell, blockCells int) error {
 			return err
 		}
 		off += uint64(len(buf))
-		blocks[len(blocks)-1].cells++
+		b := &blocks[len(blocks)-1]
+		b.cells++
+		b.crc = crc32.Update(b.crc, castagnoli, buf)
 	}
 	indexOff := off
 
@@ -179,6 +236,9 @@ func writeIndexed(w io.Writer, cells []Cell, blockCells int) error {
 		idx = putUvarint(idx, b.off)
 		idx = putUvarint(idx, uint64(b.firstPoint))
 		idx = putUvarint(idx, uint64(b.cells))
+		if ver >= indexedVersionCRC {
+			idx = putUvarint(idx, uint64(b.crc))
+		}
 	}
 	// Cuboid directory: the cells are sorted, so runs of equal points are
 	// contiguous.
@@ -202,6 +262,15 @@ func writeIndexed(w io.Writer, cells []Cell, blockCells int) error {
 		return err
 	}
 
+	if ver >= indexedVersionCRC {
+		var foot [footerLenCRC]byte
+		binary.BigEndian.PutUint64(foot[0:], uint64(len(cells)))
+		binary.BigEndian.PutUint64(foot[8:], indexOff)
+		binary.BigEndian.PutUint32(foot[16:], crc32.Checksum(idx, castagnoli))
+		copy(foot[20:], indexMagic[:])
+		_, err := w.Write(foot[:])
+		return err
+	}
 	var foot [footerLen]byte
 	binary.BigEndian.PutUint64(foot[0:], uint64(len(cells)))
 	binary.BigEndian.PutUint64(foot[8:], indexOff)
@@ -224,15 +293,51 @@ type blockMeta struct {
 	length     int64  // byte length of the block
 	firstPoint uint32 // point id of the block's first cell
 	cells      int    // number of cells in the block
+	crc        uint32 // CRC32-C of the block bytes (v3 only)
 }
 
-// IndexedReader serves cuboid slices out of a v2 cell file. It is safe
+// ReadOptions tune an IndexedReader's fault tolerance.
+type ReadOptions struct {
+	// Fault wraps the reader's file access with injected faults (nil: no
+	// injection).
+	Fault *fault.Injector
+	// Retries is the number of re-read attempts after a failed or
+	// checksum-rejected block read; 0 selects the default, negative
+	// disables retrying.
+	Retries int
+	// RetryBackoff is the first retry's backoff (doubling per attempt);
+	// 0 selects the default.
+	RetryBackoff time.Duration
+}
+
+func (o ReadOptions) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	if o.Retries == 0 {
+		return defaultReadRetries
+	}
+	return o.Retries
+}
+
+func (o ReadOptions) backoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return defaultRetryBackoff
+	}
+	return o.RetryBackoff
+}
+
+// IndexedReader serves cuboid slices out of a v2/v3 cell file. It is safe
 // for concurrent use: all file access goes through ReadAt, the metadata
 // is immutable after Open, and the optional block cache locks internally.
 type IndexedReader struct {
-	f      *os.File
-	path   string
-	blocks []blockMeta
+	f       *os.File
+	ra      io.ReaderAt // f, possibly behind a fault shim
+	path    string
+	ver     byte
+	retries int
+	backoff time.Duration
+	blocks  []blockMeta
 	// points and pointCells are the cuboid directory, sorted by point.
 	points     []uint32
 	pointCells []int64
@@ -244,160 +349,236 @@ type IndexedReader struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 	scanCells   *obs.Counter
+	retriesC    *obs.Counter
 }
 
-// OpenIndexed opens a v2 cell file and loads its index. Every structural
-// claim the file makes (offsets, counts, ordering) is validated against
-// the file size before any dependent allocation, so corrupt or truncated
-// files fail with an error rather than a panic or an absurd allocation.
+// OpenIndexed opens an indexed cell file and loads its index. Every
+// structural claim the file makes (offsets, counts, ordering) is validated
+// against the file size before any dependent allocation, so corrupt or
+// truncated files fail with a wrapped ErrCorrupt/ErrTruncated rather than
+// a panic or an absurd allocation.
 func OpenIndexed(path string) (*IndexedReader, error) {
+	return OpenIndexedWith(path, ReadOptions{})
+}
+
+// OpenIndexedWith opens an indexed cell file with explicit fault-tolerance
+// options. The whole index load sits inside the retry budget: a transient
+// fault that mangles the header, footer or index bytes is caught by the
+// validation (magic, ranges, index CRC) and re-read; only a persistent
+// failure surfaces.
+func OpenIndexedWith(path string, opt ReadOptions) (*IndexedReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("cellfile: %w", err)
 	}
-	r, err := loadIndex(f, path)
-	if err != nil {
-		f.Close()
-		return nil, err
+	var r *IndexedReader
+	backoff := opt.backoff()
+	for a := 0; ; a++ {
+		r, err = loadIndex(f, path, opt)
+		if err == nil {
+			return r, nil
+		}
+		if a >= opt.retries() {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
-	return r, nil
+	f.Close()
+	return nil, err
 }
 
-func loadIndex(f *os.File, path string) (*IndexedReader, error) {
+// readFull reads len(p) bytes at off with the reader's retry budget:
+// transient faults re-roll on a fresh attempt after a doubling backoff.
+func (r *IndexedReader) readFull(p []byte, off int64) error {
+	var err error
+	backoff := r.backoff
+	for a := 0; a <= r.retries; a++ {
+		if a > 0 {
+			r.retriesC.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		_, err = r.ra.ReadAt(p, off)
+		if err == nil {
+			return nil
+		}
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %s: %v", ErrTruncated, r.path, err)
+	}
+	return err
+}
+
+func loadIndex(f *os.File, path string, opt ReadOptions) (*IndexedReader, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, err
 	}
 	size := fi.Size()
+	r := &IndexedReader{
+		f:       f,
+		ra:      opt.Fault.ReaderAt("cellfile.block", f),
+		path:    path,
+		retries: opt.retries(),
+		backoff: opt.backoff(),
+		gen:     nextReaderGen(),
+	}
 	if size < headerLen+footerLen {
-		return nil, fmt.Errorf("cellfile: %s: too short for an indexed cell file", path)
+		return nil, fmt.Errorf("%w: %s: too short for an indexed cell file", ErrTruncated, path)
 	}
 	var hdr [headerLen]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+	if err := r.readFull(hdr[:], 0); err != nil {
 		return nil, err
 	}
 	if [4]byte(hdr[:4]) != magic {
-		return nil, fmt.Errorf("cellfile: %s is not a cell file", path)
+		return nil, fmt.Errorf("%w: %s is not a cell file", ErrCorrupt, path)
 	}
-	if hdr[4] != indexedVersion {
-		return nil, fmt.Errorf("cellfile: %s: not an indexed cell file (version %d)", path, hdr[4])
+	r.ver = hdr[4]
+	footLen := int64(footerLen)
+	if r.ver == indexedVersionCRC {
+		footLen = footerLenCRC
+	} else if r.ver != indexedVersion {
+		return nil, fmt.Errorf("%w: %s: not an indexed cell file (version %d)", ErrCorrupt, path, hdr[4])
 	}
-	var foot [footerLen]byte
-	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
+	if size < headerLen+footLen {
+		return nil, fmt.Errorf("%w: %s: too short for a v%d footer", ErrTruncated, path, r.ver)
+	}
+	foot := make([]byte, footLen)
+	if err := r.readFull(foot, size-footLen); err != nil {
 		return nil, err
 	}
-	if [4]byte(foot[16:]) != indexMagic {
-		return nil, fmt.Errorf("cellfile: %s: missing index footer (truncated?)", path)
+	if [4]byte(foot[footLen-4:]) != indexMagic {
+		return nil, fmt.Errorf("%w: %s: missing index footer", ErrTruncated, path)
 	}
 	totalCells := binary.BigEndian.Uint64(foot[0:])
 	indexOff := binary.BigEndian.Uint64(foot[8:])
-	if indexOff < headerLen || int64(indexOff) > size-footerLen {
-		return nil, fmt.Errorf("cellfile: %s: index offset %d out of range", path, indexOff)
+	var indexCRC uint32
+	if r.ver == indexedVersionCRC {
+		indexCRC = binary.BigEndian.Uint32(foot[16:])
+	}
+	if indexOff < headerLen || int64(indexOff) > size-footLen {
+		return nil, fmt.Errorf("%w: %s: index offset %d out of range", ErrCorrupt, path, indexOff)
 	}
 	if totalCells > uint64(indexOff-headerLen)/minRecordLen {
-		return nil, fmt.Errorf("cellfile: %s: footer claims %d cells, data section fits at most %d",
-			path, totalCells, (indexOff-headerLen)/minRecordLen)
+		return nil, fmt.Errorf("%w: %s: footer claims %d cells, data section fits at most %d",
+			ErrCorrupt, path, totalCells, (indexOff-headerLen)/minRecordLen)
 	}
-	idx := make([]byte, size-footerLen-int64(indexOff))
-	if _, err := f.ReadAt(idx, int64(indexOff)); err != nil {
+	idx := make([]byte, size-footLen-int64(indexOff))
+	if err := r.readFull(idx, int64(indexOff)); err != nil {
 		return nil, err
+	}
+	if r.ver == indexedVersionCRC {
+		if got := crc32.Checksum(idx, castagnoli); got != indexCRC {
+			return nil, fmt.Errorf("%w: %s: index checksum %08x, footer says %08x", ErrCorrupt, path, got, indexCRC)
+		}
 	}
 	br := bytes.NewReader(idx)
 	numBlocks, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("cellfile: %s: corrupt index: %w", path, err)
+		return nil, fmt.Errorf("%w: %s: corrupt index: %v", ErrCorrupt, path, err)
 	}
 	// Each block entry takes at least 3 bytes; a larger claim cannot
 	// parse, so reject it before looping.
 	if numBlocks > uint64(len(idx))/3+1 {
-		return nil, fmt.Errorf("cellfile: %s: index claims %d blocks in %d bytes", path, numBlocks, len(idx))
+		return nil, fmt.Errorf("%w: %s: index claims %d blocks in %d bytes", ErrCorrupt, path, numBlocks, len(idx))
 	}
-	r := &IndexedReader{f: f, path: path, cells: int64(totalCells), gen: nextReaderGen()}
+	r.cells = int64(totalCells)
 	var sum int64
 	for i := uint64(0); i < numBlocks; i++ {
 		off, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("cellfile: %s: corrupt block entry %d: %w", path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
 		}
 		firstPoint, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("cellfile: %s: corrupt block entry %d: %w", path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
 		}
 		cells, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("cellfile: %s: corrupt block entry %d: %w", path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
+		}
+		var crc uint64
+		if r.ver == indexedVersionCRC {
+			crc, err = binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
+			}
+			if crc > 1<<32-1 {
+				return nil, fmt.Errorf("%w: %s: block %d checksum %d overflows", ErrCorrupt, path, i, crc)
+			}
 		}
 		if off < headerLen || off >= indexOff {
-			return nil, fmt.Errorf("cellfile: %s: block %d offset %d outside data section", path, i, off)
+			return nil, fmt.Errorf("%w: %s: block %d offset %d outside data section", ErrCorrupt, path, i, off)
 		}
 		if n := len(r.blocks); n > 0 {
 			prev := &r.blocks[n-1]
 			if int64(off) <= prev.off {
-				return nil, fmt.Errorf("cellfile: %s: block offsets not increasing", path)
+				return nil, fmt.Errorf("%w: %s: block offsets not increasing", ErrCorrupt, path)
 			}
 			if firstPoint < uint64(prev.firstPoint) {
-				return nil, fmt.Errorf("cellfile: %s: block first points not sorted", path)
+				return nil, fmt.Errorf("%w: %s: block first points not sorted", ErrCorrupt, path)
 			}
 			prev.length = int64(off) - prev.off
 			if uint64(prev.cells) > uint64(prev.length)/minRecordLen+1 {
-				return nil, fmt.Errorf("cellfile: %s: block %d claims %d cells in %d bytes", path, n-1, prev.cells, prev.length)
+				return nil, fmt.Errorf("%w: %s: block %d claims %d cells in %d bytes", ErrCorrupt, path, n-1, prev.cells, prev.length)
 			}
 		}
 		if firstPoint > 1<<32-1 {
-			return nil, fmt.Errorf("cellfile: %s: block %d first point %d overflows", path, i, firstPoint)
+			return nil, fmt.Errorf("%w: %s: block %d first point %d overflows", ErrCorrupt, path, i, firstPoint)
 		}
-		r.blocks = append(r.blocks, blockMeta{off: int64(off), firstPoint: uint32(firstPoint), cells: int(cells)})
+		r.blocks = append(r.blocks, blockMeta{off: int64(off), firstPoint: uint32(firstPoint), cells: int(cells), crc: uint32(crc)})
 		sum += int64(cells)
 	}
 	if n := len(r.blocks); n > 0 {
 		last := &r.blocks[n-1]
 		last.length = int64(indexOff) - last.off
 		if uint64(last.cells) > uint64(last.length)/minRecordLen+1 {
-			return nil, fmt.Errorf("cellfile: %s: block %d claims %d cells in %d bytes", path, n-1, last.cells, last.length)
+			return nil, fmt.Errorf("%w: %s: block %d claims %d cells in %d bytes", ErrCorrupt, path, n-1, last.cells, last.length)
 		}
 	}
 	if sum != int64(totalCells) {
-		return nil, fmt.Errorf("cellfile: %s: index blocks hold %d cells, footer says %d", path, sum, totalCells)
+		return nil, fmt.Errorf("%w: %s: index blocks hold %d cells, footer says %d", ErrCorrupt, path, sum, totalCells)
 	}
 	numCuboids, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("cellfile: %s: corrupt cuboid directory: %w", path, err)
+		return nil, fmt.Errorf("%w: %s: corrupt cuboid directory: %v", ErrCorrupt, path, err)
 	}
 	if numCuboids > uint64(len(idx))/2+1 {
-		return nil, fmt.Errorf("cellfile: %s: directory claims %d cuboids in %d bytes", path, numCuboids, len(idx))
+		return nil, fmt.Errorf("%w: %s: directory claims %d cuboids in %d bytes", ErrCorrupt, path, numCuboids, len(idx))
 	}
 	var dirSum int64
 	for i := uint64(0); i < numCuboids; i++ {
 		p, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("cellfile: %s: corrupt cuboid entry %d: %w", path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt cuboid entry %d: %v", ErrCorrupt, path, i, err)
 		}
 		c, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("cellfile: %s: corrupt cuboid entry %d: %w", path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt cuboid entry %d: %v", ErrCorrupt, path, i, err)
 		}
 		if p > 1<<32-1 {
-			return nil, fmt.Errorf("cellfile: %s: cuboid entry %d point %d overflows", path, i, p)
+			return nil, fmt.Errorf("%w: %s: cuboid entry %d point %d overflows", ErrCorrupt, path, i, p)
 		}
 		if n := len(r.points); n > 0 && uint32(p) <= r.points[n-1] {
-			return nil, fmt.Errorf("cellfile: %s: cuboid directory not sorted", path)
+			return nil, fmt.Errorf("%w: %s: cuboid directory not sorted", ErrCorrupt, path)
 		}
 		r.points = append(r.points, uint32(p))
 		r.pointCells = append(r.pointCells, int64(c))
 		dirSum += int64(c)
 	}
 	if dirSum != int64(totalCells) {
-		return nil, fmt.Errorf("cellfile: %s: cuboid directory holds %d cells, footer says %d", path, dirSum, totalCells)
+		return nil, fmt.Errorf("%w: %s: cuboid directory holds %d cells, footer says %d", ErrCorrupt, path, dirSum, totalCells)
 	}
 	if br.Len() != 0 {
-		return nil, fmt.Errorf("cellfile: %s: %d trailing bytes after index", path, br.Len())
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes after index", ErrCorrupt, path, br.Len())
 	}
 	return r, nil
 }
 
 // Observe resolves the serving counters (serve.cache.hits,
-// serve.cache.misses, serve.scan.cells) against reg. A nil registry
-// leaves observability off.
+// serve.cache.misses, serve.scan.cells, cellfile.read.retries) against
+// reg. A nil registry leaves observability off.
 func (r *IndexedReader) Observe(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -405,12 +586,16 @@ func (r *IndexedReader) Observe(reg *obs.Registry) {
 	r.cacheHits = reg.Counter("serve.cache.hits")
 	r.cacheMisses = reg.Counter("serve.cache.misses")
 	r.scanCells = reg.Counter("serve.scan.cells")
+	r.retriesC = reg.Counter("cellfile.read.retries")
 }
 
 // SetCache attaches an LRU block cache. Readers may share one cache;
 // entries are keyed per reader instance, so a reader swapped in after a
 // refresh never sees a predecessor's blocks.
 func (r *IndexedReader) SetCache(c *BlockCache) { r.cache = c }
+
+// Version returns the file's format version (2 or 3).
+func (r *IndexedReader) Version() int { return int(r.ver) }
 
 // NumCells returns the total number of cells in the file.
 func (r *IndexedReader) NumCells() int64 { return r.cells }
@@ -451,19 +636,54 @@ func (r *IndexedReader) readBlock(bi int) ([]Cell, error) {
 		}
 		r.cacheMisses.Inc()
 	}
-	b := &r.blocks[bi]
-	buf := make([]byte, b.length)
-	if _, err := r.f.ReadAt(buf, b.off); err != nil {
-		return nil, fmt.Errorf("cellfile: %s: block %d: %w", r.path, bi, err)
-	}
-	cells, err := decodeBlock(buf, b.cells)
+	cells, err := r.readBlockFresh(bi)
 	if err != nil {
-		return nil, fmt.Errorf("cellfile: %s: block %d: %w", r.path, bi, err)
+		return nil, err
 	}
 	if r.cache != nil {
 		r.cache.put(r.gen, bi, cells)
 	}
 	return cells, nil
+}
+
+// readBlockFresh reads, checksums and decodes block bi straight from the
+// file, bypassing the cache, with the reader's retry budget. A checksum or
+// decode failure is retried like a read error: a transiently corrupted
+// read re-rolls on the next attempt.
+func (r *IndexedReader) readBlockFresh(bi int) ([]Cell, error) {
+	b := &r.blocks[bi]
+	var lastErr error
+	backoff := r.backoff
+	for a := 0; a <= r.retries; a++ {
+		if a > 0 {
+			r.retriesC.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		buf := make([]byte, b.length)
+		if _, err := r.ra.ReadAt(buf, b.off); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				err = fmt.Errorf("%w: %s: block %d: %v", ErrTruncated, r.path, bi, err)
+			} else {
+				err = fmt.Errorf("cellfile: %s: block %d: %w", r.path, bi, err)
+			}
+			lastErr = err
+			continue
+		}
+		if r.ver == indexedVersionCRC {
+			if got := crc32.Checksum(buf, castagnoli); got != b.crc {
+				lastErr = fmt.Errorf("%w: %s: block %d checksum %08x, index says %08x", ErrCorrupt, r.path, bi, got, b.crc)
+				continue
+			}
+		}
+		cells, err := decodeBlock(buf, b.cells)
+		if err != nil {
+			lastErr = fmt.Errorf("%w: %s: block %d: %v", ErrCorrupt, r.path, bi, err)
+			continue
+		}
+		return cells, nil
+	}
+	return nil, lastErr
 }
 
 // decodeBlock parses exactly count cell records out of buf.
@@ -509,6 +729,15 @@ func decodeBlock(buf []byte, count int) ([]Cell, error) {
 	return cells, nil
 }
 
+// ctxErr wraps a context failure in the package's cancellation sentinel
+// (both errors.Is(err, ErrCancelled) and errors.Is(err, ctx.Err()) hold).
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return nil
+}
+
 // EachCuboid streams cuboid point's cells, in key order, to fn. Only the
 // blocks that can contain the cuboid are read: a binary search finds the
 // first candidate block and the scan stops at the first cell of a later
@@ -516,6 +745,12 @@ func decodeBlock(buf []byte, count int) ([]Cell, error) {
 // skipped — counts toward serve.scan.cells, so the counter reflects real
 // read amplification.
 func (r *IndexedReader) EachCuboid(point uint32, fn func(Cell) error) error {
+	return r.EachCuboidCtx(context.Background(), point, fn)
+}
+
+// EachCuboidCtx is EachCuboid under a context: cancellation and deadlines
+// are honoured between blocks, surfacing as a wrapped ErrCancelled.
+func (r *IndexedReader) EachCuboidCtx(ctx context.Context, point uint32, fn func(Cell) error) error {
 	if _, ok := r.CuboidCells(point); !ok {
 		return nil
 	}
@@ -527,7 +762,48 @@ func (r *IndexedReader) EachCuboid(point uint32, fn func(Cell) error) error {
 		bi--
 	}
 	for ; bi < len(r.blocks) && r.blocks[bi].firstPoint <= point; bi++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		cells, err := r.readBlock(bi)
+		if err != nil {
+			return err
+		}
+		r.scanCells.Add(int64(len(cells)))
+		for i := range cells {
+			c := &cells[i]
+			if c.Point < point {
+				continue
+			}
+			if c.Point > point {
+				return nil
+			}
+			if err := fn(*c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScanCuboid streams cuboid point's cells by a sequential, cache-bypassing
+// walk of the data section — the degraded fallback when the fast indexed
+// path keeps failing. Every block is re-read fresh from the file (with the
+// retry budget) and re-verified against its checksum, so a transient
+// corruption that poisoned the fast path gets a genuinely independent
+// second chance; a persistent corruption still fails closed.
+func (r *IndexedReader) ScanCuboid(ctx context.Context, point uint32, fn func(Cell) error) error {
+	if _, ok := r.CuboidCells(point); !ok {
+		return nil
+	}
+	for bi := range r.blocks {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if r.blocks[bi].firstPoint > point {
+			return nil
+		}
+		cells, err := r.readBlockFresh(bi)
 		if err != nil {
 			return err
 		}

@@ -71,6 +71,7 @@ type bucRun struct {
 	key        []match.ValueID
 	missingLND int // unchosen axes that cannot be deleted
 	reserved   int64
+	recs       int // rec entries since the last cancellation check
 }
 
 // Run implements Algorithm.
@@ -150,6 +151,11 @@ func (r *bucRun) load() error {
 func (r *bucRun) rec(items []int32, nextAxis int) error {
 	if int64(len(items)) < r.in.minSupport() {
 		return nil
+	}
+	if r.recs++; r.recs%ctxCheckEvery == 0 {
+		if err := r.in.ctxErr(); err != nil {
+			return err
+		}
 	}
 	if r.missingLND == 0 && len(items) > 0 {
 		var s agg.State

@@ -1,0 +1,53 @@
+package cube
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestCancelledInputStopsEveryAlgorithm runs each algorithm with an
+// already-cancelled context over a workload big enough to cross the
+// in-loop check granularity: every run must fail with an error wrapping
+// context.Canceled, and emit no complete cube.
+func TestCancelledInputStopsEveryAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lat, set := synthSet(t, rng, []int{2, 2, 2}, 3000, 12, 0.1, 0.2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, alg := range Algorithms() {
+		if alg.Name() == "BUCCUST" || alg.Name() == "TDCUST" {
+			continue // need Props; the cancellation paths are shared anyway
+		}
+		res := NewResult(lat, set.Dicts)
+		in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: t.TempDir(), Ctx: ctx}
+		_, err := alg.Run(in, res)
+		if err == nil {
+			t.Errorf("%s: ran to completion under a cancelled context", name)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v; want wrapped context.Canceled", name, err)
+		}
+	}
+}
+
+// TestNilCtxStillCompletes pins the default: a nil Ctx never cancels and
+// results match the oracle.
+func TestNilCtxStillCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lat, set := synthSet(t, rng, []int{2, 2}, 500, 8, 0.1, 0.2)
+	want, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewResult(lat, set.Dicts)
+	in := &Input{Lattice: lat, Source: set, Dicts: set.Dicts, TmpDir: t.TempDir(), Ctx: nil}
+	if _, err := (Counter{}).Run(in, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells != want.Cells {
+		t.Fatalf("nil-ctx run produced %d cells, oracle %d", res.Cells, want.Cells)
+	}
+}

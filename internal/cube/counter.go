@@ -49,6 +49,9 @@ func (c Counter) Run(in *Input, sink Sink) (Stats, error) {
 	defer in.observe(&st)()
 	work := []counterPart{{mod: 1, res: 0}}
 	for len(work) > 0 {
+		if err := in.ctxErr(); err != nil {
+			return st, err
+		}
 		part := work[0]
 		work = work[1:]
 		ok, err := c.pass(in, sink, &st, part)
@@ -84,9 +87,15 @@ func (c Counter) pass(in *Input, sink Sink, st *Stats, part counterPart) (ok boo
 	defer func() { in.budget().Release(reserved) }()
 	fits := true
 
+	var facts int
 	err = in.Source.Each(func(f *match.Fact) error {
 		if !fits {
 			return nil
+		}
+		if facts++; facts%ctxCheckEvery == 0 {
+			if cerr := in.ctxErr(); cerr != nil {
+				return cerr
+			}
 		}
 		var rec func(a int)
 		rec = func(a int) {

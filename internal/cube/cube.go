@@ -22,6 +22,7 @@
 package cube
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -77,7 +78,30 @@ type Input struct {
 	// and of parallel sort phases; 0 selects GOMAXPROCS. The serial
 	// algorithms ignore it.
 	Workers int
+	// Ctx cancels the run: the algorithms check it at pass, cuboid and
+	// partition boundaries (and the worker pool between tasks) and return
+	// a wrapped ctx.Err(), so a per-request deadline or a disconnected
+	// client actually stops the computation. nil never cancels.
+	Ctx context.Context
 }
+
+// ctxErr reports a cancelled input as an error wrapping ctx.Err() (so
+// errors.Is against context.Canceled / context.DeadlineExceeded holds);
+// nil while the run may continue.
+func (in *Input) ctxErr() error {
+	if in.Ctx == nil {
+		return nil
+	}
+	if err := in.Ctx.Err(); err != nil {
+		return fmt.Errorf("cube: cancelled: %w", err)
+	}
+	return nil
+}
+
+// ctxCheckEvery is the granularity of in-loop cancellation checks: tight
+// per-fact/per-recursion loops consult the context once per this many
+// iterations, keeping the check off the per-cell fast path.
+const ctxCheckEvery = 4096
 
 func (in *Input) budget() *mem.Budget {
 	if in.Budget == nil {

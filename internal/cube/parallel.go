@@ -135,7 +135,7 @@ func (b BUCParallel) Run(in *Input, sink Sink) (Stats, error) {
 		copy(clone.point, basePoint)
 		clones[w] = clone
 	}
-	pool := newWorkerPool(workers)
+	pool := newWorkerPool(in.Ctx, workers)
 	for i := range units {
 		u := units[i]
 		pool.submit(i, func(w int) error {

@@ -1,6 +1,8 @@
 package cube
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -15,6 +17,7 @@ import (
 // is queued only once its parent has been computed. The first task error
 // aborts the pool; queued tasks are dropped and wait returns that error.
 type workerPool struct {
+	ctx     context.Context // checked between tasks; nil never cancels
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queues  [][]poolTask
@@ -41,12 +44,14 @@ func resolveWorkers(override, inputWorkers int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// newWorkerPool starts a pool of the given size (at least 1).
-func newWorkerPool(workers int) *workerPool {
+// newWorkerPool starts a pool of the given size (at least 1). ctx, when
+// non-nil, is checked between tasks: once cancelled, no queued task runs
+// and wait returns the wrapped cancellation.
+func newWorkerPool(ctx context.Context, workers int) *workerPool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &workerPool{queues: make([][]poolTask, workers)}
+	p := &workerPool{ctx: ctx, queues: make([][]poolTask, workers)}
 	p.cond = sync.NewCond(&p.mu)
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
@@ -107,7 +112,15 @@ func (p *workerPool) run(w int) {
 			continue
 		}
 		p.mu.Unlock()
-		err := t(w)
+		var err error
+		if p.ctx != nil && p.ctx.Err() != nil {
+			// The run was cancelled while this task sat queued: drop it
+			// unexecuted and surface the cancellation through the normal
+			// error path (wait drains the rest the same way).
+			err = fmt.Errorf("cube: cancelled: %w", p.ctx.Err())
+		} else {
+			err = t(w)
+		}
 		p.mu.Lock()
 		p.pending--
 		if err != nil && p.err == nil {

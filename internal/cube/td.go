@@ -88,6 +88,9 @@ func (t TD) Run(in *Input, sink Sink) (Stats, error) {
 func (t TD) runBase(in *Input, sink Sink, st *Stats) error {
 	lat := in.Lattice
 	for _, p := range lat.Points() {
+		if err := in.ctxErr(); err != nil {
+			return err
+		}
 		cols := colsOf(lat, p)
 		sorter := newSorter(in, rowWidth(len(cols), true))
 		err := expandInto(in, cols, expandOpts{withID: true}, sorter)
@@ -131,6 +134,9 @@ func (t TD) runOpt(in *Input, sink Sink, st *Stats) error {
 	})
 	processed := make([]bool, lat.Size())
 	for _, p := range pts {
+		if err := in.ctxErr(); err != nil {
+			return err
+		}
 		if processed[lat.ID(p)] {
 			continue
 		}

@@ -107,7 +107,7 @@ func (t TDParallel) Run(in *Input, sink Sink) (Stats, error) {
 		r.storeMu.Unlock()
 	}()
 
-	r.pool = newWorkerPool(workers)
+	r.pool = newWorkerPool(in.Ctx, workers)
 	if haveTop {
 		r.pool.submit(0, func(w int) error { return r.compute(w, top, nil) })
 	}

@@ -60,6 +60,9 @@ func (t TD) runRollup(in *Input, sink Sink, st *Stats) error {
 	}
 
 	for _, p := range pts {
+		if err := in.ctxErr(); err != nil {
+			return err
+		}
 		pid := lat.ID(p)
 		k := len(lat.LiveAxes(p))
 

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"x3/internal/fault"
 	"x3/internal/obs"
 )
 
@@ -49,6 +50,7 @@ type Sorter struct {
 	stats Stats
 	done  bool
 	reg   *obs.Registry
+	inj   *fault.Injector
 
 	// Async run formation (par > 1): full buffers are handed to background
 	// goroutines that sort and spill them while Add refills a recycled
@@ -78,6 +80,11 @@ func (s *Sorter) Parallel(n int) {
 		s.par = n
 	}
 }
+
+// InjectFaults wraps the sorter's spill-file writes (site extsort.spill)
+// and run-file reads (site extsort.run) with injected faults. A nil
+// injector is a no-op. Call before the first Add.
+func (s *Sorter) InjectFaults(inj *fault.Injector) { s.inj = inj }
 
 // Observe attaches a metrics registry: on Finish the sort's statistics are
 // folded into the extsort.* keys (sorts, sorts.external, runs.spilled,
@@ -125,7 +132,7 @@ func (s *Sorter) spill() error {
 		return nil
 	}
 	sortRows(s.buf, s.width)
-	f, err := writeRun(s.dir, s.buf)
+	f, err := writeRun(s.dir, s.buf, s.inj)
 	if err != nil {
 		return err
 	}
@@ -160,7 +167,7 @@ func (s *Sorter) spillAsync() error {
 	go func() {
 		defer func() { <-s.sem; s.wg.Done() }()
 		sortRows(buf, s.width)
-		f, err := writeRun(s.dir, buf)
+		f, err := writeRun(s.dir, buf, s.inj)
 		s.mu.Lock()
 		if err != nil {
 			if s.spillErr == nil {
@@ -192,14 +199,14 @@ func (s *Sorter) recordRunLocked(f *os.File, n int64) {
 }
 
 // writeRun writes one sorted buffer to an unlinked temp file.
-func writeRun(dir string, buf []byte) (*os.File, error) {
+func writeRun(dir string, buf []byte, inj *fault.Injector) (*os.File, error) {
 	f, err := os.CreateTemp(dir, "x3sort-*")
 	if err != nil {
 		return nil, fmt.Errorf("extsort: spill: %w", err)
 	}
 	// Unlink immediately; the open handle keeps the data alive.
 	os.Remove(f.Name())
-	w := bufio.NewWriter(f)
+	w := bufio.NewWriter(inj.Writer("extsort.spill", f))
 	if _, err := w.Write(buf); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("extsort: spill write: %w", err)
@@ -242,7 +249,7 @@ func (s *Sorter) Finish() (*Iterator, Stats, error) {
 			s.closeRuns()
 			return nil, s.stats, fmt.Errorf("extsort: seek run: %w", err)
 		}
-		rr := &runReader{r: bufio.NewReaderSize(f, 1<<16), f: f, row: make([]byte, s.width)}
+		rr := &runReader{r: bufio.NewReaderSize(s.inj.Reader("extsort.run", f), 1<<16), f: f, row: make([]byte, s.width)}
 		if err := rr.next(); err != nil { // load the first row
 			s.closeRuns()
 			return nil, s.stats, err

@@ -1,0 +1,281 @@
+// Package fault is the pipeline's deterministic fault-injection layer:
+// seed-driven error, latency, short-read and bit-flip injection behind
+// io.ReaderAt / io.Reader / io.Writer shims, plus a crash mode that fails
+// every operation past a chosen point (how the crash-safety tests "kill" a
+// refresh mid-write).
+//
+// Determinism is the design rule: whether operation k at site s fails is a
+// pure function of (seed, site, k), so a failing schedule replays exactly
+// and a retry — a new operation index — genuinely re-rolls the dice, the
+// way a transient I/O fault behaves on real hardware. A nil *Injector
+// wraps nothing and costs nothing, so production call sites stay clean.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"x3/internal/obs"
+)
+
+// ErrInjected is the root of every injected failure; callers distinguish
+// injected faults from real I/O errors with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// IsInjected reports whether err originates from an Injector.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Config selects what to inject. Every knob is a 1-in-N op frequency
+// (0 disables that kind); the op stream is shared across all sites wrapped
+// by one Injector, so rates compose the way a flaky disk's do.
+type Config struct {
+	// Seed drives the deterministic decision stream.
+	Seed int64
+	// ErrEvery injects a hard error on roughly 1 in N operations.
+	ErrEvery int
+	// ShortEvery truncates roughly 1 in N reads (half the bytes plus
+	// io.ErrUnexpectedEOF), the shape of a torn page.
+	ShortEvery int
+	// CorruptEvery flips one deterministic bit in the returned buffer on
+	// roughly 1 in N reads — only checksummed formats can detect it.
+	CorruptEvery int
+	// LatencyEvery sleeps Latency on roughly 1 in N operations.
+	LatencyEvery int
+	Latency      time.Duration
+	// CrashAfter < 0 is off; otherwise every operation whose global index
+	// is >= CrashAfter fails with ErrInjected — the process "died" there
+	// and no later I/O succeeds. Zero crashes immediately, so callers that
+	// want it off must set -1 (the NewCrash helper does).
+	CrashAfter int64
+}
+
+// Injector makes deterministic per-operation failure decisions. All
+// methods are safe for concurrent use and safe on a nil receiver (wrapping
+// becomes the identity, so call sites need no nil checks).
+type Injector struct {
+	cfg Config
+	ops atomic.Int64
+
+	// resolved obs handles (nil = observability off).
+	cErr, cShort, cCorrupt, cLatency *obs.Counter
+	reg                              *obs.Registry
+}
+
+// New returns an injector for cfg with crash mode off unless cfg enables
+// it explicitly (CrashAfter > 0; a zero CrashAfter means "off" here so the
+// zero Config injects nothing).
+func New(cfg Config) *Injector {
+	if cfg.CrashAfter <= 0 {
+		cfg.CrashAfter = -1
+	}
+	return &Injector{cfg: cfg}
+}
+
+// NewCrash returns an injector whose only behaviour is to fail every
+// operation from global index k onward — the crash-safety harness.
+func NewCrash(seed int64, k int64) *Injector {
+	i := New(Config{Seed: seed})
+	i.cfg.CrashAfter = k
+	if k <= 0 {
+		i.cfg.CrashAfter = 0
+	}
+	return i
+}
+
+// Observe resolves the fault.injected.* counters against reg (errors,
+// short, corrupt, latency, plus fault.injected.<site> per wrapped site).
+// A nil registry leaves observability off.
+func (i *Injector) Observe(reg *obs.Registry) {
+	if i == nil || reg == nil {
+		return
+	}
+	i.reg = reg
+	i.cErr = reg.Counter("fault.injected.errors")
+	i.cShort = reg.Counter("fault.injected.short")
+	i.cCorrupt = reg.Counter("fault.injected.corrupt")
+	i.cLatency = reg.Counter("fault.injected.latency")
+}
+
+// Ops returns the number of operations the injector has adjudicated.
+func (i *Injector) Ops() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.ops.Load()
+}
+
+// splitmix64 is the decision hash: tiny, well-mixed, dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func siteHash(site string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decision is one operation's verdict.
+type decision struct {
+	op      int64
+	err     bool
+	short   bool
+	corrupt bool
+	latency bool
+	// bit is the deterministic corruption position source.
+	bit uint64
+}
+
+// next adjudicates one operation at site.
+func (i *Injector) next(site uint64) decision {
+	op := i.ops.Add(1) - 1
+	d := decision{op: op}
+	if i.cfg.CrashAfter >= 0 && op >= i.cfg.CrashAfter {
+		d.err = true
+		return d
+	}
+	h := splitmix64(uint64(i.cfg.Seed) ^ splitmix64(uint64(op)) ^ site)
+	d.bit = splitmix64(h)
+	roll := func(every int, lane uint64) bool {
+		if every <= 0 {
+			return false
+		}
+		return splitmix64(h^lane)%uint64(every) == 0
+	}
+	d.err = roll(i.cfg.ErrEvery, 0x01)
+	d.short = roll(i.cfg.ShortEvery, 0x02)
+	d.corrupt = roll(i.cfg.CorruptEvery, 0x03)
+	d.latency = roll(i.cfg.LatencyEvery, 0x04)
+	return d
+}
+
+func (i *Injector) injectedErr(site string, op int64) error {
+	i.cErr.Inc()
+	i.siteCounter(site).Inc()
+	return fmt.Errorf("fault: %s op %d: %w", site, op, ErrInjected)
+}
+
+func (i *Injector) siteCounter(site string) *obs.Counter {
+	if i.reg == nil {
+		return nil
+	}
+	return i.reg.Counter("fault.injected." + site)
+}
+
+// sleep applies latency injection.
+func (i *Injector) sleep(d decision, site string) {
+	if d.latency && i.cfg.Latency > 0 {
+		i.cLatency.Inc()
+		i.siteCounter(site).Inc()
+		time.Sleep(i.cfg.Latency)
+	}
+}
+
+// mangle applies short-read and corruption injection to a buffer that was
+// read successfully. It returns the adjusted byte count and error.
+func (i *Injector) mangle(d decision, site string, p []byte, n int) (int, error) {
+	if d.short && n > 0 {
+		i.cShort.Inc()
+		i.siteCounter(site).Inc()
+		return n / 2, fmt.Errorf("fault: %s op %d short read: %w (%w)", site, d.op, io.ErrUnexpectedEOF, ErrInjected)
+	}
+	if d.corrupt && n > 0 {
+		i.cCorrupt.Inc()
+		i.siteCounter(site).Inc()
+		pos := d.bit % uint64(n)
+		p[pos] ^= 1 << (d.bit >> 32 % 8)
+	}
+	return n, nil
+}
+
+// ReaderAt wraps r with injection at the named site. A nil injector (or a
+// nil r) returns r unchanged.
+func (i *Injector) ReaderAt(site string, r io.ReaderAt) io.ReaderAt {
+	if i == nil || r == nil {
+		return r
+	}
+	return &readerAt{i: i, site: site, sh: siteHash(site), r: r}
+}
+
+type readerAt struct {
+	i    *Injector
+	site string
+	sh   uint64
+	r    io.ReaderAt
+}
+
+func (r *readerAt) ReadAt(p []byte, off int64) (int, error) {
+	d := r.i.next(r.sh)
+	r.i.sleep(d, r.site)
+	if d.err {
+		return 0, r.i.injectedErr(r.site, d.op)
+	}
+	n, err := r.r.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	return r.i.mangle(d, r.site, p, n)
+}
+
+// Reader wraps a sequential reader with injection at the named site.
+func (i *Injector) Reader(site string, r io.Reader) io.Reader {
+	if i == nil || r == nil {
+		return r
+	}
+	return &reader{i: i, site: site, sh: siteHash(site), r: r}
+}
+
+type reader struct {
+	i    *Injector
+	site string
+	sh   uint64
+	r    io.Reader
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	d := r.i.next(r.sh)
+	r.i.sleep(d, r.site)
+	if d.err {
+		return 0, r.i.injectedErr(r.site, d.op)
+	}
+	n, err := r.r.Read(p)
+	if err != nil {
+		return n, err
+	}
+	return r.i.mangle(d, r.site, p, n)
+}
+
+// Writer wraps w with injection at the named site (error and latency
+// kinds only; write-side corruption would poison the file for every later
+// read and model a broken disk, not a transient fault).
+func (i *Injector) Writer(site string, w io.Writer) io.Writer {
+	if i == nil || w == nil {
+		return w
+	}
+	return &writer{i: i, site: site, sh: siteHash(site), w: w}
+}
+
+type writer struct {
+	i    *Injector
+	site string
+	sh   uint64
+	w    io.Writer
+}
+
+func (w *writer) Write(p []byte) (int, error) {
+	d := w.i.next(w.sh)
+	w.i.sleep(d, w.site)
+	if d.err {
+		return 0, w.i.injectedErr(w.site, d.op)
+	}
+	return w.w.Write(p)
+}

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"x3/internal/obs"
+)
+
+// replay records which op indexes failed for one run over a fixed byte
+// source.
+func replay(t *testing.T, inj *Injector, ops int) []bool {
+	t.Helper()
+	src := bytes.Repeat([]byte{0xAA}, 64)
+	ra := inj.ReaderAt("test.site", bytes.NewReader(src))
+	out := make([]bool, ops)
+	buf := make([]byte, 16)
+	for k := 0; k < ops; k++ {
+		_, err := ra.ReadAt(buf, 0)
+		out[k] = err != nil
+	}
+	return out
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	a := replay(t, New(Config{Seed: 42, ErrEvery: 3}), 200)
+	b := replay(t, New(Config{Seed: 42, ErrEvery: 3}), 200)
+	if !equalBools(a, b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	c := replay(t, New(Config{Seed: 43, ErrEvery: 3}), 200)
+	if equalBools(a, c) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("ErrEvery=3 over 200 ops injected %d errors; want some but not all", fails)
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNilInjectorIsIdentity(t *testing.T) {
+	var inj *Injector
+	r := strings.NewReader("hello")
+	if got := inj.Reader("x", r); got != io.Reader(r) {
+		t.Fatal("nil injector should return the reader unchanged")
+	}
+	if inj.Ops() != 0 {
+		t.Fatal("nil injector counted ops")
+	}
+	inj.Observe(obs.New()) // must not panic
+}
+
+func TestErrorsWrapSentinel(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrEvery: 1})
+	ra := inj.ReaderAt("s", bytes.NewReader(make([]byte, 8)))
+	_, err := ra.ReadAt(make([]byte, 4), 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v; want wrapped ErrInjected", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected false for an injected error")
+	}
+}
+
+func TestShortReadInjection(t *testing.T) {
+	inj := New(Config{Seed: 1, ShortEvery: 1})
+	ra := inj.ReaderAt("s", bytes.NewReader(make([]byte, 64)))
+	n, err := ra.ReadAt(make([]byte, 32), 0)
+	if n >= 32 {
+		t.Fatalf("short read returned %d of 32 bytes", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short read err = %v; want ErrUnexpectedEOF wrapping ErrInjected", err)
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	src := bytes.Repeat([]byte{0x00}, 64)
+	inj := New(Config{Seed: 9, CorruptEvery: 1})
+	ra := inj.ReaderAt("s", bytes.NewReader(src))
+	buf := make([]byte, 64)
+	if _, err := ra.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	bits := 0
+	for _, b := range buf {
+		for ; b != 0; b &= b - 1 {
+			bits++
+		}
+	}
+	if bits != 1 {
+		t.Fatalf("corruption flipped %d bits; want exactly 1", bits)
+	}
+}
+
+func TestCrashAfterFailsEverythingPastThePoint(t *testing.T) {
+	inj := NewCrash(1, 3)
+	ra := inj.ReaderAt("s", bytes.NewReader(make([]byte, 8)))
+	buf := make([]byte, 2)
+	for k := 0; k < 3; k++ {
+		if _, err := ra.ReadAt(buf, 0); err != nil {
+			t.Fatalf("op %d before the crash point failed: %v", k, err)
+		}
+	}
+	for k := 0; k < 5; k++ {
+		if _, err := ra.ReadAt(buf, 0); !IsInjected(err) {
+			t.Fatalf("op past the crash point succeeded (err=%v)", err)
+		}
+	}
+}
+
+func TestWriterInjection(t *testing.T) {
+	var sink bytes.Buffer
+	inj := New(Config{Seed: 5, ErrEvery: 2})
+	w := inj.Writer("w", &sink)
+	var failed, ok int
+	for k := 0; k < 64; k++ {
+		if _, err := w.Write([]byte("abc")); err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("writer injection degenerate: %d failed, %d ok", failed, ok)
+	}
+	if sink.Len() != ok*3 {
+		t.Fatalf("underlying writer saw %d bytes, want %d", sink.Len(), ok*3)
+	}
+}
+
+func TestObserveCounters(t *testing.T) {
+	reg := obs.New()
+	inj := New(Config{Seed: 2, ErrEvery: 2, LatencyEvery: 2, Latency: time.Microsecond})
+	inj.Observe(reg)
+	ra := inj.ReaderAt("store.page", bytes.NewReader(make([]byte, 8)))
+	for k := 0; k < 64; k++ {
+		ra.ReadAt(make([]byte, 4), 0)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault.injected.errors"] == 0 {
+		t.Fatal("fault.injected.errors not counted")
+	}
+	if snap.Counters["fault.injected.latency"] == 0 {
+		t.Fatal("fault.injected.latency not counted")
+	}
+	if snap.Counters["fault.injected.store.page"] == 0 {
+		t.Fatal("per-site counter not counted")
+	}
+}

@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors of the serving layer. Wrapped causes classify errors
+// for HTTP status mapping: errors.Is(err, ErrBadRequest) is the caller's
+// fault (4xx), everything else is the server's (5xx). Cancellations wrap
+// the context error, so errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded) holds regardless of which
+// layer (serve, cellfile, cube) noticed the cancellation first.
+var (
+	// ErrBadRequest marks a query the store cannot answer because the
+	// request itself is malformed: unknown axis, unknown state, a
+	// constraint on a deleted axis, an invalid lattice point.
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrCancelled marks an answer abandoned because its context was
+	// cancelled or its deadline passed.
+	ErrCancelled = errors.New("serve: cancelled")
+)
+
+// isCancellation reports whether err is a context cancellation from any
+// layer of the read path.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

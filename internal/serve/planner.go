@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,10 @@ import (
 	"x3/internal/match"
 	"x3/internal/views"
 )
+
+// ctxCheckEvery is the cancellation-check granularity of the serving
+// layer's tight loops (base-fact recomputation).
+const ctxCheckEvery = 4096
 
 // PlanKind says how a query was answered.
 type PlanKind int
@@ -65,18 +70,29 @@ type Answer struct {
 	From lattice.Point
 	// Rows are the matching cells, sorted by key.
 	Rows []Row
+	// Degraded reports that the fast indexed path failed (corruption,
+	// truncation, exhausted read retries) and the answer came from a
+	// fallback: a sequential verified re-scan of the cell file, or —
+	// when Plan is PlanBase despite a materialized target — a full
+	// recomputation from the base facts.
+	Degraded bool
 }
 
-// Answer plans and executes one query. It holds the store's read lock for
-// the whole execution, so a concurrent refresh never swaps state under a
-// half-answered query.
-func (s *Store) Answer(q Query) (*Answer, error) {
+// Answer plans and executes one query under ctx (nil means no deadline).
+// It holds the store's read lock for the whole execution, so a concurrent
+// refresh never swaps state under a half-answered query. Cancellation
+// surfaces as an error wrapping ctx.Err(); malformed queries wrap
+// ErrBadRequest.
+func (s *Store) Answer(ctx context.Context, q Query) (*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
 	if err := s.lat.Validate(q.Point); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	live := s.lat.LiveAxes(q.Point)
 	liveSet := make(map[int]bool, len(live))
@@ -85,11 +101,11 @@ func (s *Store) Answer(q Query) (*Answer, error) {
 	}
 	for a := range q.Where {
 		if !liveSet[a] {
-			return nil, fmt.Errorf("serve: axis %d is not live at %s", a, s.lat.Label(q.Point))
+			return nil, fmt.Errorf("%w: axis %d is not live at %s", ErrBadRequest, a, s.lat.Label(q.Point))
 		}
 	}
 
-	ans, err := s.execute(q, live)
+	ans, err := s.execute(ctx, q, live)
 	if err != nil {
 		return nil, err
 	}
@@ -123,36 +139,74 @@ func (s *Store) plan(target lattice.Point) (from lattice.Point, cost int64) {
 	return best, bestCost
 }
 
-// execute routes the query to its plan and runs it.
-func (s *Store) execute(q Query, live []int) (*Answer, error) {
+// execute routes the query to its plan and runs it through the fallback
+// ladder: the fast indexed read, then a sequential verified re-scan of
+// the cell file, then recomputation from the base facts — which never
+// touch the file, so a corrupt store degrades to slow-but-correct
+// answers instead of serving garbage or going dark.
+func (s *Store) execute(ctx context.Context, q Query, live []int) (*Answer, error) {
 	from, _ := s.plan(q.Point)
-	switch {
-	case from == nil:
-		rows, err := s.answerFromBase(q, live)
+	if from == nil {
+		rows, err := s.answerFromBase(ctx, q, live)
 		if err != nil {
 			return nil, err
 		}
 		return &Answer{Plan: PlanBase, Rows: rows}, nil
-	case s.lat.ID(from) == s.lat.ID(q.Point):
-		rows, err := s.answerDirect(q)
-		if err != nil {
-			return nil, err
-		}
-		return &Answer{Plan: PlanDirect, From: from, Rows: rows}, nil
-	default:
-		rows, err := s.answerRollup(q, live, from)
-		if err != nil {
-			return nil, err
-		}
-		return &Answer{Plan: PlanRollup, From: from, Rows: rows}, nil
 	}
+	var (
+		rows     []Row
+		degraded bool
+		err      error
+	)
+	plan := PlanRollup
+	if s.lat.ID(from) == s.lat.ID(q.Point) {
+		plan = PlanDirect
+		rows, degraded, err = s.answerDirect(ctx, q)
+	} else {
+		rows, degraded, err = s.answerRollup(ctx, q, live, from)
+	}
+	if err != nil {
+		if isCancellation(err) {
+			return nil, err
+		}
+		// Final rung: the materialized file is unreadable even by the
+		// degraded scan. Base facts live in memory, so this cannot be
+		// poisoned by the same corruption.
+		s.reg.Counter("serve.degraded.base").Inc()
+		rows, berr := s.answerFromBase(ctx, q, live)
+		if berr != nil {
+			return nil, berr
+		}
+		return &Answer{Plan: PlanBase, Rows: rows, Degraded: true}, nil
+	}
+	return &Answer{Plan: plan, From: from, Rows: rows, Degraded: degraded}, nil
+}
+
+// eachCell streams cuboid pid's cells to fn with the degraded-read
+// ladder: the indexed path first (its own bounded retries included), and
+// on a data fault a sequential, cache-bypassing, checksum-verified scan
+// after reset() clears whatever fn accumulated. Cancellations pass
+// through; a scan that also fails reports both causes, wrapping the
+// scan's sentinel.
+func (s *Store) eachCell(ctx context.Context, pid uint32, reset func(), fn func(cellfile.Cell) error) (degraded bool, err error) {
+	err = s.rdr.EachCuboidCtx(ctx, pid, fn)
+	if err == nil || isCancellation(err) {
+		return false, err
+	}
+	s.reg.Counter("serve.degraded.scan").Inc()
+	reset()
+	serr := s.rdr.ScanCuboid(ctx, pid, fn)
+	if serr == nil || isCancellation(serr) {
+		return true, serr
+	}
+	return true, fmt.Errorf("serve: cuboid %d unreadable (%v); degraded scan: %w", pid, err, serr)
 }
 
 // answerDirect streams the materialized target cuboid, filtering.
-func (s *Store) answerDirect(q Query) ([]Row, error) {
+func (s *Store) answerDirect(ctx context.Context, q Query) ([]Row, bool, error) {
 	live := s.lat.LiveAxes(q.Point)
 	var rows []Row
-	err := s.rdr.EachCuboid(s.lat.ID(q.Point), func(c cellfile.Cell) error {
+	degraded, err := s.eachCell(ctx, s.lat.ID(q.Point), func() { rows = rows[:0] }, func(c cellfile.Cell) error {
 		for i, a := range live {
 			if want, ok := q.Where[a]; ok && c.Key[i] != want {
 				return nil
@@ -163,7 +217,7 @@ func (s *Store) answerDirect(q Query) ([]Row, error) {
 		rows = append(rows, Row{Key: key, State: c.State})
 		return nil
 	})
-	return rows, err // already in key order: the file is sorted
+	return rows, degraded, err // already in key order: the file is sorted
 }
 
 // answerRollup streams the finer materialized cuboid `from` and merges
@@ -171,7 +225,7 @@ func (s *Store) answerDirect(q Query) ([]Row, error) {
 // this exact: across a ladder state step the cells coincide, and across
 // an LND step the dropped axis's groups partition the facts, so
 // aggregate-state merging (internal/agg) reproduces the target cuboid.
-func (s *Store) answerRollup(q Query, live []int, from lattice.Point) ([]Row, error) {
+func (s *Store) answerRollup(ctx context.Context, q Query, live []int, from lattice.Point) ([]Row, bool, error) {
 	fromLive := s.lat.LiveAxes(from)
 	// proj[i] is the position within from's key of the target's i-th
 	// live axis.
@@ -185,7 +239,7 @@ func (s *Store) answerRollup(q Query, live []int, from lattice.Point) ([]Row, er
 			}
 		}
 		if pos < 0 {
-			return nil, fmt.Errorf("serve: internal: axis %d live at %s but not at finer %s",
+			return nil, false, fmt.Errorf("serve: internal: axis %d live at %s but not at finer %s",
 				a, s.lat.Label(q.Point), s.lat.Label(from))
 		}
 		proj[i] = pos
@@ -193,7 +247,7 @@ func (s *Store) answerRollup(q Query, live []int, from lattice.Point) ([]Row, er
 	groups := make(map[string]agg.State)
 	key := make([]match.ValueID, len(live))
 	var buf []byte
-	err := s.rdr.EachCuboid(s.lat.ID(from), func(c cellfile.Cell) error {
+	degraded, err := s.eachCell(ctx, s.lat.ID(from), func() { groups = make(map[string]agg.State) }, func(c cellfile.Cell) error {
 		for i := range live {
 			key[i] = c.Key[proj[i]]
 		}
@@ -209,20 +263,25 @@ func (s *Store) answerRollup(q Query, live []int, from lattice.Point) ([]Row, er
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, degraded, err
 	}
-	return rowsFromGroups(groups), nil
+	return rowsFromGroups(groups), degraded, nil
 }
 
 // answerFromBase recomputes the target cuboid from the base facts — the
 // oracle-style enumeration of each fact's group memberships at the
 // target's ladder states, restricted by the query's constraints.
-func (s *Store) answerFromBase(q Query, live []int) ([]Row, error) {
+func (s *Store) answerFromBase(ctx context.Context, q Query, live []int) ([]Row, error) {
 	groups := make(map[string]agg.State)
 	key := make([]match.ValueID, 0, len(live))
 	var buf []byte
 	var facts int64
 	err := s.base.Each(func(f *match.Fact) error {
+		if facts%ctxCheckEvery == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("%w: %w", ErrCancelled, cerr)
+			}
+		}
 		facts++
 		var rec func(i int)
 		rec = func(i int) {

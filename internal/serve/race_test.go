@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -28,7 +29,7 @@ func TestConcurrentQueriesDuringRefresh(t *testing.T) {
 	defer s.Close()
 
 	var baseline float64
-	bottom, err := s.Answer(Query{Point: lat.Bottom()})
+	bottom, err := s.Answer(context.Background(), Query{Point: lat.Bottom()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestConcurrentQueriesDuringRefresh(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < refreshes; i++ {
 			delta := dataset.Treebank(dataset.TreebankConfig{Seed: int64(100 + i), Facts: 20, Axes: axes})
-			if _, err := s.RefreshDoc(delta); err != nil {
+			if _, err := s.RefreshDoc(context.Background(), delta); err != nil {
 				errs <- err
 				return
 			}
@@ -68,7 +69,7 @@ func TestConcurrentQueriesDuringRefresh(t *testing.T) {
 					// Point/slice flavour: pin the first live axis to
 					// whatever the first row of the open slice holds.
 					if live := lat.LiveAxes(p); len(live) > 0 {
-						open, err := s.Answer(Query{Point: p})
+						open, err := s.Answer(context.Background(), Query{Point: p})
 						if err != nil {
 							errs <- err
 							return
@@ -78,7 +79,7 @@ func TestConcurrentQueriesDuringRefresh(t *testing.T) {
 						}
 					}
 				}
-				ans, err := s.Answer(q)
+				ans, err := s.Answer(context.Background(), q)
 				if err != nil {
 					errs <- err
 					return

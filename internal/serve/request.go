@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,9 @@ type Response struct {
 	Plan   string        `json:"plan"`
 	From   string        `json:"from,omitempty"`
 	Rows   []ResponseRow `json:"rows"`
+	// Degraded is set when the fast indexed read failed and the answer
+	// came from a fallback path (verified re-scan or base recompute).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PointFromStates resolves axis-variable → state-label assignments to a
@@ -78,13 +82,15 @@ func (s *Store) axisByVar(v string) (int, error) {
 	return 0, fmt.Errorf("serve: query has no axis %q", v)
 }
 
-// ServeRequest resolves a wire-level request and answers it. Constraint
-// values absent from the dictionaries yield an empty row set (the value
-// has never been seen, so no group can match).
-func (s *Store) ServeRequest(req Request) (*Response, error) {
+// ServeRequest resolves a wire-level request and answers it under ctx.
+// Constraint values absent from the dictionaries yield an empty row set
+// (the value has never been seen, so no group can match). Resolution
+// failures — unknown axes, unknown states, constraints on deleted axes —
+// wrap ErrBadRequest.
+func (s *Store) ServeRequest(ctx context.Context, req Request) (*Response, error) {
 	p, err := s.PointFromStates(req.Cuboid)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	q := Query{Point: p}
 	dicts := s.Dicts()
@@ -94,10 +100,10 @@ func (s *Store) ServeRequest(req Request) (*Response, error) {
 		for v, val := range req.Where {
 			a, err := s.axisByVar(v)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
 			if s.lat.Deleted(p, a) {
-				return nil, fmt.Errorf("serve: axis %s is deleted at %s", v, s.lat.Label(p))
+				return nil, fmt.Errorf("%w: axis %s is deleted at %s", ErrBadRequest, v, s.lat.Label(p))
 			}
 			id, ok := dicts[a].Lookup(val)
 			if !ok {
@@ -113,11 +119,12 @@ func (s *Store) ServeRequest(req Request) (*Response, error) {
 		resp.Rows = []ResponseRow{}
 		return resp, nil
 	}
-	ans, err := s.Answer(q)
+	ans, err := s.Answer(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	resp.Plan = ans.Plan.String()
+	resp.Degraded = ans.Degraded
 	if ans.From != nil {
 		resp.From = s.lat.Label(ans.From)
 	}

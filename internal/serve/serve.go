@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"x3/internal/agg"
 	"x3/internal/cellfile"
 	"x3/internal/cube"
+	"x3/internal/fault"
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/obs"
@@ -52,6 +54,13 @@ type Options struct {
 	// Registry receives the serve.* counters and timers; nil disables
 	// observability.
 	Registry *obs.Registry
+	// Fault injects deterministic faults into the store's file I/O —
+	// reads of the indexed cell file and writes of new generations; nil
+	// disables injection.
+	Fault *fault.Injector
+	// Retries bounds re-read attempts on the indexed read path; 0 selects
+	// the cellfile default, negative disables retrying.
+	Retries int
 }
 
 // Store is a servable materialized cube. All exported methods are safe
@@ -62,6 +71,8 @@ type Store struct {
 	reg        *obs.Registry
 	cache      *cellfile.BlockCache
 	blockCells int
+	fault      *fault.Injector
+	retries    int
 
 	// refreshMu serializes refreshes; mu guards the swappable state
 	// below. Queries hold mu.RLock for their whole execution, so a
@@ -109,14 +120,13 @@ func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*St
 	if err != nil {
 		return nil, err
 	}
-	if err := writeStore(path, lat, res, keep, opt.BlockCells); err != nil {
-		return nil, err
-	}
 	s := &Store{
 		path:       path,
 		lat:        lat,
 		reg:        opt.Registry,
 		blockCells: opt.BlockCells,
+		fault:      opt.Fault,
+		retries:    opt.Retries,
 		base:       base,
 		dicts:      base.Dicts,
 		props:      props,
@@ -129,7 +139,7 @@ func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*St
 		}
 		s.cache = cellfile.NewBlockCache(n)
 	}
-	rdr, err := cellfile.OpenIndexed(path)
+	rdr, err := s.writeStore(res, keep)
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +180,17 @@ func selectPoints(lat *lattice.Lattice, props cube.Props, res *cube.Result, base
 }
 
 // writeStore writes the kept cuboids of res as an indexed cell file at
-// path, atomically (write to a temp file, then rename).
-func writeStore(path string, lat *lattice.Lattice, res *cube.Result, keep map[uint32]bool, blockCells int) error {
-	tmp := path + ".tmp"
+// the store's path, crash-safely: cells go to a temp file that is synced,
+// re-opened and structurally validated before it is renamed over path. A
+// write fault or crash at any point leaves path untouched — the previous
+// generation, if one exists, keeps serving. On success the validated
+// reader over the new generation is returned.
+func (s *Store) writeStore(res *cube.Result, keep map[uint32]bool) (*cellfile.IndexedReader, error) {
+	lat := s.lat
+	tmp := s.path + ".tmp"
 	sink := cellfile.CreateIndexed(tmp)
-	sink.BlockCells = blockCells
+	sink.BlockCells = s.blockCells
+	sink.Fault = s.fault
 	for _, p := range lat.Points() {
 		pid := lat.ID(p)
 		if !keep[pid] {
@@ -183,21 +199,34 @@ func writeStore(path string, lat *lattice.Lattice, res *cube.Result, keep map[ui
 		for _, key := range res.Keys(p) {
 			st, ok := res.State(p, key)
 			if !ok {
-				return fmt.Errorf("serve: cuboid %s lost cell %v", lat.Label(p), key)
+				sink.Close()
+				os.Remove(tmp)
+				return nil, fmt.Errorf("serve: cuboid %s lost cell %v", lat.Label(p), key)
 			}
 			if err := sink.Cell(pid, key, st); err != nil {
-				return err
+				sink.Close()
+				os.Remove(tmp)
+				return nil, err
 			}
 		}
 	}
 	if err := sink.Close(); err != nil {
-		return err
+		return nil, err // the sink removes tmp on a failed close
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	rdr, err := cellfile.OpenIndexedWith(tmp, cellfile.ReadOptions{Fault: s.fault, Retries: s.retries})
+	if err != nil {
 		os.Remove(tmp)
-		return err
+		return nil, err
 	}
-	return nil
+	// The reader holds an open fd, which follows the inode through the
+	// rename; only after the new generation proves readable does it
+	// replace the old one.
+	if err := os.Rename(tmp, s.path); err != nil {
+		rdr.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	return rdr, nil
 }
 
 // Lattice returns the store's cuboid lattice.
@@ -252,9 +281,13 @@ func (s *Store) Close() error {
 // RefreshDoc evaluates the query over a new XML document with the store's
 // dictionaries, folds the matched facts into the materialized cuboids via
 // cube.Maintain, rewrites the indexed file, and swaps it in atomically.
-// Queries keep running against the old state until the swap. Returns the
-// number of facts added.
-func (s *Store) RefreshDoc(doc *xmltree.Document) (int64, error) {
+// Queries keep running against the old state until the swap; a failure or
+// cancellation at any point — including a crash mid-write — leaves the old
+// generation serving unchanged. Returns the number of facts added.
+func (s *Store) RefreshDoc(ctx context.Context, doc *xmltree.Document) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 
@@ -283,7 +316,7 @@ func (s *Store) RefreshDoc(doc *xmltree.Document) (int64, error) {
 	for _, pid := range oldRdr.Points() {
 		keep[pid] = true
 		cells := make(map[string]agg.State)
-		err := oldRdr.EachCuboid(pid, func(c cellfile.Cell) error {
+		err := oldRdr.EachCuboidCtx(ctx, pid, func(c cellfile.Cell) error {
 			cells[string(packKey(nil, c.Key))] = c.State
 			return nil
 		})
@@ -312,10 +345,10 @@ func (s *Store) RefreshDoc(doc *xmltree.Document) (int64, error) {
 		props = mp
 	}
 
-	if err := writeStore(s.path, s.lat, res, keep, s.blockCells); err != nil {
-		return 0, err
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
-	newRdr, err := cellfile.OpenIndexed(s.path)
+	newRdr, err := s.writeStore(res, keep)
 	if err != nil {
 		return 0, err
 	}

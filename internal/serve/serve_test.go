@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -61,7 +62,7 @@ func cleanAxes(n int) []dataset.AxisConfig {
 // cuboid cell by cell, byte-equal on keys and encoded aggregate states.
 func assertCuboidMatchesOracle(tb testing.TB, s *Store, oracle *cube.Result, p lattice.Point) PlanKind {
 	tb.Helper()
-	ans, err := s.Answer(Query{Point: p})
+	ans, err := s.Answer(context.Background(), Query{Point: p})
 	if err != nil {
 		tb.Fatalf("%s: %v", s.lat.Label(p), err)
 	}
@@ -128,7 +129,7 @@ func TestSliceScanIsBounded(t *testing.T) {
 	p := lat.Bottom()
 	p[0] = 0
 	before := reg.Counter("serve.scan.cells").Value()
-	if _, err := s.Answer(Query{Point: p}); err != nil {
+	if _, err := s.Answer(context.Background(), Query{Point: p}); err != nil {
 		t.Fatal(err)
 	}
 	scanned := reg.Counter("serve.scan.cells").Value() - before
@@ -150,14 +151,14 @@ func TestBlockCacheHits(t *testing.T) {
 	}
 	defer s.Close()
 	q := Query{Point: lat.Top()}
-	if _, err := s.Answer(q); err != nil {
+	if _, err := s.Answer(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	misses := reg.Counter("serve.cache.misses").Value()
 	if misses == 0 {
 		t.Fatal("first read reported no cache misses")
 	}
-	if _, err := s.Answer(q); err != nil {
+	if _, err := s.Answer(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if reg.Counter("serve.cache.misses").Value() != misses {
@@ -189,7 +190,7 @@ func TestPointAndSliceQueries(t *testing.T) {
 	for i, a := range lat.LiveAxes(top) {
 		where[a] = keys[0][i]
 	}
-	ans, err := s.Answer(Query{Point: top, Where: where})
+	ans, err := s.Answer(context.Background(), Query{Point: top, Where: where})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestPointAndSliceQueries(t *testing.T) {
 	// Slice query: pin only the first axis; every returned cell must
 	// carry the pinned value and the set must match the oracle's slice.
 	a0 := lat.LiveAxes(top)[0]
-	slice, err := s.Answer(Query{Point: top, Where: map[int]match.ValueID{a0: keys[0][0]}})
+	slice, err := s.Answer(context.Background(), Query{Point: top, Where: map[int]match.ValueID{a0: keys[0][0]}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestRefreshDocMaintainsServedCube(t *testing.T) {
 	combined := &match.Set{Lattice: lat, Dicts: set.Dicts,
 		Facts: append(append([]*match.Fact{}, set.Facts...), deltaSet.Facts...)}
 
-	added, err := s.RefreshDoc(delta)
+	added, err := s.RefreshDoc(context.Background(), delta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestServeRequestWireForm(t *testing.T) {
 	defer s.Close()
 
 	v0 := lat.Ladders[0].Spec.Var
-	resp, err := s.ServeRequest(Request{Cuboid: map[string]string{v0: "rigid"}})
+	resp, err := s.ServeRequest(context.Background(), Request{Cuboid: map[string]string{v0: "rigid"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestServeRequestWireForm(t *testing.T) {
 		total += r.Value
 	}
 	// Pin one group and expect exactly its row back.
-	one, err := s.ServeRequest(Request{
+	one, err := s.ServeRequest(context.Background(), Request{
 		Cuboid: map[string]string{v0: "rigid"},
 		Where:  map[string]string{v0: resp.Rows[0].Values[0]},
 	})
@@ -320,7 +321,7 @@ func TestServeRequestWireForm(t *testing.T) {
 		t.Fatalf("pinned query returned %+v, want the %v row", one.Rows, resp.Rows[0])
 	}
 	// A never-seen value answers empty, not an error.
-	none, err := s.ServeRequest(Request{
+	none, err := s.ServeRequest(context.Background(), Request{
 		Cuboid: map[string]string{v0: "rigid"},
 		Where:  map[string]string{v0: "no-such-value"},
 	})
@@ -331,13 +332,13 @@ func TestServeRequestWireForm(t *testing.T) {
 		t.Fatalf("unseen value returned %d rows", len(none.Rows))
 	}
 	// Unknown axes and states are errors.
-	if _, err := s.ServeRequest(Request{Cuboid: map[string]string{"$nope": "rigid"}}); err == nil {
+	if _, err := s.ServeRequest(context.Background(), Request{Cuboid: map[string]string{"$nope": "rigid"}}); err == nil {
 		t.Error("unknown axis accepted")
 	}
-	if _, err := s.ServeRequest(Request{Cuboid: map[string]string{v0: "warp"}}); err == nil {
+	if _, err := s.ServeRequest(context.Background(), Request{Cuboid: map[string]string{v0: "warp"}}); err == nil {
 		t.Error("unknown state accepted")
 	}
-	if _, err := s.ServeRequest(Request{Where: map[string]string{v0: "a"}}); err == nil {
+	if _, err := s.ServeRequest(context.Background(), Request{Where: map[string]string{v0: "a"}}); err == nil {
 		t.Error("constraint on a deleted axis accepted")
 	}
 }

@@ -1,0 +1,16 @@
+package store
+
+import "errors"
+
+// Sentinel errors of the store read path, mirroring package cellfile's:
+// every error the store returns for bad bytes wraps one of these (or an
+// underlying OS error), so callers classify failures with errors.Is
+// instead of string matching. ErrCorrupt covers structurally wrong
+// metadata (bad magic, impossible counts, dangling offsets), ErrTruncated
+// a file that ends before its section table says it should, ErrCancelled
+// work cut short by a context.
+var (
+	ErrCorrupt   = errors.New("store: corrupt")
+	ErrTruncated = errors.New("store: truncated")
+	ErrCancelled = errors.New("store: cancelled")
+)

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/xmltree"
+)
+
+// fuzzSeedStore builds a small valid store file and returns its bytes.
+func fuzzSeedStore(tb testing.TB) []byte {
+	tb.Helper()
+	doc, err := xmltree.ParseString(paperXML)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join(tb.TempDir(), "seed.x3st")
+	if err := Create(path, doc); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzStoreMeta throws arbitrary bytes at the store's open path — the
+// meta page ReadAt(meta, 0), the section table, and the tag dictionary —
+// which must reject corrupt input with an error (a wrapped ErrCorrupt /
+// ErrTruncated for bad bytes), never panic, and never trust a forged
+// count or section offset enough to allocate or read out of bounds. The
+// seeds cover the dangerous shapes: truncation, bad magic/version, lying
+// node and tag counts, and sections dangling past EOF.
+func FuzzStoreMeta(f *testing.F) {
+	seed := fuzzSeedStore(f)
+	f.Add(seed)
+	f.Add(seed[:PageSize])     // meta page only, sections gone
+	f.Add(seed[:PageSize/2])   // truncated mid-meta
+	f.Add(seed[:7])            // shorter than the magic+version
+	f.Add([]byte{})            // empty file
+	f.Add(seed[PageSize:])     // headless body
+	badMagic := append([]byte{}, seed...)
+	badMagic[0] = 'Y'
+	f.Add(badMagic)
+	badVer := append([]byte{}, seed...)
+	badVer[4] = 99
+	f.Add(badVer)
+	// A node count far beyond the node section.
+	lyingNodes := append([]byte{}, seed...)
+	binary.BigEndian.PutUint32(lyingNodes[8:], 1<<30)
+	f.Add(lyingNodes)
+	// A tag count beyond the dictionary.
+	lyingTags := append([]byte{}, seed...)
+	binary.BigEndian.PutUint32(lyingTags[12:], 1<<30)
+	f.Add(lyingTags)
+	// A section first-page pointing past EOF.
+	dangling := append([]byte{}, seed...)
+	binary.BigEndian.PutUint32(dangling[16:], 1<<20)
+	f.Add(dangling)
+	// A section length far beyond the file.
+	overlong := append([]byte{}, seed...)
+	binary.BigEndian.PutUint64(overlong[20:], 1<<40)
+	f.Add(overlong)
+	// Garbage where the tag dictionary lives.
+	dirtyDict := append([]byte{}, seed...)
+	for i := PageSize; i < PageSize+16 && i < len(dirtyDict); i++ {
+		dirtyDict[i] = 0xFF
+	}
+	f.Add(dirtyDict)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.x3st")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(path, 8)
+		if err != nil {
+			return
+		}
+		defer st.Close()
+		// An accepted file must hold its own structural promises: node
+		// reads stay in bounds and tag lookups agree with the dictionary.
+		n := st.NumNodes()
+		if n > 1<<26 {
+			t.Fatalf("open accepted a file claiming %d nodes", n)
+		}
+		for i := 0; i < n && i < 64; i++ {
+			if _, err := st.Node(xmltree.NodeID(i)); err != nil {
+				// Errors are fine (deeper sections may be damaged); they
+				// must just be errors, not panics or wrong reads.
+				break
+			}
+		}
+		tags, _ := st.Tags()
+		for _, tag := range tags {
+			_, _ = st.ByTag(tag)
+		}
+	})
+}

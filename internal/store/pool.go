@@ -2,9 +2,11 @@ package store
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
-	"os"
+	"io"
 	"sync"
+	"time"
 
 	"x3/internal/obs"
 )
@@ -12,12 +14,21 @@ import (
 // PageSize is the fixed page size, matching the paper's 8 KB configuration.
 const PageSize = 8192
 
+// Pool read-retry defaults (see ReadOptions in cellfile for the shape):
+// a transient page-read fault is retried with doubling backoff before the
+// error surfaces to the query.
+const (
+	defaultPageRetries = 2
+	defaultPageBackoff = 200 * time.Microsecond
+)
+
 // PoolStats counts buffer pool activity.
 type PoolStats struct {
 	Hits      int64
 	Misses    int64
 	Reads     int64 // physical page reads
 	Evictions int64
+	Retries   int64 // page reads retried after a transient fault
 }
 
 // pool is a read-only LRU buffer pool over a page file. It is safe for
@@ -25,16 +36,18 @@ type PoolStats struct {
 // frames are never evicted, so the page data a caller holds stays valid
 // until unpinned.
 type pool struct {
-	mu     sync.Mutex
-	f      *os.File
-	cap    int
-	frames map[uint32]*frame
-	lru    *list.List // front = most recently used; holds *frame
-	stats  PoolStats
+	mu      sync.Mutex
+	ra      io.ReaderAt
+	cap     int
+	retries int
+	backoff time.Duration
+	frames  map[uint32]*frame
+	lru     *list.List // front = most recently used; holds *frame
+	stats   PoolStats
 
 	// Cached obs handles (nil = observability off, zero overhead). Set
 	// once via observe before concurrent use.
-	obsLookups, obsHits, obsMisses, obsReads, obsEvictions *obs.Counter
+	obsLookups, obsHits, obsMisses, obsReads, obsEvictions, obsRetries *obs.Counter
 }
 
 // observe wires the pool's activity into the registry under the
@@ -47,6 +60,7 @@ func (p *pool) observe(reg *obs.Registry) {
 	p.obsMisses = reg.Counter("store.pool.misses")
 	p.obsReads = reg.Counter("store.pool.reads")
 	p.obsEvictions = reg.Counter("store.pool.evictions")
+	p.obsRetries = reg.Counter("store.pool.retries")
 }
 
 type frame struct {
@@ -56,11 +70,39 @@ type frame struct {
 	el   *list.Element
 }
 
-func newPool(f *os.File, capPages int) *pool {
+func newPool(ra io.ReaderAt, capPages, retries int, backoff time.Duration) *pool {
 	if capPages < 4 {
 		capPages = 4
 	}
-	return &pool{f: f, cap: capPages, frames: map[uint32]*frame{}, lru: list.New()}
+	return &pool{ra: ra, cap: capPages, retries: retries, backoff: backoff,
+		frames: map[uint32]*frame{}, lru: list.New()}
+}
+
+// readPage reads one physical page into buf with the pool's retry budget.
+// A trailing genuine EOF with partial data is accepted (the last page of
+// an unpadded file); anything else — including an injected short read's
+// io.ErrUnexpectedEOF — fails the attempt and re-rolls.
+func (p *pool) readPage(pid uint32, buf []byte) error {
+	var n int
+	var err error
+	backoff := p.backoff
+	for a := 0; ; a++ {
+		n, err = p.ra.ReadAt(buf, int64(pid)*PageSize)
+		if err == nil || (errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && n > 0) {
+			return nil
+		}
+		if a >= p.retries {
+			break
+		}
+		p.stats.Retries++
+		p.obsRetries.Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	if n == 0 && errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: read page %d: %v", ErrTruncated, pid, err)
+	}
+	return fmt.Errorf("store: read page %d: %w", pid, err)
 }
 
 // page pins and returns the frame for pid. Callers must unpin it.
@@ -83,9 +125,10 @@ func (p *pool) page(pid uint32) (*frame, error) {
 		}
 	}
 	fr := &frame{pid: pid, data: make([]byte, PageSize), pins: 1}
-	n, err := p.f.ReadAt(fr.data, int64(pid)*PageSize)
-	if err != nil && n == 0 {
-		return nil, fmt.Errorf("store: read page %d: %w", pid, err)
+	if err := p.readPage(pid, fr.data); err != nil {
+		// The frame was never published: no map entry, no LRU node, so a
+		// failed read leaks nothing and leaves the accounting intact.
+		return nil, err
 	}
 	p.stats.Reads++
 	p.obsReads.Inc()

@@ -23,7 +23,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"time"
 
+	"x3/internal/fault"
 	"x3/internal/obs"
 	"x3/internal/xmltree"
 )
@@ -169,34 +171,97 @@ func Create(path string, doc *xmltree.Document) error {
 	return nil
 }
 
+// Options tune an open store's fault tolerance (see cellfile.ReadOptions
+// for the shape).
+type Options struct {
+	// Fault wraps all page reads with injected faults (nil: no injection).
+	Fault *fault.Injector
+	// Retries is the number of re-read attempts after a failed page read;
+	// 0 selects the default, negative disables retrying.
+	Retries int
+	// RetryBackoff is the first retry's backoff (doubling per attempt);
+	// 0 selects the default.
+	RetryBackoff time.Duration
+}
+
+func (o Options) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	if o.Retries == 0 {
+		return defaultPageRetries
+	}
+	return o.Retries
+}
+
+func (o Options) backoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return defaultPageBackoff
+	}
+	return o.RetryBackoff
+}
+
 // Open opens a store file with a buffer pool of poolPages frames.
 func Open(path string, poolPages int) (*Store, error) {
+	return OpenWith(path, poolPages, Options{})
+}
+
+// OpenWith opens a store file with explicit fault-tolerance options. The
+// meta page and every later page read go through the same (possibly
+// fault-wrapped) reader and retry budget.
+func OpenWith(path string, poolPages int, opt Options) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	st := &Store{f: f, pool: newPool(f, poolPages)}
+	ra := opt.Fault.ReaderAt("store.page", f)
+	st := &Store{f: f, pool: newPool(ra, poolPages, opt.retries(), opt.backoff())}
 	meta := make([]byte, PageSize)
-	if _, err := f.ReadAt(meta, 0); err != nil {
+	if err := st.pool.readPage(0, meta); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: meta page: %w", err)
 	}
 	if [4]byte(meta[0:4]) != storeMagic {
 		f.Close()
-		return nil, fmt.Errorf("store: %s is not a store file", path)
+		return nil, fmt.Errorf("%w: %s is not a store file", ErrCorrupt, path)
 	}
 	if meta[4] != storeVersion {
 		f.Close()
-		return nil, fmt.Errorf("store: unsupported version %d", meta[4])
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, meta[4])
 	}
 	st.numNodes = int(binary.BigEndian.Uint32(meta[8:]))
 	numTags := int(binary.BigEndian.Uint32(meta[12:]))
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
 	secp := []*section{&st.secDict, &st.secHeap, &st.secNodes, &st.secIdxDir, &st.secIdx}
 	off := 16
 	for _, s := range secp {
 		s.firstPage = binary.BigEndian.Uint32(meta[off:])
 		s.length = int64(binary.BigEndian.Uint64(meta[off+4:]))
 		off += 12
+		// A section's claimed extent must fit the file: catching it here
+		// turns dangling offsets into ErrCorrupt at open instead of read
+		// failures (or silent zero pages) mid-query.
+		if s.length < 0 || s.firstPage < 1 ||
+			int64(s.firstPage)*PageSize+s.length > size {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s: section [page %d, +%d bytes] exceeds %d-byte file",
+				ErrCorrupt, path, s.firstPage, s.length, size)
+		}
+	}
+	if int64(st.numNodes)*nodeRecSize > st.secNodes.length {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: %d nodes exceed the node section (%d bytes)",
+			ErrCorrupt, path, st.numNodes, st.secNodes.length)
+	}
+	if int64(numTags)*indexDirEntry > st.secIdxDir.length {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: %d tags exceed the index directory (%d bytes)",
+			ErrCorrupt, path, numTags, st.secIdxDir.length)
 	}
 	// Load the tag dictionary eagerly; it is tiny.
 	dict := make([]byte, st.secDict.length)
@@ -207,7 +272,7 @@ func Open(path string, poolPages int) (*Store, error) {
 	cnt, n := binary.Uvarint(dict)
 	if n <= 0 || int(cnt) != numTags {
 		f.Close()
-		return nil, fmt.Errorf("store: corrupt tag dictionary")
+		return nil, fmt.Errorf("%w: %s: corrupt tag dictionary", ErrCorrupt, path)
 	}
 	dict = dict[n:]
 	st.tagIDs = make(map[string]int, numTags)
@@ -215,7 +280,7 @@ func Open(path string, poolPages int) (*Store, error) {
 		l, n := binary.Uvarint(dict)
 		if n <= 0 || int(l) > len(dict)-n {
 			f.Close()
-			return nil, fmt.Errorf("store: corrupt tag dictionary entry %d", i)
+			return nil, fmt.Errorf("%w: %s: corrupt tag dictionary entry %d", ErrCorrupt, path, i)
 		}
 		tag := string(dict[n : n+int(l)])
 		dict = dict[n+int(l):]
@@ -255,7 +320,7 @@ func (s *Store) Node(id xmltree.NodeID) (NodeInfo, error) {
 	}
 	tagID := binary.BigEndian.Uint32(rec[24:])
 	if int(tagID) >= len(s.tags) {
-		return NodeInfo{}, fmt.Errorf("store: node %d has corrupt tag id %d", id, tagID)
+		return NodeInfo{}, fmt.Errorf("%w: node %d has corrupt tag id %d", ErrCorrupt, id, tagID)
 	}
 	return NodeInfo{
 		ID:          id,
