@@ -2,24 +2,38 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz faults cover bench-seed bench-pr2 bench-pr3
+.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench-seed bench-pr2 bench-pr3
 
-ci: vet build test race faults cover
+ci: vet lint build test race faults cover
 
 vet:
 	$(GO) vet ./...
 
+# The repo's own static-analysis suite (internal/lint, cmd/x3lint): five
+# stdlib-only analyzers enforcing context flow, errors.Is discipline, obs
+# key hygiene, deterministic iteration on output paths, and unique fault
+# sites. Nonzero exit on any unsuppressed diagnostic.
+lint:
+	$(GO) run ./cmd/x3lint -root .
+
 build:
 	$(GO) build ./...
 
-test:
+test: fuzz-replay
 	$(GO) test ./...
+
+# Replay the committed fuzz corpora (the f.Add seeds plus anything under
+# testdata/fuzz/) as plain regression tests — no fuzzing engine, so it is
+# cheap enough to ride inside `make test`.
+fuzz-replay:
+	$(GO) test -run '^Fuzz' ./internal/cellfile/ ./internal/pattern/ ./internal/schema/ ./internal/store/ ./internal/xmltree/ ./internal/xq/
 
 # The concurrent pieces — the shared worker pool behind BUCPAR/TDPAR, the
 # batched sinks, extsort's background run formation and chunked sorts, the
-# sjoin evaluator over the shared buffer pool — under the race detector.
+# sjoin evaluator over the shared buffer pool, the parallel lattice
+# harness and the match-plan cache — under the race detector.
 race:
-	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./cmd/x3serve/
+	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/harness/... ./internal/match/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./cmd/x3serve/
 
 # Short fuzz smoke of the query parser, the cell-file readers and the
 # store's meta page (the CI-sized budget).

@@ -1,0 +1,59 @@
+// Command x3lint runs the repo's static-analysis suite (internal/lint):
+// five analyzers enforcing the pipeline's cross-cutting invariants —
+// context flow, errors.Is discipline, obs key hygiene, deterministic
+// iteration on output paths, unique fault-injection sites.
+//
+// Usage:
+//
+//	x3lint [-root dir] [-analyzers a,b,...]
+//
+// Diagnostics print as file:line:col: analyzer: message, sorted by file
+// and position so CI output diffs cleanly across runs and machines. The
+// exit status is 1 when any diagnostic survives suppression, 2 on a
+// loading or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"x3/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to lint (directory containing go.mod)")
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	as, err := lint.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "x3lint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, as)
+	for _, d := range diags {
+		// Print module-relative paths so output is machine-independent.
+		if rel, err := filepath.Rel(prog.RootDir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "x3lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -43,7 +43,7 @@ func newServer(s *serve.Store, reg *obs.Registry, opt serverOptions) http.Handle
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.Request
 		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
-			httpError(w, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
+			httpError(w, fmt.Errorf("%w: %w", serve.ErrBadRequest, err))
 			return
 		}
 		resp, err := s.ServeRequest(r.Context(), req)
@@ -57,7 +57,7 @@ func newServer(s *serve.Store, reg *obs.Registry, opt serverOptions) http.Handle
 	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
 		doc, err := xmltree.Parse(io.LimitReader(r.Body, maxBody))
 		if err != nil {
-			httpError(w, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
+			httpError(w, fmt.Errorf("%w: %w", serve.ErrBadRequest, err))
 			return
 		}
 		added, err := s.RefreshDoc(r.Context(), doc)

@@ -15,6 +15,7 @@ package cellfile
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -164,7 +165,7 @@ func Each(path string, fn func(Cell) error) error {
 		case 0x00:
 			want, err := binary.ReadUvarint(r)
 			if err != nil {
-				return fmt.Errorf("%w: %s: corrupt trailer: %v", ErrCorrupt, path, err)
+				return fmt.Errorf("%w: %s: corrupt trailer: %w", ErrCorrupt, path, err)
 			}
 			if int64(want) != count {
 				return fmt.Errorf("%w: %s: trailer says %d cells, read %d", ErrCorrupt, path, want, count)
@@ -174,7 +175,7 @@ func Each(path string, fn func(Cell) error) error {
 			// misplaced trailer would otherwise silently truncate the
 			// cube (the count would "agree" with the cells read so far
 			// while disagreeing with the cells actually stored).
-			if _, err := r.ReadByte(); err != io.EOF {
+			if _, err := r.ReadByte(); !errors.Is(err, io.EOF) {
 				return fmt.Errorf("%w: %s: data after trailer (trailer count %d does not cover the whole file)", ErrCorrupt, path, want)
 			}
 			return nil
@@ -204,7 +205,7 @@ func Each(path string, fn func(Cell) error) error {
 		}
 		var enc [agg.EncodedSize]byte
 		if _, err := io.ReadFull(r, enc[:]); err != nil {
-			return fmt.Errorf("%w: %s: cell %d state: %v", ErrTruncated, path, count, err)
+			return fmt.Errorf("%w: %s: cell %d state: %w", ErrTruncated, path, count, err)
 		}
 		c.State = agg.Decode(enc[:])
 		count++

@@ -405,7 +405,7 @@ func (r *IndexedReader) readFull(p []byte, off int64) error {
 		}
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-		return fmt.Errorf("%w: %s: %v", ErrTruncated, r.path, err)
+		return fmt.Errorf("%w: %s: %w", ErrTruncated, r.path, err)
 	}
 	return err
 }
@@ -476,7 +476,7 @@ func loadIndex(f *os.File, path string, opt ReadOptions) (*IndexedReader, error)
 	br := bytes.NewReader(idx)
 	numBlocks, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: corrupt index: %v", ErrCorrupt, path, err)
+		return nil, fmt.Errorf("%w: %s: corrupt index: %w", ErrCorrupt, path, err)
 	}
 	// Each block entry takes at least 3 bytes; a larger claim cannot
 	// parse, so reject it before looping.
@@ -488,21 +488,21 @@ func loadIndex(f *os.File, path string, opt ReadOptions) (*IndexedReader, error)
 	for i := uint64(0); i < numBlocks; i++ {
 		off, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %w", ErrCorrupt, path, i, err)
 		}
 		firstPoint, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %w", ErrCorrupt, path, i, err)
 		}
 		cells, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %w", ErrCorrupt, path, i, err)
 		}
 		var crc uint64
 		if r.ver == indexedVersionCRC {
 			crc, err = binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %v", ErrCorrupt, path, i, err)
+				return nil, fmt.Errorf("%w: %s: corrupt block entry %d: %w", ErrCorrupt, path, i, err)
 			}
 			if crc > 1<<32-1 {
 				return nil, fmt.Errorf("%w: %s: block %d checksum %d overflows", ErrCorrupt, path, i, crc)
@@ -542,7 +542,7 @@ func loadIndex(f *os.File, path string, opt ReadOptions) (*IndexedReader, error)
 	}
 	numCuboids, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: corrupt cuboid directory: %v", ErrCorrupt, path, err)
+		return nil, fmt.Errorf("%w: %s: corrupt cuboid directory: %w", ErrCorrupt, path, err)
 	}
 	if numCuboids > uint64(len(idx))/2+1 {
 		return nil, fmt.Errorf("%w: %s: directory claims %d cuboids in %d bytes", ErrCorrupt, path, numCuboids, len(idx))
@@ -551,11 +551,11 @@ func loadIndex(f *os.File, path string, opt ReadOptions) (*IndexedReader, error)
 	for i := uint64(0); i < numCuboids; i++ {
 		p, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s: corrupt cuboid entry %d: %v", ErrCorrupt, path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt cuboid entry %d: %w", ErrCorrupt, path, i, err)
 		}
 		c, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s: corrupt cuboid entry %d: %v", ErrCorrupt, path, i, err)
+			return nil, fmt.Errorf("%w: %s: corrupt cuboid entry %d: %w", ErrCorrupt, path, i, err)
 		}
 		if p > 1<<32-1 {
 			return nil, fmt.Errorf("%w: %s: cuboid entry %d point %d overflows", ErrCorrupt, path, i, p)
@@ -663,7 +663,7 @@ func (r *IndexedReader) readBlockFresh(bi int) ([]Cell, error) {
 		buf := make([]byte, b.length)
 		if _, err := r.ra.ReadAt(buf, b.off); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				err = fmt.Errorf("%w: %s: block %d: %v", ErrTruncated, r.path, bi, err)
+				err = fmt.Errorf("%w: %s: block %d: %w", ErrTruncated, r.path, bi, err)
 			} else {
 				err = fmt.Errorf("cellfile: %s: block %d: %w", r.path, bi, err)
 			}
@@ -678,7 +678,7 @@ func (r *IndexedReader) readBlockFresh(bi int) ([]Cell, error) {
 		}
 		cells, err := decodeBlock(buf, b.cells)
 		if err != nil {
-			lastErr = fmt.Errorf("%w: %s: block %d: %v", ErrCorrupt, r.path, bi, err)
+			lastErr = fmt.Errorf("%w: %s: block %d: %w", ErrCorrupt, r.path, bi, err)
 			continue
 		}
 		return cells, nil
@@ -745,6 +745,7 @@ func ctxErr(ctx context.Context) error {
 // skipped — counts toward serve.scan.cells, so the counter reflects real
 // read amplification.
 func (r *IndexedReader) EachCuboid(point uint32, fn func(Cell) error) error {
+	//x3:nolint(ctxflow) EachCuboid is the context-less compatibility entry point; it IS the entry layer
 	return r.EachCuboidCtx(context.Background(), point, fn)
 }
 

@@ -82,6 +82,7 @@ type Input struct {
 	// partition boundaries (and the worker pool between tasks) and return
 	// a wrapped ctx.Err(), so a per-request deadline or a disconnected
 	// client actually stops the computation. nil never cancels.
+	//x3:nolint(ctxflow) Input is a per-run parameter object (the cube analogue of http.Request); Ctx is not retained past Run
 	Ctx context.Context
 }
 
@@ -196,22 +197,25 @@ func (in *Input) observe(st *Stats) func() {
 		return func() {}
 	}
 	reg := in.Reg
-	prefix := "cube." + strings.ToLower(st.Algorithm) + "."
-	span := reg.Span("cube." + strings.ToLower(st.Algorithm))
+	// Every key spells out its literal "cube." prefix so the x3lint
+	// obskey analyzer can validate the family namespace and the keys stay
+	// greppable.
+	alg := strings.ToLower(st.Algorithm)
+	span := reg.Span("cube." + alg)
 	return func() {
 		span.SetPeakBytes(st.PeakBytes)
 		span.End()
-		reg.Counter(prefix + "runs").Inc()
-		reg.Counter(prefix + "cells").Add(st.Cells)
-		reg.Counter(prefix + "passes").Add(int64(st.Passes))
-		reg.Counter(prefix + "restarts").Add(int64(st.Restarts))
-		reg.Counter(prefix + "sorts").Add(int64(st.Sorts))
-		reg.Counter(prefix + "sorts.external").Add(int64(st.ExternalSorts))
-		reg.Counter(prefix + "spill.bytes").Add(st.SpillBytes)
-		reg.Counter(prefix + "rows.sorted").Add(st.RowsSorted)
-		reg.Counter(prefix + "rollups").Add(int64(st.Rollups))
-		reg.Counter(prefix + "copies").Add(int64(st.Copies))
-		reg.Gauge(prefix + "peak_bytes").SetMax(st.PeakBytes)
+		reg.Counter("cube." + alg + ".runs").Inc()
+		reg.Counter("cube." + alg + ".cells").Add(st.Cells)
+		reg.Counter("cube." + alg + ".passes").Add(int64(st.Passes))
+		reg.Counter("cube." + alg + ".restarts").Add(int64(st.Restarts))
+		reg.Counter("cube." + alg + ".sorts").Add(int64(st.Sorts))
+		reg.Counter("cube." + alg + ".sorts.external").Add(int64(st.ExternalSorts))
+		reg.Counter("cube." + alg + ".spill.bytes").Add(st.SpillBytes)
+		reg.Counter("cube." + alg + ".rows.sorted").Add(st.RowsSorted)
+		reg.Counter("cube." + alg + ".rollups").Add(int64(st.Rollups))
+		reg.Counter("cube." + alg + ".copies").Add(int64(st.Copies))
+		reg.Gauge("cube." + alg + ".peak_bytes").SetMax(st.PeakBytes)
 	}
 }
 
@@ -368,7 +372,7 @@ func (r *Result) CuboidSize(p lattice.Point) int {
 func (r *Result) Keys(p lattice.Point) [][]match.ValueID {
 	m := r.Cuboids[r.Lattice.ID(p)]
 	ks := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //x3:nolint(detiter) keys are byte-sorted below before anything observes the order
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)

@@ -81,7 +81,7 @@ func expandInto(in *Input, cols []col, opts expandOpts, s *extsort.Sorter) error
 		var emit func(i int) error
 		emit = func(i int) error {
 			if i == k {
-				return s.Add(row)
+				return s.Add(in.Ctx, row)
 			}
 			for _, v := range vals[i] {
 				binary.BigEndian.PutUint32(row[4*i:], uint32(v))

@@ -17,6 +17,7 @@ import (
 // is queued only once its parent has been computed. The first task error
 // aborts the pool; queued tasks are dropped and wait returns that error.
 type workerPool struct {
+	//x3:nolint(ctxflow) the pool is created per run and dies with it; workers poll this between tasks
 	ctx     context.Context // checked between tasks; nil never cancels
 	mu      sync.Mutex
 	cond    *sync.Cond

@@ -98,7 +98,7 @@ func (t TD) runBase(in *Input, sink Sink, st *Stats) error {
 		if err != nil {
 			return err
 		}
-		it, es, err := sorter.Finish()
+		it, es, err := sorter.Finish(in.Ctx)
 		if err != nil {
 			return err
 		}
@@ -172,7 +172,7 @@ func (t TD) runOpt(in *Input, sink Sink, st *Stats) error {
 		if err != nil {
 			return err
 		}
-		it, es, err := sorter.Finish()
+		it, es, err := sorter.Finish(in.Ctx)
 		if err != nil {
 			return err
 		}

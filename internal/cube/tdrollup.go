@@ -164,7 +164,7 @@ func (t TD) cellsFromBase(in *Input, sink Sink, st *Stats, p lattice.Point) ([]b
 	if err != nil {
 		return nil, err
 	}
-	it, es, err := sorter.Finish()
+	it, es, err := sorter.Finish(in.Ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -276,11 +276,11 @@ func rollupCells(in *Input, sink Sink, st *Stats, parentCells []byte, p lattice.
 			copy(row, key[:4*dropPos])
 			copy(row[4*dropPos:], key[4*dropPos+4:4*kq])
 			copy(row[4*kp:], parentCells[off+4*kq:off+wq])
-			if err := sorter.Add(row); err != nil {
+			if err := sorter.Add(in.Ctx, row); err != nil {
 				return nil, err
 			}
 		}
-		it, es, err := sorter.Finish()
+		it, es, err := sorter.Finish(in.Ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -36,11 +36,11 @@ func BenchmarkSort(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := New(width, tc.limit, b.TempDir())
 				for _, r := range rows {
-					if err := s.Add(r); err != nil {
+					if err := s.Add(nil, r); err != nil {
 						b.Fatal(err)
 					}
 				}
-				it, st, err := s.Finish()
+				it, st, err := s.Finish(nil)
 				if err != nil {
 					b.Fatal(err)
 				}

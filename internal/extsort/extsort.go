@@ -20,6 +20,8 @@ package extsort
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -107,8 +109,24 @@ func (s *Sorter) observeFinish() {
 	s.reg.Histogram("extsort.sort.rows").Observe(s.stats.Rows)
 }
 
-// Add appends one row. The row is copied.
-func (s *Sorter) Add(row []byte) error {
+// ctxErr reports a cancelled sort as an error wrapping ctx.Err() (so
+// errors.Is against context.Canceled / context.DeadlineExceeded holds);
+// nil ctx never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("extsort: cancelled: %w", err)
+	}
+	return nil
+}
+
+// Add appends one row. The row is copied. ctx is consulted at spill
+// boundaries — the moments Add performs I/O or hands work to background
+// goroutines — so a cancelled sort stops spilling promptly without taxing
+// the per-row fast path; nil never cancels.
+func (s *Sorter) Add(ctx context.Context, row []byte) error {
 	if s.done {
 		return fmt.Errorf("extsort: Add after Finish")
 	}
@@ -118,6 +136,9 @@ func (s *Sorter) Add(row []byte) error {
 	s.buf = append(s.buf, row...)
 	s.stats.Rows++
 	if s.limit > 0 && int64(len(s.buf)) >= s.limit {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if s.par > 1 {
 			return s.spillAsync()
 		}
@@ -223,8 +244,11 @@ func writeRun(dir string, buf []byte, inj *fault.Injector) (*os.File, error) {
 const parallelSortMinRows = 4096
 
 // Finish sorts any buffered rows and returns an iterator over the full
-// sorted sequence plus the sort's statistics. The Sorter cannot be reused.
-func (s *Sorter) Finish() (*Iterator, Stats, error) {
+// sorted sequence plus the sort's statistics. The Sorter cannot be
+// reused. ctx is consulted before the final sort and merge setup — the
+// expensive tail of an external sort — and a cancelled sort returns a
+// wrapped ctx.Err(); nil never cancels.
+func (s *Sorter) Finish(ctx context.Context) (*Iterator, Stats, error) {
 	if s.done {
 		return nil, s.stats, fmt.Errorf("extsort: Finish twice")
 	}
@@ -235,6 +259,10 @@ func (s *Sorter) Finish() (*Iterator, Stats, error) {
 			s.closeRuns()
 			return nil, s.stats, s.spillErr
 		}
+	}
+	if err := ctxErr(ctx); err != nil {
+		s.closeRuns()
+		return nil, s.stats, err
 	}
 	if len(s.runs) == 0 {
 		return s.finishMem()
@@ -386,12 +414,14 @@ func (rr *runReader) next() error {
 		return nil
 	}
 	_, err := io.ReadFull(rr.r, rr.row)
-	if err == io.EOF {
+	// errors.Is, not ==: the run reader sits behind the fault injector's
+	// wrapping, so sentinel EOFs may arrive wrapped.
+	if errors.Is(err, io.EOF) {
 		rr.eof = true
 		rr.closeFile()
 		return nil
 	}
-	if err == io.ErrUnexpectedEOF {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
 		return fmt.Errorf("extsort: truncated run file")
 	}
 	return err

@@ -45,11 +45,11 @@ func TestInMemorySort(t *testing.T) {
 	for i := 0; i < n; i++ {
 		row := make([]byte, 4)
 		binary.BigEndian.PutUint32(row, rng.Uint32())
-		if err := s.Add(row); err != nil {
+		if err := s.Add(nil, row); err != nil {
 			t.Fatal(err)
 		}
 	}
-	it, st, err := s.Finish()
+	it, st, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +79,11 @@ func TestExternalSortMatchesInMemory(t *testing.T) {
 
 	ext := New(width, 1024, t.TempDir()) // tiny buffer: many runs
 	for _, r := range data {
-		if err := ext.Add(r); err != nil {
+		if err := ext.Add(nil, r); err != nil {
 			t.Fatal(err)
 		}
 	}
-	it, st, err := ext.Finish()
+	it, st, err := ext.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +109,11 @@ func TestExternalSortMatchesInMemory(t *testing.T) {
 func TestDuplicatesSurvive(t *testing.T) {
 	s := New(2, 8, t.TempDir())
 	for i := 0; i < 100; i++ {
-		if err := s.Add([]byte{1, 2}); err != nil {
+		if err := s.Add(nil, []byte{1, 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	it, _, err := s.Finish()
+	it, _, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestDuplicatesSurvive(t *testing.T) {
 
 func TestEmptyInput(t *testing.T) {
 	s := New(4, 16, t.TempDir())
-	it, st, err := s.Finish()
+	it, st, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,16 +139,16 @@ func TestEmptyInput(t *testing.T) {
 
 func TestAddErrors(t *testing.T) {
 	s := New(4, 0, t.TempDir())
-	if err := s.Add([]byte{1, 2}); err == nil {
+	if err := s.Add(nil, []byte{1, 2}); err == nil {
 		t.Error("wrong width accepted")
 	}
-	if _, _, err := s.Finish(); err != nil {
+	if _, _, err := s.Finish(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Add([]byte{1, 2, 3, 4}); err == nil {
+	if err := s.Add(nil, []byte{1, 2, 3, 4}); err == nil {
 		t.Error("Add after Finish accepted")
 	}
-	if _, _, err := s.Finish(); err == nil {
+	if _, _, err := s.Finish(nil); err == nil {
 		t.Error("double Finish accepted")
 	}
 }
@@ -182,11 +182,11 @@ func TestPropertySortedPermutation(t *testing.T) {
 				row[j] = byte(rng.Intn(4))
 			}
 			counts[string(row)]++
-			if err := s.Add(row); err != nil {
+			if err := s.Add(nil, row); err != nil {
 				return false
 			}
 		}
-		it, _, err := s.Finish()
+		it, _, err := s.Finish(nil)
 		if err != nil {
 			return false
 		}

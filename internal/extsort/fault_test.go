@@ -13,7 +13,7 @@ func addRows(t *testing.T, s *Sorter, n int) {
 	var row [8]byte
 	for i := 0; i < n; i++ {
 		binary.BigEndian.PutUint64(row[:], uint64((i*2654435761)%n))
-		if err := s.Add(row[:]); err != nil {
+		if err := s.Add(nil, row[:]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -29,10 +29,10 @@ func TestSpillWriteFaultSurfaces(t *testing.T) {
 	for i := 0; i < 500 && err == nil; i++ {
 		var row [8]byte
 		binary.BigEndian.PutUint64(row[:], uint64(i))
-		err = s.Add(row[:])
+		err = s.Add(nil, row[:])
 	}
 	if err == nil {
-		_, _, err = s.Finish()
+		_, _, err = s.Finish(nil)
 	}
 	if !fault.IsInjected(err) {
 		t.Fatalf("spill under write faults returned %v; want an injected error", err)
@@ -47,7 +47,7 @@ func TestRunReadFaultSurfaces(t *testing.T) {
 	// succeeds, and the eventual run reads — later ops — all fail.
 	s.InjectFaults(fault.NewCrash(3, 64))
 	addRows(t, s, 2000)
-	it, stats, err := s.Finish()
+	it, stats, err := s.Finish(nil)
 	if err != nil {
 		if fault.IsInjected(err) {
 			return // the crash point landed before the last spill; fine
@@ -78,7 +78,7 @@ func TestFaultFreeSorterUnchanged(t *testing.T) {
 	s := New(8, 256, t.TempDir())
 	s.InjectFaults(nil)
 	addRows(t, s, 3000)
-	it, stats, err := s.Finish()
+	it, stats, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

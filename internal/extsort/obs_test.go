@@ -13,7 +13,7 @@ func feedRows(t *testing.T, s *Sorter, n int) {
 	var row [8]byte
 	for i := 0; i < n; i++ {
 		binary.BigEndian.PutUint64(row[:], uint64(i*2654435761)) // scrambled order
-		if err := s.Add(row[:]); err != nil {
+		if err := s.Add(nil, row[:]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -43,7 +43,7 @@ func TestObserveNoSpillWhenBudgetFits(t *testing.T) {
 	s := New(8, 1<<20, t.TempDir()) // budget far above the input
 	s.Observe(reg)
 	feedRows(t, s, 100)
-	it, _, err := s.Finish()
+	it, _, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestObserveSpillsUnderTightBudget(t *testing.T) {
 	s := New(8, 128, t.TempDir()) // 16 rows per run
 	s.Observe(reg)
 	feedRows(t, s, 100)
-	it, stats, err := s.Finish()
+	it, stats, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestObserveNilRegistryHarmless(t *testing.T) {
 	s := New(8, 128, t.TempDir())
 	s.Observe(nil)
 	feedRows(t, s, 50)
-	it, stats, err := s.Finish()
+	it, stats, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,11 +83,11 @@ func TestLoserTreeNoSources(t *testing.T) {
 func runSorter(t *testing.T, s *Sorter, data [][]byte) ([][]byte, Stats) {
 	t.Helper()
 	for _, r := range data {
-		if err := s.Add(r); err != nil {
+		if err := s.Add(nil, r); err != nil {
 			t.Fatal(err)
 		}
 	}
-	it, st, err := s.Finish()
+	it, st, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestParallelInMemoryMatchesSerial(t *testing.T) {
 func TestParallelEmpty(t *testing.T) {
 	s := New(4, 16, t.TempDir())
 	s.Parallel(4)
-	it, st, err := s.Finish()
+	it, st, err := s.Finish(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

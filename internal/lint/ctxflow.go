@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflowPkgs are the package-path suffixes whose cancellation PR 4
+// threaded end to end; ctxflow holds exactly these to the contract.
+var ctxflowPkgs = []string{
+	"internal/cube", "internal/serve", "internal/extsort", "internal/store", "internal/cellfile",
+}
+
+// Ctxflow returns the analyzer enforcing the context contract of the
+// storage and serving pipeline:
+//
+//   - a context.Context never lives in a struct field — contexts are
+//     call-scoped, and a stored one outlives its request (suppressible
+//     for per-run parameter objects such as cube.Input);
+//   - context.Background()/TODO() never appears below the entry layer —
+//     the only sanctioned form is the nil-guard `if ctx == nil { ctx =
+//     context.Background() }` at an exported entry point;
+//   - an exported function that (transitively, within its package,
+//     through helpers that do not themselves accept a context) spawns a
+//     goroutine must accept a context.Context, so cancellation can reach
+//     the concurrency it creates.
+func Ctxflow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "context is accepted and propagated, never stored or fabricated",
+		Run:  runCtxflow,
+	}
+}
+
+func runCtxflow(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !inCtxflowScope(pkg) {
+			continue
+		}
+		diags = append(diags, ctxStructFields(prog, pkg)...)
+		diags = append(diags, ctxFabrications(prog, pkg)...)
+		diags = append(diags, ctxGoroutineSpawns(prog, pkg)...)
+	}
+	return diags
+}
+
+func inCtxflowScope(pkg *Package) bool {
+	for _, suffix := range ctxflowPkgs {
+		if pkgPathHasSuffix(pkg.Types, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxStructFields flags struct fields of type context.Context.
+func ctxStructFields(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				tv, ok := pkg.Info.Types[f.Type]
+				if !ok || !isContextType(tv.Type) {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      prog.Fset.Position(f.Pos()),
+					Analyzer: "ctxflow",
+					Message:  "context.Context stored in a struct outlives its call; pass it as a parameter",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ctxFabrications flags context.Background()/TODO() calls outside the
+// nil-guard idiom.
+func ctxFabrications(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		var stack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			if isNilGuardAssign(stack) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Fset.Position(call.Pos()),
+				Analyzer: "ctxflow",
+				Message:  "context." + fn.Name() + "() below the entry layer severs cancellation; propagate the caller's context (or nil-guard: if ctx == nil { ctx = context.Background() })",
+			})
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return diags
+}
+
+// isNilGuardAssign reports whether the node stack ends in
+//
+//	if <x> == nil { <x> = context.Background() }
+//
+// — the sanctioned entry-layer default. The stack holds the path from
+// the file down to the Background() call.
+func isNilGuardAssign(stack []ast.Node) bool {
+	// Expect ... IfStmt > BlockStmt > AssignStmt > CallExpr.
+	if len(stack) < 4 {
+		return false
+	}
+	assign, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || assign.Tok != token.ASSIGN {
+		return false
+	}
+	ifStmt, ok := stack[len(stack)-4].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	lhs := types.ExprString(assign.Lhs[0])
+	x, y := types.ExprString(cond.X), types.ExprString(cond.Y)
+	return (x == lhs && y == "nil") || (y == lhs && x == "nil")
+}
+
+// ctxGoroutineSpawns flags exported functions that reach a `go` statement
+// through their own package without accepting a context.
+func ctxGoroutineSpawns(prog *Program, pkg *Package) []Diagnostic {
+	// Map every function declaration in the package to its body and
+	// whether it directly spawns.
+	type fnNode struct {
+		decl     *ast.FuncDecl
+		fn       *types.Func
+		spawns   bool
+		callees  []*types.Func
+		hasCtx   bool
+		exported bool
+	}
+	nodes := map[*types.Func]*fnNode{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &fnNode{decl: fd, fn: fn}
+			sig, _ := fn.Type().(*types.Signature)
+			node.hasCtx = hasCtxParam(sig)
+			node.exported = fd.Name.IsExported() && exportedReceiver(sig)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					node.spawns = true
+				case *ast.CallExpr:
+					if callee := calleeFunc(pkg.Info, n); callee != nil && callee.Pkg() == pkg.Types {
+						node.callees = append(node.callees, callee)
+					}
+				}
+				return true
+			})
+			nodes[fn] = node
+		}
+	}
+	// reaches: does fn hit a `go` statement before crossing into a
+	// context-aware callee? Helpers that accept ctx are cancellation-aware
+	// boundaries — their own callers are judged separately.
+	memo := map[*types.Func]bool{}
+	visiting := map[*types.Func]bool{}
+	var reaches func(fn *types.Func) bool
+	reaches = func(fn *types.Func) bool {
+		if v, ok := memo[fn]; ok {
+			return v
+		}
+		if visiting[fn] {
+			return false
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		node := nodes[fn]
+		if node == nil {
+			return false
+		}
+		result := node.spawns
+		for _, callee := range node.callees {
+			if result {
+				break
+			}
+			calleeNode := nodes[callee]
+			if calleeNode == nil || calleeNode.hasCtx {
+				continue
+			}
+			result = reaches(callee)
+		}
+		memo[fn] = result
+		return result
+	}
+	var diags []Diagnostic
+	for _, node := range nodes {
+		if !node.exported || node.hasCtx || !reaches(node.fn) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(node.decl.Name.Pos()),
+			Analyzer: "ctxflow",
+			Message:  "exported " + funcDisplay(node.fn) + " spawns goroutines but accepts no context.Context; cancellation cannot reach them",
+		})
+	}
+	return diags
+}
+
+// exportedReceiver reports whether sig is receiver-less or its receiver
+// type is exported — methods on unexported types are not package API.
+func exportedReceiver(sig *types.Signature) bool {
+	if sig == nil || sig.Recv() == nil {
+		return true
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return true
+	}
+	return named.Obj().Exported()
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Faultsite returns the analyzer guarding PR 4's reproducibility
+// contract: whether operation k at site s fails is a pure function of
+// (seed, site, k), so every fault.Injector wrap site must be a literal,
+// well-formed, and used by exactly one call site. Two wraps sharing a
+// site string share one decision stream — reordering either changes both
+// schedules and a "deterministic" failure stops replaying.
+func Faultsite() *Analyzer {
+	return &Analyzer{
+		Name: "faultsite",
+		Doc:  "fault injection sites are unique literal strings",
+		Run:  runFaultsite,
+	}
+}
+
+func runFaultsite(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	type use struct{ pos token.Position }
+	sites := map[string][]use{}
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				argIdx, ok := injectorSiteArg(info, call)
+				if !ok || argIdx >= len(call.Args) {
+					return true
+				}
+				arg := call.Args[argIdx]
+				site, isConst := constString(info, arg)
+				pos := prog.Fset.Position(arg.Pos())
+				if !isConst {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "faultsite",
+						Message: "fault site is not a literal; seed-driven schedules replay only against fixed site strings"})
+					return true
+				}
+				if !dottedKeyRE.MatchString(site) {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "faultsite",
+						Message: fmt.Sprintf("fault site %q is not a dotted lowercase name (want e.g. \"store.page\")", site)})
+					return true
+				}
+				sites[site] = append(sites[site], use{pos: pos})
+				return true
+			})
+		}
+	}
+	var names []string
+	for s := range sites {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		uses := sites[s]
+		if len(uses) < 2 {
+			continue
+		}
+		for _, u := range uses {
+			diags = append(diags, Diagnostic{Pos: u.pos, Analyzer: "faultsite",
+				Message: fmt.Sprintf("fault site %q is wrapped at %d call sites; sites must be unique so (seed,site,op) schedules stay reproducible", s, len(uses))})
+		}
+	}
+	return diags
+}
+
+// injectorSiteArg reports whether call is a method on fault.Injector
+// taking a site string, and which argument carries the site. The site
+// parameter is recognised by name, so the analyzer tracks the injector's
+// API without a hard-coded method list.
+func injectorSiteArg(info *types.Info, call *ast.CallExpr) (int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !fn.Exported() {
+		// The injector's unexported helpers pass the site variable along
+		// internally; only the exported wrap API fixes a site string.
+		return 0, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return 0, false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Injector" || !pkgPathHasSuffix(named.Obj().Pkg(), "internal/fault") {
+		return 0, false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() == "site" {
+			if b, ok := p.Type().(*types.Basic); ok && b.Kind() == types.String {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}

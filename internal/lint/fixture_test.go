@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches expectation markers inside fixture sources:
+//
+//	// want analyzer "message substring"
+//
+// The marker sits on the line the diagnostic must land on.
+var wantRE = regexp.MustCompile(`// want (\w+) "([^"]*)"`)
+
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	sub      string
+}
+
+// scanWants collects every want marker under the fixture dir.
+func scanWants(t *testing.T, dir string) []want {
+	t.Helper()
+	var wants []want
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		abs, aerr := filepath.Abs(path)
+		if aerr != nil {
+			return aerr
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, want{file: abs, line: i + 1, analyzer: m[1], sub: m[2]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// fixtureFile resolves a fixture-relative path to the absolute form the
+// loader reports in diagnostics.
+func fixtureFile(t *testing.T, fixture, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", fixture, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// checkFixture loads testdata/<name>, runs the analyzers through Run (so
+// suppression and ordering apply, exactly as the driver does), and asserts
+// the surviving diagnostics are precisely the fixture's want markers plus
+// extra — no missing, no unexpected.
+func checkFixture(t *testing.T, name string, analyzers []*Analyzer, extra ...want) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	diags := Run(prog, analyzers)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename || (a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+	wants := append(scanWants(t, dir), extra...)
+	used := make([]bool, len(wants))
+outer:
+	for _, d := range diags {
+		for i, w := range wants {
+			if used[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line || w.analyzer != d.Analyzer {
+				continue
+			}
+			if !strings.Contains(d.Message, w.sub) {
+				continue
+			}
+			used[i] = true
+			continue outer
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("missing diagnostic: %s:%d: %s: ...%s...", w.file, w.line, w.analyzer, w.sub)
+		}
+	}
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	checkFixture(t, "ctxflow", []*Analyzer{Ctxflow()})
+}
+
+func TestSentinelerrFixture(t *testing.T) {
+	checkFixture(t, "sentinelerr", []*Analyzer{Sentinelerr()})
+}
+
+func TestObskeyFixture(t *testing.T) {
+	checkFixture(t, "obskey", []*Analyzer{Obskey()})
+}
+
+func TestDetiterFixture(t *testing.T) {
+	checkFixture(t, "detiter", []*Analyzer{Detiter()})
+}
+
+func TestFaultsiteFixture(t *testing.T) {
+	checkFixture(t, "faultsite", []*Analyzer{Faultsite()})
+}
+
+// TestNolintFixture drives the suppression machinery end to end: both
+// placements consume their diagnostic; a reason-less, an analyzer-less and
+// a stale suppression are themselves violations.
+func TestNolintFixture(t *testing.T) {
+	bad := func(line int, sub string) want {
+		return want{file: fixtureFile(t, "nolint", "bad/bad.go"), line: line, analyzer: "nolint", sub: sub}
+	}
+	checkFixture(t, "nolint", []*Analyzer{Sentinelerr()},
+		bad(6, "without a reason"),
+		bad(9, "names no analyzer"),
+		bad(12, "matches no diagnostic"),
+	)
+}
+
+// TestNolintInactiveAnalyzer re-runs the nolint fixture with an analyzer
+// subset that leaves sentinelerr inactive: its suppressions go unused but
+// must NOT be reported stale, while malformed ones still are.
+func TestNolintInactiveAnalyzer(t *testing.T) {
+	bad := func(line int, sub string) want {
+		return want{file: fixtureFile(t, "nolint", "bad/bad.go"), line: line, analyzer: "nolint", sub: sub}
+	}
+	checkFixture(t, "nolint", []*Analyzer{Obskey()},
+		bad(6, "without a reason"),
+		bad(9, "names no analyzer"),
+	)
+}

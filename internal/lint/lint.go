@@ -1,0 +1,214 @@
+// Package lint is x3's from-scratch static-analysis framework: a
+// stdlib-only package loader (go/parser + go/types with the source
+// importer — no x/tools dependency) plus five repo-specific analyzers
+// that enforce the pipeline's cross-cutting correctness invariants:
+//
+//   - ctxflow: context.Context is accepted and propagated — never stored
+//     in structs, never fabricated below the entry layer — by the
+//     packages whose cancellation PR 4 threaded end to end.
+//   - sentinelerr: sentinel errors are classified with errors.Is, never
+//     ==/!=, and error causes are wrapped with %w, never flattened to
+//     %v/%s.
+//   - obskey: obs metric keys are literal dotted names (dynamic families
+//     carry a literal dotted prefix) and no key is registered under two
+//     metric kinds — the "silent second counter" bug.
+//   - detiter: no `for range` over a map in any function reachable from
+//     the byte-deterministic output paths (cell-file writers, sink
+//     flushes, HTTP response encoding).
+//   - faultsite: fault-injection site strings are unique literals, so
+//     seed-driven schedules replay exactly.
+//
+// Diagnostics are stable-ordered (file, then position) and suppressible
+// per line with `//x3:nolint(analyzer) reason` — a reason is mandatory,
+// and a suppression that no longer suppresses anything is itself an
+// error, so stale exemptions cannot linger.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way the driver prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one whole-program check. Run receives every loaded package
+// at once, so cross-package invariants (key uniqueness, call-graph
+// reachability) need no fact plumbing.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Program) []Diagnostic
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Ctxflow(), Sentinelerr(), Obskey(), Detiter(), Faultsite()}
+}
+
+// ByName resolves a comma-separated analyzer list ("" selects all).
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over prog, applies //x3:nolint suppressions,
+// and returns the surviving diagnostics sorted by file, line, column,
+// analyzer, message — stable across runs and machines, so CI output is
+// diff-able.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(prog)...)
+	}
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	diags = applySuppressions(prog, diags, active)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diags by file, line, column, analyzer, message.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---- shared type and AST helpers ----
+
+// pkgPathHasSuffix reports whether pkg's import path is path or ends in
+// "/"+path — so analyzers scoped to "internal/cube" also bind inside the
+// fixture modules under testdata, which mirror the layout.
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// isErrorType reports whether t is the error interface or implements it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasCtxParam reports whether sig has a context.Context parameter.
+func hasCtxParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static callee of call, when it is a plain
+// function, a method on a concrete receiver, or an interface method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcDisplay renders a *types.Func as "Recv.Name" (pointer stripped) or
+// "Name" — the form root specs and diagnostics use.
+func funcDisplay(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// constString returns the compile-time constant string value of expr, if
+// it has one (a literal, a named const, or a constant-folded expression).
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+var dottedKeyRE = regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9_]+)+$`)

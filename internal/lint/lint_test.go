@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAllStableOrder(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s: missing Doc or Run", a.Name)
+		}
+	}
+	wantNames := []string{"ctxflow", "sentinelerr", "obskey", "detiter", "faultsite"}
+	if !reflect.DeepEqual(names, wantNames) {
+		t.Fatalf("All() = %v, want %v", names, wantNames)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	}
+	sub, err := ByName(" obskey , ctxflow ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "obskey" || sub[1].Name != "ctxflow" {
+		t.Fatalf("ByName subset = %v", sub)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch): want error")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Analyzer: "obskey",
+		Message:  "bad key",
+	}
+	if got, want := d.String(), "a/b.go:3:7: obskey: bad key"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	at := func(file string, line, col int, an, msg string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: file, Line: line, Column: col}, Analyzer: an, Message: msg}
+	}
+	diags := []Diagnostic{
+		at("b.go", 1, 1, "x", "m"),
+		at("a.go", 2, 1, "x", "m"),
+		at("a.go", 1, 9, "x", "m"),
+		at("a.go", 1, 2, "z", "m"),
+		at("a.go", 1, 2, "y", "n"),
+		at("a.go", 1, 2, "y", "m"),
+	}
+	SortDiagnostics(diags)
+	want := []Diagnostic{
+		at("a.go", 1, 2, "y", "m"),
+		at("a.go", 1, 2, "y", "n"),
+		at("a.go", 1, 2, "z", "m"),
+		at("a.go", 1, 9, "x", "m"),
+		at("a.go", 2, 1, "x", "m"),
+		at("b.go", 1, 1, "x", "m"),
+	}
+	if !reflect.DeepEqual(diags, want) {
+		t.Fatalf("SortDiagnostics order:\n got %v\nwant %v", diags, want)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbUse
+	}{
+		{"plain", nil},
+		{"%d %s", []verbUse{{'d', 0}, {'s', 1}}},
+		{"100%% %v", []verbUse{{'v', 0}}},
+		{"%+v %-8s %.3f", []verbUse{{'v', 0}, {'s', 1}, {'f', 2}}},
+		// * consumes an argument before the verb's own.
+		{"%*d %v", []verbUse{{'d', 1}, {'v', 2}}},
+		// Explicit indexes abort the scan conservatively.
+		{"%v %[1]s", []verbUse{{'v', 0}}},
+		{"trailing %", nil},
+	}
+	for _, c := range cases {
+		if got := formatVerbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("formatVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}
+
+func TestReadModulePath(t *testing.T) {
+	dir := t.TempDir()
+	mod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(mod, []byte("// comment\nmodule  example.com/m\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readModulePath(mod)
+	if err != nil || got != "example.com/m" {
+		t.Fatalf("readModulePath = %q, %v", got, err)
+	}
+	if err := os.WriteFile(mod, []byte("go 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readModulePath(mod); err == nil {
+		t.Fatal("want error for go.mod without module line")
+	}
+	if _, err := readModulePath(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("want error for missing go.mod")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("Load of dir without go.mod: want error")
+	}
+	// A module referencing a package directory that does not exist fails
+	// with a module-scoped message, not a stdlib importer one.
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module brokenfix\n\ngo 1.24\n")
+	writeFile(t, dir, "a/a.go", "package a\n\nimport _ \"brokenfix/missing\"\n")
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "brokenfix/missing") {
+		t.Fatalf("Load with missing module import: err = %v", err)
+	}
+	// A syntax error surfaces as a parse failure.
+	dir2 := t.TempDir()
+	writeFile(t, dir2, "go.mod", "module badsyntax\n\ngo 1.24\n")
+	writeFile(t, dir2, "a/a.go", "package a\n\nfunc {\n")
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("Load with syntax error: want error")
+	}
+}
+
+func TestLoadProgramShape(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module shapefix\n\ngo 1.24\n")
+	writeFile(t, dir, "root.go", "package shapefix\n")
+	writeFile(t, dir, "b/b.go", "package b\n\nconst N = 1\n")
+	writeFile(t, dir, "a/a.go", "package a\n\nimport \"shapefix/b\"\n\nconst M = b.N\n")
+	writeFile(t, dir, "a/testdata/skip.go", "package skipme\n\nfunc @@ not even go\n")
+	writeFile(t, dir, "a/ignored_test.go", "package a\n\nconst bad = undefinedSymbol\n")
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range prog.Packages {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"shapefix", "shapefix/a", "shapefix/b"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("loaded packages %v, want %v", paths, want)
+	}
+	if prog.ModPath != "shapefix" {
+		t.Fatalf("ModPath = %q", prog.ModPath)
+	}
+	if prog.ByPath["shapefix/a"].Types.Name() != "a" {
+		t.Fatalf("package a not type-checked")
+	}
+}
+
+func writeFile(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

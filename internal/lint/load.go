@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. "x3/internal/cube"
+	Dir   string
+	Files []*ast.File // non-test files, sorted by filename
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole loaded module: every package, one shared FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // sorted by import path
+	ByPath   map[string]*Package
+	ModPath  string
+	RootDir  string
+}
+
+// Load parses and type-checks every non-test package under rootDir (a
+// module root containing go.mod). Only the standard library and the
+// module's own packages may be imported: stdlib imports resolve through
+// go/importer's source importer, module-internal imports recursively
+// through this loader — no x/tools, no export data, no GOPATH.
+func Load(rootDir string) (*Program, error) {
+	rootDir, err := filepath.Abs(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(rootDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		ByPath:  map[string]*Package{},
+		ModPath: modPath,
+		RootDir: rootDir,
+	}
+	dirs, err := packageDirs(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		prog:    prog,
+		std:     importer.ForCompiler(prog.Fset, "source", nil),
+		dirs:    map[string]string{},
+		loading: map[string]bool{},
+	}
+	var paths []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(rootDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[path] = dir
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mod := strings.TrimSpace(rest)
+			if mod != "" {
+				return strings.Trim(mod, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", path)
+}
+
+// packageDirs walks root and returns every directory holding at least one
+// non-test .go file, skipping testdata, hidden and underscore directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// loader resolves imports: module-internal paths load (and type-check)
+// recursively through itself, everything else through the stdlib source
+// importer.
+type loader struct {
+	prog    *Program
+	std     types.Importer
+	dirs    map[string]string // module import path -> directory
+	loading map[string]bool   // import cycle guard
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirs[path]; ok {
+		pkg, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if path == l.prog.ModPath || strings.HasPrefix(path, l.prog.ModPath+"/") {
+		return nil, fmt.Errorf("lint: module package %s not found under %s", path, l.prog.RootDir)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	return l.loadDir(path, l.dirs[path])
+}
+
+func (l *loader) loadDir(path, dir string) (*Package, error) {
+	if pkg, ok := l.prog.ByPath[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.prog.ByPath[path] = pkg
+	l.prog.Packages = append(l.prog.Packages, pkg)
+	return pkg, nil
+}

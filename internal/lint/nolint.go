@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// suppression is one parsed //x3:nolint(...) comment. It silences
+// matching diagnostics on its own line and on the line directly below it
+// (so it can ride at end of line or stand alone above the violation).
+type suppression struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+var nolintRE = regexp.MustCompile(`//x3:nolint\(([^)]*)\)(.*)`)
+
+// collectSuppressions parses every //x3:nolint comment in prog. Malformed
+// suppressions (empty analyzer list or missing reason) are reported
+// immediately as diagnostics of the pseudo-analyzer "nolint".
+func collectSuppressions(prog *Program) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					// Only a comment that IS a suppression counts; prose
+					// mentioning the marker mid-sentence does not.
+					if !strings.HasPrefix(c.Text, "//x3:nolint") {
+						continue
+					}
+					m := nolintRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						diags = append(diags, Diagnostic{
+							Pos:      prog.Fset.Position(c.Pos()),
+							Analyzer: "nolint",
+							Message:  "malformed suppression: want //x3:nolint(analyzer) reason",
+						})
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					var names []string
+					for _, n := range strings.Split(m[1], ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names = append(names, n)
+						}
+					}
+					reason := strings.TrimSpace(m[2])
+					if len(names) == 0 {
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "nolint",
+							Message: "suppression names no analyzer"})
+						continue
+					}
+					if reason == "" {
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "nolint",
+							Message: "suppression without a reason: every //x3:nolint must say why"})
+						continue
+					}
+					sups = append(sups, &suppression{pos: pos, analyzers: names, reason: reason})
+				}
+			}
+		}
+	}
+	return sups, diags
+}
+
+// applySuppressions drops diagnostics covered by a suppression and
+// reports suppressions that covered nothing — a stale //x3:nolint is
+// itself a violation, so exemptions track the code they excuse. Unused
+// suppressions naming an analyzer outside active (a partial run via
+// -analyzers) are left alone.
+func applySuppressions(prog *Program, diags []Diagnostic, active map[string]bool) []Diagnostic {
+	sups, out := collectSuppressions(prog)
+	// Index by (file, line) for the suppression's own line and the next.
+	type lineKey struct {
+		file string
+		line int
+	}
+	byLine := map[lineKey][]*suppression{}
+	for _, s := range sups {
+		byLine[lineKey{s.pos.Filename, s.pos.Line}] = append(byLine[lineKey{s.pos.Filename, s.pos.Line}], s)
+		byLine[lineKey{s.pos.Filename, s.pos.Line + 1}] = append(byLine[lineKey{s.pos.Filename, s.pos.Line + 1}], s)
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range byLine[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			for _, name := range s.analyzers {
+				if name == d.Analyzer {
+					s.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].pos.Filename != sups[j].pos.Filename {
+			return sups[i].pos.Filename < sups[j].pos.Filename
+		}
+		return sups[i].pos.Line < sups[j].pos.Line
+	})
+	for _, s := range sups {
+		if s.used {
+			continue
+		}
+		allActive := true
+		for _, name := range s.analyzers {
+			if !active[name] {
+				allActive = false
+			}
+		}
+		if allActive {
+			out = append(out, Diagnostic{Pos: s.pos, Analyzer: "nolint",
+				Message: "suppression of " + strings.Join(s.analyzers, ",") + " matches no diagnostic; delete it"})
+		}
+	}
+	return out
+}

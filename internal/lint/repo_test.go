@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean is the whole-repo integration gate: loading the
+// actual module and running the full suite must yield zero diagnostics —
+// the same invariant `make lint` enforces in CI. Every intentional
+// exemption in the tree carries a //x3:nolint with a reason; anything
+// surfacing here is either a real violation or a stale suppression.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check is slow; run without -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	if len(prog.Packages) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(prog.Packages))
+	}
+	diags := Run(prog, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d violation(s); fix them or add //x3:nolint(analyzer) with a reason", len(diags))
+	}
+}

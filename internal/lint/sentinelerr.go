@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Sentinelerr returns the analyzer enforcing PR 4's error-classification
+// invariant: sentinel errors (ErrCorrupt, ErrTruncated, ErrCancelled,
+// fault.ErrInjected, io.EOF, ...) travel wrapped, so identity comparison
+// silently misses once any layer adds context. Concretely it flags
+//
+//   - `err == sentinel` / `err != sentinel` (and `switch err { case ... }`)
+//     where both sides are errors — use errors.Is;
+//   - `fmt.Errorf` formatting an error argument with %v/%s/%q — use %w,
+//     or the cause drops out of the errors.Is chain.
+func Sentinelerr() *Analyzer {
+	return &Analyzer{
+		Name: "sentinelerr",
+		Doc:  "errors are classified with errors.Is and wrapped with %w",
+		Run:  runSentinelerr,
+	}
+}
+
+func runSentinelerr(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: prog.Fset.Position(pos), Analyzer: "sentinelerr", Message: msg})
+	}
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if (n.Op == token.EQL || n.Op == token.NEQ) && errorIdentityCompare(info, n.X, n.Y) {
+						report(n.OpPos, "error compared with "+n.Op.String()+"; use errors.Is so wrapped sentinels still match")
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						break
+					}
+					if tv, ok := info.Types[n.Tag]; ok && isErrorType(tv.Type) {
+						report(n.Tag.Pos(), "switch on an error value compares with ==; use errors.Is so wrapped sentinels still match")
+					}
+				case *ast.CallExpr:
+					diags = append(diags, checkErrorfWrap(prog, info, n)...)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// errorIdentityCompare reports whether x == y compares two error values
+// (neither side the nil literal — `err != nil` is the idiom, not a bug).
+func errorIdentityCompare(info *types.Info, x, y ast.Expr) bool {
+	tx, okx := info.Types[x]
+	ty, oky := info.Types[y]
+	if !okx || !oky || tx.IsNil() || ty.IsNil() {
+		return false
+	}
+	return isErrorType(tx.Type) && isErrorType(ty.Type)
+}
+
+// checkErrorfWrap flags fmt.Errorf arguments of type error rendered with
+// a flattening verb instead of %w.
+func checkErrorfWrap(prog *Program, info *types.Info, call *ast.CallExpr) []Diagnostic {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return nil
+	}
+	format, ok := constString(info, call.Args[0])
+	if !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	args := call.Args[1:]
+	for _, v := range formatVerbs(format) {
+		if v.arg >= len(args) {
+			break
+		}
+		if v.verb != 'v' && v.verb != 's' && v.verb != 'q' {
+			continue
+		}
+		tv, ok := info.Types[args[v.arg]]
+		if !ok || tv.IsNil() || !isErrorType(tv.Type) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(args[v.arg].Pos()),
+			Analyzer: "sentinelerr",
+			Message:  "error wrapped with %" + string(v.verb) + " flattens the chain; use %w so errors.Is still sees the cause",
+		})
+	}
+	return diags
+}
+
+// verbUse is one conversion in a format string: which verb consumed which
+// variadic argument.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs maps each conversion in a fmt format string to the variadic
+// argument it consumes, accounting for flags, width/precision and
+// *-consumed arguments. Explicit argument indexes (%[n]d) abort the scan
+// — the repo does not use them, and guessing would misattribute verbs.
+func formatVerbs(format string) []verbUse {
+	var out []verbUse
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(runes) {
+			c := runes[i]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || (c >= '1' && c <= '9') || c == '.' {
+				i++
+				continue
+			}
+			if c == '*' {
+				arg++ // width/precision taken from the arg list
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '[' {
+			return out // explicit argument index: bail conservatively
+		}
+		out = append(out, verbUse{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

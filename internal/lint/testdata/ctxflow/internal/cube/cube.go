@@ -1,0 +1,66 @@
+// Package cube mirrors the layout of the real internal/cube so the
+// path-scoped ctxflow analyzer binds to it.
+package cube
+
+import "context"
+
+// Job stores a context in a struct — flagged.
+type Job struct {
+	Ctx context.Context // want ctxflow "stored in a struct"
+}
+
+// Param is the sanctioned parameter-object exception, suppressed with a
+// reason.
+type Param struct {
+	//x3:nolint(ctxflow) fixture: per-run parameter object, context not retained past Run
+	Ctx context.Context
+}
+
+// Detach fabricates a context below the entry layer — flagged.
+func Detach() context.Context {
+	return context.Background() // want ctxflow "severs cancellation"
+}
+
+// Guard is the sanctioned nil-guard idiom at an entry point — clean.
+func Guard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Spawn starts a goroutine without accepting a context — flagged.
+func Spawn() { // want ctxflow "accepts no context.Context"
+	go func() {}()
+}
+
+// SpawnCtx accepts the context cancellation needs — clean.
+func SpawnCtx(ctx context.Context) {
+	go func() {}()
+}
+
+// SpawnDeep reaches a goroutine through a context-less helper — flagged.
+func SpawnDeep() { // want ctxflow "accepts no context.Context"
+	helper()
+}
+
+func helper() {
+	go func() {}()
+}
+
+// SpawnBoundary crosses into a context-aware helper: that helper is the
+// cancellation boundary, so SpawnBoundary itself is clean.
+func SpawnBoundary() {
+	helperCtx(nil)
+}
+
+func helperCtx(ctx context.Context) {
+	go func() {}()
+}
+
+// SpawnFire is fire-and-forget by design, suppressed with a reason.
+//
+//x3:nolint(ctxflow) fixture: fire-and-forget goroutine outlives the call by design
+func SpawnFire() {
+	go func() {}()
+}

@@ -1,0 +1,20 @@
+// Package outside is NOT one of the ctxflow-scoped packages: the same
+// patterns that are violations inside internal/cube are legal here.
+package outside
+
+import "context"
+
+// Holder may store a context here; ctxflow does not bind to this package.
+type Holder struct {
+	Ctx context.Context
+}
+
+// Fabricate is out of scope — clean.
+func Fabricate() context.Context {
+	return context.Background()
+}
+
+// Spawn is out of scope — clean.
+func Spawn() {
+	go func() {}()
+}

@@ -1,0 +1,72 @@
+// Package cellfile mirrors the real cell-file package: Sink methods and
+// Create* functions are byte-determinism roots for detiter.
+package cellfile
+
+import "sort"
+
+// Sink accumulates rows and emits them.
+type Sink struct {
+	rows map[string]int
+	out  []string
+}
+
+// Flush emits in map order — flagged at the range.
+func (s *Sink) Flush() {
+	for k := range s.rows { // want detiter "map iteration in Sink.Flush"
+		s.out = append(s.out, k)
+	}
+}
+
+// Close collects, sorts, then emits — the sanctioned pattern, suppressed
+// with a reason at the collection range.
+func (s *Sink) Close() {
+	keys := make([]string, 0, len(s.rows))
+	for k := range s.rows { //x3:nolint(detiter) fixture: keys are sorted below before emission
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.out = append(s.out, keys...)
+}
+
+// Create reaches emit's map range through the call graph — the helper is
+// flagged, naming Create as the root.
+func Create() []string {
+	return emit(map[string]int{"a": 1})
+}
+
+// emit is reachable only from Create.
+func emit(rows map[string]int) []string {
+	var out []string
+	for k := range rows { // want detiter "map iteration in emit"
+		out = append(out, k)
+	}
+	return out
+}
+
+// encoder dispatches dynamically; detiter fans interface calls out to
+// every same-named concrete method.
+type encoder interface {
+	Encode(m map[string]int)
+}
+
+// Emit hands the map to an interface — the concrete impl is flagged.
+func (s *Sink) Emit(e encoder, m map[string]int) {
+	e.Encode(m)
+}
+
+type mapEncoder struct{}
+
+// Encode ranges the map — flagged via the interface fan-out from Sink.Emit.
+func (mapEncoder) Encode(m map[string]int) {
+	for range m { // want detiter "map iteration in mapEncoder.Encode"
+	}
+}
+
+// Offline is neither a root nor reachable from one — clean.
+func Offline(rows map[string]int) []string {
+	var out []string
+	for k := range rows {
+		out = append(out, k)
+	}
+	return out
+}

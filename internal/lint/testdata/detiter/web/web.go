@@ -1,0 +1,19 @@
+// Package web exercises the http.ResponseWriter root: response encoders
+// are byte-determinism roots even without a table entry.
+package web
+
+import "net/http"
+
+// Dump encodes a map in iteration order — flagged via the handler root.
+func Dump(w http.ResponseWriter, m map[string]string) {
+	for k, v := range m { // want detiter "map iteration in Dump"
+		w.Write([]byte(k + v))
+	}
+}
+
+// List walks a slice — order is fixed, clean.
+func List(w http.ResponseWriter, items []string) {
+	for _, it := range items {
+		w.Write([]byte(it))
+	}
+}

@@ -1,0 +1,22 @@
+// Package fault mirrors the real injector's exported wrap API: any
+// exported Injector method with a string parameter named "site" fixes a
+// fault-injection site.
+package fault
+
+// Injector decides failures from (seed, site, op).
+type Injector struct{}
+
+// Wrap runs op, possibly failing it at site.
+func (i *Injector) Wrap(site string, op func() error) error {
+	if op == nil {
+		return nil
+	}
+	return op()
+}
+
+// Delay possibly stalls at site.
+func (i *Injector) Delay(site string) {}
+
+// trace is unexported: it passes the site variable along internally and
+// must not be treated as a wrap site.
+func (i *Injector) trace(site string) {}

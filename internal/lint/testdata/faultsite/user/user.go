@@ -1,0 +1,20 @@
+// Package user exercises faultsite against the fixture injector.
+package user
+
+import "faultfix/internal/fault"
+
+// Use wraps operations across the legal and illegal site shapes.
+func Use(inj *fault.Injector, dyn string) error {
+	inj.Delay("user.read") // unique dotted literal: clean
+	if err := inj.Wrap("user.write", nil); err != nil {
+		return err
+	}
+	inj.Delay("user.dup") // want faultsite "2 call sites"
+	inj.Delay("user.dup") // want faultsite "2 call sites"
+	inj.Delay(dyn)        // want faultsite "not a literal"
+	inj.Delay("UserRead") // want faultsite "not a dotted lowercase name"
+
+	//x3:nolint(faultsite) fixture: site is fixed by the test table one frame up
+	inj.Delay(dyn)
+	return nil
+}

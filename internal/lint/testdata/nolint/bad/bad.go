@@ -1,0 +1,13 @@
+// Package bad holds the malformed and stale suppressions the nolint
+// machinery must reject. Expectations live in the test, not in want
+// markers: a second comment cannot share these lines.
+package bad
+
+//x3:nolint(sentinelerr)
+func NoReason() {}
+
+//x3:nolint() dropped the analyzer name
+func NoAnalyzer() {}
+
+//x3:nolint(sentinelerr) stale: nothing on this line or the next violates
+func Unused() {}

@@ -1,0 +1,3 @@
+module nolintfix
+
+go 1.24

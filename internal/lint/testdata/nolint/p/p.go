@@ -1,0 +1,19 @@
+// Package p exercises the two placements of a well-formed suppression:
+// end of the flagged line, and the line directly above it.
+package p
+
+import "errors"
+
+// ErrX is the fixture sentinel.
+var ErrX = errors.New("x")
+
+// IsX suppresses on the flagged line itself.
+func IsX(err error) bool {
+	return err == ErrX //x3:nolint(sentinelerr) fixture: identity comparison is the point here
+}
+
+// IsY suppresses from the line directly above.
+func IsY(err error) bool {
+	//x3:nolint(sentinelerr) fixture: identity comparison is the point here too
+	return err == ErrX
+}

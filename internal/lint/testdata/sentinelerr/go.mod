@@ -1,0 +1,3 @@
+module sefix
+
+go 1.24

@@ -1,0 +1,66 @@
+// Package p exercises sentinelerr: identity comparison of errors,
+// switch-on-error, and fmt.Errorf flattening an error cause.
+package p
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBroken is the fixture sentinel.
+var ErrBroken = errors.New("broken")
+
+// Classify compares error identity — both comparisons flagged.
+func Classify(err error) string {
+	if err == ErrBroken { // want sentinelerr "use errors.Is"
+		return "broken"
+	}
+	if err != io.EOF { // want sentinelerr "use errors.Is"
+		return "other"
+	}
+	return "eof"
+}
+
+// ClassifyOK uses errors.Is, and err != nil is the idiom, not a bug.
+func ClassifyOK(err error) bool {
+	return err != nil && errors.Is(err, ErrBroken)
+}
+
+// Switch compares with == through a switch tag — flagged.
+func Switch(err error) string {
+	switch err { // want sentinelerr "switch on an error value"
+	case ErrBroken:
+		return "broken"
+	}
+	return ""
+}
+
+// SwitchOK has no tag; errors.Is in the cases is the rewrite.
+func SwitchOK(err error) string {
+	switch {
+	case errors.Is(err, ErrBroken):
+		return "broken"
+	}
+	return ""
+}
+
+// Wrap flattens the cause with %v — flagged; %d on the int is fine.
+func Wrap(err error, n int) error {
+	return fmt.Errorf("op %d: %v", n, err) // want sentinelerr "use %w"
+}
+
+// WrapQ flattens with %q after a *-consumed width — flagged.
+func WrapQ(err error, w int) error {
+	return fmt.Errorf("pad %*d cause %q", w, 0, err) // want sentinelerr "use %w"
+}
+
+// WrapOK wraps with %w so errors.Is still sees the cause.
+func WrapOK(err error) error {
+	return fmt.Errorf("op: %w", err)
+}
+
+// Identity deliberately compares identity; suppressed with a reason.
+func Identity(err error) bool {
+	return err == ErrBroken //x3:nolint(sentinelerr) fixture: the sentinel is never wrapped on this path
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"x3/internal/agg"
@@ -92,14 +93,16 @@ func (s *Store) Answer(ctx context.Context, q Query) (*Answer, error) {
 	defer s.mu.RUnlock()
 
 	if err := s.lat.Validate(q.Point); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	live := s.lat.LiveAxes(q.Point)
 	liveSet := make(map[int]bool, len(live))
 	for _, a := range live {
 		liveSet[a] = true
 	}
-	for a := range q.Where {
+	// Ascending axis order, not map order: when several constrained axes
+	// are dead at this point, every run must reject the same one.
+	for _, a := range sortedWhereAxes(q.Where) {
 		if !liveSet[a] {
 			return nil, fmt.Errorf("%w: axis %d is not live at %s", ErrBadRequest, a, s.lat.Label(q.Point))
 		}
@@ -199,7 +202,7 @@ func (s *Store) eachCell(ctx context.Context, pid uint32, reset func(), fn func(
 	if serr == nil || isCancellation(serr) {
 		return true, serr
 	}
-	return true, fmt.Errorf("serve: cuboid %d unreadable (%v); degraded scan: %w", pid, err, serr)
+	return true, fmt.Errorf("serve: cuboid %d unreadable (%w); degraded scan: %w", pid, err, serr)
 }
 
 // answerDirect streams the materialized target cuboid, filtering.
@@ -316,9 +319,20 @@ func (s *Store) answerFromBase(ctx context.Context, q Query, live []int) ([]Row,
 // rowsFromGroups converts an aggregation map into key-sorted rows.
 func rowsFromGroups(groups map[string]agg.State) []Row {
 	rows := make([]Row, 0, len(groups))
-	for k, st := range groups {
+	for k, st := range groups { //x3:nolint(detiter) rows are key-sorted below before anything observes the order
 		rows = append(rows, Row{Key: unpackKey([]byte(k)), State: st})
 	}
 	sortRows(rows)
 	return rows
+}
+
+// sortedWhereAxes returns a Where clause's axes in ascending order, so
+// validation decisions never depend on map iteration order.
+func sortedWhereAxes(where map[int]match.ValueID) []int {
+	axes := make([]int, 0, len(where))
+	for a := range where { //x3:nolint(detiter) axes are sorted below before anything observes the order
+		axes = append(axes, a)
+	}
+	sort.Ints(axes)
+	return axes
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"x3/internal/lattice"
@@ -64,12 +65,25 @@ func (s *Store) PointFromStates(states map[string]string) (lattice.Point, error)
 			return nil, fmt.Errorf("serve: axis %s has no state %q", lad.Spec.Var, want)
 		}
 	}
-	for v := range states {
+	// Sorted order, not map order: when several assignments name unknown
+	// axes, every run must reject the same one.
+	for _, v := range sortedVars(states) {
 		if !used[v] {
 			return nil, fmt.Errorf("serve: query has no axis %q", v)
 		}
 	}
 	return p, nil
+}
+
+// sortedVars returns a string map's keys in sorted order, so request
+// validation and resolution never depend on map iteration order.
+func sortedVars(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m { //x3:nolint(detiter) keys are sorted below before anything observes the order
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }
 
 // axisByVar returns the axis index of a grouping variable.
@@ -90,17 +104,20 @@ func (s *Store) axisByVar(v string) (int, error) {
 func (s *Store) ServeRequest(ctx context.Context, req Request) (*Response, error) {
 	p, err := s.PointFromStates(req.Cuboid)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	q := Query{Point: p}
 	dicts := s.Dicts()
 	unseen := false
 	if len(req.Where) > 0 {
 		q.Where = make(map[int]match.ValueID, len(req.Where))
-		for v, val := range req.Where {
+		// Sorted order, not map order: the first resolution failure is
+		// the one the client sees, so it must be the same every run.
+		for _, v := range sortedVars(req.Where) {
+			val := req.Where[v]
 			a, err := s.axisByVar(v)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+				return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
 			}
 			if s.lat.Deleted(p, a) {
 				return nil, fmt.Errorf("%w: axis %s is deleted at %s", ErrBadRequest, v, s.lat.Label(p))

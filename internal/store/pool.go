@@ -100,7 +100,7 @@ func (p *pool) readPage(pid uint32, buf []byte) error {
 		backoff *= 2
 	}
 	if n == 0 && errors.Is(err, io.EOF) {
-		return fmt.Errorf("%w: read page %d: %v", ErrTruncated, pid, err)
+		return fmt.Errorf("%w: read page %d: %w", ErrTruncated, pid, err)
 	}
 	return fmt.Errorf("store: read page %d: %w", pid, err)
 }

@@ -18,6 +18,10 @@ while read -r pkg floor; do
 		status=1
 		continue
 	fi
+	# Report each package's headroom over its floor, so a shrinking delta
+	# is visible in CI logs before it becomes a failure.
+	delta=$(awk -v a="$pct" -v b="$floor" 'BEGIN { printf "%+.1f", a - b }')
+	echo "cover: $pkg ${pct}% (floor ${floor}%, delta ${delta})"
 	if ! awk -v a="$pct" -v b="$floor" 'BEGIN { exit !(a + 0 >= b + 0) }'; then
 		echo "cover: $pkg at ${pct}% is below its ${floor}% floor" >&2
 		status=1
