@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench-seed bench-pr2 bench-pr3
+.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench-seed bench-pr2 bench-pr3 bench-pr6
 
 ci: vet lint build test race faults cover
 
@@ -26,7 +26,7 @@ test: fuzz-replay
 # testdata/fuzz/) as plain regression tests — no fuzzing engine, so it is
 # cheap enough to ride inside `make test`.
 fuzz-replay:
-	$(GO) test -run '^Fuzz' ./internal/cellfile/ ./internal/pattern/ ./internal/schema/ ./internal/store/ ./internal/xmltree/ ./internal/xq/
+	$(GO) test -run '^Fuzz' ./internal/cellfile/ ./internal/pattern/ ./internal/schema/ ./internal/store/ ./internal/wal/ ./internal/xmltree/ ./internal/xq/
 
 # The concurrent pieces — the shared worker pool behind BUCPAR/TDPAR, the
 # batched sinks, extsort's background run formation and chunked sorts, the
@@ -35,19 +35,21 @@ fuzz-replay:
 race:
 	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/harness/... ./internal/match/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./cmd/x3serve/
 
-# Short fuzz smoke of the query parser, the cell-file readers and the
-# store's meta page (the CI-sized budget).
+# Short fuzz smoke of the query parser, the cell-file readers, the
+# store's meta page and the write-ahead log (the CI-sized budget).
 fuzz:
 	$(GO) test ./internal/xq/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/cellfile/ -fuzz FuzzCellfile -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzStoreMeta -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzWAL -fuzztime 30s
 
 # The fault-injection suite under a fixed deterministic schedule: the
 # differential serving sweep with injected corruption/short reads, the
-# crash-point refresh sweep, degraded-ladder serving off a corrupted
-# file, and the injection/retry tests of every storage layer.
+# crash-point sweeps of refresh, WAL append, flush, compaction and
+# recovery, degraded-ladder serving off a corrupted file, and the
+# injection/retry tests of every storage layer.
 faults:
-	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./cmd/x3serve/
+	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./internal/wal/ ./cmd/x3serve/
 
 # Per-package coverage floors (see scripts/cover_floors.txt): the serving
 # layer and its cell-file substrate must stay above 80% of statements.
@@ -70,3 +72,10 @@ bench-pr2:
 # a cold v1 full scan, the v2 indexed store, and the warm block cache.
 bench-pr3:
 	$(GO) run ./cmd/x3serve -bench -scale 2000 -metrics BENCH_pr3.json
+
+# Regenerate the committed incremental-maintenance snapshot (see
+# EXPERIMENTS.md): WAL-durable append latency, full-lattice query sweeps
+# at 0/1/4/16 outstanding delta generations, and the cost of compacting
+# the ladder back to one base file.
+bench-pr6:
+	$(GO) run ./cmd/x3serve -bench-pr6 -scale 2000 -metrics BENCH_pr6.json

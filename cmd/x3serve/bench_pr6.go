@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// queryDeltaSteps are the outstanding-delta counts the query-latency
+// table is measured at: the cost of per-cell re-aggregation across
+// generations as the ladder grows.
+var queryDeltaSteps = []int{0, 1, 4, 16}
+
+// benchSweeps is how many full-lattice query sweeps each latency
+// measurement averages over.
+const benchSweeps = 3
+
+// runBenchPR6 measures the incremental-maintenance path end to end:
+//
+//	bench.pr6.append     — WAL-durable append latency (parse, evaluate,
+//	                       fsync, memtable fold) per document
+//	bench.pr6.query.N    — full-lattice query sweep latency with N delta
+//	                       generations outstanding (N in 0,1,4,16)
+//	bench.pr6.compact    — merging base + 16 deltas back into one file
+//
+// The store runs with automatic flushing and compaction disabled so each
+// measurement sees exactly the ladder shape it names.
+func runBenchPR6(scale int, metricsPath string, reg *obs.Registry) error {
+	lat, err := lattice.New(dataset.DBLPQuery())
+	if err != nil {
+		return err
+	}
+	baseDoc := dataset.DBLP(dataset.DefaultDBLPConfig(scale, 1))
+	dicts := make([]*match.Dict, lat.NumAxes())
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	set, err := match.EvaluateWith(baseDoc, lat, dicts)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "x3serve-bench-pr6")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	s, err := serve.BuildDir(dir, lat, set, serve.Options{
+		Registry: reg, CacheBlocks: 1 << 16, FlushCells: -1, CompactAfter: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	appendSize := scale / 8
+	if appendSize < 5 {
+		appendSize = 5
+	}
+	nextSeed := int64(100)
+	appendDoc := func() ([]byte, error) {
+		cfg := dataset.DefaultDBLPConfig(appendSize, nextSeed)
+		nextSeed++
+		var buf bytes.Buffer
+		if err := dataset.DBLP(cfg).Write(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	// Append throughput: each Append parses, evaluates, fsyncs the WAL
+	// record and folds the memtable.
+	const throughputAppends = 8
+	appendTimer := reg.Timer("bench.pr6.append")
+	var appendFacts int64
+	for i := 0; i < throughputAppends; i++ {
+		body, err := appendDoc()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		added, err := s.Append(ctx, body)
+		if err != nil {
+			return err
+		}
+		appendTimer.Observe(time.Since(start))
+		appendFacts += added
+	}
+	reg.Counter("bench.pr6.append.facts").Add(appendFacts)
+
+	// Quiesce to a single base generation, then grow the ladder through
+	// the delta steps, sweeping the whole lattice at each.
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	if err := s.Compact(ctx); err != nil {
+		return err
+	}
+	points := lat.Points()
+	for _, want := range queryDeltaSteps {
+		for deltas, _ := s.Generations(); deltas < want; deltas, _ = s.Generations() {
+			body, err := appendDoc()
+			if err != nil {
+				return err
+			}
+			if _, err := s.Append(ctx, body); err != nil {
+				return err
+			}
+			if err := s.Flush(ctx); err != nil {
+				return err
+			}
+		}
+		t := reg.Timer("bench.pr6.query." + strconv.Itoa(want))
+		for sweep := 0; sweep < benchSweeps; sweep++ {
+			for _, p := range points {
+				start := time.Now()
+				if _, err := s.Answer(ctx, serve.Query{Point: p}); err != nil {
+					return err
+				}
+				t.Observe(time.Since(start))
+			}
+		}
+	}
+
+	// Compaction cost: base + 16 deltas back into one file.
+	compactTimer := reg.Timer("bench.pr6.compact")
+	start := time.Now()
+	if err := s.Compact(ctx); err != nil {
+		return err
+	}
+	compactTimer.Observe(time.Since(start))
+
+	fmt.Fprintf(os.Stderr, "x3serve: pr6 bench over %d base articles (+%d per append), %d cuboids\n",
+		scale, appendSize, lat.Size())
+	fmt.Fprintf(os.Stderr, "  append    %12v / doc (%d facts over %d appends)\n",
+		appendTimer.Total()/time.Duration(throughputAppends), appendFacts, throughputAppends)
+	for _, want := range queryDeltaSteps {
+		t := reg.Timer("bench.pr6.query." + strconv.Itoa(want))
+		n := int64(len(points) * benchSweeps)
+		fmt.Fprintf(os.Stderr, "  query@%-3d %12v / query\n", want, t.Total()/time.Duration(n))
+	}
+	fmt.Fprintf(os.Stderr, "  compact   %12v (%d cells, %d input files)\n",
+		compactTimer.Total(), reg.Counter("compact.cells").Value(), reg.Counter("compact.inputs").Value())
+	if metricsPath != "" {
+		if err := reg.WriteJSONFile(metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "x3serve: metrics written to %s\n", metricsPath)
+	}
+	return nil
+}

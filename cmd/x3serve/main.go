@@ -7,14 +7,26 @@
 //
 //	x3serve -xml dblp.xml -queryfile q.xq -addr :8733
 //	x3serve -xml dblp.xml -queryfile q.xq -views 5 -cells cube.x3ci
+//	x3serve -xml dblp.xml -queryfile q.xq -store /var/lib/x3/dblp
 //	x3serve -bench -scale 200 -metrics BENCH_pr3.json
+//	x3serve -bench-pr6 -scale 200 -metrics BENCH_pr6.json
+//
+// With -store DIR the cube lives as a delta-ladder store: a manifest of
+// generation cell files plus a write-ahead log. Appends are fsynced to
+// the log before they are served, flushed delta generations accumulate,
+// and a background compactor merges them back into a single base file.
+// If DIR already holds a manifest the store is recovered from it (the
+// WAL replay rebuilds anything not yet flushed); otherwise it is built
+// fresh from the -xml input.
 //
 // Endpoints:
 //
-//	POST /query    {"cuboid":{"$a":"LND"},"where":{"$j":"tods"}} → rows
-//	POST /refresh  XML document body → facts folded into the cube
-//	GET  /cuboids  materialized cuboids and their cell counts
-//	GET  /metrics  serve.* counters, cache hit rates, latency timers
+//	POST /query       {"cuboid":{"$a":"LND"},"where":{"$j":"tods"}} → rows
+//	POST /refresh     XML document body → facts folded into the cube
+//	POST /append      XML document body → WAL-durable incremental append
+//	GET  /generations delta-ladder shape: outstanding deltas, memtable cells
+//	GET  /cuboids     materialized cuboids and their cell counts
+//	GET  /metrics     serve.* counters, cache hit rates, latency timers
 package main
 
 import (
@@ -51,9 +63,13 @@ func main() {
 		algorithm = flag.String("algorithm", "COUNTER", "cube algorithm for the initial build")
 		views     = flag.Int("views", 0, "materialize only the top-k cuboids by greedy view selection (0 = all)")
 		cellsPath = flag.String("cells", "", "indexed cell file path (default: a temp file)")
+		storeDir  = flag.String("store", "", "delta-ladder store directory (existing manifest → recover, else build); enables /append")
+		flushN    = flag.Int("flush-cells", 0, "memtable cells that trigger an automatic flush (0 = default, negative = manual only)")
+		compactN  = flag.Int("compact-after", 0, "outstanding deltas that trigger background compaction (0 = default, negative = manual only)")
 		addr      = flag.String("addr", ":8733", "HTTP listen address")
 		cache     = flag.Int("cache", 64, "LRU block cache size in blocks (negative disables)")
 		bench     = flag.Bool("bench", false, "run the serve-latency benchmark (cold scan vs indexed vs cached) and exit")
+		benchPR6  = flag.Bool("bench-pr6", false, "run the incremental-maintenance benchmark (append throughput, delta-ladder query latency, compaction) and exit")
 		scale     = flag.Int("scale", 200, "benchmark dataset size in DBLP articles")
 		metrics   = flag.String("metrics", "", "write metrics as JSON here")
 
@@ -72,31 +88,60 @@ func main() {
 		}
 		return
 	}
+	if *benchPR6 {
+		if err := runBenchPR6(*scale, *metrics, reg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	lat, set, props, err := buildInputs(*xmlPath, *queryText, *queryFile, *dtdFile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	path := *cellsPath
-	if path == "" {
-		dir, err := os.MkdirTemp("", "x3serve")
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer os.RemoveAll(dir)
-		path = filepath.Join(dir, "cube.x3ci")
+	opt := serve.Options{
+		Algorithm:    *algorithm,
+		Views:        *views,
+		CacheBlocks:  *cache,
+		Props:        props,
+		Registry:     reg,
+		FlushCells:   *flushN,
+		CompactAfter: *compactN,
 	}
-	store, err := serve.Build(path, lat, set, serve.Options{
-		Algorithm:   *algorithm,
-		Views:       *views,
-		CacheBlocks: *cache,
-		Props:       props,
-		Registry:    reg,
-	})
+	var store *serve.Store
+	if *storeDir != "" {
+		// Delta-ladder mode: a manifest already in the directory means a
+		// previous run's state — recover it (manifest + WAL replay) rather
+		// than rebuild.
+		if _, serr := os.Stat(filepath.Join(*storeDir, "MANIFEST.json")); serr == nil {
+			store, err = serve.OpenDir(*storeDir, lat, set, opt)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "x3serve: recovered store %s (next WAL seq %d)\n", *storeDir, store.NextSeq())
+			}
+		} else {
+			store, err = serve.BuildDir(*storeDir, lat, set, opt)
+		}
+	} else {
+		path := *cellsPath
+		if path == "" {
+			dir, err := os.MkdirTemp("", "x3serve")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path = filepath.Join(dir, "cube.x3ci")
+		}
+		store, err = serve.Build(path, lat, set, opt)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer store.Close()
+	// The background compactor is a no-op for single-file stores; for
+	// ladder stores each flush that crosses the threshold signals it.
+	compactCtx, stopCompact := context.WithCancel(context.Background())
+	defer stopCompact()
+	go store.CompactLoop(compactCtx)
 	for _, mc := range store.Materialized() {
 		fmt.Fprintf(os.Stderr, "x3serve: materialized %-50s %8d cells\n", mc.Label, mc.Cells)
 	}

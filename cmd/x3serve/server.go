@@ -32,7 +32,8 @@ type serverOptions struct {
 
 // newServer wires a serving store into an http.Handler. The handler is
 // safe for concurrent use: queries run under the store's read lock and
-// refreshes swap state atomically, so mixed traffic never tears. The
+// refreshes, appends and flushes swap state atomically, so mixed traffic
+// never tears. The
 // middleware chain (outermost first) recovers panics, sheds load beyond
 // maxInFlight, and imposes the per-request deadline; handlers pass the
 // request context down so a client disconnect or an expired deadline
@@ -66,6 +67,30 @@ func newServer(s *serve.Store, reg *obs.Registry, opt serverOptions) http.Handle
 			return
 		}
 		writeJSON(w, map[string]int64{"added": added})
+	})
+
+	mux.HandleFunc("POST /append", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+		if err != nil {
+			httpError(w, fmt.Errorf("%w: %w", serve.ErrBadRequest, err))
+			return
+		}
+		added, err := s.Append(r.Context(), body)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		deltas, memCells := s.Generations()
+		writeJSON(w, map[string]int64{"added": added, "deltas": int64(deltas), "mem_cells": memCells})
+	})
+
+	mux.HandleFunc("GET /generations", func(w http.ResponseWriter, r *http.Request) {
+		deltas, memCells := s.Generations()
+		writeJSON(w, map[string]any{
+			"dir":       s.Dir(),
+			"deltas":    deltas,
+			"mem_cells": memCells,
+		})
 	})
 
 	mux.HandleFunc("GET /cuboids", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,155 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+
+	"x3/internal/agg"
+	"x3/internal/match"
+	"x3/internal/obs"
+)
+
+// TestDeltaEqualsOracle pins the delta memtable against the oracle: for
+// an append batch, base-oracle cells merged with the delta's cells must
+// equal the oracle over the whole fact set, per cuboid and per group.
+func TestDeltaEqualsOracle(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*991 + 7))
+		shape := [][]int{{1, 1}, {2, 1}, {3, 1, 1}}[trial%3]
+		lat, set := synthSet(t, rng, shape, 180, 5, 0.2, 0.3)
+		full, err := RunOracle(lat, set, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, b2 := splitSet(set, 100)
+		base, err := RunOracle(lat, b1, set.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d := NewDelta(lat, nil)
+		added, err := d.Absorb(b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != int64(b2.NumFacts()) || d.Facts() != added {
+			t.Fatalf("absorbed %d (Facts %d), want %d", added, d.Facts(), b2.NumFacts())
+		}
+
+		// Merge delta into the base result and compare against full.
+		err = d.Each(func(pid uint32, key []match.ValueID, s agg.State) error {
+			cells := base.Cuboids[pid]
+			if cells == nil {
+				cells = map[string]agg.State{}
+				base.Cuboids[pid] = cells
+			}
+			k := string(packKey(nil, key))
+			st, ok := cells[k]
+			st.Merge(s)
+			cells[k] = st
+			if !ok {
+				base.Cells++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameResults(full, base); err != nil {
+			t.Fatalf("trial %d (%v): base+delta differs from oracle: %v", trial, shape, err)
+		}
+	}
+}
+
+// TestDeltaKeepSetFilters pins that a keep set restricts accumulation to
+// exactly the listed cuboids and that EachCuboid/CuboidCells agree with
+// Each.
+func TestDeltaKeepSetFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lat, set := synthSet(t, rng, []int{2, 1}, 120, 4, 0.1, 0.2)
+	want, err := RunOracle(lat, set, set.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep []uint32
+	for _, p := range lat.Points() {
+		if pid := lat.ID(p); pid%2 == 0 {
+			keep = append(keep, pid)
+		}
+	}
+	d := NewDelta(lat, keep)
+	if _, err := d.Absorb(set); err != nil {
+		t.Fatal(err)
+	}
+	inKeep := map[uint32]bool{}
+	for _, pid := range keep {
+		inKeep[pid] = true
+	}
+	for _, pid := range d.Points() {
+		if !inKeep[pid] {
+			t.Fatalf("cuboid %d accumulated outside the keep set", pid)
+		}
+	}
+	var total int64
+	for _, pid := range keep {
+		cells := want.Cuboids[pid]
+		var got int64
+		err := d.EachCuboid(pid, func(key []match.ValueID, s agg.State) error {
+			got++
+			k := string(packKey(nil, key))
+			w, ok := cells[k]
+			if !ok {
+				t.Fatalf("cuboid %d: delta holds group absent from oracle", pid)
+			}
+			if w != s {
+				t.Fatalf("cuboid %d group state %+v, oracle %+v", pid, s, w)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != int64(len(cells)) || got != d.CuboidCells(pid) {
+			t.Fatalf("cuboid %d: %d cells, oracle %d, CuboidCells %d", pid, got, len(cells), d.CuboidCells(pid))
+		}
+		total += got
+	}
+	if d.Cells() != total {
+		t.Fatalf("Cells() = %d, summed %d", d.Cells(), total)
+	}
+}
+
+// TestDeltaReset pins that a reset delta re-absorbs from scratch.
+func TestDeltaReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lat, set := synthSet(t, rng, []int{1, 1}, 80, 4, 0, 0)
+	d := NewDelta(lat, nil)
+	if _, err := d.Absorb(set); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Cells()
+	d.Reset()
+	if d.Cells() != 0 || d.Facts() != 0 || len(d.Points()) != 0 {
+		t.Fatalf("reset delta still holds %d cells, %d facts", d.Cells(), d.Facts())
+	}
+	if _, err := d.Absorb(set); err != nil {
+		t.Fatal(err)
+	}
+	if d.Cells() != before {
+		t.Fatalf("re-absorbed %d cells, first pass had %d", d.Cells(), before)
+	}
+	reg := obs.New()
+	d.FlushObs(reg)
+}
+
+// TestDeltaRefusesIceberg mirrors Maintain's refusal.
+func TestDeltaRefusesIceberg(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	lat, set := synthSet(t, rng, []int{1}, 40, 3, 0, 0)
+	lat.Query.MinSupport = 5
+	defer func() { lat.Query.MinSupport = 0 }()
+	d := NewDelta(lat, nil)
+	if _, err := d.Absorb(set); err == nil {
+		t.Fatal("iceberg delta accepted")
+	}
+}

@@ -25,17 +25,27 @@ type mergeSource interface {
 type loserTree struct {
 	nodes []int // nodes[0] = winner; nodes[1:] = losers, -1 = unplayed
 	srcs  []mergeSource
+	cmp   func(a, b []byte) int
 }
 
-// newLoserTree builds the bracket; every source must already be positioned
-// on its first row (or exhausted).
+// newLoserTree builds the bracket over byte-ordered rows; every source
+// must already be positioned on its first row (or exhausted).
 func newLoserTree(srcs []mergeSource) *loserTree {
+	return newLoserTreeCmp(srcs, nil)
+}
+
+// newLoserTreeCmp builds the bracket with a caller-supplied row order;
+// nil cmp means bytes.Compare.
+func newLoserTreeCmp(srcs []mergeSource, cmp func(a, b []byte) int) *loserTree {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
 	k := len(srcs)
 	n := k
 	if n < 1 {
 		n = 1
 	}
-	lt := &loserTree{srcs: srcs, nodes: make([]int, n)}
+	lt := &loserTree{srcs: srcs, nodes: make([]int, n), cmp: cmp}
 	for i := range lt.nodes {
 		lt.nodes[i] = -1
 	}
@@ -54,7 +64,7 @@ func (lt *loserTree) less(i, j int) bool {
 	if a == nil {
 		return false
 	}
-	if c := bytes.Compare(a, b); c != 0 {
+	if c := lt.cmp(a, b); c != 0 {
 		return c < 0
 	}
 	return i < j

@@ -1,0 +1,68 @@
+package extsort
+
+import (
+	"context"
+	"fmt"
+)
+
+// MergeSource is one sorted input of an exported k-way merge — the
+// generation files of the serving layer's delta ladder implement it over
+// their cell streams.
+type MergeSource interface {
+	// Cur returns the current row, or nil when the source is exhausted.
+	// The slice is only valid until the following Next call.
+	Cur() []byte
+	// Next advances to the following row (io.EOF is consumed, not
+	// returned; after the last row Cur reports nil).
+	Next() error
+}
+
+// mergeCheckEvery is how many emitted rows pass between context checks:
+// cancellation latency stays bounded without taxing the per-row path.
+const mergeCheckEvery = 4096
+
+// Merge streams the union of k sorted sources to emit in cmp order,
+// using the same loser-tree tournament the sorter's spill merge plays.
+// Ties break toward the lower source index — callers ordering sources
+// old-to-new get a stable, deterministic interleave. cmp nil means
+// bytes.Compare. emit receives the winning source's index alongside the
+// row; the row slice is only valid during the call. ctx is consulted
+// every few thousand rows; nil never cancels. An error from emit or from
+// a source's Next aborts the merge and is returned.
+func Merge(ctx context.Context, srcs []MergeSource, cmp func(a, b []byte) int, emit func(src int, row []byte) error) error {
+	if len(srcs) == 0 {
+		return nil
+	}
+	wrapped := make([]mergeSource, len(srcs))
+	for i, s := range srcs {
+		wrapped[i] = &fnSource{s: s}
+	}
+	lt := newLoserTreeCmp(wrapped, cmp)
+	n := 0
+	for {
+		w := lt.winner()
+		row := lt.srcs[w].cur()
+		if row == nil {
+			return nil
+		}
+		if n%mergeCheckEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
+		n++
+		if err := emit(w, row); err != nil {
+			return err
+		}
+		if err := lt.srcs[w].next(); err != nil {
+			return fmt.Errorf("extsort: merge source %d: %w", w, err)
+		}
+		lt.replay()
+	}
+}
+
+// fnSource adapts the exported MergeSource to the internal interface.
+type fnSource struct{ s MergeSource }
+
+func (f *fnSource) cur() []byte { return f.s.Cur() }
+func (f *fnSource) next() error { return f.s.Next() }

@@ -1,0 +1,110 @@
+package extsort
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// sliceSource is a MergeSource over fixed rows.
+type sliceSource struct {
+	rows [][]byte
+	pos  int
+}
+
+func (s *sliceSource) Cur() []byte {
+	if s.pos < len(s.rows) {
+		return s.rows[s.pos]
+	}
+	return nil
+}
+
+func (s *sliceSource) Next() error { s.pos++; return nil }
+
+func rows(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestMergeInterleaves(t *testing.T) {
+	srcs := []MergeSource{
+		&sliceSource{rows: rows("a", "c", "e")},
+		&sliceSource{rows: rows("b", "c", "d")},
+		&sliceSource{rows: rows()},
+	}
+	var got []string
+	var from []int
+	err := Merge(context.Background(), srcs, nil, func(src int, row []byte) error {
+		got = append(got, string(row))
+		from = append(from, src)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %q", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %q, want %q", got, want)
+		}
+	}
+	// Ties break to the lower source: the two "c" rows arrive 0 then 1.
+	if from[2] != 0 || from[3] != 1 {
+		t.Fatalf("tie order %v, want source 0 before source 1", from)
+	}
+}
+
+func TestMergeCustomCmp(t *testing.T) {
+	// Order by the last byte only; prefixes differ so bytes.Compare would
+	// interleave differently.
+	cmp := func(a, b []byte) int { return bytes.Compare(a[len(a)-1:], b[len(b)-1:]) }
+	srcs := []MergeSource{
+		&sliceSource{rows: rows("z1", "a3")},
+		&sliceSource{rows: rows("m2")},
+	}
+	var got []string
+	if err := Merge(nil, srcs, cmp, func(_ int, row []byte) error {
+		got = append(got, string(row))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "z1" || got[1] != "m2" || got[2] != "a3" {
+		t.Fatalf("merged %q", got)
+	}
+}
+
+func TestMergeEmitError(t *testing.T) {
+	boom := errors.New("boom")
+	srcs := []MergeSource{&sliceSource{rows: rows("a", "b")}}
+	err := Merge(context.Background(), srcs, nil, func(int, []byte) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+}
+
+func TestMergeCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srcs := []MergeSource{&sliceSource{rows: rows("a")}}
+	err := Merge(ctx, srcs, nil, func(int, []byte) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if err := Merge(context.Background(), nil, nil, func(int, []byte) error {
+		t.Fatal("emit called on empty merge")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

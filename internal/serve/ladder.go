@@ -1,0 +1,707 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"x3/internal/agg"
+	"x3/internal/cellfile"
+	"x3/internal/cube"
+	"x3/internal/extsort"
+	"x3/internal/fault"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/wal"
+	"x3/internal/xmltree"
+)
+
+// This file is the log-structured incremental-maintenance path: a store
+// built with BuildDir owns a directory of generation-numbered cell files
+// described by a manifest, a write-ahead log, and an in-memory delta
+// cell table (cube.Delta). The write lifecycle is
+//
+//	Append: document → WAL (fsync; the durability point) → memtable
+//	Flush:  memtable → sorted delta cell file → manifest swap
+//	Compact: base + deltas → merged base file → manifest swap
+//
+// and the read path (planner.go) re-aggregates base + deltas + memtable
+// per cell, which is exact because the supported aggregates are
+// distributive across the disjoint per-generation fact sets. Every state
+// transition is ordered so that a crash (or injected fault) at any point
+// leaves the store recoverable to exactly the pre-crash acknowledged
+// state: cell files are synced, validated by re-opening, and renamed
+// into place before the manifest adopts them; the manifest itself swaps
+// atomically; and recovery replays the WAL — the system of record for
+// the append history — to rebuild dictionaries, base facts, and the
+// unflushed memtable.
+
+// defaultFlushCells is the memtable size that triggers an automatic
+// flush after an append.
+const defaultFlushCells = 4096
+
+// defaultCompactAfter is the outstanding-delta count that signals the
+// background compactor after a flush.
+const defaultCompactAfter = 4
+
+// BuildDir computes the cube of lat over base and materializes it as a
+// delta-ladder store in dir: a base generation cell file, a manifest,
+// and an empty write-ahead log. The returned store accepts Append.
+func BuildDir(dir string, lat *lattice.Lattice, base *match.Set, opt Options) (*Store, error) {
+	res, props, measured, keep, err := computeCube(lat, base, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	man := manifest{
+		Version: manifestVersion,
+		NextGen: 1,
+		Base:    genName("base", 0),
+		Keep:    sortedKeep(keep),
+		Applied: 1,
+	}
+	s := newStore(filepath.Join(dir, man.Base), lat, base, props, measured, opt)
+	s.initLadder(dir, man, opt)
+
+	rdr, err := s.writeStoreAt(s.path, res, keep)
+	if err != nil {
+		return nil, err
+	}
+	s.adoptReader(rdr)
+	s.rdr = rdr
+	s.mem = cube.NewDelta(lat, s.man.Keep)
+
+	w, err := wal.Create(filepath.Join(dir, walName), wal.Options{Fault: opt.Fault, Registry: opt.Registry})
+	if err != nil {
+		rdr.Close()
+		return nil, err
+	}
+	s.walW = w
+	s.nextSeq = 1
+	if err := writeManifest(dir, man, s.fault); err != nil {
+		w.Close()
+		rdr.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenDir opens an existing delta-ladder store: the manifest names the
+// generations, orphaned files from interrupted flushes or compactions
+// are swept, and the write-ahead log is replayed — rebuilding the
+// dictionaries and base facts deterministically and folding the records
+// past the manifest's Applied horizon back into the memtable. base must
+// be the same base fact set the store was built over (the cell files
+// hold cube cells, not facts; the fact table is re-derived). A torn WAL
+// tail — a crash mid-append — is cut at the last clean record.
+func OpenDir(dir string, lat *lattice.Lattice, base *match.Set, opt Options) (*Store, error) {
+	if lat.Query.MinSupport > 1 {
+		return nil, fmt.Errorf("serve: cannot serve an iceberg cube (HAVING >= %d)", lat.Query.MinSupport)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	sweepOrphans(dir, man)
+
+	s := newStore(filepath.Join(dir, man.Base), lat, base, opt.Props, opt.Props == nil, opt)
+	s.initLadder(dir, man, opt)
+
+	rdr, err := cellfile.OpenIndexedWith(s.path, cellfile.ReadOptions{Fault: s.fault, Retries: s.retries})
+	if err != nil {
+		return nil, err
+	}
+	s.adoptReader(rdr)
+	s.rdr = rdr
+	for _, name := range man.Deltas {
+		d, err := cellfile.OpenIndexedWith(filepath.Join(dir, name), cellfile.ReadOptions{Fault: s.fault, Retries: s.retries})
+		if err != nil {
+			s.closeReaders()
+			return nil, err
+		}
+		s.adoptReader(d)
+		s.deltas = append(s.deltas, d)
+	}
+
+	// Replay the WAL over a private dictionary clone: value IDs are
+	// assigned in replay order, reproducing exactly the IDs the live
+	// store interned when the records were appended.
+	dicts := cloneDicts(base.Dicts)
+	facts := append([]*match.Fact(nil), base.Facts...)
+	s.mem = cube.NewDelta(lat, man.Keep)
+	walPath := filepath.Join(dir, walName)
+	res, err := wal.Replay(walPath, wal.Options{Fault: opt.Fault, Registry: opt.Registry}, func(r wal.Record) error {
+		doc, err := xmltree.Parse(bytes.NewReader(r.Payload))
+		if err != nil {
+			return fmt.Errorf("serve: wal record %d: %w", r.Seq, err)
+		}
+		delta, err := match.EvaluateWith(doc, lat, dicts)
+		if err != nil {
+			return fmt.Errorf("serve: wal record %d: %w", r.Seq, err)
+		}
+		facts = append(facts, delta.Facts...)
+		if r.Seq >= man.Applied {
+			if _, err := s.mem.Absorb(delta); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if errors.Is(err, wal.ErrTruncated) && !fault.IsInjected(err) {
+		// The torn tail of a crashed append: nothing past Good was ever
+		// acknowledged. Cut it and continue. An *injected* short read is
+		// excluded — a transient fault that merely looks like a torn tail
+		// must fail the open, not cut durable records.
+		if terr := wal.Truncate(walPath, res.Good); terr != nil {
+			s.closeReaders()
+			return nil, terr
+		}
+	} else if err != nil {
+		s.closeReaders()
+		return nil, err
+	}
+	s.nextSeq = res.NextSeq
+	if s.nextSeq < man.Applied {
+		s.nextSeq = man.Applied
+	}
+	if s.nextSeq == 0 {
+		s.nextSeq = 1
+	}
+	s.base = &match.Set{Lattice: lat, Dicts: dicts, Facts: facts}
+	s.dicts = dicts
+
+	if s.measured {
+		props, err := cube.MeasureProps(lat, s.base)
+		if err != nil {
+			s.closeReaders()
+			return nil, err
+		}
+		s.props = props
+	}
+
+	w, err := wal.OpenAppend(walPath, wal.Options{Fault: opt.Fault, Registry: opt.Registry})
+	if err != nil {
+		s.closeReaders()
+		return nil, err
+	}
+	s.walW = w
+	return s, nil
+}
+
+// initLadder sets the ladder-mode fields common to BuildDir and OpenDir.
+func (s *Store) initLadder(dir string, man manifest, opt Options) {
+	s.dir = dir
+	s.man = man
+	s.keepSorted = man.Keep
+	s.keep = make(map[uint32]bool, len(man.Keep))
+	for _, pid := range man.Keep {
+		s.keep[pid] = true
+	}
+	s.flushCells = int64(opt.FlushCells)
+	if s.flushCells == 0 {
+		s.flushCells = defaultFlushCells
+	}
+	s.compactAfter = opt.CompactAfter
+	if s.compactAfter == 0 {
+		s.compactAfter = defaultCompactAfter
+	}
+	s.compactCh = make(chan struct{}, 1)
+}
+
+// genName builds a generation file name ("base-000007.x3ci").
+func genName(kind string, gen int) string {
+	return fmt.Sprintf("%s-%06d.x3ci", kind, gen)
+}
+
+// sortedKeep flattens a keep set into the manifest's sorted pid list.
+func sortedKeep(keep map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(keep))
+	for pid := range keep {
+		out = append(out, pid)
+	}
+	sortUint32(out)
+	return out
+}
+
+// cloneDicts deep-copies per-axis dictionaries, preserving ID order.
+func cloneDicts(dicts []*match.Dict) []*match.Dict {
+	out := make([]*match.Dict, len(dicts))
+	for i, d := range dicts {
+		nd := match.NewDict()
+		for _, v := range d.Values() {
+			nd.ID(v)
+		}
+		out[i] = nd
+	}
+	return out
+}
+
+// Dir returns the store's generation directory ("" for single-file
+// stores built with Build).
+func (s *Store) Dir() string { return s.dir }
+
+// Generations reports the ladder's current shape: outstanding delta
+// files and memtable cells. Single-file stores report zeros.
+func (s *Store) Generations() (deltas int, memCells int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mem == nil {
+		return 0, 0
+	}
+	return len(s.deltas), s.mem.Cells()
+}
+
+// NextSeq returns the next write-ahead-log sequence number to be
+// assigned (ladder stores only).
+func (s *Store) NextSeq() uint64 {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.nextSeq
+}
+
+// staged is a fully evaluated append, ready to commit: every fallible
+// step (parse, dictionary interning, evaluation, property measurement)
+// happens before the WAL write, so once the record is durable the
+// in-memory commit cannot fail and the recovered state always equals the
+// live post-append state.
+type staged struct {
+	body  []byte
+	delta *match.Set
+	dicts []*match.Dict
+	base  *match.Set
+	props cube.Props
+}
+
+// stage parses and evaluates an appended document against a clone of the
+// store's current dictionaries.
+func (s *Store) stage(body []byte) (*staged, error) {
+	doc, err := xmltree.Parse(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	s.mu.RLock()
+	oldBase := s.base
+	s.mu.RUnlock()
+	dicts := cloneDicts(oldBase.Dicts)
+	delta, err := match.EvaluateWith(doc, s.lat, dicts)
+	if err != nil {
+		return nil, err
+	}
+	facts := make([]*match.Fact, 0, len(oldBase.Facts)+len(delta.Facts))
+	facts = append(facts, oldBase.Facts...)
+	facts = append(facts, delta.Facts...)
+	newBase := &match.Set{Lattice: s.lat, Dicts: dicts, Facts: facts}
+	props := s.props
+	if s.measured {
+		mp, err := cube.MeasureProps(s.lat, newBase)
+		if err != nil {
+			return nil, err
+		}
+		props = mp
+	}
+	return &staged{body: body, delta: delta, dicts: dicts, base: newBase, props: props}, nil
+}
+
+// commit folds a staged append into the live state under the store lock.
+func (s *Store) commit(st *staged) (int64, error) {
+	s.mu.Lock()
+	added, err := s.mem.Absorb(st.delta)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.base = st.base
+	s.dicts = st.dicts
+	s.props = st.props
+	s.mu.Unlock()
+	s.nextSeq++
+	return added, nil
+}
+
+// Append makes one XML document durable and serveable: the raw bytes are
+// evaluated against the store's query, appended to the write-ahead log
+// (fsynced — the durability point), and folded into the in-memory delta
+// table. Queries see the new facts immediately; a crash after Append
+// returns recovers them from the log. When the memtable reaches the
+// flush threshold the append also flushes it as a delta generation.
+// Returns the number of facts the document contributed.
+func (s *Store) Append(ctx context.Context, body []byte) (int64, error) {
+	if s.dir == "" {
+		return 0, fmt.Errorf("%w: store has no write-ahead log (built with Build, not BuildDir)", ErrBadRequest)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.appendLocked(ctx, body)
+}
+
+func (s *Store) appendLocked(ctx context.Context, body []byte) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	st, err := s.stage(body)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.walW.Append(s.nextSeq, st.body); err != nil {
+		return 0, err
+	}
+	added, err := s.commit(st)
+	if err != nil {
+		return 0, err
+	}
+	s.reg.Counter("serve.appends").Inc()
+	s.reg.Counter("serve.append.facts").Add(added)
+	if s.flushCells > 0 && s.mem.Cells() >= s.flushCells {
+		if err := s.flushLocked(ctx); err != nil {
+			return added, err
+		}
+	}
+	return added, nil
+}
+
+// Flush writes the memtable out as a sorted delta generation and swaps
+// the manifest to adopt it. An empty memtable is a no-op. On return the
+// flushed cells are served from the delta file and the WAL records they
+// came from are marked applied (replay skips re-folding them).
+func (s *Store) Flush(ctx context.Context) error {
+	if s.dir == "" {
+		return fmt.Errorf("%w: store has no delta ladder (built with Build, not BuildDir)", ErrBadRequest)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.flushLocked(ctx)
+}
+
+func (s *Store) flushLocked(ctx context.Context) error {
+	if s.mem.Cells() == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	name := genName("delta", s.man.NextGen)
+	full := filepath.Join(s.dir, name)
+	tmp := full + ".tmp"
+	sink := cellfile.CreateIndexed(tmp)
+	sink.BlockCells = s.blockCells
+	sink.Fault = s.fault
+	err := s.mem.Each(func(pid uint32, key []match.ValueID, st agg.State) error {
+		return sink.Cell(pid, key, st)
+	})
+	if err != nil {
+		sink.Close()
+		os.Remove(tmp)
+		return err
+	}
+	cells := sink.Cells()
+	if err := sink.Close(); err != nil {
+		return err // the sink removes tmp on a failed close
+	}
+	// Validate the new generation by re-opening it before the manifest
+	// may adopt it; the open reader follows the inode through the rename.
+	rdr, err := cellfile.OpenIndexedWith(tmp, cellfile.ReadOptions{Fault: s.fault, Retries: s.retries})
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, full); err != nil {
+		rdr.Close()
+		os.Remove(tmp)
+		return err
+	}
+	s.adoptReader(rdr)
+
+	newMan := s.man
+	newMan.Deltas = append(append([]string(nil), s.man.Deltas...), name)
+	newMan.NextGen++
+	newMan.Applied = s.nextSeq
+	if err := writeManifest(s.dir, newMan, s.fault); err != nil {
+		// The orphaned delta file is swept on the next open.
+		rdr.Close()
+		os.Remove(full)
+		return err
+	}
+	s.man = newMan
+
+	old := s.mem
+	fresh := cube.NewDelta(s.lat, s.man.Keep)
+	s.mu.Lock()
+	s.deltas = append(s.deltas, rdr)
+	s.mem = fresh
+	s.mu.Unlock()
+	old.FlushObs(s.reg)
+
+	s.reg.Counter("serve.flush.runs").Inc()
+	s.reg.Counter("serve.flush.cells").Add(cells)
+	if s.compactAfter > 0 && len(s.deltas) >= s.compactAfter {
+		select {
+		case s.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// cellRows adapts a generation file's cell stream to the merge's row
+// shape: [4-byte big-endian point | packed key | encoded state]. The
+// point+key prefix is the merge ordering; the state trails so equal
+// prefixes from different generations merge.
+type cellRows struct {
+	it  *cellfile.CellIterator
+	row []byte
+}
+
+func newCellRows(r *cellfile.IndexedReader) (*cellRows, error) {
+	c := &cellRows{it: r.Iterate()}
+	return c, c.Next()
+}
+
+func (c *cellRows) Cur() []byte { return c.row }
+
+func (c *cellRows) Next() error {
+	cell, err := c.it.Next()
+	if err != nil {
+		c.row = nil
+		return err
+	}
+	if cell == nil {
+		c.row = nil
+		return nil
+	}
+	row := c.row[:0]
+	row = append(row, byte(cell.Point>>24), byte(cell.Point>>16), byte(cell.Point>>8), byte(cell.Point))
+	row = packKey(row, cell.Key)
+	var enc [agg.EncodedSize]byte
+	cell.State.Encode(enc[:])
+	c.row = append(row, enc[:]...)
+	return nil
+}
+
+// rowPrefix returns the merge-ordering prefix (point + key) of a row.
+func rowPrefix(row []byte) []byte { return row[:len(row)-agg.EncodedSize] }
+
+// Compact merges the base generation and every outstanding delta into a
+// new base file — the loser-tree k-way merge of extsort, with equal
+// (cuboid, group) cells re-aggregated across generations — and swaps the
+// manifest to the single merged generation. The memtable and WAL are
+// untouched: compaction changes the file layout, never the answer.
+// Cancellable via ctx; a failure or crash at any point leaves the old
+// generation set serving.
+func (s *Store) Compact(ctx context.Context) error {
+	if s.dir == "" {
+		return fmt.Errorf("%w: store has no delta ladder (built with Build, not BuildDir)", ErrBadRequest)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.compactLocked(ctx)
+}
+
+func (s *Store) compactLocked(ctx context.Context) error {
+	s.mu.RLock()
+	oldRdr := s.rdr
+	oldDeltas := append([]*cellfile.IndexedReader(nil), s.deltas...)
+	s.mu.RUnlock()
+	if len(oldDeltas) == 0 {
+		return nil
+	}
+	start := time.Now()
+
+	srcs := make([]extsort.MergeSource, 0, 1+len(oldDeltas))
+	for _, r := range append([]*cellfile.IndexedReader{oldRdr}, oldDeltas...) {
+		cr, err := newCellRows(r)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, cr)
+	}
+
+	name := genName("base", s.man.NextGen)
+	full := filepath.Join(s.dir, name)
+	tmp := full + ".tmp"
+	sink := cellfile.CreateIndexed(tmp)
+	sink.BlockCells = s.blockCells
+	sink.Fault = s.fault
+
+	var pending []byte
+	emitPending := func() error {
+		if pending == nil {
+			return nil
+		}
+		pid := uint32(pending[0])<<24 | uint32(pending[1])<<16 | uint32(pending[2])<<8 | uint32(pending[3])
+		key := unpackKey(pending[4 : len(pending)-agg.EncodedSize])
+		st := agg.Decode(pending[len(pending)-agg.EncodedSize:])
+		return sink.Cell(pid, key, st)
+	}
+	cmp := func(a, b []byte) int { return bytes.Compare(rowPrefix(a), rowPrefix(b)) }
+	err := extsort.Merge(ctx, srcs, cmp, func(_ int, row []byte) error {
+		if pending != nil && bytes.Equal(rowPrefix(pending), rowPrefix(row)) {
+			st := agg.Decode(pending[len(pending)-agg.EncodedSize:])
+			st.Merge(agg.Decode(row[len(row)-agg.EncodedSize:]))
+			st.Encode(pending[len(pending)-agg.EncodedSize:])
+			return nil
+		}
+		if err := emitPending(); err != nil {
+			return err
+		}
+		pending = append(pending[:0], row...)
+		return nil
+	})
+	if err == nil {
+		err = emitPending()
+	}
+	if err != nil {
+		sink.Close()
+		os.Remove(tmp)
+		return err
+	}
+	cells := sink.Cells()
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	rdr, err := cellfile.OpenIndexedWith(tmp, cellfile.ReadOptions{Fault: s.fault, Retries: s.retries})
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, full); err != nil {
+		rdr.Close()
+		os.Remove(tmp)
+		return err
+	}
+	s.adoptReader(rdr)
+
+	newMan := s.man
+	newMan.Base = name
+	newMan.Deltas = nil
+	newMan.NextGen++
+	if err := writeManifest(s.dir, newMan, s.fault); err != nil {
+		rdr.Close()
+		os.Remove(full)
+		return err
+	}
+	oldBaseName := s.man.Base
+	oldDeltaNames := s.man.Deltas
+	s.man = newMan
+
+	s.mu.Lock()
+	s.rdr = rdr
+	s.deltas = nil
+	s.path = full
+	s.mu.Unlock()
+
+	oldRdr.Close()
+	os.Remove(filepath.Join(s.dir, oldBaseName))
+	for i, d := range oldDeltas {
+		d.Close()
+		os.Remove(filepath.Join(s.dir, oldDeltaNames[i]))
+	}
+
+	s.reg.Counter("compact.runs").Inc()
+	s.reg.Counter("compact.cells").Add(cells)
+	s.reg.Counter("compact.inputs").Add(int64(1 + len(oldDeltas)))
+	s.reg.Timer("compact.merge").Observe(time.Since(start))
+	return nil
+}
+
+// CompactLoop runs compactions in the background until ctx is
+// cancelled: each flush that leaves at least Options.CompactAfter
+// outstanding deltas signals one compaction. Run it as a goroutine from
+// the process entry layer (`go store.CompactLoop(ctx)`); it never
+// spawns goroutines itself.
+func (s *Store) CompactLoop(ctx context.Context) {
+	if s.dir == "" || ctx == nil {
+		return
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.compactCh:
+			if err := s.compactLocked2(ctx); err != nil && !isCancellation(err) {
+				s.reg.Counter("compact.errors").Inc()
+			}
+		}
+	}
+}
+
+// compactLocked2 is Compact without the ladder-mode guard, for the loop.
+func (s *Store) compactLocked2(ctx context.Context) error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.compactLocked(ctx)
+}
+
+// refreshLadder is RefreshDoc for ladder stores: the document rides the
+// append path (gaining WAL durability the single-file refresh never
+// had), then a flush and a full compaction restore the single-base
+// layout RefreshDoc promises.
+func (s *Store) refreshLadder(ctx context.Context, doc *xmltree.Document) (int64, error) {
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return 0, err
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	added, err := s.appendLocked(ctx, buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if err := s.flushLocked(ctx); err != nil {
+		return added, err
+	}
+	if err := s.compactLocked(ctx); err != nil {
+		return added, err
+	}
+	s.reg.Counter("serve.refresh.runs").Inc()
+	s.reg.Counter("serve.refresh.added").Add(added)
+	return added, nil
+}
+
+// ReplayWAL re-replays the write-ahead log against the live store,
+// applying only records the store has not already absorbed. It exists to
+// make replay idempotence testable: immediately after OpenDir every
+// record is already applied, so a second replay must return 0.
+func (s *Store) ReplayWAL(ctx context.Context) (int, error) {
+	if s.dir == "" {
+		return 0, fmt.Errorf("%w: store has no write-ahead log (built with Build, not BuildDir)", ErrBadRequest)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	applied := 0
+	_, err := wal.Replay(filepath.Join(s.dir, walName), wal.Options{Fault: s.fault, Registry: s.reg}, func(r wal.Record) error {
+		if r.Seq < s.nextSeq {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrCancelled, err)
+		}
+		st, err := s.stage(r.Payload)
+		if err != nil {
+			return err
+		}
+		if _, err := s.commit(st); err != nil {
+			return err
+		}
+		applied++
+		return nil
+	})
+	return applied, err
+}

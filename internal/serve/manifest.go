@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"x3/internal/fault"
+)
+
+// manifestName is the generation directory's manifest file.
+const manifestName = "MANIFEST.json"
+
+// walName is the generation directory's write-ahead log.
+const walName = "wal.log"
+
+// manifest is the durable root of a delta-ladder store: which cell files
+// make up the current base and delta generations, which cuboids the
+// ladder materializes, and how far into the write-ahead log the flushed
+// files reach. It is swapped atomically (temp file + rename), so a
+// reader always sees either the old generation set or the new one,
+// never a mix.
+type manifest struct {
+	Version int `json:"version"`
+	// NextGen numbers the next cell file to be written; every base and
+	// delta file name embeds the generation that created it, so names
+	// never collide across the store's lifetime.
+	NextGen int `json:"next_gen"`
+	// Base is the base generation's cell file, relative to the store dir.
+	Base string `json:"base"`
+	// Deltas are the outstanding delta generations, oldest first.
+	Deltas []string `json:"deltas,omitempty"`
+	// Keep is the ladder's materialized cuboid set (sorted). All
+	// generations materialize exactly these cuboids, so the planner can
+	// treat base+deltas+memtable as one store.
+	Keep []uint32 `json:"keep"`
+	// Applied is the first WAL sequence number whose facts are NOT yet
+	// contained in the flushed cell files: recovery replays every record
+	// (the log is the system of record for dictionaries and base facts)
+	// but folds only records at or past Applied into the memtable.
+	Applied uint64 `json:"applied"`
+}
+
+// manifestVersion is the current manifest format.
+const manifestVersion = 1
+
+// readManifest loads and validates the manifest of a store directory.
+func readManifest(dir string) (manifest, error) {
+	var m manifest
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return m, fmt.Errorf("serve: %w", err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("serve: manifest %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("serve: manifest %s: unsupported version %d", dir, m.Version)
+	}
+	if m.Base == "" {
+		return m, fmt.Errorf("serve: manifest %s: no base generation", dir)
+	}
+	if !sort.SliceIsSorted(m.Keep, func(i, j int) bool { return m.Keep[i] < m.Keep[j] }) {
+		return m, fmt.Errorf("serve: manifest %s: keep set is not sorted", dir)
+	}
+	return m, nil
+}
+
+// writeManifest durably replaces the store's manifest: the new bytes go
+// to a temp file that is synced before being renamed over the live name.
+// A crash or injected fault at any point leaves the old manifest — and
+// with it the old generation set — intact.
+func writeManifest(dir string, m manifest, inj *fault.Injector) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	w := inj.Writer("serve.manifest.write", f)
+	if _, err := w.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: manifest %s: %w", dir, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: manifest %s: %w", dir, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: manifest %s: %w", dir, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: manifest %s: %w", dir, err)
+	}
+	return nil
+}
+
+// sweepOrphans removes cell files and temp files in dir that the
+// manifest does not reference — the leftovers of a crash between writing
+// a new generation file and committing the manifest that would have
+// adopted it.
+func sweepOrphans(dir string, m manifest) {
+	referenced := map[string]bool{m.Base: true, manifestName: true, walName: true}
+	for _, d := range m.Deltas {
+		referenced[d] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || referenced[name] {
+			continue
+		}
+		if filepath.Ext(name) == ".tmp" || filepath.Ext(name) == ".x3ci" {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

@@ -128,8 +128,8 @@ func (s *Store) plan(target lattice.Point) (from lattice.Point, cost int64) {
 		bestCost int64 = -1
 		bestID   uint32
 	)
-	for _, pid := range s.rdr.Points() {
-		cells, _ := s.rdr.CuboidCells(pid)
+	for _, pid := range s.matPoints() {
+		cells := s.matCells(pid)
 		if bestCost >= 0 && (cells > bestCost || (cells == bestCost && pid >= bestID)) {
 			continue // cannot beat the incumbent; skip the safety walk
 		}
@@ -185,42 +185,115 @@ func (s *Store) execute(ctx context.Context, q Query, live []int) (*Answer, erro
 	return &Answer{Plan: plan, From: from, Rows: rows, Degraded: degraded}, nil
 }
 
-// eachCell streams cuboid pid's cells to fn with the degraded-read
-// ladder: the indexed path first (its own bounded retries included), and
-// on a data fault a sequential, cache-bypassing, checksum-verified scan
-// after reset() clears whatever fn accumulated. Cancellations pass
-// through; a scan that also fails reports both causes, wrapping the
-// scan's sentinel.
-func (s *Store) eachCell(ctx context.Context, pid uint32, reset func(), fn func(cellfile.Cell) error) (degraded bool, err error) {
-	err = s.rdr.EachCuboidCtx(ctx, pid, fn)
+// eachCell streams cuboid pid's cells of one generation file to fn with
+// the degraded-read ladder: the indexed path first (its own bounded
+// retries included), and on a data fault a sequential, cache-bypassing,
+// checksum-verified scan after reset() clears whatever fn accumulated.
+// Cancellations pass through; a scan that also fails reports both
+// causes, wrapping the scan's sentinel.
+func (s *Store) eachCell(ctx context.Context, rdr *cellfile.IndexedReader, pid uint32, reset func(), fn func(cellfile.Cell) error) (degraded bool, err error) {
+	err = rdr.EachCuboidCtx(ctx, pid, fn)
 	if err == nil || isCancellation(err) {
 		return false, err
 	}
 	s.reg.Counter("serve.degraded.scan").Inc()
 	reset()
-	serr := s.rdr.ScanCuboid(ctx, pid, fn)
+	serr := rdr.ScanCuboid(ctx, pid, fn)
 	if serr == nil || isCancellation(serr) {
 		return true, serr
 	}
 	return true, fmt.Errorf("serve: cuboid %d unreadable (%w); degraded scan: %w", pid, err, serr)
 }
 
-// answerDirect streams the materialized target cuboid, filtering.
+// generations returns the open generation readers, base first then
+// deltas oldest-first, under a held read lock. Single-file stores have
+// exactly one.
+func (s *Store) generations() []*cellfile.IndexedReader {
+	if len(s.deltas) == 0 {
+		return []*cellfile.IndexedReader{s.rdr}
+	}
+	gens := make([]*cellfile.IndexedReader, 0, 1+len(s.deltas))
+	gens = append(gens, s.rdr)
+	return append(gens, s.deltas...)
+}
+
+// eachMemCell streams the memtable's cells for cuboid pid (ladder
+// stores; a no-op otherwise), adapting them to the cell shape the
+// generation readers produce.
+func (s *Store) eachMemCell(pid uint32, fn func(cellfile.Cell) error) error {
+	if s.mem == nil {
+		return nil
+	}
+	return s.mem.EachCuboid(pid, func(key []match.ValueID, st agg.State) error {
+		return fn(cellfile.Cell{Point: pid, Key: key, State: st})
+	})
+}
+
+// answerDirect streams the materialized target cuboid, filtering. With
+// one generation and an empty memtable the file's own sort order is the
+// answer; otherwise same-group cells from different generations are
+// re-aggregated through a group map.
 func (s *Store) answerDirect(ctx context.Context, q Query) ([]Row, bool, error) {
 	live := s.lat.LiveAxes(q.Point)
-	var rows []Row
-	degraded, err := s.eachCell(ctx, s.lat.ID(q.Point), func() { rows = rows[:0] }, func(c cellfile.Cell) error {
+	pid := s.lat.ID(q.Point)
+	filter := func(c cellfile.Cell) bool {
 		for i, a := range live {
 			if want, ok := q.Where[a]; ok && c.Key[i] != want {
-				return nil
+				return false
 			}
 		}
-		key := make([]match.ValueID, len(c.Key))
-		copy(key, c.Key)
-		rows = append(rows, Row{Key: key, State: c.State})
+		return true
+	}
+	if len(s.deltas) == 0 && (s.mem == nil || s.mem.Cells() == 0) {
+		var rows []Row
+		degraded, err := s.eachCell(ctx, s.rdr, pid, func() { rows = rows[:0] }, func(c cellfile.Cell) error {
+			if !filter(c) {
+				return nil
+			}
+			key := make([]match.ValueID, len(c.Key))
+			copy(key, c.Key)
+			rows = append(rows, Row{Key: key, State: c.State})
+			return nil
+		})
+		return rows, degraded, err // already in key order: the file is sorted
+	}
+	groups := make(map[string]agg.State)
+	var buf []byte
+	accumulate := func(c cellfile.Cell) error {
+		if !filter(c) {
+			return nil
+		}
+		buf = packKey(buf[:0], c.Key)
+		st := groups[string(buf)]
+		st.Merge(c.State)
+		groups[string(buf)] = st
 		return nil
-	})
-	return rows, degraded, err // already in key order: the file is sorted
+	}
+	var anyDegraded bool
+	for _, rdr := range s.generations() {
+		// Per-generation staging keeps the degraded-scan reset from
+		// discarding other generations' contributions.
+		var gen []Row
+		degraded, err := s.eachCell(ctx, rdr, pid, func() { gen = gen[:0] }, func(c cellfile.Cell) error {
+			key := make([]match.ValueID, len(c.Key))
+			copy(key, c.Key)
+			gen = append(gen, Row{Key: key, State: c.State})
+			return nil
+		})
+		anyDegraded = anyDegraded || degraded
+		if err != nil {
+			return nil, anyDegraded, err
+		}
+		for _, r := range gen {
+			if err := accumulate(cellfile.Cell{Point: pid, Key: r.Key, State: r.State}); err != nil {
+				return nil, anyDegraded, err
+			}
+		}
+	}
+	if err := s.eachMemCell(pid, accumulate); err != nil {
+		return nil, anyDegraded, err
+	}
+	return rowsFromGroups(groups), anyDegraded, nil
 }
 
 // answerRollup streams the finer materialized cuboid `from` and merges
@@ -247,28 +320,52 @@ func (s *Store) answerRollup(ctx context.Context, q Query, live []int, from latt
 		}
 		proj[i] = pos
 	}
+	fromPid := s.lat.ID(from)
 	groups := make(map[string]agg.State)
 	key := make([]match.ValueID, len(live))
 	var buf []byte
-	degraded, err := s.eachCell(ctx, s.lat.ID(from), func() { groups = make(map[string]agg.State) }, func(c cellfile.Cell) error {
-		for i := range live {
-			key[i] = c.Key[proj[i]]
-		}
-		for i, a := range live {
-			if want, ok := q.Where[a]; ok && key[i] != want {
-				return nil
+	accumulate := func(into map[string]agg.State) func(cellfile.Cell) error {
+		return func(c cellfile.Cell) error {
+			for i := range live {
+				key[i] = c.Key[proj[i]]
 			}
+			for i, a := range live {
+				if want, ok := q.Where[a]; ok && key[i] != want {
+					return nil
+				}
+			}
+			buf = packKey(buf[:0], key)
+			st := into[string(buf)]
+			st.Merge(c.State)
+			into[string(buf)] = st
+			return nil
 		}
-		buf = packKey(buf[:0], key)
-		st := groups[string(buf)]
-		st.Merge(c.State)
-		groups[string(buf)] = st
-		return nil
-	})
-	if err != nil {
-		return nil, degraded, err
 	}
-	return rowsFromGroups(groups), degraded, nil
+	var anyDegraded bool
+	for _, rdr := range s.generations() {
+		// Per-generation staging keeps the degraded-scan reset from
+		// discarding other generations' contributions.
+		gen := make(map[string]agg.State)
+		degraded, err := s.eachCell(ctx, rdr, fromPid, func() { gen = make(map[string]agg.State) }, accumulate(gen))
+		anyDegraded = anyDegraded || degraded
+		if err != nil {
+			return nil, anyDegraded, err
+		}
+		mergeGroups(groups, gen)
+	}
+	if err := s.eachMemCell(fromPid, accumulate(groups)); err != nil {
+		return nil, anyDegraded, err
+	}
+	return rowsFromGroups(groups), anyDegraded, nil
+}
+
+// mergeGroups folds src's aggregation states into dst.
+func mergeGroups(dst, src map[string]agg.State) {
+	for k, st := range src { //x3:nolint(detiter) state merging is commutative and dst is only observed after key-sorting
+		d := dst[k]
+		d.Merge(st)
+		dst[k] = d
+	}
 }
 
 // answerFromBase recomputes the target cuboid from the base facts — the

@@ -31,6 +31,7 @@ import (
 	"x3/internal/match"
 	"x3/internal/obs"
 	"x3/internal/views"
+	"x3/internal/wal"
 	"x3/internal/xmltree"
 )
 
@@ -61,6 +62,15 @@ type Options struct {
 	// Retries bounds re-read attempts on the indexed read path; 0 selects
 	// the cellfile default, negative disables retrying.
 	Retries int
+	// FlushCells makes a ladder store (BuildDir/OpenDir) flush its
+	// memtable as a delta generation once it holds at least this many
+	// cells; 0 selects the default (4096), negative disables auto-flush
+	// (Flush must be called explicitly). Single-file stores ignore it.
+	FlushCells int
+	// CompactAfter signals the background compactor (CompactLoop) once a
+	// flush leaves this many outstanding delta generations; 0 selects the
+	// default (4), negative never signals. Single-file stores ignore it.
+	CompactAfter int
 }
 
 // Store is a servable materialized cube. All exported methods are safe
@@ -74,13 +84,29 @@ type Store struct {
 	fault      *fault.Injector
 	retries    int
 
-	// refreshMu serializes refreshes; mu guards the swappable state
-	// below. Queries hold mu.RLock for their whole execution, so a
-	// refresh swap waits for in-flight answers and later answers see the
-	// new state.
+	// Ladder-mode state (BuildDir/OpenDir); zero for single-file stores.
+	// dir, keep, flushCells, compactAfter and compactCh are immutable
+	// after open; walW, nextSeq and man belong to the maintenance path
+	// and are guarded by refreshMu.
+	dir          string
+	keep         map[uint32]bool
+	keepSorted   []uint32 // man.Keep, immutable after open; queries read this, not man
+	flushCells   int64
+	compactAfter int
+	compactCh    chan struct{}
+	walW         *wal.Writer
+	nextSeq      uint64
+	man          manifest
+
+	// refreshMu serializes maintenance (refresh, append, flush, compact);
+	// mu guards the swappable state below. Queries hold mu.RLock for
+	// their whole execution, so a maintenance swap waits for in-flight
+	// answers and later answers see the new state.
 	refreshMu sync.Mutex
 	mu        sync.RWMutex
 	rdr       *cellfile.IndexedReader
+	deltas    []*cellfile.IndexedReader // ladder mode: delta generations, oldest first
+	mem       *cube.Delta               // ladder mode: unflushed cells
 	base      *match.Set
 	dicts     []*match.Dict
 	props     cube.Props
@@ -92,34 +118,58 @@ type Store struct {
 // Iceberg queries (HAVING >= n) are refused: their discarded cells make
 // both roll-up serving and maintenance unsound.
 func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*Store, error) {
+	res, props, measured, keep, err := computeCube(lat, base, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(path, lat, base, props, measured, opt)
+	rdr, err := s.writeStore(res, keep)
+	if err != nil {
+		return nil, err
+	}
+	s.adoptReader(rdr)
+	s.rdr = rdr
+	return s, nil
+}
+
+// computeCube runs the initial cube computation shared by Build and
+// BuildDir: resolve the algorithm, certify or measure the
+// summarizability properties, compute the full cube, and pick the
+// materialized point set. Iceberg queries are refused here.
+func computeCube(lat *lattice.Lattice, base *match.Set, opt Options) (*cube.Result, cube.Props, bool, map[uint32]bool, error) {
 	if lat.Query.MinSupport > 1 {
-		return nil, fmt.Errorf("serve: cannot serve an iceberg cube (HAVING >= %d)", lat.Query.MinSupport)
+		return nil, nil, false, nil, fmt.Errorf("serve: cannot serve an iceberg cube (HAVING >= %d)", lat.Query.MinSupport)
 	}
 	if opt.Algorithm == "" {
 		opt.Algorithm = "COUNTER"
 	}
 	alg, err := cube.ByName(opt.Algorithm)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, nil, err
 	}
 	props := opt.Props
 	measured := false
 	if props == nil {
 		mp, err := cube.MeasureProps(lat, base)
 		if err != nil {
-			return nil, err
+			return nil, nil, false, nil, err
 		}
 		props, measured = mp, true
 	}
 	res := cube.NewResult(lat, base.Dicts)
 	in := &cube.Input{Lattice: lat, Source: base, Dicts: base.Dicts, Props: props, Reg: opt.Registry}
 	if _, err := alg.Run(in, res); err != nil {
-		return nil, err
+		return nil, nil, false, nil, err
 	}
 	keep, err := selectPoints(lat, props, res, base.NumFacts(), opt.Views)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, nil, err
 	}
+	return res, props, measured, keep, nil
+}
+
+// newStore assembles the Store fields common to every open path.
+func newStore(path string, lat *lattice.Lattice, base *match.Set, props cube.Props, measured bool, opt Options) *Store {
 	s := &Store{
 		path:       path,
 		lat:        lat,
@@ -139,16 +189,32 @@ func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*St
 		}
 		s.cache = cellfile.NewBlockCache(n)
 	}
-	rdr, err := s.writeStore(res, keep)
-	if err != nil {
-		return nil, err
-	}
+	return s
+}
+
+// adoptReader hooks a freshly opened generation reader into the store's
+// observability and block cache.
+func (s *Store) adoptReader(rdr *cellfile.IndexedReader) {
 	rdr.Observe(s.reg)
 	if s.cache != nil {
 		rdr.SetCache(s.cache)
 	}
-	s.rdr = rdr
-	return s, nil
+}
+
+// closeReaders closes every open generation reader (partial-open cleanup
+// and Close).
+func (s *Store) closeReaders() {
+	if s.rdr != nil {
+		s.rdr.Close()
+	}
+	for _, d := range s.deltas {
+		d.Close()
+	}
+}
+
+// sortUint32 sorts pids ascending.
+func sortUint32(v []uint32) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
 }
 
 // selectPoints returns the set of cuboid ids to materialize: every point,
@@ -186,8 +252,14 @@ func selectPoints(lat *lattice.Lattice, props cube.Props, res *cube.Result, base
 // generation, if one exists, keeps serving. On success the validated
 // reader over the new generation is returned.
 func (s *Store) writeStore(res *cube.Result, keep map[uint32]bool) (*cellfile.IndexedReader, error) {
+	return s.writeStoreAt(s.path, res, keep)
+}
+
+// writeStoreAt is writeStore targeting an explicit path (ladder stores
+// write generation-numbered files inside their directory).
+func (s *Store) writeStoreAt(path string, res *cube.Result, keep map[uint32]bool) (*cellfile.IndexedReader, error) {
 	lat := s.lat
-	tmp := s.path + ".tmp"
+	tmp := path + ".tmp"
 	sink := cellfile.CreateIndexed(tmp)
 	sink.BlockCells = s.blockCells
 	sink.Fault = s.fault
@@ -221,7 +293,7 @@ func (s *Store) writeStore(res *cube.Result, keep map[uint32]bool) (*cellfile.In
 	// The reader holds an open fd, which follows the inode through the
 	// rename; only after the new generation proves readable does it
 	// replace the old one.
-	if err := os.Rename(tmp, s.path); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		rdr.Close()
 		os.Remove(tmp)
 		return nil, err
@@ -232,8 +304,13 @@ func (s *Store) writeStore(res *cube.Result, keep map[uint32]bool) (*cellfile.In
 // Lattice returns the store's cuboid lattice.
 func (s *Store) Lattice() *lattice.Lattice { return s.lat }
 
-// Path returns the indexed cell file backing the store.
-func (s *Store) Path() string { return s.path }
+// Path returns the indexed cell file backing the store (the current
+// base generation, for ladder stores).
+func (s *Store) Path() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.path
+}
 
 // Dicts returns the store's current per-axis dictionaries. The returned
 // dictionaries are replaced, never mutated, by a refresh; holders see a
@@ -251,17 +328,44 @@ func (s *Store) NumFacts() int {
 	return s.base.NumFacts()
 }
 
-// Materialized lists the materialized cuboids and their cell counts.
+// Materialized lists the materialized cuboids and their cell counts. In
+// ladder mode a cuboid's count sums its cells across the base, every
+// delta generation, and the memtable (same-group cells in different
+// generations count once each — the physical, not logical, cell count).
 func (s *Store) Materialized() []MaterializedCuboid {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []MaterializedCuboid
-	for _, pid := range s.rdr.Points() {
-		n, _ := s.rdr.CuboidCells(pid)
+	for _, pid := range s.matPoints() {
+		n := s.matCells(pid)
 		p := s.lat.FromID(pid)
 		out = append(out, MaterializedCuboid{Point: p, Label: s.lat.Label(p), Cells: n})
 	}
 	return out
+}
+
+// matPoints returns the materialized cuboid set under a held read lock:
+// the single file's directory, or the ladder's keep set (which every
+// generation shares).
+func (s *Store) matPoints() []uint32 {
+	if s.dir == "" {
+		return s.rdr.Points()
+	}
+	return s.keepSorted
+}
+
+// matCells returns cuboid pid's physical cell count across every
+// generation, under a held read lock.
+func (s *Store) matCells(pid uint32) int64 {
+	n, _ := s.rdr.CuboidCells(pid)
+	if s.dir == "" {
+		return n
+	}
+	for _, d := range s.deltas {
+		m, _ := d.CuboidCells(pid)
+		n += m
+	}
+	return n + s.mem.CuboidCells(pid)
 }
 
 // MaterializedCuboid describes one cuboid held by the indexed store.
@@ -271,11 +375,26 @@ type MaterializedCuboid struct {
 	Cells int64         `json:"cells"`
 }
 
-// Close releases the store's reader.
+// Close releases the store's readers and, for ladder stores, the
+// write-ahead log handle. The memtable's unflushed cells stay durable in
+// the log; reopening with OpenDir recovers them.
 func (s *Store) Close() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.rdr.Close()
+	err := s.rdr.Close()
+	for _, d := range s.deltas {
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.walW != nil {
+		if cerr := s.walW.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // RefreshDoc evaluates the query over a new XML document with the store's
@@ -287,6 +406,9 @@ func (s *Store) Close() error {
 func (s *Store) RefreshDoc(ctx context.Context, doc *xmltree.Document) (int64, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.dir != "" {
+		return s.refreshLadder(ctx, doc)
 	}
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()

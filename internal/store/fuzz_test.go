@@ -37,11 +37,11 @@ func fuzzSeedStore(tb testing.TB) []byte {
 func FuzzStoreMeta(f *testing.F) {
 	seed := fuzzSeedStore(f)
 	f.Add(seed)
-	f.Add(seed[:PageSize])     // meta page only, sections gone
-	f.Add(seed[:PageSize/2])   // truncated mid-meta
-	f.Add(seed[:7])            // shorter than the magic+version
-	f.Add([]byte{})            // empty file
-	f.Add(seed[PageSize:])     // headless body
+	f.Add(seed[:PageSize])   // meta page only, sections gone
+	f.Add(seed[:PageSize/2]) // truncated mid-meta
+	f.Add(seed[:7])          // shorter than the magic+version
+	f.Add([]byte{})          // empty file
+	f.Add(seed[PageSize:])   // headless body
 	badMagic := append([]byte{}, seed...)
 	badMagic[0] = 'Y'
 	f.Add(badMagic)

@@ -1,0 +1,16 @@
+package wal
+
+import "errors"
+
+// Sentinel errors of the write-ahead log. Both are produced wrapped with
+// context (path, offset, cause); classify with errors.Is.
+var (
+	// ErrCorrupt marks a log whose bytes fail validation: a bad magic, a
+	// checksum mismatch, a non-increasing sequence. A corrupt log must
+	// not be silently recovered from — the damage is not at the tail.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrTruncated marks a log whose final record runs past the end of
+	// the file — the torn tail of a crash mid-append. Recovery may cut
+	// the tail at the reported clean boundary (Truncate) and continue.
+	ErrTruncated = errors.New("wal: truncated log")
+)

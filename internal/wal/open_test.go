@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/fault"
+)
+
+// TestCreateWriteFaultRemovesLog pins Create's failure contract: a header
+// write that fails leaves no half-born log behind.
+func TestCreateWriteFaultRemovesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	inj := fault.New(fault.Config{Seed: 3, ErrEvery: 1})
+	if _, err := Create(path, Options{Fault: inj}); !fault.IsInjected(err) {
+		t.Fatalf("faulted create: %v, want an injected-fault error", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed create left the log file behind: %v", err)
+	}
+}
+
+// TestOpenAppendValidation sweeps OpenAppend's header checks: a missing
+// file, a short header, a wrong magic and a wrong version must each fail
+// with the right sentinel before any append is possible.
+func TestOpenAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenAppend(filepath.Join(dir, "missing.log"), Options{}); err == nil {
+		t.Fatal("opening a missing log succeeded")
+	}
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := OpenAppend(write("short.log", []byte("X3")), Options{}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v, want ErrTruncated", err)
+	}
+	if _, err := OpenAppend(write("magic.log", []byte("NOPE\x01")), Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong magic: %v, want ErrCorrupt", err)
+	}
+	bad := append(append([]byte{}, walMagic[:]...), 99)
+	if _, err := OpenAppend(write("version.log", bad), Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsupported version: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReplayMissingLog pins the obvious failure: no file, explicit error.
+func TestReplayMissingLog(t *testing.T) {
+	_, err := Replay(filepath.Join(t.TempDir(), "missing.log"), Options{}, func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("replaying a missing log succeeded")
+	}
+}
+
+// TestReplayInjectedReadFault pins the recovery-time contract used by the
+// serving layer's crash sweep: an injected read fault surfaces with
+// fault.IsInjected in the chain, so recovery can tell a transient fault
+// from a genuine torn tail and refuse to truncate durable records.
+func TestReplayInjectedReadFault(t *testing.T) {
+	path := writeLog(t, "alpha", "beta")
+	inj := fault.New(fault.Config{Seed: 11, ErrEvery: 1})
+	_, _, err := replayAll(path, Options{Fault: inj})
+	if err == nil {
+		t.Fatal("replay succeeded with every read failing")
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("replay error does not wrap the injected fault: %v", err)
+	}
+	// The same log replays clean once the fault clears: nothing was lost.
+	got, res, err := replayAll(path, Options{})
+	if err != nil || len(got) != 2 || res.Records != 2 {
+		t.Fatalf("clean replay after a fault: %v (%d records)", err, res.Records)
+	}
+}
+
+// TestReplayErrClassification pins the torn-tail/corruption split at its
+// root: running out of bytes is ErrTruncated, any other failure is
+// ErrCorrupt.
+func TestReplayErrClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want error
+	}{
+		{io.EOF, ErrTruncated},
+		{io.ErrUnexpectedEOF, ErrTruncated},
+		{fmt.Errorf("wrapped: %w", io.EOF), ErrTruncated},
+		{errors.New("disk on fire"), ErrCorrupt},
+	} {
+		if got := replayErr(tc.err, "p", "what"); !errors.Is(got, tc.want) {
+			t.Errorf("replayErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestTruncateMissingLog pins Truncate's failure on a nonexistent file.
+func TestTruncateMissingLog(t *testing.T) {
+	if err := Truncate(filepath.Join(t.TempDir(), "missing.log"), headerLen); err == nil {
+		t.Fatal("truncating a missing log succeeded")
+	}
+}

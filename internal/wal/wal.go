@@ -1,0 +1,335 @@
+// Package wal is the write-ahead log of the incremental-maintenance
+// path: appended documents are made durable here *before* they are
+// folded into the in-memory delta cell table, so a crash at any later
+// point — mid-flush, mid-compaction, mid-manifest-swap — loses nothing
+// that was acknowledged. The log is the system of record for the append
+// history; replaying it in order deterministically rebuilds both the
+// dictionary state (value IDs are interned in replay order) and the
+// unflushed delta cells.
+//
+// Format:
+//
+//	header: magic "X3WL", version byte 1
+//	record: uvarint seq, uvarint payload length, payload,
+//	        big-endian uint32 CRC32-C over (seq bytes, length bytes,
+//	        payload)
+//
+// Records carry strictly increasing sequence numbers. The trailing CRC
+// makes every corruption detectable: a flipped bit anywhere in a record
+// fails its checksum (ErrCorrupt), and a record that runs past the end
+// of the file — the torn tail of a crashed append — surfaces as
+// ErrTruncated together with the byte offset of the last complete
+// record, so recovery can cut the tail instead of guessing. Nothing is
+// ever dropped silently.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"x3/internal/fault"
+	"x3/internal/obs"
+)
+
+var walMagic = [4]byte{'X', '3', 'W', 'L'}
+
+// walVersion is the current format version.
+const walVersion = 1
+
+// headerLen is magic + version.
+const headerLen = 5
+
+// maxPayload bounds a single record's payload (a corrupt length claim
+// must not force an absurd allocation).
+const maxPayload = 1 << 30
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configure a Writer or a Replay.
+type Options struct {
+	// Fault injects deterministic faults into the log's file I/O; nil
+	// disables injection.
+	Fault *fault.Injector
+	// Registry receives the wal.* counters; nil disables observability.
+	Registry *obs.Registry
+}
+
+// Record is one replayed log entry.
+type Record struct {
+	// Seq is the record's sequence number (strictly increasing within a
+	// log).
+	Seq uint64
+	// Payload is the record body; valid only during the replay callback.
+	Payload []byte
+}
+
+// Writer appends records to a write-ahead log. It is not safe for
+// concurrent use; the serving layer serializes appends under its
+// maintenance lock.
+type Writer struct {
+	f    *os.File
+	w    io.Writer // f behind the fault shim
+	path string
+
+	appends *obs.Counter
+	bytes   *obs.Counter
+}
+
+// Create creates a new, empty log at path, truncating any previous file,
+// and syncs the header so the log exists durably before the first
+// append.
+func Create(path string, opt Options) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := newWriter(f, path, opt)
+	var hdr [headerLen]byte
+	copy(hdr[:], walMagic[:])
+	hdr[4] = walVersion
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// OpenAppend opens an existing log for appending at its current end. The
+// header is validated; the record stream is not — run Replay first and
+// truncate a torn tail (Truncate) before appending, or the new record
+// lands after unreadable bytes.
+func OpenAppend(path string, opt Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: short header: %w", ErrTruncated, path, err)
+	}
+	if [4]byte(hdr[:4]) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s is not a write-ahead log", ErrCorrupt, path)
+	}
+	if hdr[4] != walVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: unsupported log version %d", ErrCorrupt, path, hdr[4])
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	return newWriter(f, path, opt), nil
+}
+
+func newWriter(f *os.File, path string, opt Options) *Writer {
+	w := &Writer{
+		f:       f,
+		path:    path,
+		appends: opt.Registry.Counter("wal.appends"),
+		bytes:   opt.Registry.Counter("wal.append.bytes"),
+	}
+	w.SetFault(opt.Fault)
+	return w
+}
+
+// appendRecord encodes one record.
+func appendRecord(dst []byte, seq uint64, payload []byte) []byte {
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// Append writes one record and syncs it to stable storage; when Append
+// returns nil the record survives any later crash. A failed append may
+// leave a torn record at the tail — Replay detects it and Truncate cuts
+// it on recovery.
+func (w *Writer) Append(seq uint64, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: %s: payload of %d bytes exceeds the %d limit", w.path, len(payload), maxPayload)
+	}
+	rec := appendRecord(nil, seq, payload)
+	if _, err := w.w.Write(rec); err != nil {
+		return fmt.Errorf("wal: %s: append seq %d: %w", w.path, seq, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: sync seq %d: %w", w.path, seq, err)
+	}
+	w.appends.Inc()
+	w.bytes.Add(int64(len(rec)))
+	return nil
+}
+
+// Close releases the file handle.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// SetFault swaps the writer's fault injector — the serving layer's
+// crash-point sweep retargets a long-lived writer without reopening the
+// log. nil disables injection.
+func (w *Writer) SetFault(f *fault.Injector) {
+	w.w = f.Writer("wal.append", w.f)
+}
+
+// Result summarizes a replay.
+type Result struct {
+	// Records is the number of complete, checksum-valid records replayed.
+	Records int
+	// NextSeq is one past the last replayed record's sequence number (0
+	// for an empty log).
+	NextSeq uint64
+	// Good is the byte offset just past the last complete record — the
+	// length a recovery should Truncate a torn log to.
+	Good int64
+}
+
+// Replay streams every record of the log at path to fn, in order. The
+// returned Result is valid even on error: a torn tail (a record that
+// runs past the end of the file — the signature of a crash mid-append)
+// yields ErrTruncated with Good marking the last clean boundary, and any
+// checksum or structural failure yields ErrCorrupt. An error returned by
+// fn aborts the replay and is returned verbatim.
+func Replay(path string, opt Options, fn func(Record) error) (Result, error) {
+	var res Result
+	f, err := os.Open(path)
+	if err != nil {
+		return res, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return res, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	size := fi.Size()
+	opt.Registry.Counter("wal.replays").Inc()
+	replayed := opt.Registry.Counter("wal.replay.records")
+
+	br := bufio.NewReaderSize(opt.Fault.Reader("wal.replay", f), 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return res, fmt.Errorf("%w: %s: short header: %w", ErrTruncated, path, err)
+	}
+	if [4]byte(hdr[:4]) != walMagic {
+		return res, fmt.Errorf("%w: %s is not a write-ahead log", ErrCorrupt, path)
+	}
+	if hdr[4] != walVersion {
+		return res, fmt.Errorf("%w: %s: unsupported log version %d", ErrCorrupt, path, hdr[4])
+	}
+	res.Good = headerLen
+
+	var buf []byte
+	for off := int64(headerLen); off < size; {
+		seq, seqN, err := readUvarint(br)
+		if err != nil {
+			return res, replayErr(err, path, "record header")
+		}
+		plen, lenN, err := readUvarint(br)
+		if err != nil {
+			return res, replayErr(err, path, "record length")
+		}
+		if plen > maxPayload || int64(plen) > size-off {
+			// The record claims bytes the file does not have: the torn
+			// tail of a crashed append (or a length flip that amounts to
+			// the same thing — either way the tail is unreadable).
+			return res, fmt.Errorf("%w: %s: record at offset %d claims %d payload bytes past the end",
+				ErrTruncated, path, off, plen)
+		}
+		if uint64(cap(buf)) < plen {
+			buf = make([]byte, plen)
+		}
+		buf = buf[:plen]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return res, replayErr(err, path, "payload")
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			return res, replayErr(err, path, "checksum")
+		}
+		crc := crc32.Update(0, castagnoli, seqN)
+		crc = crc32.Update(crc, castagnoli, lenN)
+		crc = crc32.Update(crc, castagnoli, buf)
+		if got := binary.BigEndian.Uint32(crcb[:]); got != crc {
+			return res, fmt.Errorf("%w: %s: record seq %d at offset %d: checksum %08x, record says %08x",
+				ErrCorrupt, path, seq, off, crc, got)
+		}
+		if res.Records > 0 && seq < res.NextSeq {
+			return res, fmt.Errorf("%w: %s: sequence %d at offset %d not increasing (next expected >= %d)",
+				ErrCorrupt, path, seq, off, res.NextSeq)
+		}
+		if err := fn(Record{Seq: seq, Payload: buf}); err != nil {
+			return res, err
+		}
+		off += int64(len(seqN)) + int64(len(lenN)) + int64(plen) + 4
+		res.Records++
+		res.NextSeq = seq + 1
+		res.Good = off
+		replayed.Inc()
+	}
+	return res, nil
+}
+
+// replayErr classifies a read failure mid-record: running out of bytes is
+// a torn tail, anything else is corruption of the stream structure.
+func replayErr(err error, path, what string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %s: %s: %w", ErrTruncated, path, what, err)
+	}
+	return fmt.Errorf("%w: %s: %s: %w", ErrCorrupt, path, what, err)
+}
+
+// readUvarint reads one uvarint and also returns its encoded bytes (the
+// checksum covers them).
+func readUvarint(br *bufio.Reader) (uint64, []byte, error) {
+	var raw []byte
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		raw = append(raw, b)
+		if shift >= 64 {
+			return 0, nil, fmt.Errorf("uvarint overflows: %w", ErrCorrupt)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, raw, nil
+		}
+	}
+}
+
+// Truncate cuts the log at path back to n bytes — the recovery step
+// after Replay reports a torn tail (pass Result.Good). The shortened
+// file is synced before returning.
+func Truncate(path string, n int64) error {
+	if n < headerLen {
+		return fmt.Errorf("wal: %s: cannot truncate below the %d-byte header", path, headerLen)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(n); err != nil {
+		return fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/fault"
+	"x3/internal/obs"
+)
+
+// writeLog builds a log with the given payloads (seq = 1, 2, ...) and
+// returns its path.
+func writeLog(tb testing.TB, payloads ...string) string {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "wal.log")
+	w, err := Create(path, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i, p := range payloads {
+		if err := w.Append(uint64(i+1), []byte(p)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+// replayAll replays path and collects the payloads.
+func replayAll(path string, opt Options) ([]string, Result, error) {
+	var got []string
+	res, err := Replay(path, opt, func(r Record) error {
+		got = append(got, string(r.Payload))
+		return nil
+	})
+	return got, res, err
+}
+
+func TestRoundtrip(t *testing.T) {
+	reg := obs.New()
+	path := writeLog(t, "alpha", "", "gamma-with-a-longer-payload")
+	got, res, err := replayAll(path, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "alpha" || got[1] != "" || got[2] != "gamma-with-a-longer-payload" {
+		t.Fatalf("replayed %q", got)
+	}
+	if res.NextSeq != 4 {
+		t.Fatalf("NextSeq = %d, want 4", res.NextSeq)
+	}
+	fi, _ := os.Stat(path)
+	if res.Good != fi.Size() {
+		t.Fatalf("Good = %d, file is %d bytes", res.Good, fi.Size())
+	}
+	if reg.Counter("wal.replay.records").Value() != 3 {
+		t.Error("wal.replay.records did not count the replay")
+	}
+}
+
+func TestOpenAppendContinues(t *testing.T) {
+	path := writeLog(t, "one")
+	w, err := OpenAppend(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, res, err := replayAll(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != "two" || res.NextSeq != 3 {
+		t.Fatalf("replayed %q, next seq %d", got, res.NextSeq)
+	}
+}
+
+// TestTruncatedTailRecovery pins the crash-recovery contract: every
+// proper prefix cut mid-record replays the complete records, reports
+// ErrTruncated with the clean boundary, and a Truncate at that boundary
+// yields a log that replays clean and accepts appends again.
+func TestTruncatedTailRecovery(t *testing.T) {
+	full := writeLog(t, "first-record", "second-record")
+	b, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, _, err := replayAll(full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The boundary after record 1.
+	var boundary int64
+	if _, err := Replay(full, Options{}, func(r Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	res1, _ := Replay(full, Options{}, func(r Record) error {
+		if r.Seq == 1 {
+			return nil
+		}
+		return errors.New("stop")
+	})
+	boundary = res1.Good
+
+	for cut := int64(headerLen) + 1; cut < int64(len(b)); cut++ {
+		if cut == boundary {
+			continue // a clean boundary is not a torn tail
+		}
+		path := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res, err := replayAll(path, Options{})
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+		want := 0
+		if cut > boundary {
+			want = 1
+		}
+		if len(got) != want {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), want)
+		}
+		if err := Truncate(path, res.Good); err != nil {
+			t.Fatal(err)
+		}
+		clean, res2, err := replayAll(path, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: replay after truncate: %v", cut, err)
+		}
+		if len(clean) != want {
+			t.Fatalf("cut at %d: truncated log replayed %d records, want %d", cut, len(clean), want)
+		}
+		w, err := OpenAppend(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(res2.NextSeq, []byte("resumed")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		resumed, _, err := replayAll(path, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: replay after resume: %v", cut, err)
+		}
+		if len(resumed) != want+1 || resumed[want] != "resumed" {
+			t.Fatalf("cut at %d: resumed log replayed %q", cut, resumed)
+		}
+	}
+	_ = whole
+}
+
+// TestCorruptBitFlipSweep flips every byte of a two-record log in turn:
+// no flip may replay the full log silently — each must surface as
+// ErrCorrupt, ErrTruncated, or (for flips in the first record that
+// shift framing) a replay that visibly diverges from the original.
+func TestCorruptBitFlipSweep(t *testing.T) {
+	orig := writeLog(t, "payload-one", "payload-two")
+	b, err := os.ReadFile(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := replayAll(orig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range b {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), b...)
+			mut[pos] ^= bit
+			path := filepath.Join(t.TempDir(), "flip.log")
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := replayAll(path, Options{})
+			if err == nil {
+				if len(got) == len(want) && got[0] == want[0] && got[1] == want[1] {
+					t.Fatalf("flip at byte %d bit %02x replayed the original records without an error", pos, bit)
+				}
+				continue // detectably different; CRC collision on reframed bytes is the only way here
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("flip at byte %d bit %02x: err = %v, want ErrCorrupt/ErrTruncated", pos, bit, err)
+			}
+		}
+	}
+}
+
+func TestNonIncreasingSeqIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, _, err := replayAll(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("repeated seq replayed with err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestNotALog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("X3CF-not-a-wal-file-at-all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayAll(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayAll(empty, Options{}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty file: err = %v, want ErrTruncated", err)
+	}
+	if _, err := OpenAppend(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenAppend on junk: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestAppendFaultLeavesReplayablePrefix injects a hard write fault into
+// an append: the failed record must not damage the records before it.
+func TestAppendFaultLeavesReplayablePrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	reg := obs.New()
+	w, err := Create(path, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	inj := fault.New(fault.Config{Seed: 3, ErrEvery: 1})
+	w2, err := OpenAppend(path, Options{Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w2.Append(2, []byte("lost"))
+	if !fault.IsInjected(err) {
+		t.Fatalf("append under ErrEvery=1: err = %v, want injected", err)
+	}
+	w2.Close()
+
+	got, res, err := replayAll(path, Options{})
+	if err != nil && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("replay after failed append: %v", err)
+	}
+	if len(got) != 1 || got[0] != "durable" {
+		t.Fatalf("replayed %q, want the durable prefix", got)
+	}
+	if res.NextSeq != 2 {
+		t.Fatalf("NextSeq = %d, want 2", res.NextSeq)
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Do not allocate a real >1GiB payload; fake the length check by a
+	// record header claiming too much instead.
+	big := make([]byte, 0)
+	_ = big
+	if err := w.Append(1, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	// Claimed-length overflow is covered by the replay bound: craft a
+	// record whose length claims past the file end.
+	b, _ := os.ReadFile(path)
+	b = append(b, 0x01, 0xFF, 0xFF, 0xFF, 0x07) // seq=1, plen huge
+	crafted := filepath.Join(t.TempDir(), "crafted.log")
+	if err := os.WriteFile(crafted, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayAll(crafted, Options{}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("oversized claim: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncateBelowHeaderRefused(t *testing.T) {
+	path := writeLog(t, "x")
+	if err := Truncate(path, 2); err == nil {
+		t.Fatal("truncate below header accepted")
+	}
+	if err := Truncate(filepath.Join(t.TempDir(), "missing"), headerLen); err == nil {
+		t.Fatal("truncate of a missing file accepted")
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "wal.log")
+	w, err := Create(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := []byte(fmt.Sprintf("%0128d", 7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(uint64(i+1), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
