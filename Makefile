@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench-seed bench-pr2 bench-pr3 bench-pr6
+.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench-seed bench-pr2 bench-pr3 bench-pr6 bench-pr7
 
 ci: vet lint build test race faults cover
 
@@ -40,6 +40,7 @@ race:
 fuzz:
 	$(GO) test ./internal/xq/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/cellfile/ -fuzz FuzzCellfile -fuzztime 30s
+	$(GO) test ./internal/cellfile/ -fuzz FuzzColumnarBlock -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzStoreMeta -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzWAL -fuzztime 30s
 
@@ -79,3 +80,10 @@ bench-pr3:
 # the ladder back to one base file.
 bench-pr6:
 	$(GO) run ./cmd/x3serve -bench-pr6 -scale 2000 -metrics BENCH_pr6.json
+
+# Regenerate the committed columnar-format snapshot (see EXPERIMENTS.md):
+# v3 vs v4 bytes/cell on the same cube, indexed and warm-cache query
+# sweeps, ladder sweeps at 0/8/16 v4 delta generations, and full vs
+# 50%-budget build times.
+bench-pr7:
+	$(GO) run ./cmd/x3serve -bench-pr7 -scale 2000 -metrics BENCH_pr7.json

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"x3/internal/cellfile"
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/serve"
+	"x3/internal/xmltree"
+)
+
+// docToBytes serializes a generated document the way /append receives it.
+func docToBytes(doc *xmltree.Document) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// pr7DeltaSteps are the outstanding-delta counts for the v4 ladder query
+// table (a coarser ladder than pr6 — the point here is v4 scan cost, not
+// the ladder growth curve).
+var pr7DeltaSteps = []int{0, 8, 16}
+
+// runBenchPR7 measures what the columnar (v4) cell format and the
+// cost-based partial materialization buy:
+//
+//	bench.pr7.v3.bytes / v3.cells     — the same cube encoded per-cell (v3)
+//	bench.pr7.v4.bytes / v4.cells     — and columnar (v4): bytes per cell
+//	bench.pr7.build.full              — unbudgeted single-file build time
+//	bench.pr7.build.budget            — build under a 50% space budget
+//	bench.pr7.budget.kept             — cuboids the cost model kept
+//	bench.pr7.query.indexed           — full-lattice sweep, cache disabled
+//	bench.pr7.query.cached            — same sweep, warm byte-budget cache
+//	bench.pr7.query.N                 — sweep with N delta generations
+//	                                    outstanding (N in 0,8,16)
+func runBenchPR7(scale int, metricsPath string, reg *obs.Registry) error {
+	lat, err := lattice.New(dataset.DBLPQuery())
+	if err != nil {
+		return err
+	}
+	baseDoc := dataset.DBLP(dataset.DefaultDBLPConfig(scale, 1))
+	dicts := make([]*match.Dict, lat.NumAxes())
+	for i := range dicts {
+		dicts[i] = match.NewDict()
+	}
+	set, err := match.EvaluateWith(baseDoc, lat, dicts)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "x3serve-bench-pr7")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+	points := lat.Points()
+
+	// Full build (v4 is the default format) and the format-size table: the
+	// same cells re-encoded per-cell (v3) against the columnar blocks the
+	// store actually wrote.
+	start := time.Now()
+	s, err := serve.Build(filepath.Join(dir, "full.x3ci"), lat, set, serve.Options{Registry: reg, CacheBlocks: -1})
+	if err != nil {
+		return err
+	}
+	reg.Timer("bench.pr7.build.full").Observe(time.Since(start))
+
+	var cells []cellfile.Cell
+	if err := cellfile.Each(filepath.Join(dir, "full.x3ci"), func(c cellfile.Cell) error {
+		cells = append(cells, c)
+		return nil
+	}); err != nil {
+		return err
+	}
+	v3Path := filepath.Join(dir, "v3.x3ci")
+	sink := cellfile.CreateIndexed(v3Path)
+	sink.Version = 3
+	for _, c := range cells {
+		if err := sink.Cell(c.Point, c.Key, c.State); err != nil {
+			return err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	v3, err := cellfile.OpenIndexed(v3Path)
+	if err != nil {
+		return err
+	}
+	v3Bytes, v3Cells := v3.DataBytes(), v3.NumCells()
+	v3.Close()
+	v4Bytes, v4Cells := s.DataBytes(), int64(len(cells))
+	reg.Counter("bench.pr7.v3.bytes").Add(v3Bytes)
+	reg.Counter("bench.pr7.v3.cells").Add(v3Cells)
+	reg.Counter("bench.pr7.v4.bytes").Add(v4Bytes)
+	reg.Counter("bench.pr7.v4.cells").Add(v4Cells)
+
+	// The read-latency pair, measured exactly as BENCH_pr3's indexed and
+	// cached sweeps were (a per-cuboid EachCuboid over the reader, cold
+	// cache then warm) so the v4 numbers compare against that baseline
+	// directly — only the file format and the byte-budget cache changed.
+	r, err := cellfile.OpenIndexed(s.Path())
+	if err != nil {
+		return err
+	}
+	r.Observe(reg)
+	r.SetCache(cellfile.NewBlockCacheBytes(64 << 20))
+	for _, name := range []string{"indexed", "cached"} {
+		t := reg.Timer("bench.pr7.query." + name)
+		for _, p := range points {
+			t0 := time.Now()
+			if err := r.EachCuboid(lat.ID(p), func(cellfile.Cell) error { return nil }); err != nil {
+				return err
+			}
+			t.Observe(time.Since(t0))
+		}
+	}
+	r.Close()
+	s.Close()
+
+	// Budgeted build: half the full store's encoded bytes.
+	start = time.Now()
+	sb, err := serve.Build(filepath.Join(dir, "budget.x3ci"), lat, set,
+		serve.Options{Registry: reg, SpaceBudget: v4Bytes / 2, CacheBlocks: -1})
+	if err != nil {
+		return err
+	}
+	reg.Timer("bench.pr7.build.budget").Observe(time.Since(start))
+	kept := int64(len(sb.Materialized()))
+	reg.Counter("bench.pr7.budget.kept").Add(kept)
+	reg.Counter("bench.pr7.budget.bytes").Add(sb.DataBytes())
+	sb.Close()
+
+	// Ladder sweeps at 0/8/16 outstanding v4 delta generations.
+	ldir := filepath.Join(dir, "ladder")
+	ls, err := serve.BuildDir(ldir, lat, set, serve.Options{
+		Registry: reg, CacheBytes: 64 << 20, FlushCells: -1, CompactAfter: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer ls.Close()
+	appendSize := scale / 8
+	if appendSize < 5 {
+		appendSize = 5
+	}
+	nextSeed := int64(100)
+	for _, want := range pr7DeltaSteps {
+		for deltas, _ := ls.Generations(); deltas < want; deltas, _ = ls.Generations() {
+			cfg := dataset.DefaultDBLPConfig(appendSize, nextSeed)
+			nextSeed++
+			body, err := docToBytes(dataset.DBLP(cfg))
+			if err != nil {
+				return err
+			}
+			if _, err := ls.Append(ctx, body); err != nil {
+				return err
+			}
+			if err := ls.Flush(ctx); err != nil {
+				return err
+			}
+		}
+		t := reg.Timer("bench.pr7.query." + strconv.Itoa(want))
+		for sweep := 0; sweep < benchSweeps; sweep++ {
+			for _, p := range points {
+				t0 := time.Now()
+				if _, err := ls.Answer(ctx, serve.Query{Point: p}); err != nil {
+					return err
+				}
+				t.Observe(time.Since(t0))
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "x3serve: pr7 bench over %d articles, %d cuboids, %d cells\n", scale, lat.Size(), v4Cells)
+	fmt.Fprintf(os.Stderr, "  v3        %8.2f bytes/cell (%d bytes)\n", float64(v3Bytes)/float64(v3Cells), v3Bytes)
+	fmt.Fprintf(os.Stderr, "  v4        %8.2f bytes/cell (%d bytes, %.2fx smaller)\n",
+		float64(v4Bytes)/float64(v4Cells), v4Bytes, float64(v3Bytes)/float64(v4Bytes))
+	fmt.Fprintf(os.Stderr, "  build     full %v, budgeted %v (%d/%d cuboids kept)\n",
+		reg.Timer("bench.pr7.build.full").Total(), reg.Timer("bench.pr7.build.budget").Total(), kept, lat.Size())
+	for _, name := range []string{"indexed", "cached"} {
+		t := reg.Timer("bench.pr7.query." + name)
+		fmt.Fprintf(os.Stderr, "  %-9s %12v / query\n", name, t.Total()/time.Duration(int64(len(points))))
+	}
+	n := int64(len(points) * benchSweeps)
+	for _, want := range pr7DeltaSteps {
+		t := reg.Timer("bench.pr7.query." + strconv.Itoa(want))
+		fmt.Fprintf(os.Stderr, "  query@%-3d %12v / query\n", want, t.Total()/time.Duration(n))
+	}
+	if metricsPath != "" {
+		if err := reg.WriteJSONFile(metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "x3serve: metrics written to %s\n", metricsPath)
+	}
+	return nil
+}

@@ -25,7 +25,8 @@
 //	POST /refresh     XML document body → facts folded into the cube
 //	POST /append      XML document body → WAL-durable incremental append
 //	GET  /generations delta-ladder shape: outstanding deltas, memtable cells
-//	GET  /cuboids     materialized cuboids and their cell counts
+//	GET  /cuboids     per-cuboid materialization state, query counts, and
+//	                  (under -space-budget) the cost model's decisions
 //	GET  /metrics     serve.* counters, cache hit rates, latency timers
 package main
 
@@ -62,14 +63,17 @@ func main() {
 		dtdFile   = flag.String("dtdfile", "", "DTD certifying summarizability (default: measure from data)")
 		algorithm = flag.String("algorithm", "COUNTER", "cube algorithm for the initial build")
 		views     = flag.Int("views", 0, "materialize only the top-k cuboids by greedy view selection (0 = all)")
+		budget    = flag.Int64("space-budget", 0, "materialize only the cuboids the cost model picks within this many encoded bytes (0 = no budget; overrides -views)")
 		cellsPath = flag.String("cells", "", "indexed cell file path (default: a temp file)")
 		storeDir  = flag.String("store", "", "delta-ladder store directory (existing manifest → recover, else build); enables /append")
 		flushN    = flag.Int("flush-cells", 0, "memtable cells that trigger an automatic flush (0 = default, negative = manual only)")
 		compactN  = flag.Int("compact-after", 0, "outstanding deltas that trigger background compaction (0 = default, negative = manual only)")
 		addr      = flag.String("addr", ":8733", "HTTP listen address")
-		cache     = flag.Int("cache", 64, "LRU block cache size in blocks (negative disables)")
+		cache     = flag.Int("cache", 64, "LRU block cache size in nominal blocks (negative disables)")
+		cacheB    = flag.Int64("cache-bytes", 0, "LRU block cache budget in encoded block bytes (0 = use -cache)")
 		bench     = flag.Bool("bench", false, "run the serve-latency benchmark (cold scan vs indexed vs cached) and exit")
 		benchPR6  = flag.Bool("bench-pr6", false, "run the incremental-maintenance benchmark (append throughput, delta-ladder query latency, compaction) and exit")
+		benchPR7  = flag.Bool("bench-pr7", false, "run the columnar-format benchmark (v3 vs v4 bytes/cell, cached/indexed/ladder latency, budgeted build) and exit")
 		scale     = flag.Int("scale", 200, "benchmark dataset size in DBLP articles")
 		metrics   = flag.String("metrics", "", "write metrics as JSON here")
 
@@ -94,6 +98,12 @@ func main() {
 		}
 		return
 	}
+	if *benchPR7 {
+		if err := runBenchPR7(*scale, *metrics, reg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	lat, set, props, err := buildInputs(*xmlPath, *queryText, *queryFile, *dtdFile)
 	if err != nil {
@@ -102,7 +112,9 @@ func main() {
 	opt := serve.Options{
 		Algorithm:    *algorithm,
 		Views:        *views,
+		SpaceBudget:  *budget,
 		CacheBlocks:  *cache,
+		CacheBytes:   *cacheB,
 		Props:        props,
 		Registry:     reg,
 		FlushCells:   *flushN,

@@ -203,18 +203,27 @@ func TestServerConcurrentQueriesAndRefresh(t *testing.T) {
 func TestServerEndpoints(t *testing.T) {
 	srv, store, _ := startTestServer(t, 0)
 
-	// /cuboids lists every materialized cuboid.
+	// /cuboids reports every lattice point with its materialization state.
 	resp, err := http.Get(srv.URL + "/cuboids")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cuboids []serve.MaterializedCuboid
+	var cuboids []serve.CuboidStatus
 	if err := json.NewDecoder(resp.Body).Decode(&cuboids); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(cuboids) != len(store.Materialized()) {
-		t.Fatalf("/cuboids listed %d cuboids, store has %d", len(cuboids), len(store.Materialized()))
+	if len(cuboids) != store.Lattice().Size() {
+		t.Fatalf("/cuboids listed %d rows, lattice has %d points", len(cuboids), store.Lattice().Size())
+	}
+	mat := 0
+	for _, c := range cuboids {
+		if c.Materialized {
+			mat++
+		}
+	}
+	if mat != len(store.Materialized()) {
+		t.Fatalf("/cuboids marked %d materialized, store has %d", mat, len(store.Materialized()))
 	}
 
 	// /metrics returns the registry as JSON.

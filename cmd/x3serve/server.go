@@ -94,7 +94,7 @@ func newServer(s *serve.Store, reg *obs.Registry, opt serverOptions) http.Handle
 	})
 
 	mux.HandleFunc("GET /cuboids", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Materialized())
+		writeJSON(w, s.CuboidReport())
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

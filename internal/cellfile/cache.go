@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"x3/internal/obs"
 )
 
 // readerGen hands every IndexedReader a distinct cache-key namespace, so
@@ -13,15 +15,26 @@ var readerGen atomic.Uint64
 
 func nextReaderGen() uint64 { return readerGen.Add(1) }
 
-// BlockCache is a fixed-capacity LRU over decoded index blocks. It is
-// safe for concurrent use and may be shared by any number of readers;
-// capacity is counted in blocks, so its memory footprint is roughly
-// capacity × block cell count × cell size.
+// DefaultBlockBytes is the nominal on-disk size of one v2/v3 block
+// (DefaultBlockCells row-encoded cells); it converts the legacy
+// blocks-count cache capacity into a byte budget.
+const DefaultBlockBytes = 16 << 10
+
+// BlockCache is a byte-budgeted LRU over decoded index blocks. It is safe
+// for concurrent use and may be shared by any number of readers. Each
+// entry is charged its block's *encoded* length: residency is measured in
+// on-disk bytes, so a columnar v4 block that compresses 5x occupies 5x
+// less budget than its v3 twin and the same budget holds 5x more cuboids
+// — which is the point of compressing them. (The decoded cells the cache
+// actually holds are the same size either way; the budget prices what the
+// compression saved, not Go heap bytes.)
 type BlockCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List
-	m   map[blockKey]*list.Element
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List
+	m      map[blockKey]*list.Element
+	gauge  *obs.Gauge // serve.cache.bytes, nil-safe
 }
 
 type blockKey struct {
@@ -32,15 +45,39 @@ type blockKey struct {
 type blockEntry struct {
 	key   blockKey
 	cells []Cell
+	cost  int64
 }
 
-// NewBlockCache returns a cache holding up to capacity decoded blocks
-// (minimum 1).
+// NewBlockCache returns a cache budgeted for roughly capacity uncompressed
+// blocks (capacity × DefaultBlockBytes). Compatibility constructor: new
+// call sites should size in bytes with NewBlockCacheBytes.
 func NewBlockCache(capacity int) *BlockCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BlockCache{cap: capacity, ll: list.New(), m: make(map[blockKey]*list.Element)}
+	return NewBlockCacheBytes(int64(capacity) * DefaultBlockBytes)
+}
+
+// NewBlockCacheBytes returns a cache that evicts least-recently-used
+// blocks once the sum of cached encoded block lengths exceeds budget
+// (minimum one block stays resident regardless).
+func NewBlockCacheBytes(budget int64) *BlockCache {
+	if budget < 1 {
+		budget = 1
+	}
+	return &BlockCache{budget: budget, ll: list.New(), m: make(map[blockKey]*list.Element)}
+}
+
+// Observe resolves the serve.cache.bytes gauge against reg, tracking the
+// cache's current encoded-byte residency. A nil registry leaves it off.
+func (c *BlockCache) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauge = reg.Gauge("serve.cache.bytes")
+	c.gauge.Set(c.bytes)
 }
 
 // Len returns the number of cached blocks.
@@ -49,6 +86,16 @@ func (c *BlockCache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Bytes returns the total encoded length of the cached blocks.
+func (c *BlockCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Budget returns the cache's byte budget.
+func (c *BlockCache) Budget() int64 { return c.budget }
 
 func (c *BlockCache) get(gen uint64, block int) ([]Cell, bool) {
 	c.mu.Lock()
@@ -61,20 +108,31 @@ func (c *BlockCache) get(gen uint64, block int) ([]Cell, bool) {
 	return el.Value.(*blockEntry).cells, true
 }
 
-func (c *BlockCache) put(gen uint64, block int, cells []Cell) {
+// put inserts the decoded block under its key, charging cost bytes (the
+// block's encoded length; a floor of 1 keeps degenerate entries evictable).
+func (c *BlockCache) put(gen uint64, block int, cells []Cell, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := blockKey{gen, block}
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*blockEntry).cells = cells
-		return
+		e := el.Value.(*blockEntry)
+		c.bytes += cost - e.cost
+		e.cells, e.cost = cells, cost
+	} else {
+		c.ll.PushFront(&blockEntry{key: key, cells: cells, cost: cost})
+		c.m[key] = c.ll.Front()
+		c.bytes += cost
 	}
-	el := c.ll.PushFront(&blockEntry{key: key, cells: cells})
-	c.m[key] = el
-	for c.ll.Len() > c.cap {
+	for c.bytes > c.budget && c.ll.Len() > 1 {
 		back := c.ll.Back()
+		e := back.Value.(*blockEntry)
 		c.ll.Remove(back)
-		delete(c.m, back.Value.(*blockEntry).key)
+		delete(c.m, e.key)
+		c.bytes -= e.cost
 	}
+	c.gauge.Set(c.bytes)
 }

@@ -143,9 +143,9 @@ func Each(path string, fn func(Cell) error) error {
 	switch ver {
 	case version:
 		// the streaming v1 format, handled below
-	case indexedVersion, indexedVersionCRC:
-		// the indexed v2/v3 formats: delegate to the indexed reader, which
-		// knows where the data section ends and the index begins.
+	case indexedVersion, indexedVersionCRC, indexedVersionCol:
+		// the indexed v2/v3/v4 formats: delegate to the indexed reader,
+		// which knows where the data section ends and the index begins.
 		ir, err := OpenIndexed(path)
 		if err != nil {
 			return err

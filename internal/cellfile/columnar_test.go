@@ -1,0 +1,308 @@
+package cellfile
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"x3/internal/agg"
+	"x3/internal/cube"
+	"x3/internal/match"
+)
+
+// writeVersioned computes the standard test cube into an indexed sink at
+// the requested format version and returns the file path.
+func writeVersioned(t *testing.T, dir string, ver, blockCells, facts int, seed int64) string {
+	t.Helper()
+	lat := makeLattice(t)
+	set := makeSet(t, lat, facts, seed)
+	path := filepath.Join(dir, fmt.Sprintf("cube-v%d.x3ci", ver))
+	sink := CreateIndexed(path)
+	sink.Version = ver
+	sink.BlockCells = blockCells
+	in := &cube.Input{Lattice: lat, Source: set, Dicts: set.Dicts}
+	if _, err := (cube.Counter{}).Run(in, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readAll collects every cell of an indexed file via fn, one of the
+// reader entry points of the compatibility matrix.
+func readAll(t *testing.T, path, via string) []Cell {
+	t.Helper()
+	var out []Cell
+	collect := func(c Cell) error {
+		k := make([]match.ValueID, len(c.Key))
+		copy(k, c.Key)
+		out = append(out, Cell{Point: c.Point, Key: k, State: c.State})
+		return nil
+	}
+	switch via {
+	case "Each":
+		if err := Each(path, collect); err != nil {
+			t.Fatalf("Each(%s): %v", path, err)
+		}
+	case "Reader.Each":
+		r, err := OpenIndexed(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if err := r.Each(collect); err != nil {
+			t.Fatalf("Reader.Each(%s): %v", path, err)
+		}
+	case "EachCuboid":
+		r, err := OpenIndexed(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		for _, p := range r.Points() {
+			if err := r.EachCuboid(p, collect); err != nil {
+				t.Fatalf("EachCuboid(%s, %d): %v", path, p, err)
+			}
+		}
+	case "Iterate":
+		r, err := OpenIndexed(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		it := r.Iterate()
+		for {
+			c, err := it.Next()
+			if err != nil {
+				t.Fatalf("Iterate(%s): %v", path, err)
+			}
+			if c == nil {
+				break
+			}
+			collect(*c)
+		}
+	default:
+		t.Fatalf("unknown reader entry %q", via)
+	}
+	return out
+}
+
+// TestCrossVersionMatrix writes the same cube at every format version and
+// asserts every reader entry point returns identical cells for all of
+// them — old stores must open and serve under the new binary, and the new
+// format must not change a single answer byte.
+func TestCrossVersionMatrix(t *testing.T) {
+	dir := t.TempDir()
+	versions := []int{2, 3, 4}
+	entries := []string{"Each", "Reader.Each", "EachCuboid", "Iterate"}
+	var want []Cell
+	for _, ver := range versions {
+		path := writeVersioned(t, dir, ver, 7, 300, 2)
+		r, err := OpenIndexed(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Version() != ver {
+			t.Fatalf("wrote version %d, reader says %d", ver, r.Version())
+		}
+		r.Close()
+		for _, via := range entries {
+			got := readAll(t, path, via)
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("v%d via %s: %d cells, want %d", ver, via, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Point != want[i].Point || !reflect.DeepEqual(got[i].Key, want[i].Key) {
+					t.Fatalf("v%d via %s: cell %d = %d/%v, want %d/%v",
+						ver, via, i, got[i].Point, got[i].Key, want[i].Point, want[i].Key)
+				}
+				var a, b [agg.EncodedSize]byte
+				got[i].State.Encode(a[:])
+				want[i].State.Encode(b[:])
+				if a != b {
+					t.Fatalf("v%d via %s: cell %d state %+v, want %+v (encodings differ)",
+						ver, via, i, got[i].State, want[i].State)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarCompression asserts the acceptance floor directly: the v4
+// data section must be at least 3x smaller than v3 on real cube data.
+func TestColumnarCompression(t *testing.T) {
+	dir := t.TempDir()
+	var bytesPer [5]int64
+	var cells int64
+	for _, ver := range []int{3, 4} {
+		r, err := OpenIndexed(writeVersioned(t, dir, ver, 0, 2000, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytesPer[ver] = r.DataBytes()
+		cells = r.NumCells()
+		r.Close()
+	}
+	ratio := float64(bytesPer[3]) / float64(bytesPer[4])
+	t.Logf("v3 %d bytes, v4 %d bytes over %d cells (%.2fx, %.2f→%.2f bytes/cell)",
+		bytesPer[3], bytesPer[4], cells, ratio,
+		float64(bytesPer[3])/float64(cells), float64(bytesPer[4])/float64(cells))
+	if ratio < 3 {
+		t.Fatalf("v4 compresses only %.2fx vs v3, want ≥3x", ratio)
+	}
+}
+
+// TestPackedStateBitExact round-trips adversarial aggregate states through
+// the packed encoding and requires the 32-byte canonical encoding to come
+// back bit-identical — the float traps (-0, NaN, ±Inf, 2^53 edges,
+// sum==min×n coincidences with differing signs) are exactly where a naive
+// float== packer silently changes answer bytes.
+func TestPackedStateBitExact(t *testing.T) {
+	inf := math.Inf(1)
+	states := []agg.State{
+		{},
+		{N: 1, Sum: 1, MinV: 1, MaxV: 1},
+		{N: 3, Sum: 6, MinV: 1, MaxV: 3},
+		{N: 2, Sum: 0, MinV: math.Copysign(0, -1), MaxV: 0},
+		{N: 2, Sum: math.Copysign(0, -1), MinV: math.Copysign(0, -1), MaxV: 0},
+		{N: 1, Sum: math.Copysign(0, -1), MinV: 0, MaxV: 0},
+		{N: 5, Sum: math.NaN(), MinV: math.NaN(), MaxV: math.NaN()},
+		{N: 1, Sum: inf, MinV: -inf, MaxV: inf},
+		{N: 4, Sum: 1 << 53, MinV: -(1 << 53), MaxV: 1 << 53},
+		{N: 4, Sum: 1<<53 + 2, MinV: -(1<<53 + 2), MaxV: 1<<53 + 2},
+		{N: 2, Sum: 0.5, MinV: 0.25, MaxV: 0.25},
+		{N: 3, Sum: 0.30000000000000004, MinV: 0.1, MaxV: 0.1},
+		{N: 1 << 40, Sum: 1 << 41, MinV: 2, MaxV: 2},
+		{N: 7, Sum: -21, MinV: -3, MaxV: -3},
+		{N: 0, Sum: 0, MinV: inf, MaxV: -inf},
+	}
+	for i, s := range states {
+		buf := appendPackedState(nil, s)
+		br := bytes.NewReader(buf)
+		got, err := decodePackedState(br)
+		if err != nil {
+			t.Fatalf("state %d (%+v): decode: %v", i, s, err)
+		}
+		if br.Len() != 0 {
+			t.Fatalf("state %d: %d bytes left over", i, br.Len())
+		}
+		var a, b [agg.EncodedSize]byte
+		s.Encode(a[:])
+		got.Encode(b[:])
+		if a != b {
+			t.Fatalf("state %d: round trip %+v -> %+v (encodings differ)", i, s, got)
+		}
+	}
+}
+
+// TestColumnarBlockRoundTrip covers block shapes the cube algorithms do
+// not produce: mixed key lengths under one point, empty keys, value-id
+// extremes, empty blocks.
+func TestColumnarBlockRoundTrip(t *testing.T) {
+	blocks := [][]Cell{
+		nil,
+		{{Point: 0, State: agg.State{N: 1, Sum: 1, MinV: 1, MaxV: 1}}},
+		{
+			{Point: 7, Key: []match.ValueID{0}, State: agg.State{N: 2, Sum: 3, MinV: 1, MaxV: 2}},
+			{Point: 7, Key: []match.ValueID{0, 4}, State: agg.State{N: 1, Sum: 5, MinV: 5, MaxV: 5}},
+			{Point: 7, Key: []match.ValueID{0, 4, 4}, State: agg.State{N: 1, Sum: -1, MinV: -1, MaxV: -1}},
+			{Point: 9, Key: []match.ValueID{1<<32 - 1}, State: agg.State{N: 1, Sum: 0.5, MinV: 0.5, MaxV: 0.5}},
+		},
+		{
+			{Point: 1 << 31, Key: []match.ValueID{5, 5, 5}, State: agg.State{}},
+			{Point: 1 << 31, Key: []match.ValueID{5, 5, 6}, State: agg.State{N: 3}},
+			{Point: 1<<32 - 1, State: agg.State{N: 1, Sum: 2, MinV: 2, MaxV: 2}},
+		},
+	}
+	for i, cells := range blocks {
+		buf := appendColumnarBlock(nil, cells)
+		got, err := decodeColumnarBlock(buf, len(cells))
+		if err != nil {
+			t.Fatalf("block %d: decode: %v", i, err)
+		}
+		if len(got) != len(cells) {
+			t.Fatalf("block %d: %d cells, want %d", i, len(got), len(cells))
+		}
+		for j := range got {
+			if got[j].Point != cells[j].Point {
+				t.Fatalf("block %d cell %d: point %d, want %d", i, j, got[j].Point, cells[j].Point)
+			}
+			if len(got[j].Key) != len(cells[j].Key) {
+				t.Fatalf("block %d cell %d: key %v, want %v", i, j, got[j].Key, cells[j].Key)
+			}
+			for k := range got[j].Key {
+				if got[j].Key[k] != cells[j].Key[k] {
+					t.Fatalf("block %d cell %d: key %v, want %v", i, j, got[j].Key, cells[j].Key)
+				}
+			}
+			if got[j].State != cells[j].State {
+				t.Fatalf("block %d cell %d: state %+v, want %+v", i, j, got[j].State, cells[j].State)
+			}
+		}
+	}
+}
+
+// TestColumnarDecodeRejectsCorruption mutates every byte of a valid block
+// one at a time; the decoder must either error out or return cells, never
+// panic or over-allocate (the fuzzer does this harder, this is the quick
+// deterministic version).
+func TestColumnarDecodeRejectsCorruption(t *testing.T) {
+	cells := []Cell{
+		{Point: 3, Key: []match.ValueID{1, 2}, State: agg.State{N: 2, Sum: 3, MinV: 1, MaxV: 2}},
+		{Point: 3, Key: []match.ValueID{1, 3}, State: agg.State{N: 1, Sum: 9, MinV: 9, MaxV: 9}},
+		{Point: 5, Key: []match.ValueID{2, 2}, State: agg.State{N: 4, Sum: 2.5, MinV: 0.25, MaxV: 1}},
+	}
+	valid := appendColumnarBlock(nil, cells)
+	for i := range valid {
+		for _, delta := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= delta
+			decodeColumnarBlock(mut, len(cells)) // must not panic
+		}
+	}
+	// Truncations at every length.
+	for n := range valid {
+		decodeColumnarBlock(valid[:n], len(cells))
+	}
+	// A wrong index count must be rejected even when the bytes are valid.
+	if _, err := decodeColumnarBlock(valid, len(cells)+1); err == nil {
+		t.Error("decoder accepted a block whose cell count disagrees with the index")
+	}
+}
+
+// TestEncodedCellsBytes cross-checks the cost model's size estimator
+// against the writer: the estimate must equal the real data section.
+func TestEncodedCellsBytes(t *testing.T) {
+	lat := makeLattice(t)
+	set := makeSet(t, lat, 500, 4)
+	path := filepath.Join(t.TempDir(), "est.x3ci")
+	sink := CreateIndexed(path)
+	in := &cube.Input{Lattice: lat, Source: set, Dicts: set.Dicts}
+	if _, err := (cube.Counter{}).Run(in, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var sorted []Cell
+	if err := r.Each(func(c Cell) error { sorted = append(sorted, c); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := EncodedCellsBytes(sorted, 0), r.DataBytes(); got != want {
+		t.Fatalf("EncodedCellsBytes = %d, file data section = %d", got, want)
+	}
+}

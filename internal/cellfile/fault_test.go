@@ -68,15 +68,15 @@ func TestV2StillReadable(t *testing.T) {
 	}
 }
 
-func TestDefaultWriterEmitsV3(t *testing.T) {
+func TestDefaultWriterEmitsV4(t *testing.T) {
 	path, _ := writeSmallIndexed(t, 0, nil)
 	r, err := OpenIndexed(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if r.Version() != 3 {
-		t.Fatalf("default writer produced version %d, want 3", r.Version())
+	if r.Version() != 4 {
+		t.Fatalf("default writer produced version %d, want 4", r.Version())
 	}
 }
 
@@ -294,7 +294,7 @@ func TestScanCuboidBypassesCache(t *testing.T) {
 	r.SetCache(cache)
 	// Poison every block's cache slot with an empty slice.
 	for bi := 0; bi < r.NumBlocks(); bi++ {
-		cache.put(r.gen, bi, nil)
+		cache.put(r.gen, bi, nil, 1)
 	}
 	var viaCache, viaScan int
 	if err := r.EachCuboid(0, func(Cell) error { viaCache++; return nil }); err != nil {

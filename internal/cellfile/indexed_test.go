@@ -164,8 +164,8 @@ func TestIndexedReaderCacheSharing(t *testing.T) {
 	if misses != int64(r.NumBlocks()) {
 		t.Fatalf("first pass missed %d times, want %d", misses, r.NumBlocks())
 	}
-	if cache.Len() > 4 {
-		t.Fatalf("cache holds %d blocks, capacity 4", cache.Len())
+	if cache.Bytes() > cache.Budget() {
+		t.Fatalf("cache holds %d bytes, budget %d", cache.Bytes(), cache.Budget())
 	}
 	// The sequential pass left the tail blocks resident; re-reading the
 	// last cuboid hits them (a full re-scan would thrash the tiny LRU).
@@ -348,7 +348,10 @@ func TestSinkAccessors(t *testing.T) {
 	if err := bad.Close(); err == nil {
 		t.Error("v2 Close into a missing directory succeeded")
 	}
-	if NewBlockCache(0).cap != 1 {
-		t.Error("zero-capacity cache not clamped to 1")
+	if NewBlockCache(0).Budget() != DefaultBlockBytes {
+		t.Error("zero-capacity cache not clamped to one block's budget")
+	}
+	if NewBlockCacheBytes(0).Budget() != 1 {
+		t.Error("zero-byte cache budget not clamped")
 	}
 }

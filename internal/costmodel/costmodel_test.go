@@ -1,0 +1,217 @@
+package costmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"x3/internal/lattice"
+	"x3/internal/pattern"
+)
+
+// allSafe certifies every relaxation edge, so any finer cuboid can answer
+// any coarser one (the planner's best case).
+type allSafe struct{}
+
+func (allSafe) Disjoint(a, s int) bool { return true }
+func (allSafe) Covered(a, s int) bool  { return true }
+
+func makeLattice(t *testing.T) *lattice.Lattice {
+	t.Helper()
+	q := &pattern.CubeQuery{
+		FactVar:  "$f",
+		FactPath: pattern.MustParsePath("//f"),
+		Agg:      pattern.Count,
+		Axes: []pattern.AxisSpec{
+			{Var: "$a", Path: pattern.MustParsePath("/a"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+			{Var: "$b", Path: pattern.MustParsePath("/b"), Relax: pattern.RelaxSet(0).With(pattern.LND)},
+		},
+	}
+	lat, err := lattice.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+// uniformCandidates builds one candidate per lattice point: finer cuboids
+// (more live axes) have more cells and cost more bytes.
+func uniformCandidates(lat *lattice.Lattice) []Candidate {
+	var out []Candidate
+	for _, p := range lat.Points() {
+		live := int64(len(lat.LiveAxes(p)))
+		cells := int64(10)
+		for i := int64(0); i < live; i++ {
+			cells *= 8
+		}
+		out = append(out, Candidate{PID: lat.ID(p), Cells: cells, Bytes: cells * 6})
+	}
+	return out
+}
+
+func totalBytes(lat *lattice.Lattice, cands []Candidate, keep []uint32) int64 {
+	var total int64
+	for _, pid := range keep {
+		for _, c := range cands {
+			if c.PID == pid {
+				total += c.Bytes
+			}
+		}
+	}
+	return total
+}
+
+func TestSelectUnlimitedKeepsEverythingUseful(t *testing.T) {
+	lat := makeLattice(t)
+	cands := uniformCandidates(lat)
+	keep, decisions, err := Select(lat, allSafe{}, cands, Config{BaseCost: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cuboid is cheaper to scan than the base recompute, so with no
+	// budget pressure everything is worth materializing.
+	if len(keep) != len(cands) {
+		t.Fatalf("unlimited budget kept %d of %d cuboids", len(keep), len(cands))
+	}
+	for _, d := range decisions {
+		if !d.Materialize || d.Reason != "picked" || d.Round == 0 {
+			t.Fatalf("unlimited budget decision %+v not picked", d)
+		}
+	}
+}
+
+func TestSelectRespectsBudget(t *testing.T) {
+	lat := makeLattice(t)
+	cands := uniformCandidates(lat)
+	var all int64
+	for _, c := range cands {
+		all += c.Bytes
+	}
+	budget := all / 2
+	keep, decisions, err := Select(lat, allSafe{}, cands, Config{Budget: budget, BaseCost: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalBytes(lat, cands, keep); got > budget {
+		t.Fatalf("selection spends %d bytes of a %d budget", got, budget)
+	}
+	if len(keep) == 0 {
+		t.Fatal("a 50%% budget materialized nothing")
+	}
+	if len(keep) == len(cands) {
+		t.Fatal("a 50%% budget materialized everything")
+	}
+	picked := make(map[uint32]bool)
+	for _, pid := range keep {
+		picked[pid] = true
+	}
+	for _, d := range decisions {
+		switch {
+		case picked[d.PID] != d.Materialize:
+			t.Fatalf("decision %+v disagrees with keep set", d)
+		case !d.Materialize && d.Reason != "over-budget" && d.Reason != "no-benefit":
+			t.Fatalf("unpicked decision %+v has reason %q", d, d.Reason)
+		}
+	}
+}
+
+// TestSelectWeightsSteerTheBudget pins the budget to one candidate's size
+// under nil props (only self-answering counts): the selection must follow
+// the query weights.
+func TestSelectWeightsSteerTheBudget(t *testing.T) {
+	lat := makeLattice(t)
+	pts := lat.Points()
+	// Two same-priced candidates; target B queried 100x more.
+	a, b := lat.ID(pts[0]), lat.ID(pts[1])
+	cands := []Candidate{
+		{PID: a, Cells: 100, Bytes: 600},
+		{PID: b, Cells: 100, Bytes: 600},
+	}
+	weights := make([]float64, lat.Size())
+	weights[a] = 1
+	weights[b] = 100
+	keep, _, err := Select(lat, nil, cands, Config{Budget: 600, BaseCost: 10000, Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keep, []uint32{b}) {
+		t.Fatalf("budget for one cuboid kept %v, want the hot one [%d]", keep, b)
+	}
+}
+
+// TestSelectPrefersSharedAncestors: under all-safe props the finest
+// cuboid (lattice top, no relaxations) can answer every target, so at
+// equal price it beats the most-relaxed bottom, which answers only
+// itself.
+func TestSelectPrefersSharedAncestors(t *testing.T) {
+	lat := makeLattice(t)
+	top := lat.ID(lat.Top())
+	bottom := lat.ID(lat.Bottom())
+	cands := []Candidate{
+		{PID: top, Cells: 500, Bytes: 3000},
+		{PID: bottom, Cells: 500, Bytes: 3000},
+	}
+	keep, _, err := Select(lat, allSafe{}, cands, Config{Budget: 3000, BaseCost: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keep, []uint32{top}) {
+		t.Fatalf("kept %v, want the finest cuboid [%d] (it answers every target)", keep, top)
+	}
+}
+
+func TestSelectDeterministicUnderInputOrder(t *testing.T) {
+	lat := makeLattice(t)
+	cands := uniformCandidates(lat)
+	var all int64
+	for _, c := range cands {
+		all += c.Bytes
+	}
+	cfg := Config{Budget: all / 3, BaseCost: 1 << 20}
+	keep1, dec1, err := Select(lat, allSafe{}, cands, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]Candidate, len(cands))
+	for i, c := range cands {
+		reversed[len(cands)-1-i] = c
+	}
+	keep2, dec2, err := Select(lat, allSafe{}, reversed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keep1, keep2) || !reflect.DeepEqual(dec1, dec2) {
+		t.Fatalf("selection depends on candidate order:\n%v\n%v", keep1, keep2)
+	}
+}
+
+func TestSelectRejectsDuplicates(t *testing.T) {
+	lat := makeLattice(t)
+	pid := lat.ID(lat.Points()[0])
+	_, _, err := Select(lat, nil, []Candidate{{PID: pid}, {PID: pid}}, Config{})
+	if err == nil {
+		t.Fatal("duplicate candidate pids accepted")
+	}
+}
+
+// TestScanDiscountWidensMaterialization: a hot cache (low discount) makes
+// materialized scans cheaper, so cuboids whose raw cell count equals the
+// base cost become worth keeping.
+func TestScanDiscountWidensMaterialization(t *testing.T) {
+	lat := makeLattice(t)
+	pid := lat.ID(lat.Points()[0])
+	cands := []Candidate{{PID: pid, Cells: 1000, Bytes: 100}}
+	keep, _, err := Select(lat, nil, cands, Config{BaseCost: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 0 {
+		t.Fatalf("no-discount selection kept %v (scan cost equals base cost)", keep)
+	}
+	keep, _, err = Select(lat, nil, cands, Config{BaseCost: 1000, ScanDiscount: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keep, []uint32{pid}) {
+		t.Fatalf("discounted selection kept %v, want [%d]", keep, pid)
+	}
+}

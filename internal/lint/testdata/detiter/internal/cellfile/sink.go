@@ -62,6 +62,29 @@ func (mapEncoder) Encode(m map[string]int) {
 	}
 }
 
+// appendColumnarBlock mirrors the real v4 column encoder: a direct root
+// even though nothing in this fixture calls it, so a detached encoder
+// still gets flagged.
+func appendColumnarBlock(dst []byte, dict map[string]int) []byte {
+	for k := range dict { // want detiter "map iteration in appendColumnarBlock"
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// appendPackedState reaches its helper through the call graph — the
+// helper is flagged, naming appendPackedState as the root.
+func appendPackedState(dst []byte, vals map[int]int) []byte {
+	return packVals(dst, vals)
+}
+
+func packVals(dst []byte, vals map[int]int) []byte {
+	for v := range vals { // want detiter "map iteration in packVals"
+		dst = append(dst, byte(v))
+	}
+	return dst
+}
+
 // Offline is neither a root nor reachable from one — clean.
 func Offline(rows map[string]int) []string {
 	var out []string

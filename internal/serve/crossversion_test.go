@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/cellfile"
+	"x3/internal/obs"
+)
+
+// rewriteGenVersion rewrites the indexed cell file at path in the given
+// format version, preserving its cells exactly — simulating a generation
+// written by an older binary.
+func rewriteGenVersion(tb testing.TB, path string, ver int) {
+	tb.Helper()
+	var cells []cellfile.Cell
+	if err := cellfile.Each(path, func(c cellfile.Cell) error {
+		cells = append(cells, c)
+		return nil
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	tmp := path + ".rewrite"
+	sink := cellfile.CreateIndexed(tmp)
+	sink.Version = ver
+	sink.BlockCells = 16
+	for _, c := range cells {
+		if err := sink.Cell(c.Point, c.Key, c.State); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestLadderServesMixedVersionGenerations reopens a delta ladder whose
+// base generation was downgraded to v3 and whose delta to v2 — the
+// upgrade-in-place scenario: a store written by an older binary must keep
+// serving byte-equal answers under the v4 code, accept new (v4) delta
+// generations alongside the old files, and compact the mixed-version
+// ladder into a single v4 base.
+func TestLadderServesMixedVersionGenerations(t *testing.T) {
+	ctx := context.Background()
+	ds := ladderDatasets()[1] // dblp
+	seed := int64(7)
+	lat := ds.lat(t)
+	oracle := newLadderOracle(t, lat)
+	baseDoc := ds.doc(seed)
+	baseSet := oracle.add(t, baseDoc)
+
+	dir := t.TempDir()
+	opt := Options{Registry: obs.New(), Views: ds.views, BlockCells: 16, FlushCells: -1, CompactAfter: -1}
+	s, err := BuildDir(dir, lat, baseSet, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.doc(seed + 1)
+	oracle.add(t, doc)
+	if _, err := s.Append(ctx, docBytes(t, doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	baseName, deltaNames := s.man.Base, append([]string(nil), s.man.Deltas...)
+	if len(deltaNames) != 1 {
+		t.Fatalf("expected one delta generation, got %v", deltaNames)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Downgrade the on-disk generations to the older formats.
+	rewriteGenVersion(t, filepath.Join(dir, baseName), 3)
+	rewriteGenVersion(t, filepath.Join(dir, deltaNames[0]), 2)
+
+	recBase := newLadderOracle(t, lat).add(t, baseDoc)
+	s2, err := OpenDir(dir, lat, recBase, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.rdr.Version(); got != 3 {
+		t.Fatalf("downgraded base generation reads as v%d, want v3", got)
+	}
+	plans := map[PlanKind]int{}
+	res := oracle.result(t)
+	sweepLadder(t, s2, res, plans)
+
+	// A fresh append lands as a v4 delta next to the v3/v2 generations.
+	doc2 := ds.doc(seed + 2)
+	oracle.add(t, doc2)
+	if _, err := s2.Append(ctx, docBytes(t, doc2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s2.mu.RLock()
+	if n := len(s2.deltas); n != 2 {
+		s2.mu.RUnlock()
+		t.Fatalf("expected two delta generations, got %d", n)
+	}
+	if got := s2.deltas[1].Version(); got != 4 {
+		s2.mu.RUnlock()
+		t.Fatalf("fresh delta generation is v%d, want v4", got)
+	}
+	s2.mu.RUnlock()
+	res = oracle.result(t)
+	sweepLadder(t, s2, res, plans)
+
+	// Compacting the mixed ladder produces a single v4 base with the same
+	// answers.
+	if err := s2.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if d, m := s2.Generations(); d != 0 || m != 0 {
+		t.Fatalf("after compact: %d deltas, %d memtable cells", d, m)
+	}
+	if got := s2.rdr.Version(); got != 4 {
+		t.Fatalf("compacted base is v%d, want v4", got)
+	}
+	sweepLadder(t, s2, res, plans)
+}

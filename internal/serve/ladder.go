@@ -11,6 +11,7 @@ import (
 
 	"x3/internal/agg"
 	"x3/internal/cellfile"
+	"x3/internal/costmodel"
 	"x3/internal/cube"
 	"x3/internal/extsort"
 	"x3/internal/fault"
@@ -52,7 +53,7 @@ const defaultCompactAfter = 4
 // delta-ladder store in dir: a base generation cell file, a manifest,
 // and an empty write-ahead log. The returned store accepts Append.
 func BuildDir(dir string, lat *lattice.Lattice, base *match.Set, opt Options) (*Store, error) {
-	res, props, measured, keep, err := computeCube(lat, base, opt)
+	res, props, measured, keep, decisions, err := computeCube(lat, base, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +68,7 @@ func BuildDir(dir string, lat *lattice.Lattice, base *match.Set, opt Options) (*
 		Applied: 1,
 	}
 	s := newStore(filepath.Join(dir, man.Base), lat, base, props, measured, opt)
+	s.decisions = decisions
 	s.initLadder(dir, man, opt)
 
 	rdr, err := s.writeStoreAt(s.path, res, keep)
@@ -521,6 +523,23 @@ func (s *Store) compactLocked(ctx context.Context) error {
 	}
 	start := time.Now()
 
+	// Under a space budget the compaction is also the adaptation point:
+	// re-run the cost-model selection with the live query weights and
+	// cache hit rate, and filter dropped cuboids out of the merge. The
+	// planner re-derives their answers from finer cuboids or base facts.
+	newKeepSorted := s.man.Keep
+	var newKeepSet map[uint32]bool
+	var newDecisions []costmodel.Decision
+	filter := false
+	if s.spaceBudget > 0 {
+		pids, set, decisions, err := s.budgetKeep(append([]*cellfile.IndexedReader{oldRdr}, oldDeltas...))
+		if err != nil {
+			return err
+		}
+		newKeepSorted, newKeepSet, newDecisions = pids, set, decisions
+		filter = len(pids) != len(s.man.Keep)
+	}
+
 	srcs := make([]extsort.MergeSource, 0, 1+len(oldDeltas))
 	for _, r := range append([]*cellfile.IndexedReader{oldRdr}, oldDeltas...) {
 		cr, err := newCellRows(r)
@@ -543,6 +562,9 @@ func (s *Store) compactLocked(ctx context.Context) error {
 			return nil
 		}
 		pid := uint32(pending[0])<<24 | uint32(pending[1])<<16 | uint32(pending[2])<<8 | uint32(pending[3])
+		if filter && !newKeepSet[pid] {
+			return nil
+		}
 		key := unpackKey(pending[4 : len(pending)-agg.EncodedSize])
 		st := agg.Decode(pending[len(pending)-agg.EncodedSize:])
 		return sink.Cell(pid, key, st)
@@ -589,6 +611,7 @@ func (s *Store) compactLocked(ctx context.Context) error {
 	newMan.Base = name
 	newMan.Deltas = nil
 	newMan.NextGen++
+	newMan.Keep = newKeepSorted
 	if err := writeManifest(s.dir, newMan, s.fault); err != nil {
 		rdr.Close()
 		os.Remove(full)
@@ -602,6 +625,11 @@ func (s *Store) compactLocked(ctx context.Context) error {
 	s.rdr = rdr
 	s.deltas = nil
 	s.path = full
+	if s.spaceBudget > 0 {
+		s.keepSorted = newKeepSorted
+		s.keep = newKeepSet
+		s.decisions = newDecisions
+	}
 	s.mu.Unlock()
 
 	oldRdr.Close()

@@ -108,6 +108,7 @@ func (s *Store) Answer(ctx context.Context, q Query) (*Answer, error) {
 		}
 	}
 
+	s.recordQuery(s.lat.ID(q.Point))
 	ans, err := s.execute(ctx, q, live)
 	if err != nil {
 		return nil, err

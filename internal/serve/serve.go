@@ -25,6 +25,7 @@ import (
 
 	"x3/internal/agg"
 	"x3/internal/cellfile"
+	"x3/internal/costmodel"
 	"x3/internal/cube"
 	"x3/internal/fault"
 	"x3/internal/lattice"
@@ -41,11 +42,25 @@ type Options struct {
 	Algorithm string
 	// Views > 0 materializes only the cuboids picked by the greedy
 	// view-selection of package views (under the store's safety
-	// properties); 0 materializes every cuboid.
+	// properties); 0 materializes every cuboid. Ignored when SpaceBudget
+	// is set.
 	Views int
-	// CacheBlocks sizes the LRU block cache (default 64; negative
-	// disables caching).
+	// SpaceBudget > 0 materializes only the cuboids picked by the greedy
+	// benefit-per-byte cost model (internal/costmodel) within this many
+	// encoded bytes; the planner's safe-relaxation routing answers the
+	// rest. Ladder stores re-run the selection on every compaction with
+	// the live per-cuboid query counts and cache hit rate, so the
+	// materialized set adapts to the workload. Takes precedence over
+	// Views.
+	SpaceBudget int64
+	// CacheBlocks sizes the LRU block cache in nominal uncompressed
+	// blocks (default 64; negative disables caching). CacheBytes takes
+	// precedence when set.
 	CacheBlocks int
+	// CacheBytes > 0 sizes the LRU block cache by encoded block bytes —
+	// the native unit since cellfile v4: compressed blocks are charged
+	// their on-disk length, so compression directly buys residency.
+	CacheBytes int64
 	// BlockCells overrides the indexed file's block granularity
 	// (0 = cellfile.DefaultBlockCells).
 	BlockCells int
@@ -76,21 +91,27 @@ type Options struct {
 // Store is a servable materialized cube. All exported methods are safe
 // for concurrent use.
 type Store struct {
-	path       string
-	lat        *lattice.Lattice
-	reg        *obs.Registry
-	cache      *cellfile.BlockCache
-	blockCells int
-	fault      *fault.Injector
-	retries    int
+	path        string
+	lat         *lattice.Lattice
+	reg         *obs.Registry
+	cache       *cellfile.BlockCache
+	blockCells  int
+	fault       *fault.Injector
+	retries     int
+	spaceBudget int64
+	// qcounts tracks per-cuboid query arrivals (indexed by pid, updated
+	// with atomic adds); the cost model reads them as benefit weights.
+	qcounts []int64
 
 	// Ladder-mode state (BuildDir/OpenDir); zero for single-file stores.
-	// dir, keep, flushCells, compactAfter and compactCh are immutable
-	// after open; walW, nextSeq and man belong to the maintenance path
-	// and are guarded by refreshMu.
+	// dir, flushCells, compactAfter and compactCh are immutable after
+	// open; walW, nextSeq and man belong to the maintenance path and are
+	// guarded by refreshMu. keep and keepSorted mirror man.Keep for the
+	// query path and are guarded by mu: a budgeted compaction may shrink
+	// them (the cost model dropping a cold cuboid).
 	dir          string
 	keep         map[uint32]bool
-	keepSorted   []uint32 // man.Keep, immutable after open; queries read this, not man
+	keepSorted   []uint32 // man.Keep mirror; queries read this, not man
 	flushCells   int64
 	compactAfter int
 	compactCh    chan struct{}
@@ -111,6 +132,7 @@ type Store struct {
 	dicts     []*match.Dict
 	props     cube.Props
 	measured  bool // props are data-measured: re-measure on refresh
+	decisions []costmodel.Decision
 }
 
 // Build computes the cube of lat over base, materializes the selected
@@ -118,11 +140,12 @@ type Store struct {
 // Iceberg queries (HAVING >= n) are refused: their discarded cells make
 // both roll-up serving and maintenance unsound.
 func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*Store, error) {
-	res, props, measured, keep, err := computeCube(lat, base, opt)
+	res, props, measured, keep, decisions, err := computeCube(lat, base, opt)
 	if err != nil {
 		return nil, err
 	}
 	s := newStore(path, lat, base, props, measured, opt)
+	s.decisions = decisions
 	rdr, err := s.writeStore(res, keep)
 	if err != nil {
 		return nil, err
@@ -136,58 +159,73 @@ func Build(path string, lat *lattice.Lattice, base *match.Set, opt Options) (*St
 // BuildDir: resolve the algorithm, certify or measure the
 // summarizability properties, compute the full cube, and pick the
 // materialized point set. Iceberg queries are refused here.
-func computeCube(lat *lattice.Lattice, base *match.Set, opt Options) (*cube.Result, cube.Props, bool, map[uint32]bool, error) {
+func computeCube(lat *lattice.Lattice, base *match.Set, opt Options) (*cube.Result, cube.Props, bool, map[uint32]bool, []costmodel.Decision, error) {
 	if lat.Query.MinSupport > 1 {
-		return nil, nil, false, nil, fmt.Errorf("serve: cannot serve an iceberg cube (HAVING >= %d)", lat.Query.MinSupport)
+		return nil, nil, false, nil, nil, fmt.Errorf("serve: cannot serve an iceberg cube (HAVING >= %d)", lat.Query.MinSupport)
 	}
 	if opt.Algorithm == "" {
 		opt.Algorithm = "COUNTER"
 	}
 	alg, err := cube.ByName(opt.Algorithm)
 	if err != nil {
-		return nil, nil, false, nil, err
+		return nil, nil, false, nil, nil, err
 	}
 	props := opt.Props
 	measured := false
 	if props == nil {
 		mp, err := cube.MeasureProps(lat, base)
 		if err != nil {
-			return nil, nil, false, nil, err
+			return nil, nil, false, nil, nil, err
 		}
 		props, measured = mp, true
 	}
 	res := cube.NewResult(lat, base.Dicts)
 	in := &cube.Input{Lattice: lat, Source: base, Dicts: base.Dicts, Props: props, Reg: opt.Registry}
 	if _, err := alg.Run(in, res); err != nil {
-		return nil, nil, false, nil, err
+		return nil, nil, false, nil, nil, err
+	}
+	if opt.SpaceBudget > 0 {
+		keep, decisions, err := selectBudget(lat, props, res, base.NumFacts(), opt, nil, 0)
+		if err != nil {
+			return nil, nil, false, nil, nil, err
+		}
+		return res, props, measured, keep, decisions, nil
 	}
 	keep, err := selectPoints(lat, props, res, base.NumFacts(), opt.Views)
 	if err != nil {
-		return nil, nil, false, nil, err
+		return nil, nil, false, nil, nil, err
 	}
-	return res, props, measured, keep, nil
+	return res, props, measured, keep, nil, nil
 }
 
 // newStore assembles the Store fields common to every open path.
 func newStore(path string, lat *lattice.Lattice, base *match.Set, props cube.Props, measured bool, opt Options) *Store {
 	s := &Store{
-		path:       path,
-		lat:        lat,
-		reg:        opt.Registry,
-		blockCells: opt.BlockCells,
-		fault:      opt.Fault,
-		retries:    opt.Retries,
-		base:       base,
-		dicts:      base.Dicts,
-		props:      props,
-		measured:   measured,
+		path:        path,
+		lat:         lat,
+		reg:         opt.Registry,
+		blockCells:  opt.BlockCells,
+		fault:       opt.Fault,
+		retries:     opt.Retries,
+		spaceBudget: opt.SpaceBudget,
+		qcounts:     make([]int64, lat.Size()),
+		base:        base,
+		dicts:       base.Dicts,
+		props:       props,
+		measured:    measured,
 	}
-	if opt.CacheBlocks >= 0 {
+	switch {
+	case opt.CacheBytes > 0:
+		s.cache = cellfile.NewBlockCacheBytes(opt.CacheBytes)
+	case opt.CacheBlocks >= 0:
 		n := opt.CacheBlocks
 		if n == 0 {
 			n = 64
 		}
 		s.cache = cellfile.NewBlockCache(n)
+	}
+	if s.cache != nil {
+		s.cache.Observe(opt.Registry)
 	}
 	return s
 }
@@ -319,6 +357,19 @@ func (s *Store) Dicts() []*match.Dict {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.dicts
+}
+
+// DataBytes returns the encoded size of the store's cell blocks — for
+// ladder stores, summed across the base and every delta generation. This
+// is the quantity a SpaceBudget constrains.
+func (s *Store) DataBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := s.rdr.DataBytes()
+	for _, d := range s.deltas {
+		total += d.DataBytes()
+	}
+	return total
 }
 
 // NumFacts returns the number of base facts currently behind the store.
