@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench-seed bench-pr2 bench-pr3 bench-pr6 bench-pr7
+.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench bench-seed bench-pr2 bench-pr3 bench-pr6 bench-pr7 bench-pr8
 
 ci: vet lint build test race faults cover
 
@@ -31,9 +31,11 @@ fuzz-replay:
 # The concurrent pieces — the shared worker pool behind BUCPAR/TDPAR, the
 # batched sinks, extsort's background run formation and chunked sorts, the
 # sjoin evaluator over the shared buffer pool, the parallel lattice
-# harness and the match-plan cache — under the race detector.
+# harness, the match-plan cache, the admission controller, and the
+# load-harness soak (concurrent queries + appends + compaction against a
+# subset oracle) — under the race detector.
 race:
-	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/harness/... ./internal/match/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./cmd/x3serve/
+	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/harness/... ./internal/match/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./internal/admit/... ./internal/servehttp/... ./internal/load/... ./cmd/x3serve/
 
 # Short fuzz smoke of the query parser, the cell-file readers, the
 # store's meta page and the write-ahead log (the CI-sized budget).
@@ -50,7 +52,7 @@ fuzz:
 # recovery, degraded-ladder serving off a corrupted file, and the
 # injection/retry tests of every storage layer.
 faults:
-	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./internal/wal/ ./cmd/x3serve/
+	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline|Quota' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./internal/wal/ ./internal/servehttp/ ./internal/admit/ ./cmd/x3serve/
 
 # Per-package coverage floors (see scripts/cover_floors.txt): the serving
 # layer and its cell-file substrate must stay above 80% of statements.
@@ -87,3 +89,17 @@ bench-pr6:
 # 50%-budget build times.
 bench-pr7:
 	$(GO) run ./cmd/x3serve -bench-pr7 -scale 2000 -metrics BENCH_pr7.json
+
+# Regenerate the committed sustained-load snapshot (see EXPERIMENTS.md):
+# the open-loop x3load sweep — three arrival rates x two query mixes over
+# eight tenants with one tenant pushing past its quota — with in-quota
+# HDR latency quantiles, over-quota 429 counts, and the SLO verdict.
+bench-pr8:
+	$(GO) run ./cmd/x3load -bench-pr8 -scale 200 -metrics BENCH_pr8.json
+
+# Latency SLO gate: re-run the sustained-load sweep and fail if any
+# scenario that passed in the committed BENCH_pr8.json baseline violates
+# its SLO now. Writes the fresh run next to /tmp so the committed
+# baseline is only updated deliberately via bench-pr8.
+bench:
+	$(GO) run ./cmd/x3load -bench-pr8 -scale 200 -baseline BENCH_pr8.json -metrics /tmp/BENCH_pr8.current.json

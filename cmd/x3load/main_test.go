@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"x3/internal/load"
+)
+
+// ciPR8Config shrinks the sweep to CI size: two rates, both mixes, short
+// phases, a small dataset.
+func ciPR8Config() pr8Config {
+	cfg := defaultPR8Config(40, 7)
+	cfg.Rates = []float64{150, 400}
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Warmup = 100 * time.Millisecond
+	return cfg
+}
+
+// TestBenchPR8Report runs the shrunken sweep end to end and checks the
+// artifact's acceptance shape: every (rate, mix) cell present with
+// quantiles, the hot tenant demonstrably refused with 429s where its
+// demand exceeds quota, and the in-quota population unaffected enough to
+// hold the SLO.
+func TestBenchPR8Report(t *testing.T) {
+	cfg := ciPR8Config()
+	rep, err := benchPR8Report(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Rates) * len(cfg.Mixes); len(rep.Scenarios) != want {
+		t.Fatalf("%d scenarios, want %d", len(rep.Scenarios), want)
+	}
+	for _, s := range rep.Scenarios {
+		if s.Report.Total.Sent == 0 {
+			t.Fatalf("scenario %s fired nothing", s.Name)
+		}
+		if s.Report.Total.OK == 0 || s.InQuotaLatency.Count == 0 {
+			t.Fatalf("scenario %s: no successful ops recorded (%+v)", s.Name, s.Report.Total)
+		}
+		if s.InQuotaLatency.P50 <= 0 || s.InQuotaLatency.P99 < s.InQuotaLatency.P50 ||
+			s.InQuotaLatency.P999 < s.InQuotaLatency.P99 {
+			t.Fatalf("scenario %s: malformed quantiles %+v", s.Name, s.InQuotaLatency)
+		}
+		// tenant0 offers 0.4*rate against a quota of 2*rate/8 = 0.25*rate:
+		// it must see 429s in every scenario.
+		if s.HotTenantOverQuota == 0 {
+			t.Fatalf("scenario %s: hot tenant was never refused", s.Name)
+		}
+		// In-quota tenants offer ~0.086*rate each against 0.25*rate: they
+		// must not be collateral damage of tenant0's overload.
+		for label, tr := range s.Report.Tenants {
+			if label == "tenant0" {
+				continue
+			}
+			if tr.Sent > 0 && tr.OverQuota*5 > tr.Sent {
+				t.Fatalf("scenario %s: in-quota tenant %s refused %d/%d times", s.Name, label, tr.OverQuota, tr.Sent)
+			}
+		}
+	}
+	if !rep.Pass {
+		for _, s := range rep.Scenarios {
+			t.Logf("%s: pass=%v violations=%v", s.Name, s.Pass, s.Violations)
+		}
+		t.Fatal("CI-sized sweep violated the SLO")
+	}
+}
+
+// TestRunBenchPR8Artifact checks the writer/gate plumbing: the JSON
+// artifact round-trips, and a doctored baseline that passed where the
+// current run fails trips the regression gate.
+func TestRunBenchPR8Artifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_pr8.json")
+	cfg := ciPR8Config()
+	cfg.Rates = []float64{150}
+	cfg.Mixes = cfg.Mixes[:1]
+	if err := runBenchPR8(cfg, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(rep.Scenarios) != 1 || !rep.Pass {
+		t.Fatalf("artifact %+v, want one passing scenario", rep)
+	}
+	if rep.Scenarios[0].Report.Total.OverQuota == 0 {
+		t.Fatal("artifact records zero over-quota refusals")
+	}
+
+	// Regression detection: baseline passed, current fails.
+	base := &load.BenchReport{Scenarios: []load.Scenario{{Name: "read@150", Pass: true}}}
+	cur := &load.BenchReport{Scenarios: []load.Scenario{{Name: "read@150", Pass: false, Violations: []string{"p99 high"}}}}
+	if regs := load.Regressions(base, cur); len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", regs)
+	}
+	// A scenario that failed in the baseline too is not a regression, nor
+	// is a new scenario.
+	base.Scenarios[0].Pass = false
+	cur.Scenarios = append(cur.Scenarios, load.Scenario{Name: "new@999", Pass: false})
+	if regs := load.Regressions(base, cur); len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+}

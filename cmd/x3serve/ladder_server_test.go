@@ -9,11 +9,13 @@ import (
 	"testing"
 	"time"
 
+	"x3/internal/admit"
 	"x3/internal/dataset"
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/obs"
 	"x3/internal/serve"
+	"x3/internal/servehttp"
 )
 
 // dblpInputs evaluates the test DBLP document against fresh dictionaries
@@ -38,7 +40,10 @@ func dblpInputs(t *testing.T) (*lattice.Lattice, *match.Set) {
 
 func serveStore(t *testing.T, store *serve.Store, reg *obs.Registry) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(store, reg, serverOptions{maxInFlight: 64, requestTimeout: 30 * time.Second}))
+	srv := httptest.NewServer(servehttp.New(store, reg, servehttp.Options{
+		Admission:      admit.New(admit.Config{MaxInFlight: 64, Registry: reg}),
+		RequestTimeout: 30 * time.Second,
+	}))
 	t.Cleanup(srv.Close)
 	return srv
 }

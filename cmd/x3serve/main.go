@@ -43,12 +43,14 @@ import (
 	"syscall"
 	"time"
 
+	"x3/internal/admit"
 	"x3/internal/cube"
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/obs"
 	"x3/internal/schema"
 	"x3/internal/serve"
+	"x3/internal/servehttp"
 	"x3/internal/xmltree"
 	"x3/internal/xq"
 )
@@ -78,6 +80,9 @@ func main() {
 		metrics   = flag.String("metrics", "", "write metrics as JSON here")
 
 		maxInFlight     = flag.Int("max-inflight", 64, "max concurrently executing requests; excess load is shed with 503 (0 disables)")
+		backgroundMax   = flag.Int("background-max", 0, "max concurrently executing background requests (/append, /refresh); 0 = half of -max-inflight, negative = uncapped")
+		tenantRate      = flag.Float64("tenant-rate", 0, "per-tenant request quota in req/s (X3-Tenant header); over-quota tenants get 429 + Retry-After (0 disables quotas)")
+		tenantBurst     = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst capacity (0 = one second of -tenant-rate)")
 		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expired requests are cancelled (0 disables)")
 		readTimeout     = flag.Duration("read-timeout", 2*time.Minute, "http.Server read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 2*time.Minute, "http.Server write timeout")
@@ -160,11 +165,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "x3serve: %d facts, %d/%d cuboids materialized, listening on %s\n",
 		store.NumFacts(), len(store.Materialized()), lat.Size(), *addr)
 
+	// Admission control subsumes the flat -max-inflight shedding: the
+	// controller sheds saturation with 503 exactly as before, and layers
+	// per-tenant 429 quotas plus the background sub-limit on top.
+	var ctrl *admit.Controller
+	if *maxInFlight > 0 || *tenantRate > 0 {
+		ctrl = admit.New(admit.Config{
+			MaxInFlight:   *maxInFlight,
+			BackgroundMax: *backgroundMax,
+			Rate:          *tenantRate,
+			Burst:         *tenantBurst,
+			Registry:      reg,
+		})
+	}
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: newServer(store, reg, serverOptions{
-			maxInFlight:    *maxInFlight,
-			requestTimeout: *requestTimeout,
+		Handler: servehttp.New(store, reg, servehttp.Options{
+			Admission:      ctrl,
+			RequestTimeout: *requestTimeout,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,

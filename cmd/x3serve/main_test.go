@@ -12,11 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"x3/internal/admit"
 	"x3/internal/dataset"
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/obs"
 	"x3/internal/serve"
+	"x3/internal/servehttp"
 )
 
 // startTestServer builds a small DBLP store and serves it over httptest.
@@ -42,7 +44,10 @@ func startTestServer(t *testing.T, views int) (*httptest.Server, *serve.Store, *
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv := httptest.NewServer(newServer(store, reg, serverOptions{maxInFlight: 64, requestTimeout: 30 * time.Second}))
+	srv := httptest.NewServer(servehttp.New(store, reg, servehttp.Options{
+		Admission:      admit.New(admit.Config{MaxInFlight: 64, Registry: reg}),
+		RequestTimeout: 30 * time.Second,
+	}))
 	t.Cleanup(srv.Close)
 	return srv, store, reg
 }
@@ -316,7 +321,7 @@ func TestRequestDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv := httptest.NewServer(newServer(store, reg, serverOptions{requestTimeout: time.Nanosecond}))
+	srv := httptest.NewServer(servehttp.New(store, reg, servehttp.Options{RequestTimeout: time.Nanosecond}))
 	t.Cleanup(srv.Close)
 
 	done := make(chan struct{})
@@ -341,65 +346,5 @@ func TestRequestDeadline(t *testing.T) {
 	}
 }
 
-// TestLoadShedding fills the single in-flight slot with a blocked request
-// and verifies the next one is shed with 503 + Retry-After and counted.
-func TestLoadShedding(t *testing.T) {
-	reg := obs.New()
-	release := make(chan struct{})
-	entered := make(chan struct{})
-	h := withLoadShedding(reg, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		close(entered)
-		<-release
-	}))
-	srv := httptest.NewServer(h)
-	t.Cleanup(srv.Close)
-
-	go http.Get(srv.URL) // occupies the only slot
-	<-entered
-	resp, err := http.Get(srv.URL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	close(release)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("shed request: HTTP %d (%s), want 503", resp.StatusCode, b)
-	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("shed response missing Retry-After")
-	}
-	var e map[string]string
-	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "shed" {
-		t.Fatalf("shed response body %s, want code \"shed\"", b)
-	}
-	if reg.Counter("serve.shed").Value() == 0 {
-		t.Error("serve.shed did not move")
-	}
-}
-
-// TestPanicRecovery converts a handler panic into a structured 500.
-func TestPanicRecovery(t *testing.T) {
-	reg := obs.New()
-	h := withRecovery(reg, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
-		panic("boom")
-	}))
-	srv := httptest.NewServer(h)
-	t.Cleanup(srv.Close)
-	resp, err := http.Get(srv.URL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("panicking handler: HTTP %d (%s), want 500", resp.StatusCode, b)
-	}
-	var e map[string]string
-	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "panic" {
-		t.Fatalf("panic response body %s, want code \"panic\"", b)
-	}
-	if reg.Counter("serve.panics").Value() == 0 {
-		t.Error("serve.panics did not move")
-	}
-}
+// The load-shedding and panic-recovery middleware tests moved with the
+// middleware itself into internal/servehttp.

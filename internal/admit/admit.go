@@ -1,0 +1,262 @@
+// Package admit is the serving layer's admission controller: per-tenant
+// token-bucket quotas and priority-aware concurrency limits, extending
+// the flat -max-inflight shedding of the hardening PR with the two
+// policies heavy multi-tenant traffic needs:
+//
+//   - a tenant that exceeds its request-rate quota is refused with
+//     ErrOverQuota (HTTP 429 + Retry-After at the edge) without touching
+//     anyone else's capacity, and
+//   - background work (appends, refreshes, compaction-triggering
+//     traffic) yields to interactive queries: Background requests are
+//     admitted only up to a reserved sub-limit of the in-flight cap, so
+//     a flood of appends can never starve point queries, while
+//     interactive traffic may use the whole cap.
+//
+// The priority invariant is structural: a Background request is admitted
+// only under conditions strictly stronger than Interactive's, so at no
+// instant can a higher class be shed while a lower class is admitted
+// with the same controller state. The property tests pin this, the
+// no-over-admission bound, monotone refill under a simulated clock, and
+// cross-tenant fairness within a class.
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"x3/internal/obs"
+)
+
+// Class is a request priority class. Lower values are more important.
+type Class int
+
+const (
+	// Interactive is user-facing query traffic; it may use the whole
+	// in-flight capacity.
+	Interactive Class = iota
+	// Background is maintenance traffic (appends, refreshes); it is
+	// admitted only up to the background sub-limit.
+	Background
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Background:
+		return "background"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Sentinel errors. Concrete refusals wrap these, so callers classify
+// with errors.Is and still see the tenant and retry hint.
+var (
+	// ErrOverQuota marks a request refused because its tenant's token
+	// bucket is empty. The wrapping QuotaError carries the refill hint.
+	ErrOverQuota = errors.New("admit: tenant over quota")
+	// ErrSaturated marks a request shed because the in-flight capacity
+	// (or the class's sub-limit) is exhausted.
+	ErrSaturated = errors.New("admit: server saturated")
+)
+
+// QuotaError is the concrete over-quota refusal.
+type QuotaError struct {
+	Tenant string
+	// RetryAfter is how long until the tenant's bucket refills enough
+	// for one request.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("admit: tenant %q over quota (retry in %v)", e.Tenant, e.RetryAfter)
+}
+
+// Unwrap chains to ErrOverQuota so errors.Is classifies the refusal.
+func (e *QuotaError) Unwrap() error { return ErrOverQuota }
+
+// Bucket is a token bucket under an external clock: capacity Burst,
+// refilled at Rate tokens per second of clock advance. The zero value is
+// unusable; call NewBucket. Not safe for concurrent use on its own (the
+// Controller serializes access; direct users bring their own lock).
+type Bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a full bucket as of now. Rate must be positive;
+// burst is clamped to at least 1 token.
+func NewBucket(rate, burst float64, now time.Time) *Bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// Take refills the bucket for the clock advance since the last call and
+// takes one token. Refill is monotone: a clock that stands still or
+// steps backwards adds nothing (and never drains earned tokens). On
+// refusal the returned duration says how long until one token
+// accumulates at the current rate.
+func (b *Bucket) Take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Tokens returns the current token balance (without refilling).
+func (b *Bucket) Tokens() float64 { return b.tokens }
+
+// Config configures a Controller.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted requests across all
+	// tenants and classes; 0 or negative means unlimited.
+	MaxInFlight int
+	// BackgroundMax bounds concurrently admitted Background requests;
+	// 0 picks MaxInFlight/2 (minimum 1) when MaxInFlight is set, else
+	// unlimited. It is clamped to MaxInFlight.
+	BackgroundMax int
+	// Rate is each tenant's sustained request quota in requests per
+	// second; 0 or negative disables quotas entirely.
+	Rate float64
+	// Burst is each tenant's bucket capacity (instantaneous headroom);
+	// 0 picks max(Rate, 1).
+	Burst float64
+	// Now is the clock; nil uses time.Now. Tests inject a simulated
+	// clock here.
+	Now func() time.Time
+	// Registry receives the admit.* counters; nil disables them.
+	Registry *obs.Registry
+}
+
+// Controller admits or refuses requests. Safe for concurrent use.
+type Controller struct {
+	maxInFlight int
+	bgMax       int
+	rate        float64
+	burst       float64
+	now         func() time.Time
+
+	admitted  *obs.Counter
+	overQuota *obs.Counter
+	saturated *obs.Counter
+
+	mu       sync.Mutex
+	buckets  map[string]*Bucket
+	inflight [numClasses]int
+}
+
+// New returns a controller over cfg.
+func New(cfg Config) *Controller {
+	c := &Controller{
+		maxInFlight: cfg.MaxInFlight,
+		bgMax:       cfg.BackgroundMax,
+		rate:        cfg.Rate,
+		burst:       cfg.Burst,
+		now:         cfg.Now,
+		buckets:     map[string]*Bucket{},
+		admitted:    cfg.Registry.Counter("admit.admitted"),
+		overQuota:   cfg.Registry.Counter("admit.over_quota"),
+		saturated:   cfg.Registry.Counter("admit.saturated"),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.burst <= 0 {
+		c.burst = c.rate
+		if c.burst < 1 {
+			c.burst = 1
+		}
+	}
+	if c.bgMax == 0 && c.maxInFlight > 0 {
+		c.bgMax = c.maxInFlight / 2
+		if c.bgMax < 1 {
+			c.bgMax = 1
+		}
+	}
+	if c.maxInFlight > 0 && c.bgMax > c.maxInFlight {
+		c.bgMax = c.maxInFlight
+	}
+	return c
+}
+
+// Admit asks to run one request for tenant at class. On admission it
+// returns a release func that must be called exactly once when the
+// request finishes (extra calls are no-ops). On refusal it returns a
+// *QuotaError (wrapping ErrOverQuota) when the tenant's bucket is
+// empty, or an error wrapping ErrSaturated when capacity is exhausted.
+//
+// Order matters: the capacity check precedes the token take, so a shed
+// request does not also drain its tenant's quota — retrying after
+// Retry-After is not double-charged.
+func (c *Controller) Admit(tenant string, class Class) (release func(), err error) {
+	if class < 0 || class >= numClasses {
+		class = Background
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.capacityLocked(class) {
+		c.saturated.Inc()
+		return nil, fmt.Errorf("%w: class %s at capacity", ErrSaturated, class)
+	}
+	if c.rate > 0 {
+		b, ok := c.buckets[tenant]
+		if !ok {
+			b = NewBucket(c.rate, c.burst, c.now())
+			c.buckets[tenant] = b
+		}
+		if ok, retry := b.Take(c.now()); !ok {
+			c.overQuota.Inc()
+			return nil, &QuotaError{Tenant: tenant, RetryAfter: retry}
+		}
+	}
+	c.inflight[class]++
+	c.admitted.Inc()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.inflight[class]--
+			c.mu.Unlock()
+		})
+	}, nil
+}
+
+// capacityLocked reports whether class has concurrency headroom. The
+// conditions are ordered by class strength: Background's are a strict
+// superset of Interactive's, which makes priority inversion impossible
+// by construction.
+func (c *Controller) capacityLocked(class Class) bool {
+	total := c.inflight[Interactive] + c.inflight[Background]
+	if c.maxInFlight > 0 && total >= c.maxInFlight {
+		return false
+	}
+	if class == Background && c.bgMax > 0 && c.inflight[Background] >= c.bgMax {
+		return false
+	}
+	return true
+}
+
+// InFlight returns the currently admitted request count per class.
+func (c *Controller) InFlight() (interactive, background int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight[Interactive], c.inflight[Background]
+}

@@ -12,7 +12,7 @@ import (
 // obsKindMethods are the Registry methods that mint a metric under a key;
 // each is its own metric kind in the registry's namespace.
 var obsKindMethods = map[string]bool{
-	"Counter": true, "Gauge": true, "Timer": true, "Histogram": true, "Span": true,
+	"Counter": true, "Gauge": true, "Timer": true, "Histogram": true, "Span": true, "HDR": true,
 }
 
 // dynamic metric families ("fault.injected." + site) must open with a

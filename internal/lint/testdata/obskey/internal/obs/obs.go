@@ -33,3 +33,6 @@ func (r *Registry) Histogram(name string) *Metric { return &Metric{} }
 
 // Span opens a span under name; the returned func closes it.
 func (r *Registry) Span(name string) func() { return func() {} }
+
+// HDR mints a high-dynamic-range latency histogram under name.
+func (r *Registry) HDR(name string) *Metric { return &Metric{} }

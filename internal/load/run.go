@@ -1,0 +1,169 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"x3/internal/obs"
+)
+
+// TenantReport is one tenant's (or the whole run's) measured outcome.
+type TenantReport struct {
+	Sent      int64 `json:"sent"`
+	OK        int64 `json:"ok"`
+	Degraded  int64 `json:"degraded,omitempty"`
+	OverQuota int64 `json:"over_quota,omitempty"`
+	Shed      int64 `json:"shed,omitempty"`
+	Deadline  int64 `json:"deadline,omitempty"`
+	Failed    int64 `json:"failed,omitempty"`
+	// Latency summarizes successful operations' end-to-end time in
+	// nanoseconds.
+	Latency obs.HDRStats `json:"latency"`
+}
+
+// Report is a finished run.
+type Report struct {
+	// OfferedRate is the configured arrival rate (ops/s).
+	OfferedRate float64 `json:"offered_rate"`
+	// Mix echoes the operation mix.
+	Mix string `json:"mix"`
+	// MeasuredSeconds is the measurement-phase wall time.
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	// Throughput is completed-OK operations per measured second.
+	Throughput float64 `json:"throughput"`
+	// Total aggregates every measured operation.
+	Total TenantReport `json:"total"`
+	// Tenants breaks the run down per tenant label.
+	Tenants map[string]*TenantReport `json:"tenants"`
+
+	// histograms keeps the raw per-tenant snapshots for cross-tenant
+	// merging (e.g. "all in-quota tenants" SLO checks); not serialized.
+	histograms map[string]obs.HDRSnapshot
+}
+
+// MergedLatency merges the latency histograms of the selected tenants
+// and returns the union snapshot — the cross-worker aggregation path the
+// HDR type exists for.
+func (r *Report) MergedLatency(tenants ...string) obs.HDRSnapshot {
+	var out obs.HDRSnapshot
+	for _, t := range tenants {
+		if s, ok := r.histograms[t]; ok {
+			out.Merge(s)
+		}
+	}
+	return out
+}
+
+// tenantStats accumulates one tenant's outcomes during a run.
+type tenantStats struct {
+	sent, ok, degraded, overQuota, shed, deadline, failed atomic.Int64
+	lat                                                   obs.HDR
+}
+
+// record folds one completed measured operation in.
+func (s *tenantStats) record(res Result) {
+	s.sent.Add(1)
+	switch res.Status {
+	case 200:
+		s.ok.Add(1)
+		if res.Degraded {
+			s.degraded.Add(1)
+		}
+		s.lat.Observe(int64(res.Latency))
+	case 429:
+		s.overQuota.Add(1)
+	case 503:
+		s.shed.Add(1)
+	case 504:
+		s.deadline.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+}
+
+// report snapshots the stats.
+func (s *tenantStats) report() (*TenantReport, obs.HDRSnapshot) {
+	snap := s.lat.Snapshot()
+	return &TenantReport{
+		Sent:      s.sent.Load(),
+		OK:        s.ok.Load(),
+		Degraded:  s.degraded.Load(),
+		OverQuota: s.overQuota.Load(),
+		Shed:      s.shed.Load(),
+		Deadline:  s.deadline.Load(),
+		Failed:    s.failed.Load(),
+		Latency:   snap.Stats(),
+	}, snap
+}
+
+// Run fires the schedule open-loop against the target: each operation
+// launches at its scheduled arrival time whether or not earlier
+// operations have completed, so a slowing server accumulates in-flight
+// work exactly as it would under real traffic (and the admission
+// controller, not the generator, decides what to shed). Warmup
+// operations execute but are not recorded. Run blocks until every
+// operation has completed or ctx is cancelled.
+func Run(ctx context.Context, target Target, cfg Config, ops []Op) *Report {
+	perTenant := map[string]*tenantStats{}
+	for _, label := range cfg.TenantLabels() {
+		perTenant[label] = &tenantStats{}
+	}
+	total := &tenantStats{}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	var measureStart, measureEnd time.Time
+	for i := range ops {
+		op := &ops[i]
+		if d := op.At - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if !op.Warmup && measureStart.IsZero() {
+			measureStart = time.Now()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := target.Do(ctx, *op)
+			if op.Warmup {
+				return
+			}
+			total.record(res)
+			if ts, ok := perTenant[op.Tenant]; ok {
+				ts.record(res)
+			}
+		}()
+	}
+	wg.Wait()
+	measureEnd = time.Now()
+	if measureStart.IsZero() {
+		measureStart = measureEnd
+	}
+
+	rep := &Report{
+		OfferedRate: cfg.Rate,
+		Mix:         cfg.Mix.String(),
+		Tenants:     map[string]*TenantReport{},
+		histograms:  map[string]obs.HDRSnapshot{},
+	}
+	rep.MeasuredSeconds = measureEnd.Sub(measureStart).Seconds()
+	tr, _ := total.report()
+	rep.Total = *tr
+	if rep.MeasuredSeconds > 0 {
+		rep.Throughput = float64(rep.Total.OK) / rep.MeasuredSeconds
+	}
+	for label, ts := range perTenant {
+		tr, snap := ts.report()
+		rep.Tenants[label] = tr
+		rep.histograms[label] = snap
+	}
+	return rep
+}

@@ -1,0 +1,79 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"x3/internal/obs"
+)
+
+// SLO is a latency service-level objective over the quantiles the HDR
+// histograms export. Zero fields are unchecked.
+type SLO struct {
+	P50  time.Duration `json:"p50_ns,omitempty"`
+	P99  time.Duration `json:"p99_ns,omitempty"`
+	P999 time.Duration `json:"p999_ns,omitempty"`
+	// MaxErrorRate bounds failed (5xx, not shed/over-quota) operations
+	// as a fraction of sent.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// Check evaluates the SLO against measured stats and the error tally,
+// returning one violation string per breached bound (empty = pass).
+func (s SLO) Check(st obs.HDRStats, sent, failed int64) []string {
+	var v []string
+	check := func(name string, bound time.Duration, got int64) {
+		if bound > 0 && got > int64(bound) {
+			v = append(v, fmt.Sprintf("%s %.3fms exceeds SLO %.3fms",
+				name, float64(got)/1e6, float64(bound)/1e6))
+		}
+	}
+	check("p50", s.P50, st.P50)
+	check("p99", s.P99, st.P99)
+	check("p999", s.P999, st.P999)
+	if s.MaxErrorRate > 0 && sent > 0 {
+		if rate := float64(failed) / float64(sent); rate > s.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error rate %.4f exceeds SLO %.4f", rate, s.MaxErrorRate))
+		}
+	}
+	return v
+}
+
+// Scenario is one benchmarked (rate, mix) cell with its verdict.
+type Scenario struct {
+	Name       string   `json:"name"`
+	Report     *Report  `json:"report"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+	// InQuotaLatency is the merged latency of every tenant except the
+	// hot one — the population whose SLO the admission control defends.
+	InQuotaLatency obs.HDRStats `json:"in_quota_latency"`
+	// HotTenantOverQuota counts the hot tenant's 429 refusals.
+	HotTenantOverQuota int64 `json:"hot_tenant_over_quota"`
+}
+
+// BenchReport is the full bench-pr8 artifact.
+type BenchReport struct {
+	SLO       SLO        `json:"slo"`
+	Scenarios []Scenario `json:"scenarios"`
+	Pass      bool       `json:"pass"`
+}
+
+// Regressions compares a fresh run against a baseline artifact: any
+// scenario that passed its SLO in the baseline and fails now is a
+// regression. New scenarios (absent from the baseline) only gate on
+// themselves.
+func Regressions(baseline, current *BenchReport) []string {
+	passed := map[string]bool{}
+	for _, s := range baseline.Scenarios {
+		passed[s.Name] = s.Pass
+	}
+	var regressions []string
+	for _, s := range current.Scenarios {
+		if !s.Pass && passed[s.Name] {
+			regressions = append(regressions,
+				fmt.Sprintf("scenario %s regressed: passed in baseline, now violates %v", s.Name, s.Violations))
+		}
+	}
+	return regressions
+}

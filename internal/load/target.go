@@ -1,0 +1,216 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"x3/internal/admit"
+	"x3/internal/serve"
+)
+
+// Result is one completed operation as the harness saw it: an HTTP-style
+// status (both targets speak the same status vocabulary), the structured
+// error code when not OK, and the end-to-end latency.
+type Result struct {
+	// Status is the HTTP status code (200 OK, 429 over quota, 503 shed,
+	// 504 deadline, 400 bad request, 500 internal).
+	Status int
+	// Code is the structured error code ("over_quota", "shed", ...) on
+	// non-200 statuses.
+	Code string
+	// RetryAfter is the server's backoff hint on 429/503.
+	RetryAfter time.Duration
+	// Latency is the end-to-end operation time, admission included.
+	Latency time.Duration
+	// Degraded is set when the answer came from a fallback path.
+	Degraded bool
+	// Resp is the decoded answer for query operations (StoreTarget
+	// always; HTTPTarget only when CaptureBody is set).
+	Resp *serve.Response
+}
+
+// OK reports whether the operation completed with an answer.
+func (r Result) OK() bool { return r.Status == http.StatusOK }
+
+// Target executes scheduled operations against some serving surface.
+type Target interface {
+	Do(ctx context.Context, op Op) Result
+}
+
+// StoreTarget drives a serve.Store in-process through the same admission
+// and status mapping as the HTTP edge in internal/servehttp, so
+// in-process benchmark numbers transfer to the wire: a shed is a 503, an
+// over-quota refusal a 429 with the bucket's Retry-After, a bad request
+// a 400.
+type StoreTarget struct {
+	Store *serve.Store
+	// Admission admits or sheds (nil disables, as at the edge).
+	Admission *admit.Controller
+}
+
+// classFor mirrors servehttp's route classification: appends are
+// Background, queries Interactive.
+func classFor(kind OpKind) admit.Class {
+	if kind == OpAppend {
+		return admit.Background
+	}
+	return admit.Interactive
+}
+
+// Do implements Target.
+func (t *StoreTarget) Do(ctx context.Context, op Op) Result {
+	start := time.Now()
+	if t.Admission != nil {
+		release, err := t.Admission.Admit(op.Tenant, classFor(op.Kind))
+		if err != nil {
+			return refusalResult(err, time.Since(start))
+		}
+		defer release()
+	}
+	var res Result
+	if op.Kind == OpAppend {
+		_, err := t.Store.Append(ctx, op.Body)
+		res = errorResult(err)
+	} else {
+		resp, err := t.Store.ServeRequest(ctx, op.Request)
+		res = errorResult(err)
+		if err == nil {
+			res.Resp = resp
+			res.Degraded = resp.Degraded
+		}
+	}
+	res.Latency = time.Since(start)
+	return res
+}
+
+// refusalResult maps an admission refusal to its wire form.
+func refusalResult(err error, lat time.Duration) Result {
+	var qe *admit.QuotaError
+	if errors.As(err, &qe) {
+		return Result{Status: http.StatusTooManyRequests, Code: "over_quota", RetryAfter: qe.RetryAfter, Latency: lat}
+	}
+	return Result{Status: http.StatusServiceUnavailable, Code: "shed", RetryAfter: time.Second, Latency: lat}
+}
+
+// errorResult maps a store error to the status and code servehttp.Error
+// would emit for it.
+func errorResult(err error) Result {
+	switch {
+	case err == nil:
+		return Result{Status: http.StatusOK}
+	case errors.Is(err, serve.ErrBadRequest):
+		return Result{Status: http.StatusBadRequest, Code: "bad_request"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return Result{Status: http.StatusGatewayTimeout, Code: "deadline"}
+	case errors.Is(err, context.Canceled):
+		return Result{Status: http.StatusServiceUnavailable, Code: "cancelled"}
+	default:
+		return Result{Status: http.StatusInternalServerError, Code: "internal"}
+	}
+}
+
+// HTTPTarget drives a live x3serve over the wire, labelling requests
+// with the tenant and priority headers from internal/servehttp.
+type HTTPTarget struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8733".
+	BaseURL string
+	// Client is the HTTP client; nil uses a dedicated client with a
+	// large connection pool so the open-loop schedule is not throttled
+	// by the transport.
+	Client *http.Client
+	// CaptureBody decodes query answers into Result.Resp (costs an
+	// allocation per request; the soak test wants it, benchmarks don't).
+	CaptureBody bool
+}
+
+// client returns the effective HTTP client.
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return defaultClient
+}
+
+// defaultClient has a pool sized for open-loop bursts.
+var defaultClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	},
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(ctx context.Context, op Op) Result {
+	var (
+		path        string
+		body        []byte
+		contentType string
+	)
+	if op.Kind == OpAppend {
+		path, body, contentType = "/append", op.Body, "application/xml"
+	} else {
+		b, err := json.Marshal(op.Request)
+		if err != nil {
+			return Result{Status: http.StatusBadRequest, Code: "bad_request"}
+		}
+		path, body, contentType = "/query", b, "application/json"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return Result{Status: http.StatusBadRequest, Code: "bad_request"}
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("X3-Tenant", op.Tenant)
+	req.Header.Set("X3-Priority", classFor(op.Kind).String())
+
+	start := time.Now()
+	resp, err := t.client().Do(req)
+	if err != nil {
+		code := "transport"
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = "deadline"
+		}
+		return Result{Status: http.StatusServiceUnavailable, Code: code, Latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	res := Result{Status: resp.StatusCode, Latency: time.Since(start)}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if s, err := strconv.Atoi(ra); err == nil {
+			res.RetryAfter = time.Duration(s) * time.Second
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil {
+			res.Code = e.Code
+		}
+		return res
+	}
+	if op.Kind != OpAppend {
+		if t.CaptureBody {
+			var sr serve.Response
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sr); err != nil {
+				res.Status = http.StatusInternalServerError
+				res.Code = fmt.Sprintf("decode: %v", err)
+				return res
+			}
+			res.Resp = &sr
+			res.Degraded = sr.Degraded
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	res.Latency = time.Since(start)
+	return res
+}

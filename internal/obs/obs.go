@@ -159,6 +159,43 @@ func (h *Histogram) Count() int64 {
 	return h.count
 }
 
+// Quantile extracts the q-quantile as the inclusive upper bound of the
+// bucket holding the ceil(q*count)-th smallest observation. Because the
+// buckets are whole powers of two, the result can overshoot the exact
+// sorted-sample quantile by up to 2x at the tail — acceptable for the
+// magnitude counters this type serves (byte sizes, fan-outs), but not
+// for latency SLOs: route latency keys to the HDR type instead, whose
+// error is bounded below 0.4%. TestHistogramQuantileErrorBound pins this
+// bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.count) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for b, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			if b >= histBuckets {
+				return 1<<63 - 1
+			}
+			return int64(1)<<uint(b) - 1
+		}
+	}
+	return 0
+}
+
 // Registry is a named collection of metrics and a trace of phase spans.
 // The zero value is not usable; call New. All methods are safe for
 // concurrent use and safe on a nil receiver (returning nil handles).
@@ -168,6 +205,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
+	hdrs     map[string]*HDR
 	spans    []SpanRecord
 	start    time.Time
 }
@@ -179,6 +217,7 @@ func New() *Registry {
 		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
 		hists:    map[string]*Histogram{},
+		hdrs:     map[string]*HDR{},
 		start:    time.Now(),
 	}
 }
@@ -322,7 +361,10 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	Spans      []SpanRecord                 `json:"spans,omitempty"`
+	// HDR carries the latency histograms' quantile summaries (p50..p999
+	// in observed units, nanoseconds by convention).
+	HDR   map[string]HDRStats `json:"hdr,omitempty"`
+	Spans []SpanRecord        `json:"spans,omitempty"`
 }
 
 // Snapshot copies the registry state. A nil registry yields an empty
@@ -365,6 +407,12 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			h.mu.Unlock()
 			snap.Histograms[k] = hs
+		}
+	}
+	if len(r.hdrs) > 0 {
+		snap.HDR = map[string]HDRStats{}
+		for k, h := range r.hdrs {
+			snap.HDR[k] = h.Snapshot().Stats()
 		}
 	}
 	if len(r.spans) > 0 {

@@ -117,6 +117,7 @@ func (s *Store) Answer(ctx context.Context, q Query) (*Answer, error) {
 	s.reg.Counter("serve.plan." + ans.Plan.String()).Inc()
 	s.reg.Counter("serve.rows").Add(int64(len(ans.Rows)))
 	s.reg.Timer("serve.answer").Observe(time.Since(start))
+	s.reg.HDR("serve.answer.latency").ObserveDuration(time.Since(start))
 	return ans, nil
 }
 

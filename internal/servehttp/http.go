@@ -1,0 +1,263 @@
+// Package servehttp is the HTTP edge of the serving layer: it wires a
+// serve.Store into an http.Handler behind a hardening middleware chain —
+// panic recovery, priority-aware admission control (per-tenant
+// token-bucket quotas from internal/admit, 429 + Retry-After for
+// over-quota tenants, 503 for saturation), per-request deadlines, and
+// HDR latency recording. It lives below cmd/x3serve so the load harness
+// (cmd/x3load, internal/load) can drive the identical edge — status
+// codes, headers, error bodies — in-process without a binary boundary.
+package servehttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"x3/internal/admit"
+	"x3/internal/obs"
+	"x3/internal/serve"
+	"x3/internal/xmltree"
+)
+
+// maxBody bounds request bodies: queries are small JSON, refreshes are
+// XML documents — neither should be unbounded.
+const maxBody = 64 << 20
+
+// Header names of the multi-tenant protocol. A missing tenant header
+// falls into the shared "default" bucket; a missing priority header
+// classifies by route (mutating maintenance routes are Background).
+const (
+	TenantHeader   = "X3-Tenant"
+	PriorityHeader = "X3-Priority"
+)
+
+// Options configure the middleware chain.
+type Options struct {
+	// Admission admits or sheds requests (nil disables admission
+	// control entirely — every request runs).
+	Admission *admit.Controller
+	// RequestTimeout is the per-request deadline; the context handed to
+	// the store expires at it, cancelling in-flight reads and
+	// recomputations. 0 disables.
+	RequestTimeout time.Duration
+}
+
+// New wires a serving store into an http.Handler. The handler is safe
+// for concurrent use: queries run under the store's read lock and
+// refreshes, appends and flushes swap state atomically, so mixed
+// traffic never tears. The middleware chain (outermost first) recovers
+// panics, admits or sheds by tenant quota and priority class, imposes
+// the per-request deadline, and records end-to-end latency into the
+// serve.http.latency HDR histogram; handlers pass the request context
+// down so a client disconnect or an expired deadline cancels the work
+// it was paying for.
+func New(s *serve.Store, reg *obs.Registry, opt Options) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
+			Error(w, fmt.Errorf("%w: %w", serve.ErrBadRequest, err))
+			return
+		}
+		resp, err := s.ServeRequest(r.Context(), req)
+		if err != nil {
+			Error(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := xmltree.Parse(io.LimitReader(r.Body, maxBody))
+		if err != nil {
+			Error(w, fmt.Errorf("%w: %w", serve.ErrBadRequest, err))
+			return
+		}
+		added, err := s.RefreshDoc(r.Context(), doc)
+		if err != nil {
+			Error(w, err)
+			return
+		}
+		writeJSON(w, map[string]int64{"added": added})
+	})
+
+	mux.HandleFunc("POST /append", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+		if err != nil {
+			Error(w, fmt.Errorf("%w: %w", serve.ErrBadRequest, err))
+			return
+		}
+		added, err := s.Append(r.Context(), body)
+		if err != nil {
+			Error(w, err)
+			return
+		}
+		deltas, memCells := s.Generations()
+		writeJSON(w, map[string]int64{"added": added, "deltas": int64(deltas), "mem_cells": memCells})
+	})
+
+	mux.HandleFunc("GET /generations", func(w http.ResponseWriter, r *http.Request) {
+		deltas, memCells := s.Generations()
+		writeJSON(w, map[string]any{
+			"dir":       s.Dir(),
+			"deltas":    deltas,
+			"mem_cells": memCells,
+		})
+	})
+
+	mux.HandleFunc("GET /cuboids", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.CuboidReport())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			Error(w, err)
+		}
+	})
+
+	var h http.Handler = mux
+	h = withLatency(reg, h)
+	if opt.RequestTimeout > 0 {
+		h = withDeadline(opt.RequestTimeout, h)
+	}
+	if opt.Admission != nil {
+		h = withAdmission(reg, opt.Admission, h)
+	}
+	return withRecovery(reg, h)
+}
+
+// classOf resolves a request's priority class: the PriorityHeader when
+// present, else by route — the mutating maintenance endpoints are
+// Background, queries and reads Interactive.
+func classOf(r *http.Request) admit.Class {
+	switch r.Header.Get(PriorityHeader) {
+	case "interactive":
+		return admit.Interactive
+	case "background":
+		return admit.Background
+	}
+	if r.Method == http.MethodPost && (r.URL.Path == "/append" || r.URL.Path == "/refresh") {
+		return admit.Background
+	}
+	return admit.Interactive
+}
+
+// tenantOf resolves a request's tenant label.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// withAdmission asks the controller before running each request. An
+// over-quota tenant is refused with 429 + Retry-After sized to its
+// bucket's refill; saturation sheds with 503 + Retry-After so clients
+// back off instead of piling onto a saturated store. Admitted requests
+// release their slot when the handler returns.
+func withAdmission(reg *obs.Registry, ctrl *admit.Controller, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := ctrl.Admit(tenantOf(r), classOf(r))
+		if err != nil {
+			var qe *admit.QuotaError
+			switch {
+			case errors.As(err, &qe):
+				reg.Counter("serve.over_quota").Inc()
+				w.Header().Set("Retry-After", retryAfterSeconds(qe.RetryAfter))
+				writeError(w, http.StatusTooManyRequests, "over_quota", err.Error())
+			default:
+				reg.Counter("serve.shed").Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "shed", "server at capacity")
+			}
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfterSeconds renders a refill hint as whole seconds, rounded up
+// to at least 1 (Retry-After takes integral seconds).
+func retryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+// withLatency records each admitted request's end-to-end handler time
+// into the serve.http.latency HDR histogram — the quantity the load
+// harness's SLO gate reads at the edge.
+func withLatency(reg *obs.Registry, next http.Handler) http.Handler {
+	h := reg.HDR("serve.http.latency")
+	requests := reg.Counter("serve.http.requests")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		requests.Inc()
+		h.ObserveDuration(time.Since(start))
+	})
+}
+
+// withRecovery converts a handler panic into a 500 instead of tearing
+// down the connection (and, with it, the whole keep-alive client).
+func withRecovery(reg *obs.Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				reg.Counter("serve.panics").Inc()
+				writeError(w, http.StatusInternalServerError, "panic",
+					fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline bounds every request's context, so a slow query or a
+// stuck refresh is cancelled rather than holding a slot forever.
+func withDeadline(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Error maps an error to the structured JSON error form and the right
+// status class: the client's fault (bad request) is 4xx, an expired
+// deadline is 504, a cancelled request 503, and everything else —
+// including detected corruption that even degraded serving could not
+// route around — is 500.
+func Error(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "cancelled", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
+}

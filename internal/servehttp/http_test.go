@@ -1,0 +1,246 @@
+package servehttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"x3/internal/admit"
+	"x3/internal/obs"
+)
+
+// get issues a GET with optional tenant/priority headers and returns the
+// status, headers and decoded body.
+func get(t *testing.T, url, tenant, priority string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	if priority != "" {
+		req.Header.Set(PriorityHeader, priority)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestAdmissionSaturationShed fills the single in-flight slot with a
+// blocked request and verifies the next one is shed with 503 +
+// Retry-After, a structured body, and a moved serve.shed counter.
+func TestAdmissionSaturationShed(t *testing.T) {
+	reg := obs.New()
+	ctrl := admit.New(admit.Config{MaxInFlight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := withAdmission(reg, ctrl, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	go http.Get(srv.URL) // occupies the only slot
+	<-entered
+	resp, b := get(t, srv.URL, "", "")
+	close(release)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: HTTP %d (%s), want 503", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	var e map[string]string
+	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "shed" {
+		t.Fatalf("shed response body %s, want code \"shed\"", b)
+	}
+	if reg.Counter("serve.shed").Value() == 0 {
+		t.Error("serve.shed did not move")
+	}
+}
+
+// TestOverQuota429 drains one tenant's token bucket and verifies the
+// refusal contract at the wire: 429, a Retry-After matching the bucket's
+// refill hint, code "over_quota" — while a second tenant sails through.
+func TestOverQuota429(t *testing.T) {
+	reg := obs.New()
+	now := time.Unix(5000, 0)
+	ctrl := admit.New(admit.Config{Rate: 2, Burst: 1, Now: func() time.Time { return now }, Registry: reg})
+	h := withAdmission(reg, ctrl, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	if resp, b := get(t, srv.URL, "alice", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first in-quota request: HTTP %d (%s)", resp.StatusCode, b)
+	}
+	resp, b := get(t, srv.URL, "alice", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained tenant: HTTP %d (%s), want 429", resp.StatusCode, b)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After %q, want integral seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var e map[string]string
+	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "over_quota" {
+		t.Fatalf("429 body %s, want code \"over_quota\"", b)
+	}
+	if reg.Counter("serve.over_quota").Value() == 0 {
+		t.Error("serve.over_quota did not move")
+	}
+	// Per-tenant isolation: bob's bucket is full.
+	if resp, b := get(t, srv.URL, "bob", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second tenant: HTTP %d (%s), want 200", resp.StatusCode, b)
+	}
+	// Refill: a second of clock at 2/s readmits alice.
+	now = now.Add(time.Second)
+	if resp, b := get(t, srv.URL, "alice", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("refilled tenant: HTTP %d (%s), want 200", resp.StatusCode, b)
+	}
+}
+
+// TestPriorityClassRouting pins classOf: the header overrides, and the
+// mutating maintenance routes default to Background.
+func TestPriorityClassRouting(t *testing.T) {
+	mk := func(method, path, header string) *http.Request {
+		r := httptest.NewRequest(method, path, nil)
+		if header != "" {
+			r.Header.Set(PriorityHeader, header)
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		req  *http.Request
+		want admit.Class
+	}{
+		{mk("POST", "/query", ""), admit.Interactive},
+		{mk("GET", "/metrics", ""), admit.Interactive},
+		{mk("POST", "/append", ""), admit.Background},
+		{mk("POST", "/refresh", ""), admit.Background},
+		{mk("POST", "/append", "interactive"), admit.Interactive},
+		{mk("POST", "/query", "background"), admit.Background},
+		{mk("POST", "/query", "bogus"), admit.Interactive},
+	} {
+		if got := classOf(tc.req); got != tc.want {
+			t.Errorf("classOf(%s %s, header %q) = %v, want %v",
+				tc.req.Method, tc.req.URL.Path, tc.req.Header.Get(PriorityHeader), got, tc.want)
+		}
+	}
+	if got := tenantOf(mk("GET", "/metrics", "")); got != "default" {
+		t.Errorf("tenantOf without header = %q, want default", got)
+	}
+}
+
+// TestBackgroundYieldsOverHTTP saturates the background sub-limit with
+// blocked appends and verifies interactive queries still get through the
+// same admission middleware while further background work is shed.
+func TestBackgroundYieldsOverHTTP(t *testing.T) {
+	reg := obs.New()
+	ctrl := admit.New(admit.Config{MaxInFlight: 4, BackgroundMax: 1})
+	release := make(chan struct{})
+	var entered sync.WaitGroup
+	entered.Add(1)
+	h := withAdmission(reg, ctrl, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(PriorityHeader) == "background" {
+			entered.Done()
+			<-release
+		}
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	go func() {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		req.Header.Set(PriorityHeader, "background")
+		http.DefaultClient.Do(req)
+	}()
+	entered.Wait() // background slot is now held
+	if resp, b := get(t, srv.URL, "", "background"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("background beyond sub-limit: HTTP %d (%s), want 503", resp.StatusCode, b)
+	}
+	if resp, b := get(t, srv.URL, "", "interactive"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive with headroom: HTTP %d (%s), want 200", resp.StatusCode, b)
+	}
+	close(release)
+}
+
+// TestPanicRecovery converts a handler panic into a structured 500.
+func TestPanicRecovery(t *testing.T) {
+	reg := obs.New()
+	h := withRecovery(reg, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	resp, b := get(t, srv.URL, "", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: HTTP %d (%s), want 500", resp.StatusCode, b)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "panic" {
+		t.Fatalf("panic response body %s, want code \"panic\"", b)
+	}
+	if reg.Counter("serve.panics").Value() == 0 {
+		t.Error("serve.panics did not move")
+	}
+}
+
+// TestLatencyRecording verifies every request lands in the edge HDR
+// histogram and the request counter.
+func TestLatencyRecording(t *testing.T) {
+	reg := obs.New()
+	h := withLatency(reg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Millisecond)
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	for i := 0; i < 3; i++ {
+		get(t, srv.URL, "", "")
+	}
+	if got := reg.Counter("serve.http.requests").Value(); got != 3 {
+		t.Fatalf("serve.http.requests = %d, want 3", got)
+	}
+	snap := reg.HDR("serve.http.latency").Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("latency histogram count %d, want 3", snap.Count)
+	}
+	if snap.Quantile(0.5) < int64(time.Millisecond) {
+		t.Fatalf("p50 %dns below the 1ms handler sleep", snap.Quantile(0.5))
+	}
+}
+
+// TestRetryAfterSeconds pins the rounding: ceil to whole seconds, never
+// below 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
