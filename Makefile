@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench bench-seed bench-pr2 bench-pr3 bench-pr6 bench-pr7 bench-pr8
+.PHONY: ci vet lint build test fuzz-replay race fuzz faults cover bench bench-seed bench-pr2 bench-pr3 bench-pr6 bench-pr7 bench-pr8 bench-pr9
 
 ci: vet lint build test race faults cover
 
@@ -33,9 +33,10 @@ fuzz-replay:
 # sjoin evaluator over the shared buffer pool, the parallel lattice
 # harness, the match-plan cache, the admission controller, and the
 # load-harness soak (concurrent queries + appends + compaction against a
-# subset oracle) — under the race detector.
+# subset oracle), and the sharded coordinator's scatter/failover/hedge/
+# probe machinery plus its own soak — under the race detector.
 race:
-	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/harness/... ./internal/match/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./internal/admit/... ./internal/servehttp/... ./internal/load/... ./cmd/x3serve/
+	$(GO) test -race ./internal/cube/... ./internal/extsort/... ./internal/harness/... ./internal/match/... ./internal/mem/... ./internal/sjoin/... ./internal/store/... ./internal/obs/... ./internal/serve/... ./internal/admit/... ./internal/servehttp/... ./internal/load/... ./internal/shard/... ./cmd/x3serve/
 
 # Short fuzz smoke of the query parser, the cell-file readers, the
 # store's meta page and the write-ahead log (the CI-sized budget).
@@ -50,9 +51,11 @@ fuzz:
 # differential serving sweep with injected corruption/short reads, the
 # crash-point sweeps of refresh, WAL append, flush, compaction and
 # recovery, degraded-ladder serving off a corrupted file, and the
-# injection/retry tests of every storage layer.
+# injection/retry tests of every storage layer, and the sharded
+# coordinator's differential failure sweep, failover, hedging and
+# stale-replica discipline.
 faults:
-	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline|Quota' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./internal/wal/ ./internal/servehttp/ ./internal/admit/ ./cmd/x3serve/
+	$(GO) test -run 'Fault|Crash|Degraded|Retry|Corrupt|Cancel|Shed|Panic|Deadline|Quota|Failover|Hedge|Stale|Partial|Differential' ./internal/fault/ ./internal/cellfile/ ./internal/store/ ./internal/extsort/ ./internal/cube/ ./internal/serve/ ./internal/wal/ ./internal/servehttp/ ./internal/admit/ ./internal/shard/ ./cmd/x3serve/
 
 # Per-package coverage floors (see scripts/cover_floors.txt): the serving
 # layer and its cell-file substrate must stay above 80% of statements.
@@ -97,9 +100,18 @@ bench-pr7:
 bench-pr8:
 	$(GO) run ./cmd/x3load -bench-pr8 -scale 200 -metrics BENCH_pr8.json
 
-# Latency SLO gate: re-run the sustained-load sweep and fail if any
-# scenario that passed in the committed BENCH_pr8.json baseline violates
-# its SLO now. Writes the fresh run next to /tmp so the committed
-# baseline is only updated deliberately via bench-pr8.
+# Regenerate the committed sharded-failure snapshot (see EXPERIMENTS.md):
+# the x3load sweep over shard count x injected replica failures —
+# failover must keep answers exact within the latency SLO, and
+# whole-shard loss must degrade to honestly labelled partial answers.
+bench-pr9:
+	$(GO) run ./cmd/x3load -bench-pr9 -scale 200 -metrics BENCH_pr9.json
+
+# Regression gates: re-run the sustained-load and sharded-failure sweeps
+# and fail if any scenario that passed in the committed baselines
+# violates its SLO or partial-honesty expectation now. Fresh runs land
+# in /tmp so the committed baselines are only updated deliberately via
+# bench-pr8 / bench-pr9.
 bench:
 	$(GO) run ./cmd/x3load -bench-pr8 -scale 200 -baseline BENCH_pr8.json -metrics /tmp/BENCH_pr8.current.json
+	$(GO) run ./cmd/x3load -bench-pr9 -scale 200 -baseline BENCH_pr9.json -metrics /tmp/BENCH_pr9.current.json

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"x3/internal/dataset"
+	"x3/internal/fault"
+	"x3/internal/lattice"
+	"x3/internal/load"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/serve"
+	"x3/internal/shard"
+)
+
+// pr9Config parameterizes the sharded failure sweep so the test suite
+// can shrink it to CI size.
+type pr9Config struct {
+	Scale    int
+	Seed     int64
+	Rate     float64
+	Duration time.Duration
+	Warmup   time.Duration
+	Tenants  int
+	Replicas int
+	// Cells is the (shards, injected failures) grid. Failures 1 kills
+	// the first replica of every shard (failover must absorb it);
+	// failures 2 additionally kills the surviving replica of shard 0,
+	// so every answer must degrade to an honestly labelled partial.
+	Cells []pr9Cell
+	SLO   load.SLO
+}
+
+// pr9Cell is one (shards, failures) grid point.
+type pr9Cell struct {
+	Shards   int
+	Failures int
+}
+
+// pr9Scenario is one measured grid point with its verdict.
+type pr9Scenario struct {
+	Name     string `json:"name"`
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+	Failures int    `json:"failures"`
+	// ExpectPartial marks the whole-shard-loss cells where every answer
+	// must be partial (and name the lost shard) rather than fabricated.
+	ExpectPartial bool         `json:"expect_partial"`
+	Report        *load.Report `json:"report"`
+	Failovers     int64        `json:"failovers"`
+	HedgesFired   int64        `json:"hedges_fired"`
+	Violations    []string     `json:"violations,omitempty"`
+	Pass          bool         `json:"pass"`
+}
+
+// pr9Report is the full bench-pr9 artifact.
+type pr9Report struct {
+	SLO       load.SLO      `json:"slo"`
+	Scenarios []pr9Scenario `json:"scenarios"`
+	Pass      bool          `json:"pass"`
+}
+
+// defaultPR9Config is the committed-artifact shape: shard counts 1, 2
+// and 4 at zero and one injected replica failure per shard, plus the
+// whole-shard-loss cells at 2 and 4 shards. The SLO bounds are generous
+// absolutes — the gate catches order-of-magnitude regressions and any
+// silently-wrong degradation, not scheduler jitter.
+func defaultPR9Config(scale int, seed int64) pr9Config {
+	return pr9Config{
+		Scale: scale, Seed: seed,
+		Rate: 300, Duration: 2 * time.Second, Warmup: 400 * time.Millisecond,
+		Tenants: 4, Replicas: 2,
+		Cells: []pr9Cell{
+			{1, 0}, {2, 0}, {4, 0},
+			{1, 1}, {2, 1}, {4, 1},
+			{2, 2}, {4, 2},
+		},
+		SLO: load.SLO{
+			P50:          50 * time.Millisecond,
+			P99:          250 * time.Millisecond,
+			MaxErrorRate: 0.001,
+		},
+	}
+}
+
+// runBenchPR9 runs the sweep, writes the artifact, and — when a
+// baseline is given — fails on any scenario that passed there and
+// fails now.
+func runBenchPR9(cfg pr9Config, outPath, baselinePath string) error {
+	rep, err := benchPR9Report(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(outPath, rep); err != nil {
+		return err
+	}
+	for _, s := range rep.Scenarios {
+		verdict := "PASS"
+		if !s.Pass {
+			verdict = fmt.Sprintf("FAIL %v", s.Violations)
+		}
+		fmt.Fprintf(os.Stderr, "x3load: %-14s thr %6.0f/s  p50 %6.2fms p99 %6.2fms  partial %5d/%5d  failovers %5d  hedges %4d  %s\n",
+			s.Name, s.Report.Throughput,
+			float64(s.Report.Total.Latency.P50)/1e6, float64(s.Report.Total.Latency.P99)/1e6,
+			s.Report.Total.Partial, s.Report.Total.OK, s.Failovers, s.HedgesFired, verdict)
+	}
+	if baselinePath != "" {
+		if base, err := readPR9Baseline(baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "x3load: no usable baseline at %s (%v); gating on this run only\n", baselinePath, err)
+		} else if regs := pr9Regressions(base, rep); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "x3load: %s\n", r)
+			}
+			return fmt.Errorf("bench-pr9: %d regression(s) vs baseline %s", len(regs), baselinePath)
+		}
+	}
+	if !rep.Pass {
+		return fmt.Errorf("bench-pr9: violations (see scenario report)")
+	}
+	return nil
+}
+
+// benchPR9Report executes the grid in-process and assembles the
+// artifact. Every cell gets a freshly built coordinator so one cell's
+// health markings and histograms cannot leak into the next.
+func benchPR9Report(cfg pr9Config) (*pr9Report, error) {
+	rep := &pr9Report{SLO: cfg.SLO, Pass: true}
+	for _, cell := range cfg.Cells {
+		sc, err := benchPR9Cell(cfg, cell)
+		if err != nil {
+			return nil, err
+		}
+		if !sc.Pass {
+			rep.Pass = false
+		}
+		rep.Scenarios = append(rep.Scenarios, *sc)
+	}
+	return rep, nil
+}
+
+// benchPR9Cell measures one (shards, failures) grid point.
+func benchPR9Cell(cfg pr9Config, cell pr9Cell) (*pr9Scenario, error) {
+	reg := obs.New()
+	coord, cleanup, err := buildCoordinator(cfg, cell.Shards, reg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	// Failure injection. One failure kills replica 0 of every shard:
+	// the scatter path must fail over to the sibling on every leg and
+	// still answer exactly. Two failures additionally kill shard 0's
+	// sibling, so shard 0 is gone and honesty — a partial answer naming
+	// it — is the only acceptable outcome.
+	if cell.Failures >= 1 {
+		for si := 0; si < cell.Shards; si++ {
+			coord.SetReplicaFault(si, 0, fault.New(fault.Config{Seed: cfg.Seed + int64(si), ErrEvery: 1}))
+		}
+	}
+	expectPartial := false
+	if cell.Failures >= 2 && cell.Shards > 1 {
+		coord.SetReplicaFault(0, 1, fault.New(fault.Config{Seed: cfg.Seed + 100, ErrEvery: 1}))
+		expectPartial = true
+	}
+
+	// Read-only mix: appends against a dead replica would mark it stale,
+	// which is the append test suite's subject, not this latency grid's.
+	lcfg := load.Config{
+		Seed: cfg.Seed, Rate: cfg.Rate, Duration: cfg.Duration, Warmup: cfg.Warmup,
+		Mix: load.Mix{Point: 0.6, Slice: 0.3, Rollup: 0.1}, Tenants: cfg.Tenants,
+		Workload: load.DBLPWorkload{Journals: 50, Authors: 2000, YearFrom: 1990, YearTo: 2005},
+	}
+	ops := load.Schedule(lcfg)
+	r := load.Run(context.Background(), &load.StoreTarget{Store: coord}, lcfg, ops)
+
+	sc := &pr9Scenario{
+		Name:   fmt.Sprintf("s%d-f%d", cell.Shards, cell.Failures),
+		Shards: cell.Shards, Replicas: cfg.Replicas, Failures: cell.Failures,
+		ExpectPartial: expectPartial,
+		Report:        r,
+		Failovers:     reg.Counter("shard.failover").Value(),
+		HedgesFired:   reg.Counter("shard.hedge.fired").Value(),
+	}
+	sc.Violations = cfg.SLO.Check(r.Total.Latency, r.Total.Sent, r.Total.Failed)
+	switch {
+	case expectPartial:
+		// The lost shard must surface in every answer; a single
+		// non-partial OK would be a fabricated total.
+		if r.Total.OK == 0 {
+			sc.Violations = append(sc.Violations, "no answers completed under whole-shard loss")
+		} else if r.Total.Partial != r.Total.OK {
+			sc.Violations = append(sc.Violations,
+				fmt.Sprintf("%d of %d answers not marked partial despite a dead shard", r.Total.OK-r.Total.Partial, r.Total.OK))
+		}
+	default:
+		if r.Total.Partial != 0 {
+			sc.Violations = append(sc.Violations,
+				fmt.Sprintf("%d partial answers while every shard had a healthy replica", r.Total.Partial))
+		}
+	}
+	if cell.Failures >= 1 && sc.Failovers == 0 {
+		sc.Violations = append(sc.Violations, "injected replica failures forced zero failovers")
+	}
+	sc.Pass = len(sc.Violations) == 0
+	return sc, nil
+}
+
+// buildCoordinator materializes the synthetic DBLP cube as a sharded
+// replicated coordinator in a temp directory.
+func buildCoordinator(cfg pr9Config, shards int, reg *obs.Registry) (*shard.Coordinator, func(), error) {
+	doc := dataset.DBLP(dataset.DefaultDBLPConfig(cfg.Scale, cfg.Seed))
+	lat, err := lattice.New(dataset.DBLPQuery())
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		return nil, nil, err
+	}
+	dir, err := os.MkdirTemp("", "x3bench9")
+	if err != nil {
+		return nil, nil, err
+	}
+	coord, err := shard.New(dir, lat, set, shard.Options{
+		Shards: shards, Replicas: cfg.Replicas, Registry: reg,
+		Store: serve.Options{Views: 8},
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cleanup := func() {
+		coord.Close()
+		os.RemoveAll(dir)
+	}
+	return coord, cleanup, nil
+}
+
+// pr9Regressions compares a fresh run against a baseline artifact: any
+// grid point that passed there and fails now is a regression. New grid
+// points only gate on themselves.
+func pr9Regressions(baseline, current *pr9Report) []string {
+	passed := map[string]bool{}
+	for _, s := range baseline.Scenarios {
+		passed[s.Name] = s.Pass
+	}
+	var regs []string
+	for _, s := range current.Scenarios {
+		if !s.Pass && passed[s.Name] {
+			regs = append(regs, fmt.Sprintf("scenario %s regressed: passed in baseline, now violates %v", s.Name, s.Violations))
+		}
+	}
+	return regs
+}
+
+// readPR9Baseline loads a previously committed artifact.
+func readPR9Baseline(path string) (*pr9Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep pr9Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, err
+	}
+	if len(rep.Scenarios) == 0 {
+		return nil, fmt.Errorf("baseline has no scenarios")
+	}
+	return &rep, nil
+}

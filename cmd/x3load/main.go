@@ -12,12 +12,19 @@
 //	x3load -url http://127.0.0.1:8733 -rate 300 -duration 10s
 //	x3load -bench-pr8 -scale 200 -metrics BENCH_pr8.json
 //	x3load -bench-pr8 -baseline BENCH_pr8.json   # SLO regression gate
+//	x3load -bench-pr9 -scale 200 -metrics BENCH_pr9.json
 //
 // A single run prints a JSON Report (throughput, per-tenant outcome
 // counts, HDR latency quantiles). -bench-pr8 sweeps arrival rates and
 // query mixes, evaluates the latency SLO on the in-quota tenant
 // population, verifies the over-quota tenant is demonstrably shed with
 // 429s, and writes the BENCH_pr8.json artifact `make bench` gates on.
+// -bench-pr9 sweeps shard count crossed with injected replica failures
+// against the sharded coordinator, gating that failover keeps answers
+// exact and whole-shard loss degrades to honestly labelled partials.
+// With -url and -backoff429 N the HTTP target retries 429s after the
+// server's Retry-After hint (jittered), counting the absorbed pressure
+// in load.backoff and per-tenant backoffs.
 package main
 
 import (
@@ -42,16 +49,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("x3load: ")
 	var (
-		rate     = flag.Float64("rate", 400, "offered arrival rate in ops/s")
-		duration = flag.Duration("duration", 3*time.Second, "measurement phase length")
-		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warm-up phase (executed, not recorded)")
-		mixSpec  = flag.String("mix", "point=0.6,slice=0.3,rollup=0.1", "operation mix, kind=weight comma list")
-		seed     = flag.Int64("seed", 1, "schedule seed (same seed, same schedule)")
-		tenants  = flag.Int("tenants", 8, "tenant population size")
-		hotShare = flag.Float64("hot-share", 0.4, "fraction of arrivals from tenant0 (the over-quota tenant)")
-		zipfS    = flag.Float64("zipf-s", 1.2, "hot-key Zipf exponent (> 1)")
-		scale    = flag.Int("scale", 200, "in-process dataset size in DBLP articles")
-		url      = flag.String("url", "", "drive a running x3serve at this base URL instead of in-process")
+		rate       = flag.Float64("rate", 400, "offered arrival rate in ops/s")
+		duration   = flag.Duration("duration", 3*time.Second, "measurement phase length")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warm-up phase (executed, not recorded)")
+		mixSpec    = flag.String("mix", "point=0.6,slice=0.3,rollup=0.1", "operation mix, kind=weight comma list")
+		seed       = flag.Int64("seed", 1, "schedule seed (same seed, same schedule)")
+		tenants    = flag.Int("tenants", 8, "tenant population size")
+		hotShare   = flag.Float64("hot-share", 0.4, "fraction of arrivals from tenant0 (the over-quota tenant)")
+		zipfS      = flag.Float64("zipf-s", 1.2, "hot-key Zipf exponent (> 1)")
+		scale      = flag.Int("scale", 200, "in-process dataset size in DBLP articles")
+		url        = flag.String("url", "", "drive a running x3serve at this base URL instead of in-process")
+		backoff429 = flag.Int("backoff429", 0, "HTTP target: retry 429s up to N times, honouring Retry-After with jitter (0 = report refusals)")
+		backoffCap = flag.Duration("backoff-cap", 250*time.Millisecond, "HTTP target: clamp each 429 backoff sleep")
 
 		maxInFlight = flag.Int("max-inflight", 256, "in-process admission: max concurrent requests (0 disables)")
 		bgMax       = flag.Int("background-max", 0, "in-process admission: background sub-limit (0 = half)")
@@ -59,14 +68,22 @@ func main() {
 		tenantBurst = flag.Float64("tenant-burst", 0, "in-process admission: per-tenant burst (0 = one second of quota)")
 
 		benchPR8 = flag.Bool("bench-pr8", false, "run the full rate x mix sweep with the SLO gate and exit")
+		benchPR9 = flag.Bool("bench-pr9", false, "run the sharded failure sweep (latency vs shard count x injected replica failures) and exit")
 		metrics  = flag.String("metrics", "", "write the report/artifact JSON here (default stdout)")
-		baseline = flag.String("baseline", "", "bench-pr8: compare against this baseline artifact and fail on SLO regressions")
+		baseline = flag.String("baseline", "", "bench-pr8/-pr9: compare against this baseline artifact and fail on regressions")
 	)
 	flag.Parse()
 
 	if *benchPR8 {
 		cfg := defaultPR8Config(*scale, *seed)
 		if err := runBenchPR8(cfg, *metrics, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchPR9 {
+		cfg := defaultPR9Config(*scale, *seed)
+		if err := runBenchPR9(cfg, *metrics, *baseline); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -84,7 +101,10 @@ func main() {
 
 	var target load.Target
 	if *url != "" {
-		target = &load.HTTPTarget{BaseURL: *url}
+		target = &load.HTTPTarget{
+			BaseURL: *url, MaxBackoffs: *backoff429, BackoffCap: *backoffCap,
+			Registry: obs.New(),
+		}
 	} else {
 		reg := obs.New()
 		store, cleanup, err := buildLadderStore(*scale, *seed, reg)

@@ -8,6 +8,7 @@
 //	x3serve -xml dblp.xml -queryfile q.xq -addr :8733
 //	x3serve -xml dblp.xml -queryfile q.xq -views 5 -cells cube.x3ci
 //	x3serve -xml dblp.xml -queryfile q.xq -store /var/lib/x3/dblp
+//	x3serve -xml dblp.xml -queryfile q.xq -store /var/lib/x3/dblp -shards 4 -replicas 2
 //	x3serve -bench -scale 200 -metrics BENCH_pr3.json
 //	x3serve -bench-pr6 -scale 200 -metrics BENCH_pr6.json
 //
@@ -19,6 +20,13 @@
 // WAL replay rebuilds anything not yet flushed); otherwise it is built
 // fresh from the -xml input.
 //
+// With -shards N (N > 1) the facts are partitioned by key hash into N
+// replicated delta-ladder stores under DIR and every query is
+// scatter-gathered across them with per-shard deadlines, failover and
+// hedged requests. When every replica of a shard is unreachable the
+// answer is marked partial and names the missing key range — it is
+// never passed off as a total.
+//
 // Endpoints:
 //
 //	POST /query       {"cuboid":{"$a":"LND"},"where":{"$j":"tods"}} → rows
@@ -28,6 +36,7 @@
 //	GET  /cuboids     per-cuboid materialization state, query counts, and
 //	                  (under -space-budget) the cost model's decisions
 //	GET  /metrics     serve.* counters, cache hit rates, latency timers
+//	GET  /topology    sharded mode: per-shard key ranges and replica health
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"x3/internal/schema"
 	"x3/internal/serve"
 	"x3/internal/servehttp"
+	"x3/internal/shard"
 	"x3/internal/xmltree"
 	"x3/internal/xq"
 )
@@ -68,16 +78,24 @@ func main() {
 		budget    = flag.Int64("space-budget", 0, "materialize only the cuboids the cost model picks within this many encoded bytes (0 = no budget; overrides -views)")
 		cellsPath = flag.String("cells", "", "indexed cell file path (default: a temp file)")
 		storeDir  = flag.String("store", "", "delta-ladder store directory (existing manifest → recover, else build); enables /append")
-		flushN    = flag.Int("flush-cells", 0, "memtable cells that trigger an automatic flush (0 = default, negative = manual only)")
-		compactN  = flag.Int("compact-after", 0, "outstanding deltas that trigger background compaction (0 = default, negative = manual only)")
-		addr      = flag.String("addr", ":8733", "HTTP listen address")
-		cache     = flag.Int("cache", 64, "LRU block cache size in nominal blocks (negative disables)")
-		cacheB    = flag.Int64("cache-bytes", 0, "LRU block cache budget in encoded block bytes (0 = use -cache)")
-		bench     = flag.Bool("bench", false, "run the serve-latency benchmark (cold scan vs indexed vs cached) and exit")
-		benchPR6  = flag.Bool("bench-pr6", false, "run the incremental-maintenance benchmark (append throughput, delta-ladder query latency, compaction) and exit")
-		benchPR7  = flag.Bool("bench-pr7", false, "run the columnar-format benchmark (v3 vs v4 bytes/cell, cached/indexed/ladder latency, budgeted build) and exit")
-		scale     = flag.Int("scale", 200, "benchmark dataset size in DBLP articles")
-		metrics   = flag.String("metrics", "", "write metrics as JSON here")
+
+		shards        = flag.Int("shards", 1, "partition facts across this many shards, each a replicated delta-ladder store (requires -store; 1 = single node)")
+		replicas      = flag.Int("replicas", 2, "replicas per shard when -shards > 1")
+		shardDeadline = flag.Duration("shard-deadline", 0, "per-shard scatter deadline (0 = default)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed hedged-request delay per shard (0 = adapt from the shard's observed p99)")
+		probeEvery    = flag.Int("probe-every", 0, "probe down replicas for re-admission every Nth query to their shard (0 = default, negative = never)")
+		downAfter     = flag.Int("down-after", 0, "consecutive replica failures before failover stops trying it first (0 = default)")
+
+		flushN   = flag.Int("flush-cells", 0, "memtable cells that trigger an automatic flush (0 = default, negative = manual only)")
+		compactN = flag.Int("compact-after", 0, "outstanding deltas that trigger background compaction (0 = default, negative = manual only)")
+		addr     = flag.String("addr", ":8733", "HTTP listen address")
+		cache    = flag.Int("cache", 64, "LRU block cache size in nominal blocks (negative disables)")
+		cacheB   = flag.Int64("cache-bytes", 0, "LRU block cache budget in encoded block bytes (0 = use -cache)")
+		bench    = flag.Bool("bench", false, "run the serve-latency benchmark (cold scan vs indexed vs cached) and exit")
+		benchPR6 = flag.Bool("bench-pr6", false, "run the incremental-maintenance benchmark (append throughput, delta-ladder query latency, compaction) and exit")
+		benchPR7 = flag.Bool("bench-pr7", false, "run the columnar-format benchmark (v3 vs v4 bytes/cell, cached/indexed/ladder latency, budgeted build) and exit")
+		scale    = flag.Int("scale", 200, "benchmark dataset size in DBLP articles")
+		metrics  = flag.String("metrics", "", "write metrics as JSON here")
 
 		maxInFlight     = flag.Int("max-inflight", 64, "max concurrently executing requests; excess load is shed with 503 (0 disables)")
 		backgroundMax   = flag.Int("background-max", 0, "max concurrently executing background requests (/append, /refresh); 0 = half of -max-inflight, negative = uncapped")
@@ -125,16 +143,42 @@ func main() {
 		FlushCells:   *flushN,
 		CompactAfter: *compactN,
 	}
-	var store *serve.Store
-	if *storeDir != "" {
+	var store backend
+	if *shards > 1 {
+		// Sharded mode: facts are partitioned by key hash across N
+		// replicated delta-ladder stores under -store DIR, and the
+		// coordinator scatter-gathers every query with failover and
+		// hedging. An existing topology on disk is recovered.
+		if *storeDir == "" {
+			log.Fatal("-shards > 1 needs -store DIR (each shard is a replicated delta-ladder store)")
+		}
+		sopt := shard.Options{
+			Shards: *shards, Replicas: *replicas,
+			ShardDeadline: *shardDeadline, HedgeAfter: *hedgeAfter,
+			ProbeEvery: *probeEvery, DownAfter: *downAfter,
+			Registry: reg, Store: opt,
+		}
+		var coord *shard.Coordinator
+		if shard.IsBuilt(*storeDir) {
+			coord, err = shard.Open(*storeDir, lat, set, sopt)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "x3serve: recovered %d-shard topology at %s\n", coord.Shards(), *storeDir)
+			}
+		} else {
+			coord, err = shard.New(*storeDir, lat, set, sopt)
+		}
+		store = coord
+	} else if *storeDir != "" {
 		// Delta-ladder mode: a manifest already in the directory means a
 		// previous run's state — recover it (manifest + WAL replay) rather
 		// than rebuild.
 		if _, serr := os.Stat(filepath.Join(*storeDir, "MANIFEST.json")); serr == nil {
-			store, err = serve.OpenDir(*storeDir, lat, set, opt)
+			var ls *serve.Store
+			ls, err = serve.OpenDir(*storeDir, lat, set, opt)
 			if err == nil {
-				fmt.Fprintf(os.Stderr, "x3serve: recovered store %s (next WAL seq %d)\n", *storeDir, store.NextSeq())
+				fmt.Fprintf(os.Stderr, "x3serve: recovered store %s (next WAL seq %d)\n", *storeDir, ls.NextSeq())
 			}
+			store = ls
 		} else {
 			store, err = serve.BuildDir(*storeDir, lat, set, opt)
 		}
@@ -206,6 +250,17 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// backend is the serving surface main drives: a single-node serve.Store
+// or a sharded shard.Coordinator, both of which speak servehttp.Backend
+// plus the lifecycle and introspection methods the startup banner needs.
+type backend interface {
+	servehttp.Backend
+	Materialized() []serve.MaterializedCuboid
+	NumFacts() int
+	CompactLoop(ctx context.Context)
+	Close() error
 }
 
 // buildInputs parses the document and query and evaluates the match phase.

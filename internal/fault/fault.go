@@ -197,6 +197,24 @@ func (i *Injector) mangle(d decision, site string, p []byte, n int) (int, error)
 	return n, nil
 }
 
+// Call adjudicates one abstract operation at the named site — the hook
+// for layers whose fault boundary is a function call rather than an I/O
+// stream (the shard coordinator's per-replica requests). Error injection
+// fails the call, latency injection sleeps before it; the short-read and
+// corruption kinds do not apply to a call boundary (per-replica store
+// corruption is injected by the store's own cellfile injector).
+func (i *Injector) Call(site string) error {
+	if i == nil {
+		return nil
+	}
+	d := i.next(siteHash(site))
+	i.sleep(d, site)
+	if d.err {
+		return i.injectedErr(site, d.op)
+	}
+	return nil
+}
+
 // ReaderAt wraps r with injection at the named site. A nil injector (or a
 // nil r) returns r unchanged.
 func (i *Injector) ReaderAt(site string, r io.ReaderAt) io.ReaderAt {

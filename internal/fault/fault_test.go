@@ -169,3 +169,47 @@ func TestObserveCounters(t *testing.T) {
 		t.Fatal("per-site counter not counted")
 	}
 }
+
+func TestCallInjection(t *testing.T) {
+	reg := obs.New()
+	inj := New(Config{Seed: 9, ErrEvery: 3, LatencyEvery: 4, Latency: time.Microsecond})
+	inj.Observe(reg)
+	failed, ok := 0, 0
+	for k := 0; k < 96; k++ {
+		if err := inj.Call("shard.replica.query"); err != nil {
+			if !IsInjected(err) {
+				t.Fatalf("call error is not an injected fault: %v", err)
+			}
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("call injection degenerate: %d failed, %d ok", failed, ok)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault.injected.shard.replica.query"] == 0 {
+		t.Fatal("per-site counter not counted")
+	}
+
+	// Replay determinism: a fresh injector with the same seed makes the
+	// same per-op decisions.
+	replay := New(Config{Seed: 9, ErrEvery: 3, LatencyEvery: 4, Latency: time.Microsecond})
+	refailed := 0
+	for k := 0; k < 96; k++ {
+		if replay.Call("shard.replica.query") != nil {
+			refailed++
+		}
+	}
+	if refailed != failed {
+		t.Fatalf("replay diverged: %d failures, first run %d", refailed, failed)
+	}
+}
+
+func TestCallNilInjector(t *testing.T) {
+	var inj *Injector
+	if err := inj.Call("shard.replica.query"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+}

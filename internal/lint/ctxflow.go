@@ -10,6 +10,7 @@ import (
 // threaded end to end; ctxflow holds exactly these to the contract.
 var ctxflowPkgs = []string{
 	"internal/cube", "internal/serve", "internal/extsort", "internal/store", "internal/cellfile",
+	"internal/shard",
 }
 
 // Ctxflow returns the analyzer enforcing the context contract of the

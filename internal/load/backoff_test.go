@@ -1,0 +1,123 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// TestHTTPTargetBackoff429: a client with MaxBackoffs honours the
+// server's Retry-After instead of reporting the refusal, retries with
+// backoff, and counts every sleep in load.backoff.
+func TestHTTPTargetBackoff429(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"code": "over_quota"})
+			return
+		}
+		json.NewEncoder(w).Encode(&serve.Response{Cuboid: "ok"})
+	}))
+	t.Cleanup(srv.Close)
+
+	reg := obs.New()
+	target := &HTTPTarget{
+		BaseURL: srv.URL, CaptureBody: true,
+		MaxBackoffs: 3, BackoffCap: 5 * time.Millisecond, Registry: reg,
+	}
+	res := target.Do(context.Background(), Op{Kind: OpPoint})
+	if !res.OK() {
+		t.Fatalf("status %d code %s, want 200 after backoff", res.Status, res.Code)
+	}
+	if res.Backoffs != 2 {
+		t.Fatalf("Backoffs = %d, want 2", res.Backoffs)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if got := reg.Counter("load.backoff").Value(); got != 2 {
+		t.Fatalf("load.backoff = %d, want 2", got)
+	}
+	if res.Resp == nil || res.Resp.Cuboid != "ok" {
+		t.Fatalf("Resp = %+v, want the final 200 body", res.Resp)
+	}
+	// The backoff sleeps happened: two sleeps of at least BackoffCap/2.
+	if res.Latency < 5*time.Millisecond {
+		t.Fatalf("latency %v too small to contain two jittered backoffs", res.Latency)
+	}
+}
+
+// TestHTTPTargetBackoffExhausted: when the server keeps refusing, the
+// client gives up after MaxBackoffs and reports the 429 — it must not
+// loop forever.
+func TestHTTPTargetBackoffExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"code": "over_quota"})
+	}))
+	t.Cleanup(srv.Close)
+
+	reg := obs.New()
+	target := &HTTPTarget{BaseURL: srv.URL, MaxBackoffs: 2, BackoffCap: time.Millisecond, Registry: reg}
+	res := target.Do(context.Background(), Op{Kind: OpPoint})
+	if res.Status != http.StatusTooManyRequests || res.Code != "over_quota" {
+		t.Fatalf("status %d code %s, want the final 429", res.Status, res.Code)
+	}
+	if res.Backoffs != 2 || attempts.Load() != 3 {
+		t.Fatalf("backoffs=%d attempts=%d, want 2 and 3", res.Backoffs, attempts.Load())
+	}
+	if got := reg.Counter("load.backoff").Value(); got != 2 {
+		t.Fatalf("load.backoff = %d, want 2", got)
+	}
+}
+
+// TestHTTPTargetNoBackoffDefault: MaxBackoffs 0 preserves the original
+// fire-once semantics — one attempt, refusal reported.
+func TestHTTPTargetNoBackoffDefault(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+	res := (&HTTPTarget{BaseURL: srv.URL}).Do(context.Background(), Op{Kind: OpPoint})
+	if res.Status != http.StatusTooManyRequests || res.Backoffs != 0 || attempts.Load() != 1 {
+		t.Fatalf("status=%d backoffs=%d attempts=%d, want one reported 429", res.Status, res.Backoffs, attempts.Load())
+	}
+}
+
+// TestBackoffJitterBounds: the jittered sleep stays in [d/2, d) and is
+// deterministic for the same (op, attempt).
+func TestBackoffJitterBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for seq := 0; seq < 64; seq++ {
+		op := Op{Seq: seq, At: time.Duration(seq) * time.Millisecond, Tenant: "t"}
+		for attempt := 0; attempt < 3; attempt++ {
+			j := backoffJitter(d, op, attempt)
+			if j < d/2 || j >= d {
+				t.Fatalf("jitter %v outside [%v, %v)", j, d/2, d)
+			}
+			if j2 := backoffJitter(d, op, attempt); j2 != j {
+				t.Fatalf("jitter not deterministic: %v then %v", j, j2)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) < 8 {
+		t.Fatalf("jitter collapsed to %d distinct values over 192 draws — workers would re-synchronize", len(seen))
+	}
+}

@@ -14,10 +14,15 @@ type TenantReport struct {
 	Sent      int64 `json:"sent"`
 	OK        int64 `json:"ok"`
 	Degraded  int64 `json:"degraded,omitempty"`
+	Partial   int64 `json:"partial,omitempty"`
 	OverQuota int64 `json:"over_quota,omitempty"`
 	Shed      int64 `json:"shed,omitempty"`
 	Deadline  int64 `json:"deadline,omitempty"`
 	Failed    int64 `json:"failed,omitempty"`
+	// Backoffs counts 429-driven client backoff cycles absorbed before
+	// operations completed — admission pressure that does not show up as
+	// refusals.
+	Backoffs int64 `json:"backoffs,omitempty"`
 	// Latency summarizes successful operations' end-to-end time in
 	// nanoseconds.
 	Latency obs.HDRStats `json:"latency"`
@@ -58,18 +63,23 @@ func (r *Report) MergedLatency(tenants ...string) obs.HDRSnapshot {
 
 // tenantStats accumulates one tenant's outcomes during a run.
 type tenantStats struct {
-	sent, ok, degraded, overQuota, shed, deadline, failed atomic.Int64
-	lat                                                   obs.HDR
+	sent, ok, degraded, partial, overQuota, shed, deadline, failed atomic.Int64
+	backoffs                                                       atomic.Int64
+	lat                                                            obs.HDR
 }
 
 // record folds one completed measured operation in.
 func (s *tenantStats) record(res Result) {
 	s.sent.Add(1)
+	s.backoffs.Add(int64(res.Backoffs))
 	switch res.Status {
 	case 200:
 		s.ok.Add(1)
 		if res.Degraded {
 			s.degraded.Add(1)
+		}
+		if res.Partial {
+			s.partial.Add(1)
 		}
 		s.lat.Observe(int64(res.Latency))
 	case 429:
@@ -90,10 +100,12 @@ func (s *tenantStats) report() (*TenantReport, obs.HDRSnapshot) {
 		Sent:      s.sent.Load(),
 		OK:        s.ok.Load(),
 		Degraded:  s.degraded.Load(),
+		Partial:   s.partial.Load(),
 		OverQuota: s.overQuota.Load(),
 		Shed:      s.shed.Load(),
 		Deadline:  s.deadline.Load(),
 		Failed:    s.failed.Load(),
+		Backoffs:  s.backoffs.Load(),
 		Latency:   snap.Stats(),
 	}, snap
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"x3/internal/admit"
+	"x3/internal/obs"
 	"x3/internal/serve"
 )
 
@@ -31,6 +32,12 @@ type Result struct {
 	Latency time.Duration
 	// Degraded is set when the answer came from a fallback path.
 	Degraded bool
+	// Partial is set when a sharded backend answered without some fact
+	// partitions (the response names them in Missing).
+	Partial bool
+	// Backoffs counts 429-driven backoff-and-retry cycles this operation
+	// went through before completing (HTTPTarget with MaxBackoffs only).
+	Backoffs int
 	// Resp is the decoded answer for query operations (StoreTarget
 	// always; HTTPTarget only when CaptureBody is set).
 	Resp *serve.Response
@@ -44,13 +51,21 @@ type Target interface {
 	Do(ctx context.Context, op Op) Result
 }
 
-// StoreTarget drives a serve.Store in-process through the same admission
-// and status mapping as the HTTP edge in internal/servehttp, so
-// in-process benchmark numbers transfer to the wire: a shed is a 503, an
-// over-quota refusal a 429 with the bucket's Retry-After, a bad request
-// a 400.
+// Backend is the in-process serving surface StoreTarget drives: a
+// single-node serve.Store or a sharded shard.Coordinator — the harness
+// is topology-blind, the way a client is.
+type Backend interface {
+	ServeRequest(ctx context.Context, req serve.Request) (*serve.Response, error)
+	Append(ctx context.Context, body []byte) (int64, error)
+}
+
+// StoreTarget drives a serving backend in-process through the same
+// admission and status mapping as the HTTP edge in internal/servehttp,
+// so in-process benchmark numbers transfer to the wire: a shed is a 503,
+// an over-quota refusal a 429 with the bucket's Retry-After, a bad
+// request a 400.
 type StoreTarget struct {
-	Store *serve.Store
+	Store Backend
 	// Admission admits or sheds (nil disables, as at the edge).
 	Admission *admit.Controller
 }
@@ -84,6 +99,7 @@ func (t *StoreTarget) Do(ctx context.Context, op Op) Result {
 		if err == nil {
 			res.Resp = resp
 			res.Degraded = resp.Degraded
+			res.Partial = resp.Partial
 		}
 	}
 	res.Latency = time.Since(start)
@@ -128,6 +144,19 @@ type HTTPTarget struct {
 	// CaptureBody decodes query answers into Result.Resp (costs an
 	// allocation per request; the soak test wants it, benchmarks don't).
 	CaptureBody bool
+	// MaxBackoffs makes the target a well-behaved client under admission
+	// pressure: a 429 is retried after the server's Retry-After hint
+	// (with deterministic jitter, so retries from many workers do not
+	// re-synchronize) up to this many times before the refusal is
+	// reported. 0 keeps the old fire-once behaviour.
+	MaxBackoffs int
+	// BackoffCap clamps each backoff sleep; 0 means the server's hint is
+	// taken as-is (whole seconds — benchmarks will want a cap).
+	BackoffCap time.Duration
+	// Registry counts load.backoff, one increment per backoff sleep, so
+	// admission pressure absorbed by client patience stays visible in
+	// reports. Nil disables.
+	Registry *obs.Registry
 }
 
 // client returns the effective HTTP client.
@@ -146,8 +175,60 @@ var defaultClient = &http.Client{
 	},
 }
 
-// Do implements Target.
+// Do implements Target: one wire operation, with bounded jittered
+// backoff on 429 when MaxBackoffs is set. The reported latency spans
+// the whole exchange, backoff sleeps included — that is the latency the
+// client actually experienced.
 func (t *HTTPTarget) Do(ctx context.Context, op Op) Result {
+	start := time.Now()
+	backoffs := 0
+	for {
+		res := t.doOnce(ctx, op)
+		if res.Status != http.StatusTooManyRequests || backoffs >= t.MaxBackoffs || ctx.Err() != nil {
+			res.Backoffs = backoffs
+			res.Latency = time.Since(start)
+			return res
+		}
+		d := res.RetryAfter
+		if d <= 0 {
+			d = time.Second
+		}
+		if t.BackoffCap > 0 && d > t.BackoffCap {
+			d = t.BackoffCap
+		}
+		d = backoffJitter(d, op, backoffs)
+		backoffs++
+		if t.Registry != nil {
+			t.Registry.Counter("load.backoff").Inc()
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			res.Backoffs = backoffs
+			res.Latency = time.Since(start)
+			return res
+		}
+	}
+}
+
+// backoffJitter spreads a backoff hint over [d/2, d): synchronized 429s
+// from many workers would otherwise re-fire in lockstep and collide at
+// the bucket again. The jitter is deterministic in (op, attempt) so
+// schedules replay.
+func backoffJitter(d time.Duration, op Op, attempt int) time.Duration {
+	h := uint64(op.At) ^ uint64(op.Seq)<<32 ^ uint64(attempt)<<56 ^ uint64(len(op.Tenant))<<48
+	// splitmix64 finalizer — cheap, well-mixed, dependency-free.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	frac := float64(h%1024) / 1024
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// doOnce issues one HTTP exchange.
+func (t *HTTPTarget) doOnce(ctx context.Context, op Op) Result {
 	var (
 		path        string
 		body        []byte
@@ -205,6 +286,7 @@ func (t *HTTPTarget) Do(ctx context.Context, op Op) Result {
 			}
 			res.Resp = &sr
 			res.Degraded = sr.Degraded
+			res.Partial = sr.Partial
 		} else {
 			io.Copy(io.Discard, resp.Body)
 		}

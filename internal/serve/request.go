@@ -6,8 +6,10 @@ import (
 	"sort"
 	"strings"
 
+	"x3/internal/agg"
 	"x3/internal/lattice"
 	"x3/internal/match"
+	"x3/internal/pattern"
 )
 
 // Request is the wire-level query form the HTTP server accepts: cuboid
@@ -39,6 +41,44 @@ type Response struct {
 	// Degraded is set when the fast indexed read failed and the answer
 	// came from a fallback path (verified re-scan or base recompute).
 	Degraded bool `json:"degraded,omitempty"`
+	// Partial is set by a sharded coordinator when some fact partitions
+	// could not be reached: the rows are correct for the facts that
+	// answered but are not the full total. Missing names each lost
+	// partition, so a partial answer is never silently incomplete.
+	// Single-node stores never set these.
+	Partial bool           `json:"partial,omitempty"`
+	Missing []MissingShard `json:"missing,omitempty"`
+}
+
+// MissingShard identifies one unreachable fact partition of a partial
+// sharded answer.
+type MissingShard struct {
+	Shard int `json:"shard"`
+	// KeyRange describes the lost partition as a residue class of the
+	// fact partition hash, e.g. "hash(fact)%4==2".
+	KeyRange string `json:"key_range"`
+	// Reason is the last per-replica failure the coordinator saw.
+	Reason string `json:"reason"`
+}
+
+// CellRow is one answered cell in store-independent form: decoded group
+// values plus the raw mergeable aggregate state. Because agg.State is
+// distributive, CellRows from stores over disjoint fact sets re-aggregate
+// exactly — this is the currency of cross-shard merging.
+type CellRow struct {
+	Values []string
+	State  agg.State
+}
+
+// CellAnswer is an answered request before finalization: rows carry
+// states, not finals, so a coordinator can merge answers from several
+// stores and finalize once.
+type CellAnswer struct {
+	Cuboid   string
+	Plan     PlanKind
+	From     string
+	Degraded bool
+	Rows     []CellRow
 }
 
 // PointFromStates resolves axis-variable → state-label assignments to a
@@ -96,12 +136,13 @@ func (s *Store) axisByVar(v string) (int, error) {
 	return 0, fmt.Errorf("serve: query has no axis %q", v)
 }
 
-// ServeRequest resolves a wire-level request and answers it under ctx.
+// AnswerCells resolves a wire-level request and answers it under ctx in
+// mergeable form: decoded group values plus raw aggregate states.
 // Constraint values absent from the dictionaries yield an empty row set
 // (the value has never been seen, so no group can match). Resolution
 // failures — unknown axes, unknown states, constraints on deleted axes —
 // wrap ErrBadRequest.
-func (s *Store) ServeRequest(ctx context.Context, req Request) (*Response, error) {
+func (s *Store) AnswerCells(ctx context.Context, req Request) (*CellAnswer, error) {
 	p, err := s.PointFromStates(req.Cuboid)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
@@ -130,30 +171,56 @@ func (s *Store) ServeRequest(ctx context.Context, req Request) (*Response, error
 			q.Where[a] = id
 		}
 	}
-	resp := &Response{Cuboid: s.lat.Label(p)}
+	ca := &CellAnswer{Cuboid: s.lat.Label(p)}
 	if unseen {
-		resp.Plan = PlanDirect.String()
-		resp.Rows = []ResponseRow{}
-		return resp, nil
+		ca.Plan = PlanDirect
+		ca.Rows = []CellRow{}
+		return ca, nil
 	}
 	ans, err := s.Answer(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	resp.Plan = ans.Plan.String()
-	resp.Degraded = ans.Degraded
+	ca.Plan = ans.Plan
+	ca.Degraded = ans.Degraded
 	if ans.From != nil {
-		resp.From = s.lat.Label(ans.From)
+		ca.From = s.lat.Label(ans.From)
 	}
 	live := s.lat.LiveAxes(p)
-	aggFn := s.lat.Query.Agg
-	resp.Rows = make([]ResponseRow, len(ans.Rows))
+	// Re-snapshot the dictionaries for decoding: an append publishes its
+	// new cells and its grown dictionaries under one critical section, so
+	// a dictionary view taken after Answer returns can decode every cell
+	// Answer saw — the entry snapshot above may predate cells appended
+	// while the query ran.
+	dicts = s.Dicts()
+	ca.Rows = make([]CellRow, len(ans.Rows))
 	for i, r := range ans.Rows {
 		vals := make([]string, len(r.Key))
 		for j, id := range r.Key {
 			vals[j] = dicts[live[j]].Value(id)
 		}
-		resp.Rows[i] = ResponseRow{Values: vals, Value: r.State.Final(aggFn), Count: r.State.N}
+		ca.Rows[i] = CellRow{Values: vals, State: r.State}
 	}
-	return resp, nil
+	return ca, nil
+}
+
+// Finalize renders a mergeable answer into the wire-level response form,
+// computing each row's final value under aggFn.
+func (ca *CellAnswer) Finalize(aggFn pattern.AggFunc) *Response {
+	resp := &Response{Cuboid: ca.Cuboid, Plan: ca.Plan.String(), From: ca.From, Degraded: ca.Degraded}
+	resp.Rows = make([]ResponseRow, len(ca.Rows))
+	for i, r := range ca.Rows {
+		resp.Rows[i] = ResponseRow{Values: r.Values, Value: r.State.Final(aggFn), Count: r.State.N}
+	}
+	return resp
+}
+
+// ServeRequest resolves a wire-level request and answers it under ctx.
+// It is AnswerCells plus finalization — the single-store serving path.
+func (s *Store) ServeRequest(ctx context.Context, req Request) (*Response, error) {
+	ca, err := s.AnswerCells(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return ca.Finalize(s.lat.Query.Agg), nil
 }

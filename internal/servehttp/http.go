@@ -14,13 +14,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"x3/internal/admit"
 	"x3/internal/obs"
 	"x3/internal/serve"
+	"x3/internal/shard"
 	"x3/internal/xmltree"
 )
 
@@ -47,7 +50,26 @@ type Options struct {
 	RequestTimeout time.Duration
 }
 
-// New wires a serving store into an http.Handler. The handler is safe
+// Backend is the serving surface the HTTP edge fronts: a single-node
+// serve.Store and a sharded shard.Coordinator both satisfy it, so the
+// same edge — status codes, headers, admission, error bodies — serves
+// either topology.
+type Backend interface {
+	ServeRequest(ctx context.Context, req serve.Request) (*serve.Response, error)
+	RefreshDoc(ctx context.Context, doc *xmltree.Document) (int64, error)
+	Append(ctx context.Context, body []byte) (int64, error)
+	Generations() (deltas int, memCells int64)
+	Dir() string
+	CuboidReport() []serve.CuboidStatus
+}
+
+// Topologer is the optional Backend extension a sharded coordinator
+// provides; when present the edge exposes GET /topology.
+type Topologer interface {
+	Topology() []shard.ShardInfo
+}
+
+// New wires a serving backend into an http.Handler. The handler is safe
 // for concurrent use: queries run under the store's read lock and
 // refreshes, appends and flushes swap state atomically, so mixed
 // traffic never tears. The middleware chain (outermost first) recovers
@@ -56,7 +78,7 @@ type Options struct {
 // serve.http.latency HDR histogram; handlers pass the request context
 // down so a client disconnect or an expired deadline cancels the work
 // it was paying for.
-func New(s *serve.Store, reg *obs.Registry, opt Options) http.Handler {
+func New(s Backend, reg *obs.Registry, opt Options) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -114,6 +136,12 @@ func New(s *serve.Store, reg *obs.Registry, opt Options) http.Handler {
 	mux.HandleFunc("GET /cuboids", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.CuboidReport())
 	})
+
+	if topo, ok := s.(Topologer); ok {
+		mux.HandleFunc("GET /topology", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, topo.Topology())
+		})
+	}
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -209,12 +237,16 @@ func withLatency(reg *obs.Registry, next http.Handler) http.Handler {
 }
 
 // withRecovery converts a handler panic into a 500 instead of tearing
-// down the connection (and, with it, the whole keep-alive client).
+// down the connection (and, with it, the whole keep-alive client). The
+// JSON error body carries only the panic value; the goroutine stack —
+// the part an operator actually debugs from — goes to the server log,
+// since writeError would otherwise be the last place it existed.
 func withRecovery(reg *obs.Registry, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				reg.Counter("serve.panics").Inc()
+				reg.Counter("serve.http.panics").Inc()
+				log.Printf("servehttp: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 				writeError(w, http.StatusInternalServerError, "panic",
 					fmt.Sprintf("internal error: %v", v))
 			}

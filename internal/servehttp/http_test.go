@@ -1,11 +1,14 @@
 package servehttp
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -181,9 +184,15 @@ func TestBackgroundYieldsOverHTTP(t *testing.T) {
 	close(release)
 }
 
-// TestPanicRecovery converts a handler panic into a structured 500.
+// TestPanicRecovery converts a handler panic into a structured 500,
+// counts it, and — the part the JSON error path cannot carry — logs the
+// panicking goroutine's stack so the crash site is diagnosable.
 func TestPanicRecovery(t *testing.T) {
 	reg := obs.New()
+	var logBuf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logBuf)
+	t.Cleanup(func() { log.SetOutput(prev) })
 	h := withRecovery(reg, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	}))
@@ -197,8 +206,15 @@ func TestPanicRecovery(t *testing.T) {
 	if err := json.Unmarshal(b, &e); err != nil || e["code"] != "panic" {
 		t.Fatalf("panic response body %s, want code \"panic\"", b)
 	}
-	if reg.Counter("serve.panics").Value() == 0 {
-		t.Error("serve.panics did not move")
+	if got := reg.Counter("serve.http.panics").Value(); got != 1 {
+		t.Errorf("serve.http.panics = %d, want 1", got)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "boom") {
+		t.Errorf("panic value missing from server log: %q", logged)
+	}
+	if !strings.Contains(logged, "goroutine") || !strings.Contains(logged, "TestPanicRecovery") {
+		t.Errorf("panic stack missing from server log: %q", logged)
 	}
 }
 

@@ -1,0 +1,64 @@
+package servehttp
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"x3/internal/obs"
+	"x3/internal/serve"
+	"x3/internal/shard"
+	"x3/internal/xmltree"
+)
+
+// stubBackend is the minimal Backend: a single-node-shaped stand-in for
+// wiring tests that don't need a real store.
+type stubBackend struct{}
+
+func (stubBackend) ServeRequest(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	return &serve.Response{Cuboid: "stub"}, nil
+}
+func (stubBackend) RefreshDoc(ctx context.Context, doc *xmltree.Document) (int64, error) {
+	return 0, nil
+}
+func (stubBackend) Append(ctx context.Context, body []byte) (int64, error) { return 0, nil }
+func (stubBackend) Generations() (int, int64)                              { return 0, 0 }
+func (stubBackend) Dir() string                                            { return "" }
+func (stubBackend) CuboidReport() []serve.CuboidStatus                     { return nil }
+
+// stubSharded additionally exposes a topology, the way a coordinator
+// does.
+type stubSharded struct{ stubBackend }
+
+func (stubSharded) Topology() []shard.ShardInfo {
+	return []shard.ShardInfo{{
+		ID: 0, KeyRange: shard.KeyRange(0, 2), Facts: 7,
+		Replicas: []shard.ReplicaInfo{{Label: "s0/r0"}, {Label: "s0/r1", Down: true}},
+	}}
+}
+
+// TestTopologyEndpoint: a sharded backend grows a GET /topology route;
+// a single-node backend does not.
+func TestTopologyEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(stubSharded{}, obs.New(), Options{}))
+	t.Cleanup(srv.Close)
+	resp, b := get(t, srv.URL+"/topology", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /topology: HTTP %d (%s), want 200", resp.StatusCode, b)
+	}
+	var topo []shard.ShardInfo
+	if err := json.Unmarshal(b, &topo); err != nil {
+		t.Fatalf("topology body %s: %v", b, err)
+	}
+	if len(topo) != 1 || topo[0].KeyRange != shard.KeyRange(0, 2) || !topo[0].Replicas[1].Down {
+		t.Fatalf("topology = %+v, want the stub's shard map", topo)
+	}
+
+	plain := httptest.NewServer(New(stubBackend{}, obs.New(), Options{}))
+	t.Cleanup(plain.Close)
+	if resp, _ := get(t, plain.URL+"/topology", "", ""); resp.StatusCode == http.StatusOK {
+		t.Fatal("single-node backend must not expose /topology")
+	}
+}

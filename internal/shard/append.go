@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"x3/internal/serve"
+	"x3/internal/xmltree"
+)
+
+// Append routes an XML document's records to their shards and applies
+// each shard batch to every replica of that shard — full replication on
+// the write path; "replica down" is a query-path concept, so appends
+// still reach down replicas and keep them consistent for re-admission.
+//
+// Failure semantics keep the never-silently-wrong discipline: a replica
+// whose append fails after AppendRetries re-attempts is marked stale and
+// leaves rotation permanently (it may be missing facts; serving from it
+// would silently under-count). A shard where no replica applied the
+// batch fails the append with an error — the batch is then consistently
+// absent, and the client retries. Appends are atomic per shard, not
+// across shards.
+func (c *Coordinator) Append(ctx context.Context, body []byte) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	doc, err := xmltree.Parse(bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", serve.ErrBadRequest, err)
+	}
+	return c.appendDoc(ctx, doc)
+}
+
+// RefreshDoc applies a parsed document — the HTTP edge's /refresh form.
+func (c *Coordinator) RefreshDoc(ctx context.Context, doc *xmltree.Document) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.appendDoc(ctx, doc)
+}
+
+func (c *Coordinator) appendDoc(ctx context.Context, doc *xmltree.Document) (int64, error) {
+	// Only directory-backed topologies accept writes: a coordinator
+	// assembled from caller-provided replicas has no durable routing
+	// state (per-shard fact counts, recoverable layout) to keep honest.
+	if c.dir == "" {
+		return 0, fmt.Errorf("%w: coordinator has no append routing (built with NewWithReplicas)", serve.ErrBadRequest)
+	}
+	batches, records, err := c.splitRecords(doc)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", serve.ErrBadRequest, err)
+	}
+	c.cAppends.Inc()
+	c.cAppendRecords.Add(int64(records))
+
+	// Deterministic shard order (not map order) so failure attribution
+	// and fault schedules replay.
+	sids := make([]int, 0, len(batches))
+	for si := range batches {
+		sids = append(sids, si)
+	}
+	sort.Ints(sids)
+
+	var total int64
+	for _, si := range sids {
+		added, err := c.appendShard(ctx, si, batches[si])
+		if err != nil {
+			return total, fmt.Errorf("shard %d: append: %w", si, err)
+		}
+		total += added
+		c.factsMu.Lock()
+		c.facts[si] += int(added)
+		c.factsMu.Unlock()
+	}
+	return total, nil
+}
+
+// appendShard applies one batch to every replica of shard si.
+func (c *Coordinator) appendShard(ctx context.Context, si int, batch []byte) (int64, error) {
+	sh := c.shards[si]
+	var (
+		applied  int64
+		appliedN int
+		lastErr  error
+	)
+	ok := make([]bool, len(sh.replicas))
+	for ri, rs := range sh.replicas {
+		added, err := c.appendReplica(ctx, rs, batch)
+		if err != nil {
+			lastErr = err
+			// Only divergence makes a replica stale: if no replica ends
+			// up applying the batch the data is consistently absent, so
+			// staleness is decided after the loop.
+			continue
+		}
+		if appliedN > 0 && added != applied {
+			// Replicas of one shard evaluated the same bytes to different
+			// fact counts — corruption-grade divergence, surface loudly.
+			return applied, fmt.Errorf("replica %s applied %d facts, sibling applied %d", rs.r.Label(), added, applied)
+		}
+		ok[ri] = true
+		applied = added
+		appliedN++
+	}
+	if appliedN == 0 {
+		return 0, lastErr
+	}
+	if appliedN < len(sh.replicas) {
+		for ri, rs := range sh.replicas {
+			if !ok[ri] {
+				c.markStale(rs)
+			}
+		}
+	}
+	return applied, nil
+}
+
+// appendReplica applies a batch to one replica with bounded retries
+// through its fault boundary — a transient injected fault re-rolls on
+// retry, the way a flaky disk does.
+func (c *Coordinator) appendReplica(ctx context.Context, rs *replicaState, batch []byte) (int64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.AppendRetries; attempt++ {
+		if attempt > 0 {
+			c.cAppendRetr.Inc()
+		}
+		err := rs.boundary().Call("shard.replica.append")
+		if err == nil {
+			var added int64
+			added, err = rs.r.Append(ctx, batch)
+			if err == nil {
+				return added, nil
+			}
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return 0, lastErr
+}
+
+// Generations sums the ladder shape across shard primaries: outstanding
+// delta generations (max across replicas, the worst compaction debt) and
+// total memtable cells.
+func (c *Coordinator) Generations() (deltas int, memCells int64) {
+	for _, sh := range c.shards {
+		for _, rs := range sh.replicas {
+			sr, ok := rs.r.(*storeReplica)
+			if !ok {
+				continue
+			}
+			d, m := sr.store.Generations()
+			if d > deltas {
+				deltas = d
+			}
+			memCells += m
+		}
+	}
+	return deltas, memCells
+}
+
+// NumFacts sums base facts across shards (each fact lives on exactly one
+// shard, so the sum is the logical fact count).
+func (c *Coordinator) NumFacts() int {
+	n := 0
+	c.factsMu.Lock()
+	defer c.factsMu.Unlock()
+	for _, f := range c.facts {
+		n += f
+	}
+	return n
+}
+
+// Materialized merges per-shard materialization: each cuboid's cells are
+// summed over every shard's first store-backed replica (cells of one
+// logical cuboid are spread across shards).
+func (c *Coordinator) Materialized() []serve.MaterializedCuboid {
+	agg := map[string]int64{}
+	var order []string
+	for _, sh := range c.shards {
+		sr := sh.primaryStore()
+		if sr == nil {
+			continue
+		}
+		for _, mc := range sr.Materialized() {
+			if _, ok := agg[mc.Label]; !ok {
+				order = append(order, mc.Label)
+			}
+			agg[mc.Label] += mc.Cells
+		}
+	}
+	out := make([]serve.MaterializedCuboid, 0, len(order))
+	for _, label := range order {
+		out = append(out, serve.MaterializedCuboid{Label: label, Cells: agg[label]})
+	}
+	return out
+}
+
+// CuboidReport merges the per-cuboid status across shard primaries:
+// materialization is reported when every shard materializes the cuboid,
+// cells and query counts are summed.
+func (c *Coordinator) CuboidReport() []serve.CuboidStatus {
+	var out []serve.CuboidStatus
+	for _, sh := range c.shards {
+		sr := sh.primaryStore()
+		if sr == nil {
+			continue
+		}
+		rep := sr.CuboidReport()
+		if out == nil {
+			out = rep
+			continue
+		}
+		for i := range rep {
+			if i >= len(out) {
+				break
+			}
+			out[i].Materialized = out[i].Materialized && rep[i].Materialized
+			out[i].Cells += rep[i].Cells
+			out[i].Queries += rep[i].Queries
+			out[i].Decision = nil
+		}
+	}
+	return out
+}
+
+// primaryStore returns the shard's first store-backed replica (nil for
+// fake-replica shards).
+func (sh *shardState) primaryStore() *serve.Store {
+	for _, rs := range sh.replicas {
+		if sr, ok := rs.r.(*storeReplica); ok {
+			return sr.store
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/fault"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// The sharded differential sweep — the PR's acceptance suite. For every
+// seed and dataset family, every cuboid of the lattice is answered
+// through a 3-shard × 2-replica coordinator and compared byte-for-byte
+// (canonical form) with a single-node store over the same facts, under
+// an escalating failure ladder:
+//
+//	0 failures — plain scatter-gather must be exact;
+//	1 replica of every shard dead — failover and health marking must
+//	  keep every answer exact, with zero partial answers;
+//	both replicas of one shard dead — the answer must degrade to an
+//	  explicit Partial naming exactly that shard's key range, with the
+//	  surviving rows equal to a store over the surviving partitions.
+//
+// Nothing in the ladder is allowed to be silently wrong: either the
+// exact answer, or a Partial that says precisely what is missing.
+
+type diffDataset struct {
+	name  string
+	views int
+	build func(tb testing.TB, seed int64) (*lattice.Lattice, *match.Set)
+}
+
+func diffDatasets() []diffDataset {
+	return []diffDataset{
+		{name: "treebank", views: 3, build: func(tb testing.TB, seed int64) (*lattice.Lattice, *match.Set) {
+			lat, set, _ := treebankWorkload(tb, seed, 60)
+			return lat, set
+		}},
+		{name: "dblp", views: 5, build: func(tb testing.TB, seed int64) (*lattice.Lattice, *match.Set) {
+			cfg := dataset.DefaultDBLPConfig(50, seed)
+			cfg.Journals = 6
+			cfg.Authors = 25
+			doc := dataset.DBLP(cfg)
+			lat, err := lattice.New(dataset.DBLPQuery())
+			if err != nil {
+				tb.Fatal(err)
+			}
+			set, err := match.Evaluate(doc, lat)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return lat, set
+		}},
+	}
+}
+
+func TestDifferentialShardedFailures(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 2
+	}
+	const shards = 3
+	for _, ds := range diffDatasets() {
+		t.Run(ds.name, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					lat, set := ds.build(t, seed)
+					single, err := serve.Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set,
+						serve.Options{Views: ds.views, BlockCells: 16})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer single.Close()
+					reg := obs.New()
+					c, err := New(t.TempDir(), lat, set, Options{
+						Shards: shards, Replicas: 2, ProbeEvery: -1, Registry: reg,
+						Store: serve.Options{Views: ds.views, BlockCells: 16},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer c.Close()
+
+					// 0 failures: exact on every cuboid.
+					sweepExact(t, lat, c, single, "clean")
+
+					// 1 replica of every shard dead: failover keeps every
+					// answer exact; nothing degrades to Partial.
+					for si := 0; si < shards; si++ {
+						c.SetReplicaFault(si, 0, fault.New(fault.Config{Seed: seed, ErrEvery: 1}))
+					}
+					sweepExact(t, lat, c, single, "r0-dead")
+					if reg.Counter("shard.failover").Value() == 0 {
+						t.Error("r0-dead sweep answered without a single failover")
+					}
+
+					// Both replicas of shard 0 dead: every answer is an
+					// explicit Partial naming shard 0, and the surviving
+					// rows equal a store over the surviving partitions.
+					c.ResetHealth()
+					for si := 0; si < shards; si++ {
+						c.SetReplicaFault(si, 0, nil)
+					}
+					c.SetReplicaFault(0, 0, fault.New(fault.Config{Seed: seed, ErrEvery: 1}))
+					c.SetReplicaFault(0, 1, fault.New(fault.Config{Seed: seed + 1, ErrEvery: 1}))
+					parts := Partition(set, shards)
+					surviving := &match.Set{Lattice: set.Lattice, Dicts: set.Dicts}
+					for si := 1; si < shards; si++ {
+						surviving.Facts = append(surviving.Facts, parts[si].Facts...)
+					}
+					healthy, err := serve.Build(filepath.Join(t.TempDir(), "healthy.x3cf"), lat, surviving,
+						serve.Options{Views: ds.views, BlockCells: 16})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer healthy.Close()
+					sweepPartial(t, lat, c, healthy, 0, shards)
+					if reg.Counter("shard.partial").Value() == 0 {
+						t.Error("shard-0-lost sweep produced no shard.partial increments")
+					}
+				})
+			}
+		})
+	}
+}
+
+// sweepExact answers every cuboid through the coordinator and requires
+// byte-equality with the single-node store and no Partial flag.
+func sweepExact(t *testing.T, lat *lattice.Lattice, c *Coordinator, single *serve.Store, scenario string) {
+	t.Helper()
+	for _, p := range lat.Points() {
+		req := cuboidRequest(lat, p)
+		want, err := single.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatalf("[%s] %s: %v", scenario, lat.Label(p), err)
+		}
+		if got.Partial || len(got.Missing) > 0 {
+			t.Fatalf("[%s] %s: answer degraded to Partial (missing %v) with a live replica per shard",
+				scenario, lat.Label(p), got.Missing)
+		}
+		if canon(got) != canon(want) {
+			t.Fatalf("[%s] %s: sharded answer diverges from single-node:\n%s\nwant:\n%s",
+				scenario, lat.Label(p), canon(got), canon(want))
+		}
+	}
+}
+
+// sweepPartial answers every cuboid with shard `lost` fully dead and
+// requires an explicit Partial naming exactly that shard, with rows
+// equal to the surviving-partitions store.
+func sweepPartial(t *testing.T, lat *lattice.Lattice, c *Coordinator, healthy *serve.Store, lost, shards int) {
+	t.Helper()
+	for _, p := range lat.Points() {
+		req := cuboidRequest(lat, p)
+		want, err := healthy.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", lat.Label(p), err)
+		}
+		if !got.Partial {
+			t.Fatalf("%s: shard %d is unreachable but the answer is not Partial — silently wrong total",
+				lat.Label(p), lost)
+		}
+		if len(got.Missing) != 1 || got.Missing[0].Shard != lost {
+			t.Fatalf("%s: Missing = %+v, want exactly shard %d", lat.Label(p), got.Missing, lost)
+		}
+		if want := KeyRange(lost, shards); got.Missing[0].KeyRange != want {
+			t.Fatalf("%s: lost key range %q, want %q", lat.Label(p), got.Missing[0].KeyRange, want)
+		}
+		if got.Missing[0].Reason == "" {
+			t.Fatalf("%s: Partial answer with empty Reason", lat.Label(p))
+		}
+		if canon(got) != canon(want) {
+			t.Fatalf("%s: partial rows diverge from surviving-partition store:\n%s\nwant:\n%s",
+				lat.Label(p), canon(got), canon(want))
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"x3/internal/fault"
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// TestFailoverOnError: a hard-erroring primary fails over to its
+// sibling, gets marked down after DownAfter consecutive failures, drops
+// out of the candidate order, and is re-admitted by a successful probe.
+func TestFailoverOnError(t *testing.T) {
+	r0 := &fakeReplica{label: "r0", err: errors.New("boom")}
+	r1 := &fakeReplica{label: "r1"}
+	c, reg := fakeCoordinator(t, Options{
+		Replicas: 2, Retries: 1, DownAfter: 2,
+		HedgeAfter: time.Minute, ShardDeadline: time.Minute, ProbeEvery: -1,
+	}, r0, r1)
+
+	for q := 0; q < 2; q++ {
+		resp, err := c.ServeRequest(context.Background(), serve.Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Partial || resp.Rows[0].Values[0] != "r1" {
+			t.Fatalf("query %d: %+v, want r1's answer via failover", q, resp.Rows)
+		}
+	}
+	if got := reg.Counter("shard.failover").Value(); got != 2 {
+		t.Fatalf("failover count = %d, want 2", got)
+	}
+	topo := c.Topology()
+	if !topo[0].Replicas[0].Down {
+		t.Fatal("r0 not marked down after DownAfter consecutive failures")
+	}
+	if got := reg.Gauge("shard.replicas.down").Value(); got != 1 {
+		t.Fatalf("shard.replicas.down gauge = %d, want 1", got)
+	}
+
+	// Down replica leaves the candidate head: the next query goes to r1
+	// directly, with no further failover.
+	if _, err := c.ServeRequest(context.Background(), serve.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls, _, _ := r0.stats(); calls != 2 {
+		t.Fatalf("down replica queried %d times, want 2 (pre-down only)", calls)
+	}
+	if got := reg.Counter("shard.failover").Value(); got != 2 {
+		t.Fatalf("failover count moved to %d after the replica was down", got)
+	}
+
+	// The fault clears; a probe re-admits the replica.
+	r0.set(0, nil)
+	if err := c.Probe(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	topo = c.Topology()
+	if topo[0].Replicas[0].Down {
+		t.Fatal("r0 still down after a successful probe")
+	}
+	if got := reg.Counter("shard.replica.up").Value(); got != 1 {
+		t.Fatalf("shard.replica.up = %d, want 1", got)
+	}
+	if got := reg.Gauge("shard.replicas.down").Value(); got != 0 {
+		t.Fatalf("shard.replicas.down gauge = %d, want 0", got)
+	}
+}
+
+// TestProbeReadmissionLoop: with ProbeEvery=1 the query path itself
+// launches the re-admission probe once the fault clears.
+func TestProbeReadmissionLoop(t *testing.T) {
+	r0 := &fakeReplica{label: "r0", err: errors.New("boom")}
+	r1 := &fakeReplica{label: "r1"}
+	c, reg := fakeCoordinator(t, Options{
+		Replicas: 2, Retries: 1, DownAfter: 1,
+		HedgeAfter: time.Minute, ShardDeadline: time.Minute, ProbeEvery: 1,
+	}, r0, r1)
+
+	if _, err := c.ServeRequest(context.Background(), serve.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Topology()[0].Replicas[0].Down {
+		t.Fatal("r0 not down after DownAfter=1 failure")
+	}
+	r0.set(0, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.ServeRequest(context.Background(), serve.Request{}); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Topology()[0].Replicas[0].Down {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c.Topology()[0].Replicas[0].Down {
+		t.Fatal("query-path probes never re-admitted the recovered replica")
+	}
+	if reg.Counter("shard.probe.launched").Value() == 0 || reg.Counter("shard.probe.ok").Value() == 0 {
+		t.Fatal("probe counters did not move")
+	}
+}
+
+// TestAppendStaleDiscipline: a replica that misses an append — every
+// attempt through its fault boundary fails while the sibling succeeds —
+// is marked stale and never serves or re-admits again, and the
+// coordinator's answers stay exact off the surviving replica.
+func TestAppendStaleDiscipline(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 5, 40)
+	single, err := serve.BuildDir(filepath.Join(t.TempDir(), "oracle"), lat, set,
+		serve.Options{Views: 3, BlockCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	reg := obs.New()
+	c, err := New(t.TempDir(), lat, set, Options{
+		Shards: 1, Replicas: 2, ProbeEvery: -1, Registry: reg,
+		Store: serve.Options{Views: 3, BlockCells: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Replica r1's append boundary fails every attempt.
+	c.SetReplicaFault(0, 1, fault.New(fault.Config{Seed: 11, ErrEvery: 1}))
+	_, _, doc := treebankWorkload(t, 12, 20)
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantAdd, err := single.Append(context.Background(), buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAdd, err := c.Append(context.Background(), buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAdd != wantAdd {
+		t.Fatalf("append added %d facts, single-node %d", gotAdd, wantAdd)
+	}
+	if got := reg.Counter("shard.append.retries").Value(); got != int64(defaultAppendRetries) {
+		t.Fatalf("append retries = %d, want %d", got, defaultAppendRetries)
+	}
+	if got := reg.Counter("shard.replica.stale").Value(); got != 1 {
+		t.Fatalf("stale count = %d, want 1", got)
+	}
+	topo := c.Topology()
+	if !topo[0].Replicas[1].Stale || !topo[0].Replicas[1].Down {
+		t.Fatalf("r1 = %+v, want stale+down after missing an append", topo[0].Replicas[1])
+	}
+
+	// Clearing the fault and probing must NOT re-admit a stale replica:
+	// it is missing facts and would silently under-count.
+	c.SetReplicaFault(0, 1, nil)
+	if err := c.Probe(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	topo = c.Topology()
+	if !topo[0].Replicas[1].Stale || !topo[0].Replicas[1].Down {
+		t.Fatalf("r1 = %+v after probe, want still stale+down", topo[0].Replicas[1])
+	}
+
+	// Queries keep flowing off the surviving replica, exact and complete.
+	for _, p := range lat.Points() {
+		req := cuboidRequest(lat, p)
+		want, err := single.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", lat.Label(p), err)
+		}
+		if got.Partial {
+			t.Fatalf("%s: partial answer with a healthy replica", lat.Label(p))
+		}
+		if canon(got) != canon(want) {
+			t.Fatalf("%s: answer off surviving replica diverges:\n%s\nwant:\n%s",
+				lat.Label(p), canon(got), canon(want))
+		}
+	}
+	// The stale replica never served: all queries went to r0.
+	if calls := c.shards[0].replicas[1]; calls.healthy() {
+		t.Fatal("stale replica reports healthy")
+	}
+}
+
+// TestAllStaleFails: when every replica of a shard is stale the shard
+// has no serviceable replica and the coordinator reports the shard as
+// missing rather than serving from a known-incomplete store.
+func TestAllStaleFails(t *testing.T) {
+	r0 := &fakeReplica{label: "r0"}
+	r1 := &fakeReplica{label: "r1"}
+	ok := &fakeReplica{label: "ok"}
+	reg := obs.New()
+	c, err := NewWithReplicas(nil, [][]Replica{{r0, r1}, {ok}}, Options{
+		Replicas: 2, HedgeAfter: time.Minute, ShardDeadline: time.Minute,
+		ProbeEvery: -1, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.markStale(c.shards[0].replicas[0])
+	c.markStale(c.shards[0].replicas[1])
+	resp, err := c.ServeRequest(context.Background(), serve.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial || len(resp.Missing) != 1 || resp.Missing[0].Shard != 0 {
+		t.Fatalf("all-stale shard must be reported missing, got %+v", resp)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].Values[0] != "ok" {
+		t.Fatalf("rows = %+v, want shard 1's answer only", resp.Rows)
+	}
+}

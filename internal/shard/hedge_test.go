@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"x3/internal/agg"
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// fakeReplica is a scriptable Replica with a deterministic latency and
+// failure schedule, recording how it was driven: query count, whether a
+// pending query saw its context cancelled, and how many answers it
+// actually returned (committed answers are counted by the caller via
+// row provenance — each answer carries the replica's label).
+type fakeReplica struct {
+	label string
+
+	mu        sync.Mutex
+	delay     time.Duration
+	err       error
+	calls     int
+	cancelled int
+	answered  int
+}
+
+func (f *fakeReplica) Label() string { return f.label }
+
+func (f *fakeReplica) schedule() (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	return f.delay, f.err
+}
+
+func (f *fakeReplica) set(delay time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay, f.err = delay, err
+}
+
+func (f *fakeReplica) Query(ctx context.Context, req serve.Request) (*serve.CellAnswer, error) {
+	delay, err := f.schedule()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			f.mu.Lock()
+			f.cancelled++
+			f.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.answered++
+	f.mu.Unlock()
+	return &serve.CellAnswer{
+		Cuboid: "fake",
+		Rows:   []serve.CellRow{{Values: []string{f.label}, State: agg.State{N: 1, Sum: 1}}},
+	}, nil
+}
+
+func (f *fakeReplica) Append(ctx context.Context, body []byte) (int64, error) {
+	_, err := f.schedule()
+	return 1, err
+}
+
+func (f *fakeReplica) Close() error { return nil }
+
+func (f *fakeReplica) stats() (calls, cancelled, answered int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.cancelled, f.answered
+}
+
+// fakeCoordinator builds a 1-shard coordinator over the given replicas.
+func fakeCoordinator(t *testing.T, opt Options, replicas ...*fakeReplica) (*Coordinator, *obs.Registry) {
+	t.Helper()
+	rs := make([]Replica, len(replicas))
+	for i, r := range replicas {
+		rs[i] = r
+	}
+	if opt.Registry == nil {
+		opt.Registry = obs.New()
+	}
+	c, err := NewWithReplicas(nil, [][]Replica{rs}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, opt.Registry
+}
+
+// hedgeCounters reads the shard.hedge.* triple.
+func hedgeCounters(reg *obs.Registry) (fired, won, wasted int64) {
+	return reg.Counter("shard.hedge.fired").Value(),
+		reg.Counter("shard.hedge.won").Value(),
+		reg.Counter("shard.hedge.wasted").Value()
+}
+
+// waitCancelled polls until the replica has observed a context
+// cancellation (the loser's teardown is asynchronous with the winner's
+// return) or the deadline passes.
+func waitCancelled(t *testing.T, f *fakeReplica) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, cancelled, _ := f.stats(); cancelled > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("replica %s never saw its context cancelled", f.label)
+}
+
+// TestHedgeProperty drives the hedging state machine through a grid of
+// deterministic latency schedules and asserts, for each, the committed
+// answer's provenance (exactly one replica's answer is committed), the
+// loser's cancellation, and that the shard.hedge counters reconcile as
+// fired == won + wasted.
+func TestHedgeProperty(t *testing.T) {
+	cases := []struct {
+		name         string
+		primary      time.Duration
+		secondary    time.Duration
+		hedgeAfter   time.Duration
+		wantWinner   string // label of the replica whose answer commits
+		wantFired    int64
+		wantWon      int64
+		wantCancel   bool // loser should observe cancellation
+		wantHedgeRun bool // secondary should have been queried at all
+	}{
+		// Primary answers before the hedge delay: no hedge fires.
+		{name: "primary-fast", primary: 0, secondary: 0,
+			hedgeAfter: 250 * time.Millisecond, wantWinner: "r0"},
+		// Primary stalls past the hedge delay, hedge answers first: the
+		// hedge wins and the stalled primary is cancelled.
+		{name: "hedge-wins", primary: 30 * time.Second, secondary: time.Millisecond,
+			hedgeAfter: 5 * time.Millisecond, wantWinner: "r1",
+			wantFired: 1, wantWon: 1, wantCancel: true, wantHedgeRun: true},
+		// Primary is slow but still beats the slower hedge: the primary
+		// wins, the hedge was fired and wasted, and it gets cancelled.
+		{name: "hedge-loses", primary: 40 * time.Millisecond, secondary: 30 * time.Second,
+			hedgeAfter: 5 * time.Millisecond, wantWinner: "r0",
+			wantFired: 1, wantWon: 0, wantCancel: true, wantHedgeRun: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r0 := &fakeReplica{label: "r0", delay: tc.primary}
+			r1 := &fakeReplica{label: "r1", delay: tc.secondary}
+			c, reg := fakeCoordinator(t, Options{
+				Replicas: 2, HedgeAfter: tc.hedgeAfter,
+				ShardDeadline: time.Minute, ProbeEvery: -1,
+			}, r0, r1)
+			resp, err := c.ServeRequest(context.Background(), serve.Request{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Exactly one replica's answer is committed: the merged rows
+			// are that replica's single row, count 1 — two committed
+			// answers would merge into count 2.
+			if len(resp.Rows) != 1 || resp.Rows[0].Count != 1 {
+				t.Fatalf("rows = %+v, want exactly one committed answer", resp.Rows)
+			}
+			if got := resp.Rows[0].Values[0]; got != tc.wantWinner {
+				t.Fatalf("winner = %s, want %s", got, tc.wantWinner)
+			}
+			if tc.wantCancel {
+				loser := r0
+				if tc.wantWinner == "r0" {
+					loser = r1
+				}
+				waitCancelled(t, loser)
+			}
+			if calls, _, _ := r1.stats(); (calls > 0) != tc.wantHedgeRun {
+				t.Fatalf("secondary queried=%v, want %v", calls > 0, tc.wantHedgeRun)
+			}
+			// Wait for the loser's goroutine to drain before reading the
+			// wasted counter: the winner's return races the loser's send.
+			if tc.wantCancel {
+				waitCounters(t, reg, tc.wantFired, tc.wantWon)
+			}
+			fired, won, wasted := hedgeCounters(reg)
+			if fired != tc.wantFired || won != tc.wantWon {
+				t.Fatalf("hedge fired=%d won=%d, want fired=%d won=%d", fired, won, tc.wantFired, tc.wantWon)
+			}
+			if fired != won+wasted {
+				t.Fatalf("hedge counters do not reconcile: fired=%d won=%d wasted=%d", fired, won, wasted)
+			}
+		})
+	}
+}
+
+// waitCounters polls until fired == won + wasted with the expected fired
+// and won values — the loser teardown that increments wasted runs after
+// the winner returns.
+func waitCounters(t *testing.T, reg *obs.Registry, wantFired, wantWon int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		fired, won, wasted := hedgeCounters(reg)
+		if fired == wantFired && won == wantWon && fired == won+wasted {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fired, won, wasted := hedgeCounters(reg)
+	t.Fatalf("hedge counters never reconciled: fired=%d won=%d wasted=%d", fired, won, wasted)
+}
+
+// TestHedgeSweep runs a deterministic latency grid — every pairing of
+// fast/slow primaries and secondaries around a fixed hedge delay — and
+// checks the global invariants on every schedule: exactly one committed
+// answer per query and fired == won + wasted at quiescence.
+func TestHedgeSweep(t *testing.T) {
+	delays := []time.Duration{0, 2 * time.Millisecond, 25 * time.Millisecond, 80 * time.Millisecond}
+	r0 := &fakeReplica{label: "r0"}
+	r1 := &fakeReplica{label: "r1"}
+	c, reg := fakeCoordinator(t, Options{
+		Replicas: 2, HedgeAfter: 10 * time.Millisecond,
+		ShardDeadline: time.Minute, ProbeEvery: -1,
+	}, r0, r1)
+	queries := 0
+	for _, d0 := range delays {
+		for _, d1 := range delays {
+			r0.set(d0, nil)
+			r1.set(d1, nil)
+			resp, err := c.ServeRequest(context.Background(), serve.Request{})
+			if err != nil {
+				t.Fatalf("d0=%v d1=%v: %v", d0, d1, err)
+			}
+			queries++
+			if len(resp.Rows) != 1 || resp.Rows[0].Count != 1 {
+				t.Fatalf("d0=%v d1=%v: rows %+v, want one committed answer", d0, d1, resp.Rows)
+			}
+		}
+	}
+	// Quiescence: every in-flight loser observes cancellation eventually;
+	// then the ledger must balance.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		fired, won, wasted := hedgeCounters(reg)
+		if fired == won+wasted {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fired, won, wasted := hedgeCounters(reg)
+	if fired != won+wasted {
+		t.Fatalf("after %d queries hedge ledger unbalanced: fired=%d won=%d wasted=%d",
+			queries, fired, won, wasted)
+	}
+	if fired == 0 {
+		t.Fatal("latency grid never fired a hedge — the sweep is degenerate")
+	}
+	if won == 0 {
+		t.Fatal("latency grid never had a hedge win — the sweep is degenerate")
+	}
+}
+
+// TestHedgeDeadline: both replicas of shard 0 stall past the shard
+// deadline while shard 1 answers — the answer must degrade to a Partial
+// naming shard 0 (not hang, not fabricate), both stalled attempts must
+// see cancellation, and the hedge ledger must still reconcile.
+func TestHedgeDeadline(t *testing.T) {
+	r0 := &fakeReplica{label: "r0", delay: time.Minute}
+	r1 := &fakeReplica{label: "r1", delay: time.Minute}
+	ok := &fakeReplica{label: "ok"}
+	reg := obs.New()
+	c, err := NewWithReplicas(nil, [][]Replica{{r0, r1}, {ok}}, Options{
+		Replicas: 2, HedgeAfter: 5 * time.Millisecond,
+		ShardDeadline: 60 * time.Millisecond, ProbeEvery: -1, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.ServeRequest(context.Background(), serve.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial || len(resp.Missing) != 1 {
+		t.Fatalf("losing every replica of shard 0 must degrade to Partial, got %+v", resp)
+	}
+	if resp.Missing[0].Shard != 0 {
+		t.Fatalf("Missing = %+v, want shard 0", resp.Missing)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].Values[0] != "ok" {
+		t.Fatalf("rows = %+v, want shard 1's answer only", resp.Rows)
+	}
+	fired, won, wasted := hedgeCounters(reg)
+	if fired != won+wasted {
+		t.Fatalf("hedge ledger unbalanced after deadline: fired=%d won=%d wasted=%d", fired, won, wasted)
+	}
+	waitCancelled(t, r0)
+	waitCancelled(t, r1)
+}

@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"x3/internal/obs"
+	"x3/internal/serve"
+)
+
+// TestIntrospectionSurface exercises the coordinator's operational
+// surface — the accessors, the merged materialization/generation
+// reports, RefreshDoc routing, and the compaction loop — against a
+// live 2x2 topology.
+func TestIntrospectionSurface(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 11, 40)
+	_, _, doc2 := treebankWorkload(t, 12, 10)
+	reg := obs.New()
+	dir := t.TempDir()
+	coord, err := New(dir, lat, set, Options{
+		Shards: 2, Replicas: 2, Registry: reg,
+		Store: serve.Options{FlushCells: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	if coord.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", coord.Shards())
+	}
+	if coord.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", coord.Dir(), dir)
+	}
+	if coord.Registry() != reg {
+		t.Fatal("Registry() did not return the configured registry")
+	}
+
+	// The compaction loop must honour cancellation across every
+	// replica's loop.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { coord.CompactLoop(ctx); close(done) }()
+	cancel()
+	<-done
+
+	// RefreshDoc routes records exactly like Append (same per-record
+	// partitioning), so the logical fact count grows by what was added.
+	before := coord.NumFacts()
+	added, err := coord.RefreshDoc(context.Background(), doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added <= 0 {
+		t.Fatalf("RefreshDoc added %d facts, want > 0", added)
+	}
+	if got := coord.NumFacts(); got != before+int(added) {
+		t.Fatalf("NumFacts = %d after refresh, want %d + %d", got, before, added)
+	}
+	deltas, memCells := coord.Generations()
+	if deltas == 0 && memCells == 0 {
+		t.Fatal("Generations reports an empty ladder right after a refresh")
+	}
+
+	mats := coord.Materialized()
+	if len(mats) == 0 {
+		t.Fatal("Materialized() is empty on a fully materialized topology")
+	}
+	var cells int64
+	for _, mc := range mats {
+		cells += mc.Cells
+	}
+	if cells <= 0 {
+		t.Fatalf("Materialized() reports %d total cells", cells)
+	}
+
+	// A query bumps the per-cuboid counters that CuboidReport merges.
+	if _, err := coord.ServeRequest(context.Background(), cuboidRequest(lat, lat.Points()[0])); err != nil {
+		t.Fatal(err)
+	}
+	rep := coord.CuboidReport()
+	if len(rep) == 0 {
+		t.Fatal("CuboidReport() is empty")
+	}
+	var queries int64
+	for _, cs := range rep {
+		if cs.Decision != nil {
+			t.Fatalf("cuboid %s carries a per-store decision in the merged report", cs.Label)
+		}
+		queries += cs.Queries
+	}
+	if queries == 0 {
+		t.Fatal("CuboidReport() saw zero queries after a served request")
+	}
+
+	// Malformed XML is a bad request, not an internal error.
+	if _, err := coord.Append(context.Background(), []byte("<unclosed")); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("Append(malformed) = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestStoreReplicaSeam pins the NewStoreReplica + NewWithReplicas seam:
+// a coordinator over an externally built store answers exactly like
+// that store, and rejects appends (it has no routing state).
+func TestStoreReplicaSeam(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 13, 30)
+	st, err := serve.BuildDir(t.TempDir(), lat, set, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewStoreReplica("oracle", st)
+	if rep.Label() != "oracle" {
+		t.Fatalf("Label() = %q", rep.Label())
+	}
+	coord, err := NewWithReplicas(lat, [][]Replica{{rep}}, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	for _, p := range lat.Points() {
+		req := cuboidRequest(lat, p)
+		got, err := coord.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := st.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon(got) != canon(want) {
+			t.Fatalf("cuboid %s: coordinator over store replica diverges from the store", got.Cuboid)
+		}
+	}
+	if _, err := coord.Append(context.Background(), []byte("<a/>")); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("Append on a routing-free coordinator = %v, want ErrBadRequest", err)
+	}
+}

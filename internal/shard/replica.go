@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"context"
+	"errors"
+
+	"x3/internal/serve"
+)
+
+// storeReplica backs a Replica with an in-process serve.Store.
+type storeReplica struct {
+	store *serve.Store
+	label string
+}
+
+// NewStoreReplica wraps an in-process store as a Replica — the seam the
+// differential suites use to pair coordinators with hand-built stores.
+func NewStoreReplica(label string, st *serve.Store) Replica {
+	return &storeReplica{store: st, label: label}
+}
+
+func (r *storeReplica) Label() string { return r.label }
+
+func (r *storeReplica) Query(ctx context.Context, req serve.Request) (*serve.CellAnswer, error) {
+	return r.store.AnswerCells(ctx, req)
+}
+
+func (r *storeReplica) Append(ctx context.Context, body []byte) (int64, error) {
+	return r.store.Append(ctx, body)
+}
+
+func (r *storeReplica) Close() error { return r.store.Close() }
+
+// markFailure records one query failure against the replica's health.
+// Context errors are excluded by the caller: an expired shard deadline
+// indicts the shard leg, not a specific replica.
+func (c *Coordinator) markFailure(rs *replicaState) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.fails++
+	if !rs.down && rs.fails >= c.opt.DownAfter {
+		rs.down = true
+		c.cReplicaDown.Inc()
+		c.gDown.Set(c.downN.Add(1))
+	}
+}
+
+// markSuccess resets the failure streak and re-admits a down replica
+// (stale replicas stay out — they may be missing appends).
+func (c *Coordinator) markSuccess(rs *replicaState) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.fails = 0
+	if rs.down && !rs.stale {
+		rs.down = false
+		c.cReplicaUp.Inc()
+		c.gDown.Set(c.downN.Add(-1))
+	}
+}
+
+// markStale permanently removes a replica that missed an append.
+func (c *Coordinator) markStale(rs *replicaState) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.stale {
+		rs.stale = true
+		c.cStale.Inc()
+	}
+	if !rs.down {
+		rs.down = true
+		c.cReplicaDown.Inc()
+		c.gDown.Set(c.downN.Add(1))
+	}
+}
+
+// healthy reports whether the replica is in rotation.
+func (rs *replicaState) healthy() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return !rs.down && !rs.stale
+}
+
+// candidates orders a shard's replica indexes for one query: healthy
+// replicas first (ascending — the primary-first discipline keeps the
+// cache-warm replica hot), then down-but-not-stale replicas as a last
+// resort (their mark may be stale in the other direction: the fault may
+// have cleared since).
+func (sh *shardState) candidates() []int {
+	var healthy, down []int
+	for i, rs := range sh.replicas {
+		rs.mu.Lock()
+		switch {
+		case rs.stale:
+		case rs.down:
+			down = append(down, i)
+		default:
+			healthy = append(healthy, i)
+		}
+		rs.mu.Unlock()
+	}
+	return append(healthy, down...)
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline —
+// failures that indict the request's time budget, not the replica.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

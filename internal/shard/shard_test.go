@@ -1,0 +1,285 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"x3/internal/dataset"
+	"x3/internal/lattice"
+	"x3/internal/match"
+	"x3/internal/pattern"
+	"x3/internal/serve"
+	"x3/internal/xmltree"
+)
+
+// treebankWorkload builds the shared treebank workload: a document with
+// per-axis summarizability violations (axis 0 clean, axis 1 breaks
+// coverage, axis 2 breaks disjointness), its lattice, and its fact set.
+func treebankWorkload(tb testing.TB, seed int64, facts int) (*lattice.Lattice, *match.Set, *xmltree.Document) {
+	tb.Helper()
+	lnd := pattern.RelaxSet(0).With(pattern.LND)
+	axes := []dataset.AxisConfig{
+		{Tag: "w0", Cardinality: 4, Relax: lnd},
+		{Tag: "w1", Cardinality: 4, PMissing: 0.25, Relax: lnd},
+		{Tag: "w2", Cardinality: 4, PRepeat: 0.4, Relax: lnd},
+	}
+	doc := dataset.Treebank(dataset.TreebankConfig{Seed: seed, Facts: facts, Axes: axes})
+	lat, err := lattice.New(dataset.TreebankQuery(axes))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	set, err := match.Evaluate(doc, lat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return lat, set, doc
+}
+
+// cuboidRequest addresses lattice point p as a wire-level request.
+func cuboidRequest(lat *lattice.Lattice, p lattice.Point) serve.Request {
+	cub := make(map[string]string, len(p))
+	for a, lad := range lat.Ladders {
+		cub[lad.Spec.Var] = lad.States[p[a]].Label
+	}
+	return serve.Request{Cuboid: cub}
+}
+
+// canon renders a response's cells in store-independent canonical form:
+// rows sorted by decoded group values, one line per cell. Plan and From
+// are deliberately excluded — a scattered answer reports a different
+// plan than a single-node store, but its cells must be identical.
+func canon(resp *serve.Response) string {
+	lines := make([]string, len(resp.Rows))
+	for i, r := range resp.Rows {
+		lines[i] = strings.Join(r.Values, "\x1f") + "|" +
+			strconv.FormatFloat(r.Value, 'g', -1, 64) + "|" +
+			strconv.FormatInt(r.Count, 10)
+	}
+	// Single-node stores order rows by interned ValueID, coordinators by
+	// decoded value; sorting makes the two comparable byte-for-byte.
+	sortStrings(lines)
+	return resp.Cuboid + "\n" + strings.Join(lines, "\n")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestPartitionDisjointComplete(t *testing.T) {
+	_, set, _ := treebankWorkload(t, 7, 80)
+	for _, n := range []int{1, 2, 3, 5} {
+		parts := Partition(set, n)
+		if len(parts) != n {
+			t.Fatalf("Partition(%d) returned %d parts", n, len(parts))
+		}
+		total := 0
+		seen := map[*match.Fact]int{}
+		for si, p := range parts {
+			total += len(p.Facts)
+			for _, f := range p.Facts {
+				if prev, dup := seen[f]; dup {
+					t.Fatalf("fact on shards %d and %d — partition not disjoint", prev, si)
+				}
+				seen[f] = si
+				if got := ShardOf(set.Dicts, f, n); got != si {
+					t.Fatalf("fact hashed to %d but placed on %d", got, si)
+				}
+			}
+		}
+		if total != len(set.Facts) {
+			t.Fatalf("partition lost facts: %d of %d", total, len(set.Facts))
+		}
+	}
+}
+
+func TestShardOfDictOrderIndependent(t *testing.T) {
+	lat, set, doc := treebankWorkload(t, 3, 40)
+	// Re-evaluate the same document against dictionaries pre-seeded in
+	// reverse insertion order: every ValueID changes, but the hash input
+	// is decoded strings, so each fact must land on the same shard.
+	dicts2 := make([]*match.Dict, lat.NumAxes())
+	for i, d := range set.Dicts {
+		vals := d.Values()
+		dicts2[i] = match.NewDict()
+		for j := len(vals) - 1; j >= 0; j-- {
+			dicts2[i].ID(vals[j])
+		}
+	}
+	set2, err := match.EvaluateWith(doc, lat, dicts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set2.Facts) != len(set.Facts) {
+		t.Fatalf("re-evaluation yielded %d facts, want %d", len(set2.Facts), len(set.Facts))
+	}
+	for k := range set.Facts {
+		a := ShardOf(set.Dicts, set.Facts[k], 4)
+		b := ShardOf(set2.Dicts, set2.Facts[k], 4)
+		if a != b {
+			t.Fatalf("fact %d: shard %d under build-order dicts, %d under reversed dicts", k, a, b)
+		}
+	}
+}
+
+func TestCoordinatorMatchesSingleNode(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 1, 60)
+	single, err := serve.Build(filepath.Join(t.TempDir(), "cube.x3cf"), lat, set,
+		serve.Options{Views: 3, BlockCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			c, err := New(t.TempDir(), lat, set, Options{
+				Shards: shards, Replicas: 2, ProbeEvery: -1,
+				Store: serve.Options{Views: 3, BlockCells: 16},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for _, p := range lat.Points() {
+				req := cuboidRequest(lat, p)
+				want, err := single.ServeRequest(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.ServeRequest(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s: %v", lat.Label(p), err)
+				}
+				if got.Partial {
+					t.Fatalf("%s: partial answer with no failures", lat.Label(p))
+				}
+				if canon(got) != canon(want) {
+					t.Fatalf("%s: sharded answer diverges:\n%s\nwant:\n%s",
+						lat.Label(p), canon(got), canon(want))
+				}
+			}
+		})
+	}
+}
+
+func TestAppendRoutesAndMatches(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 2, 40)
+	single, err := serve.BuildDir(filepath.Join(t.TempDir(), "oracle"), lat, set,
+		serve.Options{Views: 3, BlockCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	c, err := New(t.TempDir(), lat, set, Options{
+		Shards: 3, Replicas: 2, ProbeEvery: -1,
+		Store: serve.Options{Views: 3, BlockCells: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Append a second treebank batch to both and require they agree on
+	// the added fact count and on every cuboid afterwards.
+	_, _, doc := treebankWorkload(t, 9, 25)
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantAdd, err := single.Append(context.Background(), buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAdd, err := c.Append(context.Background(), buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAdd != wantAdd {
+		t.Fatalf("sharded append added %d facts, single-node %d", gotAdd, wantAdd)
+	}
+	if got, want := c.NumFacts(), 40+int(wantAdd); got != want {
+		t.Fatalf("NumFacts = %d, want %d", got, want)
+	}
+	for _, p := range lat.Points() {
+		req := cuboidRequest(lat, p)
+		want, err := single.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ServeRequest(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", lat.Label(p), err)
+		}
+		if canon(got) != canon(want) {
+			t.Fatalf("%s after append: sharded answer diverges:\n%s\nwant:\n%s",
+				lat.Label(p), canon(got), canon(want))
+		}
+	}
+}
+
+func TestOpenRecoversTopology(t *testing.T) {
+	lat, set, _ := treebankWorkload(t, 4, 50)
+	dir := t.TempDir()
+	opt := Options{Shards: 2, Replicas: 2, ProbeEvery: -1,
+		Store: serve.Options{Views: 3, BlockCells: 16}}
+	c, err := New(dir, lat, set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cuboidRequest(lat, lat.Bottom())
+	want, err := c.ServeRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsBuilt(dir) {
+		t.Fatal("IsBuilt is false after New")
+	}
+	c2, err := Open(dir, lat, set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err := c2.ServeRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(got) != canon(want) {
+		t.Fatalf("recovered coordinator diverges:\n%s\nwant:\n%s", canon(got), canon(want))
+	}
+	topo := c2.Topology()
+	if len(topo) != 2 {
+		t.Fatalf("topology has %d shards, want 2", len(topo))
+	}
+	facts := 0
+	for i, sh := range topo {
+		if sh.ID != i {
+			t.Fatalf("shard %d reports id %d", i, sh.ID)
+		}
+		if want := KeyRange(i, 2); sh.KeyRange != want {
+			t.Fatalf("shard %d key range %q, want %q", i, sh.KeyRange, want)
+		}
+		if len(sh.Replicas) != 2 {
+			t.Fatalf("shard %d has %d replicas, want 2", i, len(sh.Replicas))
+		}
+		for _, r := range sh.Replicas {
+			if r.Down || r.Stale {
+				t.Fatalf("replica %s unhealthy after clean open", r.Label)
+			}
+		}
+		facts += sh.Facts
+	}
+	if facts != len(set.Facts) {
+		t.Fatalf("topology accounts for %d facts, want %d", facts, len(set.Facts))
+	}
+}
