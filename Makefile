@@ -9,10 +9,13 @@ ci: vet lint build test race faults cover
 vet:
 	$(GO) vet ./...
 
-# The repo's own static-analysis suite (internal/lint, cmd/x3lint): five
-# stdlib-only analyzers enforcing context flow, errors.Is discipline, obs
-# key hygiene, deterministic iteration on output paths, and unique fault
-# sites. Nonzero exit on any unsuppressed diagnostic.
+# The repo's own static-analysis suite (internal/lint, cmd/x3lint): ten
+# stdlib-only analyzers — five syntactic (context flow, errors.Is
+# discipline, obs key hygiene, deterministic iteration, unique fault
+# sites) and five interprocedural over the whole-program call graph
+# (goroutine accounting, mutex hold discipline, atomic-everywhere,
+# answer-path error flow, partial-answer honesty). Nonzero exit on any
+# unsuppressed diagnostic.
 lint:
 	$(GO) run ./cmd/x3lint -root .
 
@@ -23,10 +26,12 @@ test: fuzz-replay
 	$(GO) test ./...
 
 # Replay the committed fuzz corpora (the f.Add seeds plus anything under
-# testdata/fuzz/) as plain regression tests — no fuzzing engine, so it is
-# cheap enough to ride inside `make test`.
+# testdata/fuzz/) as plain regression tests, plus the analyzer fixture
+# modules (the lint suite's own cheap regression) — no fuzzing engine, so
+# it is cheap enough to ride inside `make test`.
 fuzz-replay:
 	$(GO) test -run '^Fuzz' ./internal/cellfile/ ./internal/pattern/ ./internal/schema/ ./internal/store/ ./internal/wal/ ./internal/xmltree/ ./internal/xq/
+	$(GO) test -run 'Fixture' ./internal/lint/
 
 # The concurrent pieces — the shared worker pool behind BUCPAR/TDPAR, the
 # batched sinks, extsort's background run formation and chunked sorts, the

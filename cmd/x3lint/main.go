@@ -1,31 +1,52 @@
 // Command x3lint runs the repo's static-analysis suite (internal/lint):
-// five analyzers enforcing the pipeline's cross-cutting invariants —
+// ten analyzers enforcing the pipeline's cross-cutting invariants —
 // context flow, errors.Is discipline, obs key hygiene, deterministic
-// iteration on output paths, unique fault-injection sites.
+// iteration on output paths, unique fault-injection sites, and the
+// interprocedural concurrency/honesty checks (goleak, lockhold,
+// atomicfield, errdrop, honestpath) built on the whole-program call
+// graph.
 //
 // Usage:
 //
-//	x3lint [-root dir] [-analyzers a,b,...]
+//	x3lint [-root dir] [-analyzers a,b,...] [-json] [-debug]
 //
 // Diagnostics print as file:line:col: analyzer: message, sorted by file
-// and position so CI output diffs cleanly across runs and machines. The
-// exit status is 1 when any diagnostic survives suppression, 2 on a
-// loading or usage error.
+// and position so CI output diffs cleanly across runs and machines.
+// With -json the run emits one JSON object carrying every diagnostic —
+// including the //x3:nolint-suppressed ones, marked suppressed:true —
+// for machine consumers. -debug prints per-analyzer wall time to
+// stderr. The exit status is 1 when any diagnostic survives
+// suppression, 2 on a loading or usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"x3/internal/lint"
 )
+
+// jsonDiag is the machine-readable form of one diagnostic. Paths are
+// module-relative so output is machine-independent.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
 
 func main() {
 	root := flag.String("root", ".", "module root to lint (directory containing go.mod)")
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics (suppressed included) as JSON on stdout")
+	debug := flag.Bool("debug", false, "print per-analyzer wall time to stderr")
 	flag.Parse()
 
 	if *list {
@@ -44,16 +65,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "x3lint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(prog, as)
-	for _, d := range diags {
-		// Print module-relative paths so output is machine-independent.
+	res := lint.RunDetailed(prog, as)
+	if *debug {
+		for _, t := range res.Timings {
+			fmt.Fprintf(os.Stderr, "x3lint: %-12s %s\n", t.Analyzer, t.Elapsed.Round(10*time.Microsecond))
+		}
+	}
+
+	relative := func(d *lint.Diagnostic) {
 		if rel, err := filepath.Rel(prog.RootDir, d.Pos.Filename); err == nil {
 			d.Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(d.String())
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "x3lint: %d violation(s)\n", len(diags))
+	if *jsonOut {
+		out := struct {
+			Diagnostics []jsonDiag `json:"diagnostics"`
+		}{Diagnostics: []jsonDiag{}}
+		emit := func(diags []lint.Diagnostic, suppressed bool) {
+			for _, d := range diags {
+				relative(&d)
+				out.Diagnostics = append(out.Diagnostics, jsonDiag{
+					File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message, Suppressed: suppressed,
+				})
+			}
+		}
+		emit(res.Diagnostics, false)
+		emit(res.Suppressed, true)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "x3lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			relative(&d)
+			fmt.Println(d.String())
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "x3lint: %d violation(s)\n", len(res.Diagnostics))
 		os.Exit(1)
 	}
 }

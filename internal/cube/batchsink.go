@@ -1,9 +1,10 @@
 package cube
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"x3/internal/gate"
 
 	"x3/internal/agg"
 	"x3/internal/match"
@@ -17,7 +18,10 @@ import (
 // serialized call sequence — it need not be safe for concurrent use — but
 // the lock is paid once per batch instead of once per cell.
 type sinkBatcher struct {
-	mu      sync.Mutex
+	// mu serializes flushes into next, which is blocking sink I/O by
+	// design — hence a gate.Gate, not a sync.Mutex (lockhold forbids
+	// blocking under a mutex).
+	mu      gate.Gate
 	next    Sink
 	mergeNS atomic.Int64
 }
@@ -25,7 +29,7 @@ type sinkBatcher struct {
 // batchSinkCap is the flush threshold in buffered cells.
 const batchSinkCap = 256
 
-func newSinkBatcher(next Sink) *sinkBatcher { return &sinkBatcher{next: next} }
+func newSinkBatcher(next Sink) *sinkBatcher { return &sinkBatcher{mu: gate.New(), next: next} }
 
 // worker returns a new worker-local batch front-end. Not safe for
 // concurrent use itself; make one per worker.

@@ -24,6 +24,7 @@ type LockedSink struct {
 func (l *LockedSink) Cell(point uint32, key []match.ValueID, s agg.State) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//x3:nolint(lockhold) serializing the non-thread-safe Next sink is this type's documented contract, and the zero value must stay usable, so it keeps a Mutex rather than a gate.Gate
 	return l.Next.Cell(point, key, s)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"x3/internal/gate"
 	"x3/internal/lattice"
 )
 
@@ -58,7 +59,9 @@ type tdparRun struct {
 	refcnt  map[uint32]int
 
 	// baseMu serializes fact-source scans (sources are not concurrent-safe).
-	baseMu   sync.Mutex
+	// A base scan is deliberate blocking I/O, so it is a gate.Gate, not a
+	// sync.Mutex (lockhold forbids blocking under a mutex).
+	baseMu   gate.Gate
 	children map[uint32][]tdparChild
 }
 
@@ -91,6 +94,7 @@ func (t TDParallel) Run(in *Input, sink Sink) (Stats, error) {
 	batcher := newSinkBatcher(sink)
 	r := &tdparRun{
 		in:       in,
+		baseMu:   gate.New(),
 		td:       TD{Mode: TDModeOptAll},
 		locals:   make([]Stats, workers),
 		outs:     make([]*batchSink, workers),

@@ -1,0 +1,33 @@
+// Package gate provides an operation gate: mutual exclusion for long
+// sections that intentionally block — file I/O, base-table scans,
+// compactions. It is deliberately not a sync.Mutex: the lockhold
+// analyzer (internal/lint) enforces that sync.Mutex critical sections
+// never block, so the type system now distinguishes "short critical
+// section over shared memory" (sync.Mutex) from "serialize one long
+// operation at a time" (gate.Gate). A Gate is a one-slot semaphore
+// channel, which carries the same happens-before guarantees as a mutex.
+package gate
+
+// Gate serializes long-running operations. The zero value is NOT usable;
+// construct with New.
+type Gate chan struct{}
+
+// New returns a ready Gate.
+func New() Gate { return make(Gate, 1) }
+
+// Lock blocks until the gate is free and takes it.
+func (g Gate) Lock() { g <- struct{}{} }
+
+// Unlock releases the gate. Unlocking a gate that is not held is a
+// deadlock (the receive blocks), mirroring sync.Mutex's misuse panic.
+func (g Gate) Unlock() { <-g }
+
+// TryLock takes the gate if it is free and reports whether it did.
+func (g Gate) TryLock() bool {
+	select {
+	case g <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomicfield returns the analyzer enforcing the all-or-nothing rule of
+// sync/atomic: a field (or package variable) that is accessed through
+// atomic.Add/Load/Store/Swap/CompareAndSwap anywhere must be accessed
+// atomically everywhere — one plain read racing one atomic write is
+// still a data race, and on the counters the cost model and the shard
+// health ledgers read concurrently it is a silently wrong number rather
+// than a crash. (Typed atomics — atomic.Int64 and friends — make the
+// mistake unrepresentable; this analyzer covers the function-style
+// sites that remain.)
+//
+// Initialization is exempt: assigning make(...), a composite literal, or
+// a zero value, and composite-literal keys, happen before the value is
+// shared. len/cap/range observe only the slice header, never the
+// elements the atomics guard.
+func Atomicfield() *Analyzer {
+	return &Analyzer{
+		Name: "atomicfield",
+		Doc:  "a field accessed via sync/atomic is accessed atomically everywhere",
+		Run:  runAtomicfield,
+	}
+}
+
+func runAtomicfield(prog *Program) []Diagnostic {
+	// Pass 1: every variable that appears as &v (or &v.f, &v.f[i]) in a
+	// sync/atomic call argument, keyed by its types.Var identity.
+	atomicVars := map[*types.Var]string{} // var -> the atomic call name seen first
+	atomicArgPos := map[*types.Var][]ast.Node{}
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					v := addressedVar(info, un.X)
+					if v == nil {
+						continue
+					}
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = "atomic." + fn.Name()
+					}
+					atomicArgPos[v] = append(atomicArgPos[v], un)
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	inAtomicArg := func(v *types.Var, pos ast.Node) bool {
+		for _, a := range atomicArgPos[v] {
+			if pos.Pos() >= a.Pos() && pos.Pos() < a.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other access to those variables.
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			exempt := exemptSpans(info, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, _ := info.Uses[id].(*types.Var)
+				if v == nil {
+					return true
+				}
+				op, isAtomic := atomicVars[v]
+				if !isAtomic || inAtomicArg(v, id) {
+					return true
+				}
+				if spanCovers(exempt, id) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      prog.Fset.Position(id.Pos()),
+					Analyzer: "atomicfield",
+					Message: varDisplay(v) + " is accessed with " + op +
+						" elsewhere; this plain access races it — use sync/atomic here too (or a typed atomic)",
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
+	return diags
+}
+
+// addressedVar resolves the variable behind an addressed expression:
+// v, v.f, v.f[i] — the identity the atomic guards.
+func addressedVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		if v != nil && (v.IsField() || isPackageLevel(v)) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v != nil && v.IsField() {
+			return v
+		}
+	case *ast.IndexExpr:
+		return addressedVar(info, e.X)
+	}
+	return nil
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// exemptSpans collects source spans where plain access to an atomic
+// variable is fine: len/cap arguments, range headers, composite-literal
+// keys, and initializing assignments (make/literal/zero RHS).
+func exemptSpans(info *types.Info, file *ast.File) []ast.Node {
+	var spans []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					spans = append(spans, n)
+				}
+			}
+		case *ast.RangeStmt:
+			spans = append(spans, n.X)
+		case *ast.KeyValueExpr:
+			spans = append(spans, n.Key)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, r := range n.Rhs {
+					if isInitExpr(r) {
+						spans = append(spans, n.Lhs[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// isInitExpr reports whether e is an initializing value: make(...), a
+// composite literal, or a zero literal.
+func isInitExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.BasicLit:
+		return e.Value == "0" || e.Value == "0.0"
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name == "make" || id.Name == "new"
+		}
+	}
+	return false
+}
+
+// spanCovers reports whether any collected span contains n.
+func spanCovers(spans []ast.Node, n ast.Node) bool {
+	for _, s := range spans {
+		if n.Pos() >= s.Pos() && n.Pos() < s.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// varDisplay names a flagged variable: Struct.field for fields, the
+// plain name for package vars.
+func varDisplay(v *types.Var) string {
+	if v.IsField() {
+		// The owning struct's name is not recoverable from the Var alone;
+		// qualify with the package for unambiguous output.
+		if v.Pkg() != nil {
+			parts := strings.Split(v.Pkg().Path(), "/")
+			return parts[len(parts)-1] + " field " + v.Name()
+		}
+	}
+	return v.Name()
+}

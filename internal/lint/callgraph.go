@@ -1,0 +1,604 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer under the PR 10 analyzers: a
+// whole-program call graph over the loaded go/types program, plus
+// per-function summaries computed bottom-up over strongly connected
+// components. The intraprocedural analyzers from PR 5 see one body at a
+// time; the graph lets goleak follow a spawned method into its callees,
+// lockhold know that a helper three frames down does file I/O, and both
+// see through the module's interface seams (shard.Replica,
+// servehttp.Backend, load.Target, the serve planner's sinks): a call on
+// an interface value fans out to every concrete module type whose method
+// set satisfies that interface.
+//
+// The graph is deliberately conservative in the false-negative
+// direction: unresolvable calls (function values, stdlib interfaces)
+// contribute no edges, and a summary bit only turns on when a concrete
+// reason is seen. That keeps the sweep's findings real instead of noisy.
+
+// graphEdge is one call edge. inGo marks calls made inside a `go`
+// statement subtree: the spawned work runs concurrently, so its blocking
+// does not block the caller (goleak still follows these edges for
+// reachability; lockhold's blocking propagation skips them).
+type graphEdge struct {
+	callee *types.Func
+	inGo   bool
+}
+
+// graphNode is one function in the whole-program graph: a declared
+// module function (decl != nil) or a module interface method (iface,
+// whose edges fan out to the implementations resolved from method sets).
+type graphNode struct {
+	pkg     *Package
+	decl    *ast.FuncDecl
+	fn      *types.Func
+	display string
+	iface   bool
+
+	edges   []graphEdge
+	goStmts []*ast.GoStmt // every `go` statement in the body, closures included
+
+	// Direct facts from this body alone. blocksDirect excludes `go`
+	// subtrees (a spawn does not block the spawner); the join facts
+	// (wgDone, chanOp, usesCtx) include them, because goleak reads them
+	// about the spawned body itself.
+	blocksDirect bool
+	blockWhy     string
+	wgDone       bool
+	chanOp       bool
+	usesCtx      bool
+
+	// Summaries, closed bottom-up over SCCs.
+	blocks     bool
+	blocksWhy  string
+	returnsErr bool
+}
+
+// graph is the whole-program call graph plus interface resolution.
+type graph struct {
+	prog  *Program
+	nodes map[*types.Func]*graphNode
+	// impls maps each method of a module-defined interface to the
+	// concrete module methods that satisfy it, sorted by position.
+	impls map[*types.Func][]*types.Func
+}
+
+// Graph returns the program's call graph, built once and shared: the
+// interprocedural analyzers run in parallel, and each needs the same
+// edges and summaries.
+func (p *Program) Graph() *graph {
+	p.graphOnce.Do(func() { p.graph = buildGraph(p) })
+	return p.graph
+}
+
+// buildGraph constructs the call graph and closes the blocking summary
+// bottom-up over SCCs.
+func buildGraph(prog *Program) *graph {
+	g := &graph{prog: prog, nodes: map[*types.Func]*graphNode{}}
+
+	// Declared functions.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.nodes[fn] = &graphNode{pkg: pkg, decl: fd, fn: fn, display: funcDisplay(fn)}
+			}
+		}
+	}
+
+	g.resolveInterfaces()
+
+	for _, n := range g.sorted() {
+		if n.decl != nil {
+			g.scanBody(n)
+		}
+	}
+	g.closeSummaries()
+	return g
+}
+
+// sorted returns the nodes in source-position order — every pass over
+// the graph iterates this way so summaries, reason chains and
+// diagnostics are byte-stable across runs.
+func (g *graph) sorted() []*graphNode {
+	out := make([]*graphNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].fn.Pos() != out[j].fn.Pos() {
+			return out[i].fn.Pos() < out[j].fn.Pos()
+		}
+		return out[i].display < out[j].display
+	})
+	return out
+}
+
+// resolveInterfaces computes the module's interface seams: for every
+// interface type declared in the module, every concrete module type
+// whose method set satisfies it contributes its methods as the
+// interface methods' implementations. Each interface method becomes a
+// node whose edges fan out to those implementations, so summary
+// propagation and reachability treat `r.Query(...)` on a shard.Replica
+// as a call into every module Replica.
+func (g *graph) resolveInterfaces() {
+	g.impls = map[*types.Func][]*types.Func{}
+	var ifaces []*types.Named
+	var concretes []*types.Named
+	for _, pkg := range g.prog.Packages {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				ifaces = append(ifaces, named)
+			} else {
+				concretes = append(concretes, named)
+			}
+		}
+	}
+	for _, in := range ifaces {
+		iface, ok := in.Underlying().(*types.Interface)
+		if !ok || iface.NumMethods() == 0 {
+			continue
+		}
+		for _, cn := range concretes {
+			impl := types.NewPointer(cn)
+			if !types.Implements(impl, iface) && !types.Implements(cn, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				im := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, im.Pkg(), im.Name())
+				cm, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				// Only methods the module declares (and the graph holds)
+				// matter; promoted stdlib methods have no body to analyze.
+				if _, declared := g.nodes[cm]; declared {
+					g.impls[im] = append(g.impls[im], cm)
+				}
+			}
+		}
+	}
+	for im, impls := range g.impls {
+		sort.Slice(impls, func(i, j int) bool { return impls[i].Pos() < impls[j].Pos() })
+		node := &graphNode{fn: im, display: funcDisplay(im), iface: true}
+		sig, _ := im.Type().(*types.Signature)
+		node.returnsErr = sigReturnsError(sig)
+		for _, cm := range impls {
+			node.edges = append(node.edges, graphEdge{callee: cm})
+		}
+		g.nodes[im] = node
+	}
+}
+
+// scanBody fills n's edges, go statements and direct facts from its AST.
+func (g *graph) scanBody(n *graphNode) {
+	info := n.pkg.Info
+	sig, _ := n.fn.Type().(*types.Signature)
+	n.returnsErr = sigReturnsError(sig)
+	n.usesCtx = hasCtxParam(sig)
+
+	// Collect `go` statement spans first: calls inside them are marked
+	// inGo, and their blocking belongs to the goroutine, not the spawner.
+	var goSpans [][2]token.Pos
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if gs, ok := node.(*ast.GoStmt); ok {
+			n.goStmts = append(n.goStmts, gs)
+			goSpans = append(goSpans, [2]token.Pos{gs.Pos(), gs.End()})
+		}
+		return true
+	})
+	inGo := func(pos token.Pos) bool {
+		for _, s := range goSpans {
+			if pos >= s[0] && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// noDefaultSelects spans: channel ops that are the comm clause of a
+	// select WITH a default are non-blocking probes, so remember which
+	// selects block and skip comm-op false positives under the others.
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			goCall := inGo(node.Pos())
+			if fn := calleeFunc(info, node); fn != nil {
+				if _, inModule := g.nodes[fn]; inModule {
+					n.edges = append(n.edges, graphEdge{callee: fn, inGo: goCall})
+				}
+			}
+			// Interface dispatch: edge to the interface-method node when
+			// the interface is module-defined (resolveInterfaces made one).
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok {
+					if im, ok := s.Obj().(*types.Func); ok {
+						if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+							if _, known := g.nodes[im]; known {
+								n.edges = append(n.edges, graphEdge{callee: im, inGo: goCall})
+							}
+						}
+					}
+				}
+			}
+			if why, ok := blockingCall(info, node); ok && !goCall && !n.blocksDirect {
+				n.blocksDirect, n.blockWhy = true, why
+			}
+			if isWgDone(info, node) {
+				n.wgDone = true
+			}
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "close" && len(node.Args) == 1 {
+				if tv, ok := info.Types[node.Args[0]]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						n.chanOp = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			n.chanOp = true
+			if !inGo(node.Pos()) && !n.blocksDirect {
+				n.blocksDirect, n.blockWhy = true, "channel send"
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				n.chanOp = true
+				if !inGo(node.Pos()) && !n.blocksDirect && !underNonBlockingSelect(n.decl.Body, node.Pos()) {
+					n.blocksDirect, n.blockWhy = true, "channel receive"
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) && !inGo(node.Pos()) && !n.blocksDirect {
+				n.blocksDirect, n.blockWhy = true, "select without default"
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					n.chanOp = true
+					if !inGo(node.Pos()) && !n.blocksDirect {
+						n.blocksDirect, n.blockWhy = true, "range over channel"
+					}
+				}
+			}
+		case *ast.Ident:
+			if !n.usesCtx {
+				if obj := info.Uses[node]; obj != nil && isContextType(obj.Type()) {
+					n.usesCtx = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if !n.usesCtx {
+				if tv, ok := info.Types[node]; ok && isContextType(tv.Type) {
+					n.usesCtx = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether sel has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// underNonBlockingSelect reports whether pos sits inside the comm clause
+// of a select that has a default — a non-blocking probe, not a wait.
+func underNonBlockingSelect(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !selectHasDefault(sel) {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if pos >= cc.Comm.Pos() && pos < cc.Comm.End() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWgDone reports whether call is (*sync.WaitGroup).Done.
+func isWgDone(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Done" && recvIsSyncType(fn, "WaitGroup")
+}
+
+// recvIsSyncType reports whether fn's receiver is sync.<name>.
+func recvIsSyncType(fn *types.Func, name string) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// blockingStdlib lists, per stdlib package, the calls this analysis
+// counts as blocking. An empty set means every function and method of
+// the package blocks. sync.Mutex.Lock is deliberately absent (lockhold
+// treats lock acquisition as a region event, not a blocking op) and so
+// is sync.Cond.Wait (it must be called with the lock held — flagging it
+// would outlaw the sanctioned pattern).
+var blockingStdlib = map[string]map[string]bool{
+	"net":      nil,
+	"net/http": nil,
+	"syscall":  nil,
+	"time":     {"Sleep": true, "Tick": true, "After": false /* returns a chan; the receive blocks, not the call */},
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"ReadFile": true, "WriteFile": true, "ReadDir": true,
+		"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+		"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+		"Stat": true, "Lstat": true, "Link": true, "Symlink": true, "Chmod": true,
+		"File.Read": true, "File.ReadAt": true, "File.Write": true, "File.WriteAt": true,
+		"File.WriteString": true, "File.Sync": true, "File.Seek": true, "File.Close": true,
+		"File.Truncate": true, "File.Stat": true, "File.ReadDir": true,
+	},
+	"io": {
+		"Copy": true, "CopyN": true, "CopyBuffer": true,
+		"ReadAll": true, "ReadFull": true, "ReadAtLeast": true, "WriteString": true,
+	},
+	"bufio": {
+		"Reader.Read": true, "Reader.ReadByte": true, "Reader.ReadBytes": true,
+		"Reader.ReadLine": true, "Reader.ReadRune": true, "Reader.ReadSlice": true,
+		"Reader.ReadString": true, "Reader.Peek": true, "Reader.Discard": true,
+		"Reader.WriteTo": true, "Writer.Write": true, "Writer.WriteByte": true,
+		"Writer.WriteRune": true, "Writer.WriteString": true, "Writer.Flush": true,
+		"Writer.ReadFrom": true, "Scanner.Scan": true,
+	},
+}
+
+// blockingCall reports whether call is a blocking stdlib operation, and
+// names it. sync.WaitGroup.Wait counts; module calls are judged through
+// summaries, not here.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Name() == "Wait" && recvIsSyncType(fn, "WaitGroup") {
+		return "sync.WaitGroup.Wait", true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	set, known := blockingStdlib[pkg.Path()]
+	if !known {
+		return "", false
+	}
+	name := funcDisplay(fn)
+	if set == nil || set[name] {
+		return pkg.Path() + "." + strings.TrimPrefix(name, pkg.Name()+"."), true
+	}
+	return "", false
+}
+
+// sigReturnsError reports whether sig has an error-typed result.
+func sigReturnsError(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// closeSummaries propagates the blocking summary bottom-up: Tarjan's
+// algorithm emits SCCs with callees before callers, so by the time an
+// SCC is processed every summary it depends on outside itself is final;
+// within an SCC the members share one verdict (each reaches the others).
+// Edges made inside `go` statements are excluded — a spawned goroutine's
+// blocking belongs to the goroutine.
+func (g *graph) closeSummaries() {
+	for _, scc := range g.tarjan() {
+		inSCC := map[*types.Func]bool{}
+		for _, n := range scc {
+			inSCC[n.fn] = true
+		}
+		blocks, why := false, ""
+		for _, n := range scc {
+			if n.blocksDirect {
+				blocks, why = true, n.blockWhy
+				if len(scc) > 1 {
+					why = n.blockWhy + " in " + n.display
+				}
+				break
+			}
+		}
+		if !blocks {
+		outer:
+			for _, n := range scc {
+				for _, e := range n.edges {
+					if e.inGo || inSCC[e.callee] {
+						continue
+					}
+					c := g.nodes[e.callee]
+					if c != nil && c.blocks {
+						blocks = true
+						why = "calls " + c.display + " (" + c.blocksWhy + ")"
+						break outer
+					}
+				}
+			}
+		}
+		if blocks {
+			for _, n := range scc {
+				n.blocks, n.blocksWhy = true, why
+			}
+		}
+	}
+}
+
+// tarjan returns the graph's strongly connected components in reverse
+// topological order: every SCC appears after the SCCs it calls into.
+// The iterative formulation avoids stack depth limits on long call
+// chains; seeding in source order keeps the output deterministic.
+func (g *graph) tarjan() [][]*graphNode {
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*graphNode
+	var sccs [][]*graphNode
+	next := 0
+
+	type frame struct {
+		n    *graphNode
+		edge int
+	}
+	for _, root := range g.sorted() {
+		if _, seen := index[root.fn]; seen {
+			continue
+		}
+		work := []frame{{n: root}}
+		index[root.fn] = next
+		low[root.fn] = next
+		next++
+		stack = append(stack, root)
+		onStack[root.fn] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.edge < len(f.n.edges) {
+				callee := f.n.edges[f.edge].callee
+				f.edge++
+				c := g.nodes[callee]
+				if c == nil {
+					continue
+				}
+				if _, seen := index[c.fn]; !seen {
+					index[c.fn] = next
+					low[c.fn] = next
+					next++
+					stack = append(stack, c)
+					onStack[c.fn] = true
+					work = append(work, frame{n: c})
+				} else if onStack[c.fn] && index[c.fn] < low[f.n.fn] {
+					low[f.n.fn] = index[c.fn]
+				}
+				continue
+			}
+			// Frame done: pop, fold lowlink into parent, emit SCC if root.
+			done := f.n
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].n
+				if low[done.fn] < low[p.fn] {
+					low[p.fn] = low[done.fn]
+				}
+			}
+			if low[done.fn] == index[done.fn] {
+				var scc []*graphNode
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m.fn] = false
+					scc = append(scc, m)
+					if m == done {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// reachableFrom walks every edge (spawned calls included) from the given
+// roots and returns, for each reached function, the display name of the
+// root that first reached it — the provenance diagnostics print.
+func (g *graph) reachableFrom(roots []*graphNode) map[*types.Func]string {
+	via := map[*types.Func]string{}
+	var queue []*graphNode
+	for _, r := range roots {
+		if _, ok := via[r.fn]; ok {
+			continue
+		}
+		via[r.fn] = r.display
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		why := via[n.fn]
+		for _, e := range n.edges {
+			if _, ok := via[e.callee]; ok {
+				continue
+			}
+			c := g.nodes[e.callee]
+			if c == nil {
+				continue
+			}
+			via[c.fn] = why
+			queue = append(queue, c)
+		}
+	}
+	return via
+}
+
+// exportedRoots returns the module's API surface: exported functions and
+// methods on exported receivers, plus every main — the entry points from
+// which a leaked goroutine or dropped error is reachable by users.
+func (g *graph) exportedRoots() []*graphNode {
+	var roots []*graphNode
+	for _, n := range g.sorted() {
+		if n.decl == nil {
+			continue
+		}
+		sig, _ := n.fn.Type().(*types.Signature)
+		if (n.fn.Exported() && exportedReceiver(sig)) || n.fn.Name() == "main" {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadCallgraph loads the engine fixture once per test and returns its
+// graph.
+func loadCallgraph(t *testing.T) *graph {
+	t.Helper()
+	prog, err := Load("testdata/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Graph()
+	if g != prog.Graph() {
+		t.Fatal("Graph() must build once and return the shared instance")
+	}
+	return g
+}
+
+// findNode resolves a graph node by its display name.
+func findNode(t *testing.T, g *graph, display string) *graphNode {
+	t.Helper()
+	for _, n := range g.sorted() {
+		if n.display == display {
+			return n
+		}
+	}
+	t.Fatalf("no graph node %q", display)
+	return nil
+}
+
+func TestGraphInterfaceResolution(t *testing.T) {
+	g := loadCallgraph(t)
+	query := findNode(t, g, "Replica.Query")
+	if !query.iface || query.decl != nil {
+		t.Fatalf("Replica.Query: want interface pseudo-node, got iface=%v decl=%v", query.iface, query.decl)
+	}
+	var impls []string
+	for _, e := range query.edges {
+		impls = append(impls, g.nodes[e.callee].display)
+	}
+	want := []string{"fileReplica.Query", "memReplica.Query"}
+	if len(impls) != 2 || impls[0] != want[0] || impls[1] != want[1] {
+		t.Fatalf("Replica.Query implementations = %v, want %v", impls, want)
+	}
+	// Fan's dispatch through the seam produces an edge to the interface
+	// method node, not to any one implementation.
+	fan := findNode(t, g, "Fan")
+	found := false
+	for _, e := range fan.edges {
+		if e.callee == query.fn {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Fan has no edge to the Replica.Query seam node")
+	}
+}
+
+func TestGraphBlockingSummaries(t *testing.T) {
+	g := loadCallgraph(t)
+	cases := []struct {
+		display string
+		blocks  bool
+		whySub  string // substring of blocksWhy when blocks
+	}{
+		{"fileReplica.Query", true, "os.Open"},
+		{"memReplica.Query", false, ""},
+		// The seam blocks because one implementation does; the chain
+		// names it.
+		{"Replica.Query", true, "fileReplica.Query"},
+		{"Fan", true, "Replica.Query"},
+		// Ping/Pong form an SCC: the whole component shares Pong's
+		// direct blocking verdict.
+		{"Ping", true, "os.Remove"},
+		{"Pong", true, "os.Remove"},
+		// Spawn's send happens on the spawned goroutine: the inGo edge
+		// must not bleed blocking into the spawner.
+		{"Spawn", false, ""},
+		{"Pure", false, ""},
+	}
+	for _, c := range cases {
+		n := findNode(t, g, c.display)
+		if n.blocks != c.blocks {
+			t.Errorf("%s: blocks = %v (why %q), want %v", c.display, n.blocks, n.blocksWhy, c.blocks)
+			continue
+		}
+		if c.blocks && !strings.Contains(n.blocksWhy, c.whySub) {
+			t.Errorf("%s: blocksWhy = %q, want substring %q", c.display, n.blocksWhy, c.whySub)
+		}
+	}
+}
+
+func TestGraphReturnsErr(t *testing.T) {
+	g := loadCallgraph(t)
+	if !findNode(t, g, "Fan").returnsErr {
+		t.Error("Fan returns an error; summary says it does not")
+	}
+	if findNode(t, g, "Pure").returnsErr {
+		t.Error("Pure returns no error; summary says it does")
+	}
+}
+
+func TestGraphReachability(t *testing.T) {
+	g := loadCallgraph(t)
+	roots := g.exportedRoots()
+	var names []string
+	for _, r := range roots {
+		names = append(names, r.display)
+	}
+	for _, want := range []string{"Fan", "Ping", "Pong", "Spawn", "Pure"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("exportedRoots misses %s (got %v)", want, names)
+		}
+	}
+	// Unexported implementations are not roots but are reachable through
+	// the seam, with the exported entry point as provenance.
+	for _, r := range roots {
+		if strings.HasPrefix(r.display, "fileReplica.") || strings.HasPrefix(r.display, "memReplica.") {
+			t.Errorf("unexported method %s must not be a root", r.display)
+		}
+	}
+	reach := g.reachableFrom([]*graphNode{findNode(t, g, "Fan")})
+	file := findNode(t, g, "fileReplica.Query")
+	if why, ok := reach[file.fn]; !ok || why != "Fan" {
+		t.Errorf("fileReplica.Query reachable from Fan = %q, %v; want \"Fan\", true", why, ok)
+	}
+	if _, ok := reach[findNode(t, g, "Pong").fn]; ok {
+		t.Error("Pong must not be reachable from Fan")
+	}
+	// The spawner's goroutine body is reachable (goleak follows inGo
+	// edges), and the go statement itself is recorded.
+	spawn := findNode(t, g, "Spawn")
+	if len(spawn.goStmts) != 1 {
+		t.Fatalf("Spawn goStmts = %d, want 1", len(spawn.goStmts))
+	}
+	if why, ok := g.goAccounted(spawn, spawn.goStmts[0]); !ok || !strings.Contains(why, "channel") {
+		t.Errorf("Spawn's goroutine accounting = %q, %v; want a channel handoff", why, ok)
+	}
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// errdropRoots are the answer-path entry points: everything reachable
+// from them computes a client-visible answer, so an error swallowed
+// there becomes a silently short total — the exact failure the
+// degradation ladder (Degraded/Partial/sentinels) exists to prevent.
+var errdropRoots = []struct {
+	pkgSuffix string
+	re        *regexp.Regexp
+}{
+	{"internal/serve", regexp.MustCompile(`^Store\.`)},
+	{"internal/shard", regexp.MustCompile(`^Coordinator\.`)},
+}
+
+// errdropPkgs are the packages whose bodies are judged; reachability may
+// cross into cellfile or cube internals, but those layers' error
+// discipline is owned by their own suites.
+var errdropPkgs = []string{"internal/serve", "internal/shard"}
+
+// Errdrop returns the analyzer enforcing PR 4/PR 9's honesty rule at
+// the source level: on the serve/shard answer paths, an error result
+// must flow — returned, wrapped with %w, or converted into an explicit
+// Degraded/Partial/sentinel outcome. Discarding one (`_ = f()`,
+// `v, _ := f()`, or calling and ignoring) is how a lost delta or a
+// failed replica quietly becomes a wrong total. Deferred calls are
+// exempt: deferred cleanup runs after the answer is already decided.
+// Failure paths are exempt too — a discard inside an `err != nil` guard,
+// or ahead of a sibling return that carries a non-nil error, is
+// best-effort cleanup on a path whose caller already sees the original
+// failure; nothing is silently succeeding. The function's outermost
+// statement list never gets the sibling-return exemption: a tail
+// `return f()` must not license discards on the success path above it.
+func Errdrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "errors on the serve/shard answer paths flow; none are discarded",
+		Run:  runErrdrop,
+	}
+}
+
+func runErrdrop(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	var roots []*graphNode
+	for _, n := range g.sorted() {
+		if n.decl == nil {
+			continue
+		}
+		for _, root := range errdropRoots {
+			if pkgPathHasSuffix(n.pkg.Types, root.pkgSuffix) && root.re.MatchString(n.display) {
+				roots = append(roots, n)
+			}
+		}
+	}
+	reach := g.reachableFrom(roots)
+
+	var diags []Diagnostic
+	for _, n := range g.sorted() {
+		if n.decl == nil {
+			continue
+		}
+		rootWhy, ok := reach[n.fn]
+		if !ok || !inErrdropScope(n.pkg) || isHTTPHandler(n.fn) {
+			continue
+		}
+		info := n.pkg.Info
+		deferSpans := collectDeferSpans(n.decl.Body)
+		deferSpans = append(deferSpans, failureSpans(info, n.decl.Body)...)
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.ExprStmt:
+				call, ok := node.X.(*ast.CallExpr)
+				if !ok || spanCovers(deferSpans, node) {
+					return true
+				}
+				if name, ok := callReturnsError(info, call); ok {
+					diags = append(diags, Diagnostic{
+						Pos:      prog.Fset.Position(call.Pos()),
+						Analyzer: "errdrop",
+						Message: "error result of " + name + " is discarded in " + n.display +
+							" (answer path via " + rootWhy + "); return it, wrap it with %w, or convert it to an explicit Degraded/Partial sentinel",
+					})
+				}
+			case *ast.AssignStmt:
+				if spanCovers(deferSpans, node) {
+					return true
+				}
+				diags = append(diags, blankErrAssigns(prog, info, node, n.display, rootWhy)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func inErrdropScope(pkg *Package) bool {
+	for _, suffix := range errdropPkgs {
+		if pkgPathHasSuffix(pkg.Types, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// failureSpans returns the subtrees where a discarded error is
+// best-effort cleanup on a failure path: the body of every `if` guarded
+// by an error-nil test, and the statements ahead of a sibling return
+// that carries a non-nil error (in any statement list but the
+// function's outermost one).
+func failureSpans(info *types.Info, body *ast.BlockStmt) []ast.Node {
+	var spans []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && condTestsError(info, ifs.Cond) {
+			spans = append(spans, ifs.Body)
+		}
+		list, outermost := stmtList(n, body)
+		if list == nil || outermost {
+			return true
+		}
+		last := -1
+		for i, st := range list {
+			if rs, ok := st.(*ast.ReturnStmt); ok && returnCarriesError(info, rs) {
+				last = i
+			}
+		}
+		for i := 0; i < last; i++ {
+			spans = append(spans, list[i])
+		}
+		return true
+	})
+	return spans
+}
+
+// stmtList extracts the statement list a node holds, if any, and whether
+// it is the function's outermost body.
+func stmtList(n ast.Node, outer *ast.BlockStmt) ([]ast.Stmt, bool) {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List, n == outer
+	case *ast.CaseClause:
+		return n.Body, false
+	case *ast.CommClause:
+		return n.Body, false
+	}
+	return nil, false
+}
+
+// condTestsError reports whether cond contains an `x != nil` comparison
+// with an error-typed operand — the canonical failure-path guard.
+func condTestsError(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.NEQ {
+			if (isErrorType(typeOf(info, be.X)) && isNilExpr(info, be.Y)) ||
+				(isErrorType(typeOf(info, be.Y)) && isNilExpr(info, be.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// returnCarriesError reports whether rs returns at least one error-typed
+// result that is not the nil constant.
+func returnCarriesError(info *types.Info, rs *ast.ReturnStmt) bool {
+	for _, res := range rs.Results {
+		tv, ok := info.Types[res]
+		if ok && isErrorType(tv.Type) && !tv.IsNil() {
+			return true
+		}
+	}
+	return false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// collectDeferSpans returns the subtrees of every defer statement —
+// deferred cleanup is exempt from the discard rule.
+func collectDeferSpans(body *ast.BlockStmt) []ast.Node {
+	var spans []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			spans = append(spans, d)
+		}
+		return true
+	})
+	return spans
+}
+
+// callReturnsError reports whether call has an error-typed result and
+// names the callee for the diagnostic.
+func callReturnsError(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call]
+	if !ok {
+		return "", false
+	}
+	has := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				has = true
+			}
+		}
+	default:
+		has = isErrorType(tv.Type)
+	}
+	if !has {
+		return "", false
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		return funcDisplay(fn), true
+	}
+	return types.ExprString(call.Fun), true
+}
+
+// blankErrAssigns flags `_` in an error-typed result position of an
+// assignment: `v, _ := f()` or `_ = f()`.
+func blankErrAssigns(prog *Program, info *types.Info, as *ast.AssignStmt, display, rootWhy string) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(pos ast.Node, name string) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos.Pos()),
+			Analyzer: "errdrop",
+			Message: "error from " + name + " assigned to _ in " + display +
+				" (answer path via " + rootWhy + "); return it, wrap it with %w, or convert it to an explicit Degraded/Partial sentinel",
+		})
+	}
+	// Tuple form: a, _ := f() — one call, many results.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := info.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return nil
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != "_" || !isErrorType(tuple.At(i).Type()) {
+				continue
+			}
+			name := types.ExprString(call.Fun)
+			if fn := calleeFunc(info, call); fn != nil {
+				name = funcDisplay(fn)
+			}
+			flag(id, name)
+		}
+		return diags
+	}
+	// Parallel form: _ = expr.
+	for i := range as.Lhs {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(as.Rhs) {
+			continue
+		}
+		tv, ok := info.Types[as.Rhs[i]]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		flag(id, types.ExprString(as.Rhs[i]))
+	}
+	return diags
+}

@@ -124,6 +124,26 @@ func TestFaultsiteFixture(t *testing.T) {
 	checkFixture(t, "faultsite", []*Analyzer{Faultsite()})
 }
 
+func TestGoleakFixture(t *testing.T) {
+	checkFixture(t, "goleak", []*Analyzer{Goleak()})
+}
+
+func TestLockholdFixture(t *testing.T) {
+	checkFixture(t, "lockhold", []*Analyzer{Lockhold()})
+}
+
+func TestAtomicfieldFixture(t *testing.T) {
+	checkFixture(t, "atomicfield", []*Analyzer{Atomicfield()})
+}
+
+func TestErrdropFixture(t *testing.T) {
+	checkFixture(t, "errdrop", []*Analyzer{Errdrop()})
+}
+
+func TestHonestpathFixture(t *testing.T) {
+	checkFixture(t, "honestpath", []*Analyzer{Honestpath()})
+}
+
 // TestNolintFixture drives the suppression machinery end to end: both
 // placements consume their diagnostic; a reason-less, an analyzer-less and
 // a stale suppression are themselves violations.

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goleak returns the analyzer enforcing PR 9's goroutine discipline on
+// the whole program: every `go` statement reachable from the module's
+// exported API (or a main) must be accounted for — joined through a
+// sync.WaitGroup or a channel handoff, or bounded by a context the
+// spawner threads in — so no code path can strand a goroutine that
+// outlives every caller. The shard coordinator's probe and hedge
+// goroutines are the motivating cases: each must either report on a
+// channel the gather loop drains, call WaitGroup.Done for a Close that
+// Waits, or watch a ctx whose cancellation tears it down.
+//
+// Accounting is judged on the spawned body and everything it can reach
+// through the call graph (interface seams included): a WaitGroup.Done,
+// a channel send/close/receive, or any use of a context.Context counts.
+// A `go` whose target is unresolvable (a function value) is accounted
+// only by a context-typed argument at the spawn site.
+func Goleak() *Analyzer {
+	return &Analyzer{
+		Name: "goleak",
+		Doc:  "every reachable goroutine is joined or context-bounded",
+		Run:  runGoleak,
+	}
+}
+
+func runGoleak(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	reach := g.reachableFrom(g.exportedRoots())
+	var diags []Diagnostic
+	for _, n := range g.sorted() {
+		if n.decl == nil {
+			continue
+		}
+		rootWhy, reachable := reach[n.fn]
+		if !reachable {
+			continue
+		}
+		for _, gs := range n.goStmts {
+			if _, ok := g.goAccounted(n, gs); ok {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Fset.Position(gs.Pos()),
+				Analyzer: "goleak",
+				Message: "goroutine spawned in " + n.display + " (reachable from exported " + rootWhy +
+					") is neither joined (no WaitGroup.Done or channel handoff) nor bounded by a context; no caller can wait it out",
+			})
+		}
+	}
+	return diags
+}
+
+// goAccounted decides whether one `go` statement's goroutine is joined
+// or bounded, and says how. The spawned body is the func literal's (for
+// `go func(){...}()`) or the static callee's; from there the search
+// follows the call graph.
+func (g *graph) goAccounted(n *graphNode, gs *ast.GoStmt) (string, bool) {
+	// A context-typed argument at the spawn site bounds the goroutine
+	// regardless of what the body resolves to.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := n.pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return "context argument", true
+		}
+	}
+	var seeds []*types.Func
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		wg, ch, ctx, callees := g.joinFacts(n.pkg, lit.Body)
+		switch {
+		case wg:
+			return "WaitGroup.Done", true
+		case ch:
+			return "channel handoff", true
+		case ctx:
+			return "context use", true
+		}
+		seeds = callees
+	} else if callee := calleeFunc(n.pkg.Info, gs.Call); callee != nil {
+		seeds = []*types.Func{callee}
+	}
+	// BFS over the spawned body's callees: a join or bound anywhere the
+	// goroutine can reach accounts for it.
+	seen := map[*types.Func]bool{}
+	queue := seeds
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		c := g.nodes[fn]
+		if c == nil {
+			continue
+		}
+		if c.wgDone {
+			return "WaitGroup.Done in " + c.display, true
+		}
+		if c.chanOp {
+			return "channel handoff in " + c.display, true
+		}
+		if c.usesCtx {
+			return "context use in " + c.display, true
+		}
+		for _, e := range c.edges {
+			queue = append(queue, e.callee)
+		}
+	}
+	return "", false
+}
+
+// joinFacts scans one subtree (a spawned func literal's body) for the
+// accounting signals and the module callees to continue the search in.
+func (g *graph) joinFacts(pkg *Package, body ast.Node) (wgDone, chanOp, usesCtx bool, callees []*types.Func) {
+	info := pkg.Info
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			if isWgDone(info, node) {
+				wgDone = true
+			}
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "close" && len(node.Args) == 1 {
+				if tv, ok := info.Types[node.Args[0]]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						chanOp = true
+					}
+				}
+			}
+			if fn := calleeFunc(info, node); fn != nil {
+				if _, inModule := g.nodes[fn]; inModule {
+					callees = append(callees, fn)
+				}
+			}
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok {
+					if im, ok := s.Obj().(*types.Func); ok {
+						if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+							if _, known := g.nodes[im]; known {
+								callees = append(callees, im)
+							}
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			chanOp = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				chanOp = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					chanOp = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[node]; obj != nil && isContextType(obj.Type()) {
+				usesCtx = true
+			}
+		case *ast.SelectorExpr:
+			if tv, ok := info.Types[node]; ok && isContextType(tv.Type) {
+				usesCtx = true
+			}
+		}
+		return true
+	})
+	return
+}

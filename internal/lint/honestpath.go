@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// honestpathPkgs are the coordinator/planner/edge packages where a
+// Response that omits a shard's facts is assembled or forwarded.
+var honestpathPkgs = []string{"internal/shard", "internal/serve", "internal/servehttp"}
+
+// Honestpath returns the analyzer enforcing PR 9's "never silently
+// wrong" rule at the source level: an answer that omits a shard's data
+// must say so completely. Concretely, inside the coordinator/planner
+// packages:
+//
+//   - a function that marks a Response Partial must also populate
+//     Missing in the same function, and vice versa — a Partial with no
+//     named key ranges (or named ranges on a non-Partial answer) is a
+//     half-told truth the client cannot act on;
+//   - every serve.MissingShard literal must name its KeyRange — a lost
+//     shard without its key range tells the client *that* data is
+//     missing but not *which*, so exact re-aggregation of the remainder
+//     is impossible.
+//
+// The pairing is judged per function because that is where the
+// coordinator's gather ladder commits an answer; a helper that sets
+// only half the contract is exactly the refactor hazard this guards.
+func Honestpath() *Analyzer {
+	return &Analyzer{
+		Name: "honestpath",
+		Doc:  "partial answers name their missing key ranges, completely and in pairs",
+		Run:  runHonestpath,
+	}
+}
+
+func runHonestpath(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !inHonestpathScope(pkg) {
+			continue
+		}
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, checkHonestFunc(prog, info, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+func inHonestpathScope(pkg *Package) bool {
+	for _, suffix := range honestpathPkgs {
+		if pkgPathHasSuffix(pkg.Types, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHonestFunc applies the pairing and completeness rules to one
+// function body.
+func checkHonestFunc(prog *Program, info *types.Info, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	var partialAt, missingAt ast.Node
+	display := fd.Name.Name
+	if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil {
+		display = funcDisplay(fn)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, _ := info.Uses[sel.Sel].(*types.Var)
+				if field == nil || !field.IsField() || !responseField(info, sel) {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(n.Rhs) {
+					rhs = n.Rhs[i]
+				}
+				switch field.Name() {
+				case "Partial":
+					if !isFalseLiteral(info, rhs) && partialAt == nil {
+						partialAt = n
+					}
+				case "Missing":
+					if !isNilLiteral(rhs) && missingAt == nil {
+						missingAt = n
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if ok && isNamedStruct(tv.Type, "Response", "internal/serve") {
+				var sawPartial, sawMissing ast.Node
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Partial":
+						if !isFalseLiteral(info, kv.Value) {
+							sawPartial = kv
+						}
+					case "Missing":
+						if !isNilLiteral(kv.Value) {
+							sawMissing = kv
+						}
+					}
+				}
+				if sawPartial != nil && partialAt == nil {
+					partialAt = sawPartial
+				}
+				if sawMissing != nil && missingAt == nil {
+					missingAt = sawMissing
+				}
+			}
+			if ok && isNamedStruct(tv.Type, "MissingShard", "internal/serve") && len(n.Elts) > 0 {
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); keyed {
+					hasKeyRange := false
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "KeyRange" {
+								hasKeyRange = true
+							}
+						}
+					}
+					if !hasKeyRange {
+						diags = append(diags, Diagnostic{
+							Pos:      prog.Fset.Position(n.Pos()),
+							Analyzer: "honestpath",
+							Message:  "MissingShard in " + display + " does not name its KeyRange; a partial answer must say exactly which key range is missing",
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if partialAt != nil && missingAt == nil {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(partialAt.Pos()),
+			Analyzer: "honestpath",
+			Message:  display + " marks the answer Partial without populating Missing; name the lost key ranges in the same function",
+		})
+	}
+	if missingAt != nil && partialAt == nil {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(missingAt.Pos()),
+			Analyzer: "honestpath",
+			Message:  display + " populates Missing without marking the answer Partial; set both halves of the contract together",
+		})
+	}
+	return diags
+}
+
+// responseField reports whether sel selects a field of the serve
+// Response (or CellAnswer) struct.
+func responseField(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamedStruct(t, "Response", "internal/serve") || isNamedStruct(t, "CellAnswer", "internal/serve")
+}
+
+// isNamedStruct reports whether t is the named struct `name` declared in
+// a package whose import path ends in pkgSuffix.
+func isNamedStruct(t types.Type, name, pkgSuffix string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || !pkgPathHasSuffix(obj.Pkg(), pkgSuffix) {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// isFalseLiteral reports whether e is the constant false.
+func isFalseLiteral(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.String() == "false"
+}
+
+// isNilLiteral reports whether e is the nil identifier.
+func isNilLiteral(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

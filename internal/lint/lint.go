@@ -18,6 +18,25 @@
 //   - faultsite: fault-injection site strings are unique literals, so
 //     seed-driven schedules replay exactly.
 //
+// On top of the loader sits an interprocedural layer (callgraph.go): a
+// whole-program call graph with interface seams resolved to their
+// in-module implementations, plus per-function summaries (blocks,
+// returns error) propagated bottom-up over SCCs. Five analyzers consume
+// it:
+//
+//   - goleak: every `go` statement reachable from the exported API is
+//     joined (WaitGroup/channel) or bounded by a context.
+//   - lockhold: nothing blocks — directly or through any call chain —
+//     while a sync.Mutex or RWMutex write lock is held, and every path
+//     out of the function releases the lock.
+//   - atomicfield: a variable accessed through sync/atomic anywhere is
+//     accessed atomically everywhere.
+//   - errdrop: error results on the serve/shard answer paths flow —
+//     returned, wrapped, or converted to an explicit Degraded/Partial
+//     outcome — never discarded.
+//   - honestpath: a response that omits shard data says so — Partial
+//     and Missing (with key ranges) travel together.
+//
 // Diagnostics are stable-ordered (file, then position) and suppressible
 // per line with `//x3:nolint(analyzer) reason` — a reason is mandatory,
 // and a suppression that no longer suppresses anything is itself an
@@ -33,6 +52,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one reported violation.
@@ -58,7 +79,19 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Ctxflow(), Sentinelerr(), Obskey(), Detiter(), Faultsite()}
+	return []*Analyzer{
+		Ctxflow(), Sentinelerr(), Obskey(), Detiter(), Faultsite(),
+		Goleak(), Lockhold(), Atomicfield(), Errdrop(), Honestpath(),
+	}
+}
+
+// Names returns every analyzer name in suite order.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // ByName resolves a comma-separated analyzer list ("" selects all).
@@ -75,11 +108,26 @@ func ByName(list string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			return nil, fmt.Errorf("lint: unknown analyzer %q (valid: %s)", name, strings.Join(Names(), ", "))
 		}
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// Timing is one analyzer's wall time within a run.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// Result is one full lint run's output: the surviving diagnostics, the
+// ones a //x3:nolint silenced (machine consumers want to see what was
+// waived and why the count is what it is), and per-analyzer wall time.
+type Result struct {
+	Diagnostics []Diagnostic // surviving, sorted
+	Suppressed  []Diagnostic // silenced by //x3:nolint, sorted
+	Timings     []Timing     // suite order
 }
 
 // Run executes the analyzers over prog, applies //x3:nolint suppressions,
@@ -87,17 +135,40 @@ func ByName(list string) ([]*Analyzer, error) {
 // analyzer, message — stable across runs and machines, so CI output is
 // diff-able.
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	return RunDetailed(prog, analyzers).Diagnostics
+}
+
+// RunDetailed is Run with the full picture: analyzers execute
+// concurrently (each on its own goroutine — the loaded program and the
+// lazily built call graph are read-only after construction, the graph
+// guarded by a sync.Once), individually timed, and the suppressed
+// diagnostics are reported alongside the survivors instead of vanishing.
+func RunDetailed(prog *Program, analyzers []*Analyzer) *Result {
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	res := &Result{Timings: make([]Timing, len(analyzers))}
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			perAnalyzer[i] = a.Run(prog)
+			res.Timings[i] = Timing{Analyzer: a.Name, Elapsed: time.Since(start)}
+		}()
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		diags = append(diags, a.Run(prog)...)
+	for _, d := range perAnalyzer {
+		diags = append(diags, d...)
 	}
 	active := map[string]bool{}
 	for _, a := range analyzers {
 		active[a.Name] = true
 	}
-	diags = applySuppressions(prog, diags, active)
-	SortDiagnostics(diags)
-	return diags
+	res.Diagnostics, res.Suppressed = applySuppressions(prog, diags, active)
+	SortDiagnostics(res.Diagnostics)
+	SortDiagnostics(res.Suppressed)
+	return res
 }
 
 // SortDiagnostics orders diags by file, line, column, analyzer, message.

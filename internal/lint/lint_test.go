@@ -17,9 +17,15 @@ func TestAllStableOrder(t *testing.T) {
 			t.Errorf("analyzer %s: missing Doc or Run", a.Name)
 		}
 	}
-	wantNames := []string{"ctxflow", "sentinelerr", "obskey", "detiter", "faultsite"}
+	wantNames := []string{
+		"ctxflow", "sentinelerr", "obskey", "detiter", "faultsite",
+		"goleak", "lockhold", "atomicfield", "errdrop", "honestpath",
+	}
 	if !reflect.DeepEqual(names, wantNames) {
 		t.Fatalf("All() = %v, want %v", names, wantNames)
+	}
+	if !reflect.DeepEqual(Names(), wantNames) {
+		t.Fatalf("Names() = %v, want %v", Names(), wantNames)
 	}
 }
 
@@ -37,6 +43,13 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch): want error")
+	} else {
+		// The error must be actionable: it names every valid analyzer.
+		for _, name := range Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ByName(nosuch) error %q does not name valid analyzer %q", err, name)
+			}
+		}
 	}
 }
 

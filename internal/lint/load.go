@@ -3,14 +3,17 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked module package.
@@ -29,6 +32,11 @@ type Program struct {
 	ByPath   map[string]*Package
 	ModPath  string
 	RootDir  string
+
+	// graph caches the whole-program call graph (see callgraph.go); the
+	// Once makes the lazy build safe under the parallel analyzer run.
+	graphOnce sync.Once
+	graph     *graph
 }
 
 // Load parses and type-checks every non-test package under rootDir (a
@@ -128,6 +136,92 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
+// fileIncluded reports whether a Go file survives build-constraint
+// filtering for the host platform: //go:build (and legacy // +build)
+// lines plus _GOOS/_GOARCH filename suffixes, evaluated against the
+// running toolchain's GOOS/GOARCH. A file gated out of the host build
+// would not type-check against the platform-selected siblings, so the
+// loader skips it the same way `go build` would.
+func fileIncluded(name string, src []byte) bool {
+	if !filenameMatchesPlatform(name) {
+		return false
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) || constraint.IsPlusBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				// Malformed constraint: include the file and let the
+				// parser or type-checker surface the real error.
+				return true
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+		// Constraints must precede the package clause; stop looking there.
+		if strings.HasPrefix(trimmed, "package ") || trimmed == "package" {
+			break
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied is the tag set the loader evaluates //go:build
+// expressions against: the host GOOS/GOARCH, the unix umbrella, and
+// every go1.N release tag (the toolchain compiling this module already
+// satisfies any version the module's own files demand).
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// filenameMatchesPlatform applies go/build's implicit filename
+// constraints: name_GOOS.go, name_GOARCH.go, name_GOOS_GOARCH.go. A
+// bare "linux.go" (no underscore prefix) is unconstrained, matching the
+// go tool's post-1.4 rule.
+func filenameMatchesPlatform(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	if !strings.Contains(name, "_") {
+		return true
+	}
+	parts := strings.Split(name, "_")
+	n := len(parts)
+	if n >= 2 && knownOS[parts[n-2]] && knownArch[parts[n-1]] {
+		return parts[n-2] == runtime.GOOS && parts[n-1] == runtime.GOARCH
+	}
+	if knownOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	if knownArch[parts[n-1]] {
+		return parts[n-1] == runtime.GOARCH
+	}
+	return true
+}
+
 // loader resolves imports: module-internal paths load (and type-check)
 // recursively through itself, everything else through the stdlib source
 // importer.
@@ -182,7 +276,15 @@ func (l *loader) loadDir(path, dir string) (*Package, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		f, err := parser.ParseFile(l.prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !fileIncluded(name, src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.prog.Fset, full, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}

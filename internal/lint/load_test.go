@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestLoadBuildConstraints drives the constraint filter through a real
+// load: testdata/loadedges/p declares gated() three times — once behind
+// a satisfied //go:build go1.1, once behind a never-satisfied tag, and
+// once behind the legacy // +build form. If either excluded file were
+// loaded the package would fail to type-check with a redeclaration, and
+// the nested testdata module inside p/ is not even Go.
+func TestLoadBuildConstraints(t *testing.T) {
+	prog, err := Load("testdata/loadedges")
+	if err != nil {
+		t.Fatalf("Load(testdata/loadedges): %v", err)
+	}
+	pkg := prog.ByPath["loadedges/p"]
+	if pkg == nil {
+		t.Fatal("package loadedges/p not loaded")
+	}
+	if got := len(pkg.Files); got != 2 {
+		t.Fatalf("loadedges/p loaded %d files, want 2 (p.go + gated.go)", got)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("loaded %d packages, want 1 (nested testdata must be skipped)", len(prog.Packages))
+	}
+}
+
+// TestLoadSyntaxErrorFixture keeps a broken-parse module on disk so the
+// failure mode is pinned, not just synthesized in a temp dir.
+func TestLoadSyntaxErrorFixture(t *testing.T) {
+	_, err := Load("testdata/loadsyntax")
+	if err == nil {
+		t.Fatal("Load(testdata/loadsyntax): want parse error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Fatalf("error %q does not name the broken file", err)
+	}
+}
+
+func TestFileIncluded(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"plain.go", "package p\n", true},
+		{"gated.go", "//go:build neverbuildme\n\npackage p\n", false},
+		{"release.go", "//go:build go1.1\n\npackage p\n", true},
+		{"negated.go", "//go:build !neverbuildme\n\npackage p\n", true},
+		{"host.go", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"othros.go", "//go:build " + otherOS() + "\n\npackage p\n", false},
+		{"legacy.go", "// +build neverbuildme\n\npackage p\n", false},
+		// A constraint after the package clause is a plain comment.
+		{"late.go", "package p\n\n//go:build neverbuildme\n", true},
+		// Malformed constraints defer to the parser for the real error.
+		{"broken.go", "//go:build &&\n\npackage p\n", true},
+		// The filename rule composes with the content rule.
+		{"x_" + otherOS() + ".go", "package p\n", false},
+	}
+	for _, c := range cases {
+		if got := fileIncluded(c.name, []byte(c.src)); got != c.want {
+			t.Errorf("fileIncluded(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFilenameMatchesPlatform(t *testing.T) {
+	hostOS, hostArch := runtime.GOOS, runtime.GOARCH
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		// No underscore: a bare OS name is unconstrained post-Go 1.4.
+		{"linux.go", true},
+		{"x_" + hostOS + ".go", true},
+		{"x_" + hostArch + ".go", true},
+		{"x_" + hostOS + "_" + hostArch + ".go", true},
+		{"x_" + otherOS() + ".go", false},
+		{"x_" + otherOS() + "_" + hostArch + ".go", false},
+		// An unknown suffix is not a platform constraint at all.
+		{"x_helper.go", true},
+	}
+	for _, c := range cases {
+		if got := filenameMatchesPlatform(c.name); got != c.want {
+			t.Errorf("filenameMatchesPlatform(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// otherOS returns a GOOS that is never the host's, so exclusion cases
+// stay deterministic on any platform.
+func otherOS() string {
+	if runtime.GOOS == "plan9" {
+		return "windows"
+	}
+	return "plan9"
+}
+
+// TestRunDetailed exercises the parallel driver: per-analyzer wall
+// times, suppressed diagnostics reported separately, and the same
+// surviving set Run returns.
+func TestRunDetailed(t *testing.T) {
+	prog, err := Load("testdata/errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunDetailed(prog, []*Analyzer{Errdrop(), Honestpath()})
+	if len(res.Timings) != 2 || res.Timings[0].Analyzer != "errdrop" || res.Timings[1].Analyzer != "honestpath" {
+		t.Fatalf("Timings = %+v, want errdrop then honestpath", res.Timings)
+	}
+	for _, tm := range res.Timings {
+		if tm.Elapsed < 0 {
+			t.Errorf("%s: negative elapsed %v", tm.Analyzer, tm.Elapsed)
+		}
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Analyzer != "errdrop" {
+		t.Fatalf("Suppressed = %+v, want the one waived errdrop finding", res.Suppressed)
+	}
+	if !strings.Contains(res.Suppressed[0].Message, "work") {
+		t.Errorf("suppressed message %q does not name the discarded call", res.Suppressed[0].Message)
+	}
+	// The fixture has 5 surviving errdrop findings (see its want markers).
+	if got := len(res.Diagnostics); got != 5 {
+		t.Fatalf("Diagnostics = %d, want 5", got)
+	}
+	plain := Run(prog, []*Analyzer{Errdrop(), Honestpath()})
+	if len(plain) != len(res.Diagnostics) {
+		t.Fatalf("Run returned %d diagnostics, RunDetailed %d; they must agree", len(plain), len(res.Diagnostics))
+	}
+}

@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lockhold returns the analyzer enforcing the mutex discipline the race
+// soaks assume: while a sync.Mutex (or the write half of a RWMutex) is
+// held, nothing on the path may block — no I/O, no channel operation,
+// no time.Sleep, no call whose interprocedural summary blocks (a
+// Replica.Query across the shard seam is the motivating case: one stuck
+// replica would serialize every caller of that lock) — and the lock
+// must be released on every path out of the function.
+//
+// The hold region is tracked in source order inside each function-like
+// scope (declared body or closure): after `x.Lock()` the lock is held
+// until `x.Unlock()`; `defer x.Unlock()` holds it to scope end but
+// licenses returns. Read locks (RLock) are exempt — they admit
+// concurrent readers, so holding one across I/O is the serving layer's
+// documented design. sync.Cond.Wait is likewise exempt: it must be
+// called with the lock held and releases it internally. Code inside a
+// `go` statement runs on its own goroutine and is scanned as its own
+// scope, not as part of the spawner's hold region. Source-order
+// tracking under-approximates branch structure (an early-return branch
+// that unlocks clears the set for the tail too), so every finding is a
+// real hold-path; silence is not a proof.
+func Lockhold() *Analyzer {
+	return &Analyzer{
+		Name: "lockhold",
+		Doc:  "no blocking call while a mutex is held; unlock on every path",
+		Run:  runLockhold,
+	}
+}
+
+func runLockhold(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	var diags []Diagnostic
+	for _, n := range g.sorted() {
+		if n.decl == nil {
+			continue
+		}
+		// The declared body is one scope; every func literal (goroutine
+		// bodies included) is its own — each runs with its own lock state.
+		scopes := []*ast.BlockStmt{n.decl.Body}
+		var lits []*ast.FuncLit
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			if lit, ok := node.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+			return true
+		})
+		for _, lit := range lits {
+			scopes = append(scopes, lit.Body)
+		}
+		for _, body := range scopes {
+			s := &lockScan{g: g, n: n, info: n.pkg.Info, scope: body}
+			s.stmts(body.List)
+			for _, h := range s.held {
+				if !h.deferred {
+					diags = append(diags, Diagnostic{
+						Pos:      prog.Fset.Position(h.pos),
+						Analyzer: "lockhold",
+						Message:  h.name + ".Lock() in " + n.display + " is not released on the fall-through path; unlock on every path or defer the unlock",
+					})
+				}
+			}
+			diags = append(diags, s.diags...)
+		}
+	}
+	return diags
+}
+
+// heldLock is one lock in the current scope's hold set.
+type heldLock struct {
+	name     string // render of the receiver expression, e.g. "s.mu"
+	pos      token.Pos
+	deferred bool // released by a deferred Unlock: held to scope end, returns are fine
+}
+
+// lockScan walks one scope's statements in source order, maintaining the
+// hold set and flagging blocking operations and lock-holding returns.
+type lockScan struct {
+	g     *graph
+	n     *graphNode
+	info  *types.Info
+	scope *ast.BlockStmt
+	held  []*heldLock
+	diags []Diagnostic
+}
+
+func (s *lockScan) report(pos token.Pos, msg string) {
+	s.diags = append(s.diags, Diagnostic{Pos: s.g.prog.Fset.Position(pos), Analyzer: "lockhold", Message: msg})
+}
+
+// anyHeld returns the first hard-held lock name, or the first deferred
+// one if every hold is deferred ("" when none).
+func (s *lockScan) anyHeld() string {
+	for _, h := range s.held {
+		if !h.deferred {
+			return h.name
+		}
+	}
+	if len(s.held) > 0 {
+		return s.held[0].name
+	}
+	return ""
+}
+
+func (s *lockScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if name, op, ok := lockCall(s.info, st.X); ok {
+			switch op {
+			case "Lock":
+				s.held = append(s.held, &heldLock{name: name, pos: st.Pos()})
+			case "Unlock":
+				s.release(name)
+			}
+			return
+		}
+		s.exprs(st.X)
+	case *ast.DeferStmt:
+		if name, op, ok := lockCall(s.info, st.Call); ok && op == "Unlock" {
+			for _, h := range s.held {
+				if h.name == name {
+					h.deferred = true
+				}
+			}
+			return
+		}
+		// A deferred call runs at scope exit; if a lock is (or will
+		// still be) held there, a blocking deferred call holds it too.
+		s.exprs(st.Call)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.exprs(e)
+		}
+		for _, e := range st.Lhs {
+			s.exprs(e)
+		}
+	case *ast.DeclStmt:
+		s.exprs(st)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.exprs(e)
+		}
+		for _, h := range s.held {
+			if !h.deferred {
+				s.report(st.Pos(), h.name+" is still held at this return in "+s.n.display+"; unlock on this path or defer the unlock")
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.exprs(st.Cond)
+		s.stmts(st.Body.List)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.exprs(st.Cond)
+		}
+		s.stmts(st.Body.List)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+		// A `for {}` with no break never falls through: its only exits
+		// are returns inside the body (each already checked). Whatever
+		// the source-order walk left in the hold set is unreachable
+		// state, so clear it rather than flag a phantom fall-through.
+		if st.Cond == nil && !loopCanBreak(st.Body) {
+			s.held = nil
+		}
+	case *ast.RangeStmt:
+		if tv, ok := s.info.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				if held := s.anyHeld(); held != "" {
+					s.report(st.Pos(), "range over a channel while "+held+" is held in "+s.n.display+"; a slow sender stalls every waiter on the lock")
+				}
+			}
+		}
+		s.exprs(st.X)
+		s.stmts(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.exprs(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(st) {
+			if held := s.anyHeld(); held != "" {
+				s.report(st.Pos(), "blocking select while "+held+" is held in "+s.n.display+"; every waiter on the lock stalls until a case fires")
+			}
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		if held := s.anyHeld(); held != "" {
+			s.report(st.Pos(), "channel send while "+held+" is held in "+s.n.display+"; an unbuffered or full channel stalls every waiter on the lock")
+		}
+		s.exprs(st.Value)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		// The spawned body runs concurrently and is scanned as its own
+		// scope; argument expressions evaluate here, though.
+		for _, a := range st.Call.Args {
+			s.exprs(a)
+		}
+	}
+}
+
+// loopCanBreak reports whether a break can leave the loop owning body:
+// an unlabeled break at loop depth, or any labeled break (conservatively
+// assumed to target this loop). Breaks inside nested loops, switches and
+// selects bind to those; func literals are separate scopes.
+func loopCanBreak(body *ast.BlockStmt) bool {
+	found := false
+	var scan func(n ast.Node, nested bool)
+	scan = func(n ast.Node, nested bool) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			if found {
+				return false
+			}
+			if node == n {
+				return true
+			}
+			switch node := node.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				scan(node, true)
+				return false
+			case *ast.BranchStmt:
+				if node.Tok == token.BREAK && (!nested || node.Label != nil) {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	scan(body, false)
+	return found
+}
+
+// release drops the most recent hold of name (a deferred hold stays —
+// the unlock at scope end is the defer itself).
+func (s *lockScan) release(name string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].name == name && !s.held[i].deferred {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// exprs flags blocking operations inside one expression tree while any
+// lock is held: direct stdlib blockers, channel receives, and calls
+// into module functions whose summary blocks. Func literals and `go`
+// subtrees are skipped (separate scopes / separate goroutines).
+func (s *lockScan) exprs(root ast.Node) {
+	held := s.anyHeld()
+	if held == "" {
+		return
+	}
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && !underNonBlockingSelect(s.scope, node.Pos()) {
+				s.report(node.Pos(), "channel receive while "+held+" is held in "+s.n.display+"; a quiet sender stalls every waiter on the lock")
+			}
+		case *ast.CallExpr:
+			if why, ok := blockingCall(s.info, node); ok {
+				s.report(node.Pos(), why+" while "+held+" is held in "+s.n.display+"; blocking under a mutex serializes every caller")
+				return true
+			}
+			if fn := calleeFunc(s.info, node); fn != nil {
+				if c := s.g.nodes[fn]; c != nil && c.blocks {
+					s.report(node.Pos(), "call to "+c.display+" ("+c.blocksWhy+") while "+held+" is held in "+s.n.display+"; blocking under a mutex serializes every caller")
+					return true
+				}
+			}
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if sl, ok := s.info.Selections[sel]; ok {
+					if im, ok := sl.Obj().(*types.Func); ok {
+						if _, isIface := sl.Recv().Underlying().(*types.Interface); isIface {
+							if c := s.g.nodes[im]; c != nil && c.blocks {
+								s.report(node.Pos(), "interface call "+c.display+" ("+c.blocksWhy+") while "+held+" is held in "+s.n.display+"; blocking under a mutex serializes every caller")
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockCall matches expr as `X.Lock()` / `X.Unlock()` on a sync.Mutex or
+// sync.RWMutex (directly or embedded) and returns the rendered receiver
+// and the operation. RLock/RUnlock deliberately do not match.
+func lockCall(info *types.Info, expr ast.Expr) (name, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || (fn.Name() != "Lock" && fn.Name() != "Unlock") {
+		return "", "", false
+	}
+	if !recvIsSyncType(fn, "Mutex") && !recvIsSyncType(fn, "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}

@@ -73,8 +73,9 @@ func collectSuppressions(prog *Program) ([]*suppression, []Diagnostic) {
 // reports suppressions that covered nothing — a stale //x3:nolint is
 // itself a violation, so exemptions track the code they excuse. Unused
 // suppressions naming an analyzer outside active (a partial run via
-// -analyzers) are left alone.
-func applySuppressions(prog *Program, diags []Diagnostic, active map[string]bool) []Diagnostic {
+// -analyzers) are left alone. The dropped diagnostics come back in the
+// second result so callers (the -json output) can show what was waived.
+func applySuppressions(prog *Program, diags []Diagnostic, active map[string]bool) (surviving, silenced []Diagnostic) {
 	sups, out := collectSuppressions(prog)
 	// Index by (file, line) for the suppression's own line and the next.
 	type lineKey struct {
@@ -96,7 +97,9 @@ func applySuppressions(prog *Program, diags []Diagnostic, active map[string]bool
 				}
 			}
 		}
-		if !suppressed {
+		if suppressed {
+			silenced = append(silenced, d)
+		} else {
 			out = append(out, d)
 		}
 	}
@@ -121,5 +124,5 @@ func applySuppressions(prog *Program, diags []Diagnostic, active map[string]bool
 				Message: "suppression of " + strings.Join(s.analyzers, ",") + " matches no diagnostic; delete it"})
 		}
 	}
-	return out
+	return out, silenced
 }

@@ -1,0 +1,68 @@
+// Package metrics exercises the atomicfield analyzer: a field touched
+// through sync/atomic anywhere must be touched atomically everywhere.
+package metrics
+
+import "sync/atomic"
+
+// C is a counter sampled concurrently.
+type C struct {
+	hits int64
+	cold int64
+}
+
+// Inc is the atomic side.
+func (c *C) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read races Inc: a plain load of an atomically written field.
+func (c *C) Read() int64 {
+	return c.hits // want atomicfield "field hits is accessed with atomic.AddInt64"
+}
+
+// Bump is fine: cold is never touched atomically.
+func (c *C) Bump() {
+	c.cold++
+}
+
+var total int64
+
+// AddTotal and Total agree on atomic access to the package variable.
+func AddTotal(n int64) { atomic.AddInt64(&total, n) }
+
+// Total reads it atomically too.
+func Total() int64 { return atomic.LoadInt64(&total) }
+
+// T holds a slice whose elements are updated atomically; len and range
+// observe only the slice header, and the make assignment initializes.
+type T struct {
+	counts []int64
+}
+
+// NewT builds the slice before it is shared.
+func NewT(n int) *T {
+	t := &T{}
+	t.counts = make([]int64, n)
+	return t
+}
+
+// Add is the atomic element write.
+func (t *T) Add(i int) { atomic.AddInt64(&t.counts[i], 1) }
+
+// Len observes the header only.
+func (t *T) Len() int { return len(t.counts) }
+
+// Sum ranges the header and loads elements atomically.
+func (t *T) Sum() int64 {
+	var s int64
+	for i := range t.counts {
+		s += atomic.LoadInt64(&t.counts[i])
+	}
+	return s
+}
+
+// Peek is the suppressed plain read.
+func (c *C) Peek() int64 {
+	//x3:nolint(atomicfield) fixture: benign monotonic sample for the suppression test
+	return c.hits
+}

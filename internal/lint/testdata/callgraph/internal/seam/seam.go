@@ -1,0 +1,57 @@
+// Package seam is the call-graph engine's unit-test subject: an
+// interface seam with one blocking and one pure implementation, a
+// mutually recursive SCC, a spawner, and a pure leaf.
+package seam
+
+import "os"
+
+// Replica is the seam: calls through it fan out to every implementation.
+type Replica interface {
+	Query(q string) (int, error)
+	Label() string
+}
+
+type fileReplica struct{}
+
+func (fileReplica) Query(q string) (int, error) {
+	f, err := os.Open(q)
+	if err != nil {
+		return 0, err
+	}
+	return 1, f.Close()
+}
+
+func (fileReplica) Label() string { return "file" }
+
+type memReplica struct{}
+
+func (memReplica) Query(q string) (int, error) { return len(q), nil }
+
+func (memReplica) Label() string { return "mem" }
+
+// Fan dispatches through the seam.
+func Fan(r Replica) (int, error) { return r.Query("x") }
+
+// Ping and Pong form an SCC whose blocking member is Pong.
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+// Pong blocks directly and recurses back into Ping.
+func Pong(n int) {
+	os.Remove("p")
+	Ping(n - 1)
+}
+
+// Spawn's send happens on the spawned goroutine, not on Spawn's own
+// path: the inGo edge must not make Spawn blocking.
+func Spawn(done chan int) {
+	go func() {
+		done <- 1
+	}()
+}
+
+// Pure neither blocks nor errs.
+func Pure(a int) int { return a + 1 }

@@ -1,0 +1,3 @@
+module errdropfix
+
+go 1.24

@@ -1,0 +1,74 @@
+// Package serve exercises the errdrop analyzer on the serving layer's
+// answer paths: methods on Store are roots, and everything they reach
+// must let errors flow.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Store mirrors the serving layer's entry type.
+type Store struct{}
+
+func work() error { return errors.New("work") }
+
+func cleanup() error { return nil }
+
+func value() (int, error) { return 2, nil }
+
+// Answer is a root: the discarded error is flagged.
+func (s *Store) Answer() int {
+	work() // want errdrop "error result of work is discarded"
+	return 1
+}
+
+// Blank discards through the blank identifier, in both assignment forms.
+func (s *Store) Blank() int {
+	v, _ := value() // want errdrop "error from value assigned to _"
+	_ = work()      // want errdrop "error from work() assigned to _"
+	return v
+}
+
+// Flush reaches the discard through a helper chain.
+func (s *Store) Flush() { flushInner() }
+
+func flushInner() {
+	work() // want errdrop "error result of work is discarded"
+}
+
+// FailurePath is exempt: best-effort cleanup ahead of an error return.
+func (s *Store) FailurePath() error {
+	if err := work(); err != nil {
+		cleanup()
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// SiblingReturn is exempt: the discard sits ahead of a sibling return
+// that carries a non-nil error, inside a nested statement list.
+func (s *Store) SiblingReturn(bad error) error {
+	if bad != nil {
+		cleanup()
+		return bad
+	}
+	return nil
+}
+
+// Deferred cleanup runs after the answer is decided and is exempt.
+func (s *Store) Deferred() error {
+	defer cleanup()
+	return nil
+}
+
+// orphan is not reachable from any root: its discard belongs to another
+// layer's discipline and is not judged here.
+func orphan() {
+	work()
+}
+
+// Waived is the suppressed case.
+func (s *Store) Waived() {
+	work() //x3:nolint(errdrop) fixture: provably nil in this configuration, for the suppression test
+}

@@ -1,0 +1,20 @@
+// Package shard exercises the errdrop analyzer on the fan-out layer:
+// methods on Coordinator are roots.
+package shard
+
+import "errors"
+
+// Coordinator mirrors the shard fan-out layer.
+type Coordinator struct{}
+
+func send() error { return errors.New("send") }
+
+// Gather drops a shard error on the answer path.
+func (c *Coordinator) Gather() {
+	send() // want errdrop "error result of send is discarded"
+}
+
+// Forward lets the error flow and is clean.
+func (c *Coordinator) Forward() error {
+	return send()
+}

@@ -1,0 +1,3 @@
+module goleakfix
+
+go 1.24

@@ -1,0 +1,91 @@
+// Package worker exercises the goleak analyzer: reachable `go`
+// statements must be joined (WaitGroup.Done, channel handoff) or
+// bounded by a context.
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+func compute(n int) int { return n * 2 }
+
+// Leak is exported API: the spawned goroutine has no join and no bound.
+func Leak() {
+	go func() { // want goleak "neither joined"
+		compute(1)
+	}()
+}
+
+// LeakNamed spawns a named function with no accounting signal anywhere
+// in its reach.
+func LeakNamed() {
+	go pureWork() // want goleak "neither joined"
+}
+
+func pureWork() {
+	for i := 0; i < 10; i++ {
+		compute(i)
+	}
+}
+
+// JoinedWG is accounted: the body calls WaitGroup.Done.
+func JoinedWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute(2)
+	}()
+	wg.Wait()
+}
+
+// JoinedChan hands its result off on a channel.
+func JoinedChan() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute(3)
+	}()
+	return <-ch
+}
+
+// BoundedCtx passes a context at the spawn site.
+func BoundedCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// DeepJoin is accounted interprocedurally: the spawned body reaches a
+// channel send two calls down.
+func DeepJoin(ch chan int) {
+	go func() {
+		relay(ch)
+	}()
+	<-ch
+}
+
+func relay(ch chan int) { deepSend(ch) }
+
+func deepSend(ch chan int) { ch <- 1 }
+
+// StaticCallee spawns a named function whose own body does the handoff.
+func StaticCallee(ch chan int) {
+	go deepSend(ch)
+	<-ch
+}
+
+// unreachable is not exported and has no exported caller: its spawn is
+// outside the module's API surface and is not judged.
+func unreachable() {
+	go func() {
+		compute(4)
+	}()
+}
+
+// Suppressed carries the same defect as Leak under a justified waiver.
+func Suppressed() {
+	//x3:nolint(goleak) fixture: deliberate fire-and-forget for the suppression test
+	go func() {
+		compute(5)
+	}()
+}

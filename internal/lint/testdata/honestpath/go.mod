@@ -1,0 +1,3 @@
+module honestfix
+
+go 1.24

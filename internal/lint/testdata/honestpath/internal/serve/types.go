@@ -1,0 +1,24 @@
+// Package serve declares the answer envelope the honestpath analyzer
+// guards: Partial and Missing travel together, and a MissingShard names
+// its key range.
+package serve
+
+// Response mirrors the serving layer's answer envelope.
+type Response struct {
+	Partial bool
+	Missing []MissingShard
+	Cells   int
+}
+
+// CellAnswer mirrors the per-cell answer form.
+type CellAnswer struct {
+	Partial bool
+	Missing []MissingShard
+}
+
+// MissingShard names one absent shard and its key range.
+type MissingShard struct {
+	Shard    int
+	KeyRange string
+	Reason   string
+}

@@ -1,0 +1,67 @@
+// Package shard exercises the honestpath analyzer: the coordinator
+// commits answers, so the Partial/Missing pairing is judged here.
+package shard
+
+import "honestfix/internal/serve"
+
+// GatherBoth sets both halves of the contract in one function.
+func GatherBoth(missing []serve.MissingShard) *serve.Response {
+	r := &serve.Response{}
+	if len(missing) > 0 {
+		r.Partial = true
+		r.Missing = missing
+	}
+	return r
+}
+
+// HalfTruth marks Partial but never names what is missing.
+func HalfTruth() *serve.Response {
+	r := &serve.Response{}
+	r.Partial = true // want honestpath "marks the answer Partial without populating Missing"
+	return r
+}
+
+// SilentOmission populates Missing but forgets the Partial flag.
+func SilentOmission(m []serve.MissingShard) *serve.Response {
+	r := &serve.Response{}
+	r.Missing = m // want honestpath "populates Missing without marking the answer Partial"
+	return r
+}
+
+// CellHalf trips the same pairing rule through CellAnswer.
+func CellHalf(a *serve.CellAnswer) {
+	a.Partial = true // want honestpath "marks the answer Partial without populating Missing"
+}
+
+// LitBoth builds the pair in one composite literal.
+func LitBoth(m []serve.MissingShard) serve.Response {
+	return serve.Response{Partial: true, Missing: m}
+}
+
+// LitHalf is the literal form of the half-told truth.
+func LitHalf() serve.Response {
+	return serve.Response{Partial: true} // want honestpath "marks the answer Partial without populating Missing"
+}
+
+// NoRange loses the key range.
+func NoRange(id int) serve.MissingShard {
+	return serve.MissingShard{Shard: id, Reason: "down"} // want honestpath "does not name its KeyRange"
+}
+
+// WithRange is complete.
+func WithRange(id int) serve.MissingShard {
+	return serve.MissingShard{Shard: id, KeyRange: "[a,b)", Reason: "down"}
+}
+
+// FalseAndNil literals are explicit non-answers, not half-truths.
+func FalseAndNil() serve.Response {
+	return serve.Response{Partial: false, Missing: nil}
+}
+
+// Suppressed sets only Partial under a justified waiver.
+func Suppressed() *serve.Response {
+	r := &serve.Response{}
+	//x3:nolint(honestpath) fixture: the caller attaches Missing before the answer commits, for the suppression test
+	r.Partial = true
+	return r
+}

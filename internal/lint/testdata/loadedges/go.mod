@@ -1,0 +1,3 @@
+module loadedges
+
+go 1.24

@@ -1,0 +1,5 @@
+//go:build go1.1
+
+package p
+
+func gated() int { return 1 }

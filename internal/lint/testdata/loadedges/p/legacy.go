@@ -1,0 +1,6 @@
+// +build neverbuildme
+
+package p
+
+// Legacy single-style tag: this duplicate must be excluded too.
+func gated() int { return 3 }

@@ -1,0 +1,6 @@
+//go:build neverbuildme
+
+package p
+
+// gated would collide with the real declaration if this file loaded.
+func gated() int { return 2 }

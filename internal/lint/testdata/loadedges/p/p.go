@@ -1,0 +1,8 @@
+// Package p proves the loader honors build constraints: gated() resolves
+// to the //go:build go1.1 file; if the never-satisfied or legacy-tagged
+// files were wrongly included, gated would be redeclared and the load
+// would fail.
+package p
+
+// Ok calls into the constraint-gated half of the package.
+func Ok() int { return gated() }

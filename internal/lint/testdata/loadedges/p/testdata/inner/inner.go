@@ -1,0 +1,3 @@
+package inner
+
+this file is not Go at all; nested testdata directories must be skipped

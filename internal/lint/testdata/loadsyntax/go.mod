@@ -1,0 +1,3 @@
+module loadsyntax
+
+go 1.24

@@ -1,0 +1,159 @@
+// Package store exercises the lockhold analyzer: nothing blocks while a
+// write lock is held, and every path out releases it.
+package store
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// S is the guarded state.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// Src is a module interface seam with a file-backed implementation.
+type Src interface {
+	Each() error
+}
+
+type fileSrc struct{}
+
+func (fileSrc) Each() error {
+	f, err := os.Open("f")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func touch(p string) {
+	os.Remove(p)
+}
+
+// SleepUnderLock blocks directly while holding mu.
+func (s *S) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockhold "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+// ReturnHoldingLock leaks the lock on the early-return path.
+func (s *S) ReturnHoldingLock(b bool) int {
+	s.mu.Lock()
+	if b {
+		return s.n // want lockhold "still held at this return"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// FallThrough never unlocks at all.
+func (s *S) FallThrough() { // nothing releases mu below
+	s.mu.Lock() // want lockhold "not released on the fall-through path"
+	s.n++
+}
+
+// SendUnderLock performs a channel send while holding mu.
+func (s *S) SendUnderLock() {
+	s.mu.Lock()
+	s.ch <- s.n // want lockhold "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// SelectUnderLock waits on channels while holding mu.
+func (s *S) SelectUnderLock() {
+	s.mu.Lock()
+	select { // want lockhold "blocking select while s.mu is held"
+	case v := <-s.ch:
+		s.n = v
+	}
+	s.mu.Unlock()
+}
+
+// InterprocBlock calls a helper whose interprocedural summary blocks.
+func (s *S) InterprocBlock() {
+	s.mu.Lock()
+	touch("x") // want lockhold "call to touch"
+	s.mu.Unlock()
+}
+
+// IfaceBlock dispatches through the seam: it blocks if any
+// implementation does.
+func (s *S) IfaceBlock(src Src) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return src.Each() // want lockhold "call to Src.Each"
+}
+
+// DeferUnlock licenses every return.
+func (s *S) DeferUnlock(b bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b {
+		return 1
+	}
+	return s.n
+}
+
+// PureCompute holds the lock over arithmetic only.
+func (s *S) PureCompute() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// ReadLock may block under RLock: concurrent readers admit I/O by
+// design, so only the write half is judged.
+func (s *S) ReadLock() {
+	s.rw.RLock()
+	touch("y")
+	s.rw.RUnlock()
+}
+
+// SpawnedScope: the goroutine body runs with its own lock state, so its
+// blocking send is not charged to the spawner's hold region.
+func (s *S) SpawnedScope(done chan struct{}) {
+	s.mu.Lock()
+	go func() {
+		touch("z")
+		done <- struct{}{}
+	}()
+	s.mu.Unlock()
+}
+
+// NonBlockingProbe is fine: the select has a default.
+func (s *S) NonBlockingProbe() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// InfiniteLoop mirrors the worker-pool shape: the for never falls
+// through and every exit path unlocks before returning.
+func (s *S) InfiniteLoop() {
+	s.mu.Lock()
+	for {
+		if s.n > 10 {
+			s.mu.Unlock()
+			return
+		}
+		s.n++
+	}
+}
+
+// Suppressed blocks under the lock with a justified waiver.
+func (s *S) Suppressed() {
+	s.mu.Lock()
+	//x3:nolint(lockhold) fixture: deliberate blocking hold for the suppression test
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}

@@ -313,6 +313,7 @@ func (s *Store) stage(body []byte) (*staged, error) {
 // commit folds a staged append into the live state under the store lock.
 func (s *Store) commit(st *staged) (int64, error) {
 	s.mu.Lock()
+	//x3:nolint(lockhold) Delta.Absorb's blocking summary comes from file-backed Source.Each implementations; the staged delta built in stage() always carries the in-memory match.Set, so this call never touches a file
 	added, err := s.mem.Absorb(st.delta)
 	if err != nil {
 		s.mu.Unlock()
@@ -632,11 +633,11 @@ func (s *Store) compactLocked(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
-	oldRdr.Close()
-	os.Remove(filepath.Join(s.dir, oldBaseName))
+	s.bestEffort(oldRdr.Close())
+	s.bestEffort(os.Remove(filepath.Join(s.dir, oldBaseName)))
 	for i, d := range oldDeltas {
-		d.Close()
-		os.Remove(filepath.Join(s.dir, oldDeltaNames[i]))
+		s.bestEffort(d.Close())
+		s.bestEffort(os.Remove(filepath.Join(s.dir, oldDeltaNames[i])))
 	}
 
 	s.reg.Counter("compact.runs").Inc()

@@ -28,6 +28,7 @@ import (
 	"x3/internal/costmodel"
 	"x3/internal/cube"
 	"x3/internal/fault"
+	"x3/internal/gate"
 	"x3/internal/lattice"
 	"x3/internal/match"
 	"x3/internal/obs"
@@ -122,8 +123,10 @@ type Store struct {
 	// refreshMu serializes maintenance (refresh, append, flush, compact);
 	// mu guards the swappable state below. Queries hold mu.RLock for
 	// their whole execution, so a maintenance swap waits for in-flight
-	// answers and later answers see the new state.
-	refreshMu sync.Mutex
+	// answers and later answers see the new state. Maintenance holds the
+	// gate across file I/O by design, which is why it is a gate.Gate and
+	// not a sync.Mutex (lockhold forbids blocking under a mutex).
+	refreshMu gate.Gate
 	mu        sync.RWMutex
 	rdr       *cellfile.IndexedReader
 	deltas    []*cellfile.IndexedReader // ladder mode: delta generations, oldest first
@@ -203,6 +206,7 @@ func newStore(path string, lat *lattice.Lattice, base *match.Set, props cube.Pro
 	s := &Store{
 		path:        path,
 		lat:         lat,
+		refreshMu:   gate.New(),
 		reg:         opt.Registry,
 		blockCells:  opt.BlockCells,
 		fault:       opt.Fault,
@@ -239,14 +243,23 @@ func (s *Store) adoptReader(rdr *cellfile.IndexedReader) {
 	}
 }
 
+// bestEffort consumes the error of a cleanup step whose failure cannot
+// change any answer (the data it touches is already superseded) but must
+// not vanish either: failures count into serve.cleanup.errors.
+func (s *Store) bestEffort(err error) {
+	if err != nil {
+		s.reg.Counter("serve.cleanup.errors").Inc()
+	}
+}
+
 // closeReaders closes every open generation reader (partial-open cleanup
 // and Close).
 func (s *Store) closeReaders() {
 	if s.rdr != nil {
-		s.rdr.Close()
+		s.bestEffort(s.rdr.Close())
 	}
 	for _, d := range s.deltas {
-		d.Close()
+		s.bestEffort(d.Close())
 	}
 }
 
@@ -432,16 +445,25 @@ type MaterializedCuboid struct {
 func (s *Store) Close() error {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
+	// Snapshot the handles under the data mutex — taking the write lock
+	// drains in-flight queries — then close them outside it: file closes
+	// can block, and nothing may block while s.mu is held.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	err := s.rdr.Close()
-	for _, d := range s.deltas {
+	rdr := s.rdr
+	deltas := s.deltas
+	walW := s.walW
+	s.mu.Unlock()
+	var err error
+	if rdr != nil {
+		err = rdr.Close()
+	}
+	for _, d := range deltas {
 		if cerr := d.Close(); err == nil {
 			err = cerr
 		}
 	}
-	if s.walW != nil {
-		if cerr := s.walW.Close(); err == nil {
+	if walW != nil {
+		if cerr := walW.Close(); err == nil {
 			err = cerr
 		}
 	}
@@ -536,7 +558,7 @@ func (s *Store) RefreshDoc(ctx context.Context, doc *xmltree.Document) (int64, e
 	s.dicts = dicts
 	s.props = props
 	s.mu.Unlock()
-	oldRdr.Close()
+	s.bestEffort(oldRdr.Close())
 
 	s.reg.Counter("serve.refresh.runs").Inc()
 	s.reg.Counter("serve.refresh.added").Add(added)

